@@ -1,0 +1,85 @@
+//! Criterion bench for the DESIGN.md ablations: PLB-HeC with each knob
+//! flipped, on the occupancy-ramp workload where the knobs matter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plb_hec::{FitMode, PlbHecPolicy, PolicyConfig, ProbeSchedule, SolverChoice};
+use plb_hetsim::cluster::ClusterOptions;
+use plb_hetsim::workload::LinearCost;
+use plb_hetsim::{cluster_scenario, ClusterSim, Scenario};
+use plb_runtime::SimEngine;
+
+fn ramp_cost() -> LinearCost {
+    LinearCost {
+        label: "ramp".into(),
+        flops_per_item: 2e5,
+        in_bytes_per_item: 64.0,
+        out_bytes_per_item: 8.0,
+        threads_per_item: 1.0,
+    }
+}
+
+fn run_with(cfg: &PolicyConfig) -> f64 {
+    let machines = cluster_scenario(Scenario::Four, false);
+    let opts = ClusterOptions {
+        seed: 0,
+        noise_sigma: 0.02,
+        ..Default::default()
+    };
+    let mut cluster = ClusterSim::build(&machines, &opts);
+    let cost = ramp_cost();
+    let mut policy = PlbHecPolicy::new(cfg);
+    SimEngine::new(&mut cluster, &cost)
+        .run(&mut policy, 400_000)
+        .unwrap()
+        .makespan
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let base = PolicyConfig {
+        initial_block: 400,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    group.bench_function("baseline", |b| b.iter(|| run_with(&base)));
+    group.bench_function("fit_linear_only", |b| {
+        let cfg = PolicyConfig {
+            fit_mode: FitMode::LinearOnly,
+            ..base.clone()
+        };
+        b.iter(|| run_with(&cfg))
+    });
+    group.bench_function("fit_log_only", |b| {
+        let cfg = PolicyConfig {
+            fit_mode: FitMode::LogOnly,
+            ..base.clone()
+        };
+        b.iter(|| run_with(&cfg))
+    });
+    group.bench_function("solver_fixed_point", |b| {
+        let cfg = PolicyConfig {
+            solver: SolverChoice::FixedPointOnly,
+            ..base.clone()
+        };
+        b.iter(|| run_with(&cfg))
+    });
+    group.bench_function("solver_rate_proportional", |b| {
+        let cfg = PolicyConfig {
+            solver: SolverChoice::RateProportionalOnly,
+            ..base.clone()
+        };
+        b.iter(|| run_with(&cfg))
+    });
+    group.bench_function("probe_equal", |b| {
+        let cfg = PolicyConfig {
+            probe_schedule: ProbeSchedule::ExponentialEqual,
+            ..base.clone()
+        };
+        b.iter(|| run_with(&cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench: the real host kernels (matmul column, Black-Scholes
+//! pricing, GRN conditional entropy) — the per-item costs the host
+//! backend measures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plb_apps::blackscholes::{price, BsData};
+use plb_apps::grn::{conditional_entropy, GrnData};
+use plb_apps::matmul::{MatMulCodelet, MatMulData};
+use plb_hetsim::PuKind;
+use plb_runtime::{Codelet, PuResources};
+use std::sync::Arc;
+
+fn bench_matmul_column(c: &mut Criterion) {
+    let n = 256;
+    let data = Arc::new(MatMulData::generate(n, 1));
+    let codelet = MatMulCodelet::new(data);
+    let res = PuResources {
+        threads: 1,
+        kind: PuKind::Cpu,
+    };
+    c.bench_function("matmul_column_256", |b| {
+        b.iter(|| codelet.execute(0..1, &res))
+    });
+}
+
+fn bench_blackscholes_price(c: &mut Criterion) {
+    let data = BsData::generate(1024, 2);
+    c.bench_function("blackscholes_price_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for o in &data.options {
+                let (call, put) = price(o);
+                acc += call + put;
+            }
+            acc
+        })
+    });
+}
+
+fn bench_grn_entropy(c: &mut Criterion) {
+    let data = GrnData::generate(32, 50, 3);
+    c.bench_function("grn_conditional_entropy", |b| {
+        b.iter(|| conditional_entropy(&data, 0, 1, 2))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul_column,
+    bench_blackscholes_price,
+    bench_grn_entropy
+);
+criterion_main!(benches);

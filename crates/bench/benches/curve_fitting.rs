@@ -1,0 +1,40 @@
+//! Criterion bench: the performance-modeling phase's least-squares fits
+//! — per-curve cost of the best-subset model selection and the affine
+//! transfer fit, across sample counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use plb_numerics::{fit_best_model, fit_linear};
+
+fn samples(n: usize) -> Vec<(f64, f64)> {
+    (0..n)
+        .map(|i| {
+            let x = 100.0 * (i + 1) as f64;
+            // GPU-flavored curve: overhead + linear + saturating term.
+            let y = 0.05 + 2e-4 * x + 0.4 * (x / 100.0).ln();
+            (x, y * (1.0 + 0.01 * ((i * 37 % 11) as f64 - 5.0) / 5.0))
+        })
+        .collect()
+}
+
+fn bench_best_subset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fit_best_model");
+    for n in [4usize, 8, 16, 64, 256] {
+        let s = samples(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &s, |b, s| {
+            b.iter(|| fit_best_model(s).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_transfer_fit(c: &mut Criterion) {
+    let s: Vec<(f64, f64)> = (1..=32)
+        .map(|i| (i as f64 * 50.0, 1e-3 + 2e-6 * i as f64 * 50.0))
+        .collect();
+    c.bench_function("fit_linear_transfer", |b| {
+        b.iter(|| fit_linear(&s).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_best_subset, bench_transfer_fit);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench regenerating the Fig. 4 measurements: MM and GRN
+//! simulated execution under each policy (one representative size per
+//! app family and machine scenario; the full sweep is the `repro fig4`
+//! binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use plb_bench::harness::{run_once, App, PolicyKind};
+use plb_hetsim::Scenario;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    for app in [App::MatMul(16384), App::Grn(60_000)] {
+        for kind in PolicyKind::ALL {
+            let id = format!("{}-{}", app.label().replace(' ', "_"), kind.label());
+            group.bench_with_input(BenchmarkId::from_parameter(id), &kind, |b, &kind| {
+                b.iter(|| run_once(app, Scenario::Four, false, kind, 0, vec![]))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

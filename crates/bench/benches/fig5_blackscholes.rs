@@ -1,0 +1,23 @@
+//! Criterion bench regenerating the Fig. 5 measurements: Black-Scholes
+//! simulated execution under each policy across scenario sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use plb_bench::harness::{run_once, App, PolicyKind};
+use plb_hetsim::Scenario;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    for scenario in [Scenario::One, Scenario::Four] {
+        for kind in PolicyKind::ALL {
+            let id = format!("bs250k-m{}-{}", scenario.machines(), kind.label());
+            group.bench_with_input(BenchmarkId::from_parameter(id), &kind, |b, &kind| {
+                b.iter(|| run_once(App::BlackScholes(250_000), scenario, false, kind, 0, vec![]))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench regenerating the Fig. 6 measurement: the block-size
+//! distribution runs (8 processing units, one GPU per machine) for the
+//! three estimating policies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plb_bench::harness::{run_once, App, PolicyKind};
+use plb_hetsim::Scenario;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_distribution");
+    group.sample_size(10);
+    for kind in [PolicyKind::Acosta, PolicyKind::Hdss, PolicyKind::PlbHec] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let o = run_once(App::MatMul(16384), Scenario::Four, true, kind, 0, vec![]);
+                o.report.block_distribution
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench regenerating the Fig. 7 measurement: idle-fraction
+//! accounting for PLB-HeC vs HDSS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plb_bench::harness::{run_once, App, PolicyKind};
+use plb_hetsim::Scenario;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_idleness");
+    group.sample_size(10);
+    for kind in [PolicyKind::PlbHec, PolicyKind::Hdss] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let o = run_once(App::Grn(60_000), Scenario::Four, true, kind, 0, vec![]);
+                o.report.mean_idle_fraction()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench: cost of the interior-point block-size solve as the
+//! number of processing units grows (the paper's Section V statistic —
+//! IPOPT took 170 ms ± 32.3 ms on its 4-machine / MM 65536 scenario).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use plb_ipm::nlp::FnCurve;
+use plb_ipm::{solve, BlockPartitionNlp, BoxedCurve, IpmOptions};
+
+fn curves(n: usize) -> Vec<BoxedCurve> {
+    (0..n)
+        .map(|i| {
+            let rate = 1.0 + i as f64;
+            let overhead = 0.01 * (1 + i % 3) as f64;
+            Box::new(FnCurve::new(
+                move |x: f64| overhead + x / rate + 0.05 * x * x,
+                move |x: f64| 1.0 / rate + 0.1 * x,
+                |_| 0.1,
+            )) as BoxedCurve
+        })
+        .collect()
+}
+
+fn bench_ipm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ipm_block_partition");
+    for n in [2usize, 4, 8, 10, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || BlockPartitionNlp::new(curves(n)),
+                |nlp| solve(&nlp, &IpmOptions::default()).unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_barrier_strategies(c: &mut Criterion) {
+    use plb_ipm::BarrierStrategy;
+    let mut group = c.benchmark_group("ipm_barrier_strategy");
+    for (name, strategy) in [
+        ("monotone", BarrierStrategy::Monotone),
+        ("adaptive", BarrierStrategy::Adaptive),
+    ] {
+        group.bench_function(name, |b| {
+            let opts = IpmOptions {
+                barrier: strategy,
+                ..Default::default()
+            };
+            b.iter_batched(
+                || BlockPartitionNlp::new(curves(10)),
+                |nlp| solve(&nlp, &opts).unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ipm, bench_barrier_strategies);
+criterion_main!(benches);

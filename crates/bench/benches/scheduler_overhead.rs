@@ -1,0 +1,30 @@
+//! Criterion bench: end-to-end scheduler overhead — full simulated runs
+//! of each policy on a fixed mid-size workload. Differences here are the
+//! policies' own bookkeeping (the virtual workload is identical).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plb_bench::harness::{run_once, App, PolicyKind};
+use plb_hetsim::Scenario;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_run_scheduler_overhead");
+    group.sample_size(20);
+    for kind in PolicyKind::ALL {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                run_once(
+                    App::BlackScholes(100_000),
+                    Scenario::Two,
+                    false,
+                    kind,
+                    0,
+                    vec![],
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+use plb_bench::harness::{run_once, App, PolicyKind};
+use plb_hetsim::Scenario;
+
+fn main() {
+    let app = App::MatMul(65536);
+    for kind in PolicyKind::ALL {
+        let o = run_once(app, Scenario::Four, false, kind, 0, vec![]);
+        println!(
+            "== {} makespan={:.1}s tasks={} rebal={}",
+            o.report.policy, o.report.makespan, o.report.tasks, o.rebalances
+        );
+        for p in &o.report.pus {
+            println!(
+                "   {:8} items={:6} share={:.3} busy={:7.1}s idle={:.1}%",
+                p.name,
+                p.items,
+                p.item_share,
+                p.busy_s,
+                p.idle_fraction * 100.0
+            );
+        }
+        if let Some(d) = &o.report.block_distribution {
+            println!(
+                "   dist: {:?}",
+                d.iter()
+                    .map(|v| (v * 1000.0).round() / 1000.0)
+                    .collect::<Vec<_>>()
+            );
+        }
+        if !o.solve_times.is_empty() {
+            println!("   solves: {:?}", o.solve_times);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+use plb_bench::harness::default_initial_block;
+use plb_hec::{PlbHecPolicy, PolicyConfig};
+use plb_hetsim::cluster::ClusterOptions;
+use plb_hetsim::{cluster_scenario, ClusterSim, Scenario};
+use plb_runtime::SimEngine;
+
+fn main() {
+    let app = plb_apps::MatMul::new(65536);
+    let cost = app.cost();
+    let machines = cluster_scenario(Scenario::Four, false);
+    let mut cluster = ClusterSim::build(
+        &machines,
+        &ClusterOptions {
+            seed: 0,
+            noise_sigma: 0.02,
+            ..Default::default()
+        },
+    );
+    let cfg = PolicyConfig {
+        initial_block: default_initial_block(65536, &cost),
+        ..Default::default()
+    };
+    println!("initial_block = {}", cfg.initial_block);
+    let mut policy = PlbHecPolicy::new(&cfg);
+    let mut engine = SimEngine::new(&mut cluster, &cost);
+    let report = engine.run(&mut policy, 65536).unwrap();
+    println!("makespan {:.1}s", report.makespan);
+    let sel = &policy.selections()[0];
+    println!(
+        "method {:?} predicted_T {:.2}s",
+        sel.method, sel.predicted_time
+    );
+    for (i, p) in report.pus.iter().enumerate() {
+        println!(
+            "{:8} frac={:.4} block={:5} busy={:6.1}s idle={:4.1}%",
+            p.name,
+            sel.fractions[i],
+            sel.blocks[i],
+            p.busy_s,
+            p.idle_fraction * 100.0
+        );
+    }
+    let trace = engine.last_trace().unwrap();
+    for seg in trace.segments() {
+        if seg.kind == plb_runtime::SegmentKind::Compute && seg.end - seg.start > 5.0 {
+            println!(
+                "pu{} task{} items={} {:.1}..{:.1} ({:.1}s)",
+                seg.pu,
+                seg.task,
+                seg.items,
+                seg.start,
+                seg.end,
+                seg.end - seg.start
+            );
+        }
+    }
+}
+// (appended) — task-level dump via a second run

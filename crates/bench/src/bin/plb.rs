@@ -1,0 +1,360 @@
+//! `plb` — run heterogeneous load-balancing experiments from the
+//! command line.
+//!
+//! ```text
+//! plb run     --app mm --size 32768 --machines 4 --policy plb-hec
+//!             [--seed N] [--single-gpu] [--noise SIGMA]
+//!             [--json FILE] [--gantt FILE.svg]
+//! plb compare --app bs --size 250000 --machines 4 [--seeds N]
+//! plb cluster [--machines 1..4]
+//! ```
+//!
+//! `run` executes one simulated run and prints the report (optionally a
+//! JSON dump and an SVG Gantt); `compare` runs all four policies and
+//! prints their makespans and speedups; `cluster` shows the Table I
+//! machine presets.
+
+use plb_bench::harness::{default_initial_block, App, PolicyKind};
+use plb_bench::viz::gantt_svg;
+use plb_hec::{
+    AcostaPolicy, GreedyPolicy, HdssPolicy, PerfProfile, PlbHecPolicy, PolicyConfig,
+    StaticProfilePolicy, UnitModel,
+};
+use plb_hetsim::cluster::ClusterOptions;
+use plb_hetsim::{cluster_scenario, ClusterSim, Scenario};
+use plb_runtime::{Policy, RunReport, SimEngine};
+
+struct Args {
+    cmd: String,
+    app: String,
+    size: u64,
+    machines: usize,
+    policy: String,
+    seed: u64,
+    seeds: u64,
+    single_gpu: bool,
+    noise: f64,
+    json: Option<String>,
+    gantt: Option<String>,
+    cluster_file: Option<String>,
+    profiles: Option<String>,
+    trace: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        cmd: String::new(),
+        app: "mm".into(),
+        size: 16384,
+        machines: 4,
+        policy: "plb-hec".into(),
+        seed: 0,
+        seeds: 5,
+        single_gpu: false,
+        noise: 0.02,
+        json: None,
+        gantt: None,
+        cluster_file: None,
+        profiles: None,
+        trace: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut next = |what: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{what} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "run" | "compare" | "cluster" | "profile" => a.cmd = arg.clone(),
+            "--app" => a.app = next("--app"),
+            "--size" => {
+                a.size = next("--size")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --size"))
+            }
+            "--machines" => {
+                a.machines = next("--machines")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --machines"))
+            }
+            "--policy" => a.policy = next("--policy"),
+            "--seed" => {
+                a.seed = next("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --seed"))
+            }
+            "--seeds" => {
+                a.seeds = next("--seeds")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --seeds"))
+            }
+            "--single-gpu" => a.single_gpu = true,
+            "--noise" => {
+                a.noise = next("--noise")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --noise"))
+            }
+            "--json" => a.json = Some(next("--json")),
+            "--gantt" => a.gantt = Some(next("--gantt")),
+            "--cluster" => a.cluster_file = Some(next("--cluster")),
+            "--profiles" => a.profiles = Some(next("--profiles")),
+            "--trace" => a.trace = Some(next("--trace")),
+            "-h" | "--help" => usage(""),
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    if a.cmd.is_empty() {
+        usage("missing command");
+    }
+    a
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage:\n  plb run     --app mm|grn|bs|nn --size N --machines 1-4 --policy \
+         plb-hec|greedy|acosta|hdss\n              [--seed N] [--single-gpu] [--noise SIGMA] \
+         [--json FILE] [--gantt FILE.svg] [--trace FILE.json] [--cluster FILE.json]\n  plb compare --app \
+         mm|grn|bs --size N --machines 1-4 [--seeds N] [--single-gpu]\n  plb cluster \
+         [--machines 1-4] [--cluster FILE.json]\n  plb profile --app mm|grn|bs|nn --size N \
+         [--machines 1-4|--cluster FILE.json] --profiles OUT.json\n\nA --cluster file is a \
+         JSON array of machine specs (see docs/cluster.example.json); it replaces the Table I \
+         presets. `plb profile` probes each unit offline and saves its fitted models; \
+         `plb run --policy static --profiles FILE` reuses them without any online probing."
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Machines from a user JSON file, or the Table I presets.
+fn machines_of(a: &Args) -> Vec<plb_hetsim::MachineSpec> {
+    match &a.cluster_file {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")));
+            serde_json::from_str(&text)
+                .unwrap_or_else(|e| usage(&format!("bad cluster JSON in {path}: {e}")))
+        }
+        None => cluster_scenario(scenario_of(a.machines), a.single_gpu),
+    }
+}
+
+fn scenario_of(machines: usize) -> Scenario {
+    match machines {
+        1 => Scenario::One,
+        2 => Scenario::Two,
+        3 => Scenario::Three,
+        4 => Scenario::Four,
+        _ => usage("--machines must be 1-4 (the paper's Table I)"),
+    }
+}
+
+fn app_of(name: &str, size: u64) -> App {
+    match name {
+        "mm" | "matmul" => App::MatMul(size),
+        "grn" => App::Grn(size),
+        "bs" | "blackscholes" => App::BlackScholes(size),
+        "nn" | "nnlayer" => App::NnLayer(size),
+        _ => usage("--app must be mm, grn, bs or nn"),
+    }
+}
+
+fn policy_of(name: &str, cfg: &PolicyConfig, profiles: &Option<String>) -> Box<dyn Policy> {
+    match name {
+        "plb-hec" | "plb" => Box::new(PlbHecPolicy::new(cfg)),
+        "greedy" => Box::new(GreedyPolicy::new(cfg)),
+        "acosta" => Box::new(AcostaPolicy::new(cfg)),
+        "hdss" => Box::new(HdssPolicy::new(cfg)),
+        "static" => {
+            let path = profiles
+                .as_ref()
+                .unwrap_or_else(|| usage("--policy static requires --profiles FILE.json"));
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")));
+            let models: Vec<UnitModel> = serde_json::from_str(&text)
+                .unwrap_or_else(|e| usage(&format!("bad profile JSON in {path}: {e}")));
+            Box::new(StaticProfilePolicy::from_profiles(cfg, models))
+        }
+        _ => usage("--policy must be plb-hec, greedy, acosta, hdss or static"),
+    }
+}
+
+fn print_report(report: &RunReport) {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "policy    : {}", report.policy);
+    let _ = writeln!(out, "makespan  : {:.6} s", report.makespan);
+    let _ = writeln!(out, "tasks     : {}", report.tasks);
+    let _ = writeln!(out, "items     : {}", report.total_items);
+    let _ = writeln!(out, "per unit  :");
+    for pu in &report.pus {
+        let _ = writeln!(
+            out,
+            "  {:10} items={:>9} share={:>6.2}% busy={:>10.4}s idle={:>5.1}%",
+            pu.name,
+            pu.items,
+            pu.item_share * 100.0,
+            pu.busy_s,
+            pu.idle_fraction * 100.0
+        );
+    }
+    if let Some(d) = &report.block_distribution {
+        let pretty: Vec<String> = d.iter().map(|f| format!("{:.3}", f)).collect();
+        let _ = writeln!(out, "distribution: [{}]", pretty.join(", "));
+    }
+    // Write in one shot, tolerating a closed pipe (e.g. `plb run | head`).
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(out.as_bytes());
+}
+
+fn main() {
+    let a = parse_args();
+    match a.cmd.as_str() {
+        "cluster" => {
+            for m in machines_of(&a) {
+                println!(
+                    "{}: {} ({} cores @ {} GHz, {} GB RAM)",
+                    m.name, m.cpu.name, m.cpu.cores, m.cpu.clock_ghz, m.cpu.ram_gb
+                );
+                for g in &m.gpus {
+                    println!(
+                        "   {} — {} cores / {} SMs, {} GB/s, {} GB",
+                        g.name, g.cuda_cores, g.sms, g.mem_bandwidth_gbs, g.mem_gb
+                    );
+                }
+            }
+        }
+        "run" => {
+            let app = app_of(&a.app, a.size);
+            let machines = machines_of(&a);
+            let opts = ClusterOptions {
+                seed: a.seed,
+                noise_sigma: a.noise,
+                ..Default::default()
+            };
+            let mut cluster = ClusterSim::build(&machines, &opts);
+            let cost = app.cost();
+            let cfg = PolicyConfig {
+                initial_block: default_initial_block(app.total_items(), cost.as_ref()),
+                seed: a.seed,
+                ..Default::default()
+            };
+            let mut policy = policy_of(&a.policy, &cfg, &a.profiles);
+            let mut engine = SimEngine::new(&mut cluster, cost.as_ref());
+            let report = engine
+                .run(policy.as_mut(), app.total_items())
+                .unwrap_or_else(|e| {
+                    eprintln!("run failed: {e}");
+                    std::process::exit(1)
+                });
+            print_report(&report);
+            if let Some(path) = &a.json {
+                let json = serde_json::to_string_pretty(&report).expect("report serializes");
+                std::fs::write(path, json).expect("write json");
+                println!("wrote {path}");
+            }
+            if let Some(path) = &a.gantt {
+                let names: Vec<String> = report.pus.iter().map(|p| p.name.clone()).collect();
+                let svg = gantt_svg(
+                    engine.last_trace().expect("trace recorded"),
+                    &names,
+                    &format!(
+                        "{} on {} machine(s) — {}",
+                        app.label(),
+                        a.machines,
+                        report.policy
+                    ),
+                );
+                std::fs::write(path, svg).expect("write gantt svg");
+                println!("wrote {path}");
+            }
+            if let Some(path) = &a.trace {
+                let names: Vec<String> = report.pus.iter().map(|p| p.name.clone()).collect();
+                let json = engine
+                    .last_trace()
+                    .expect("trace recorded")
+                    .to_chrome_trace(&names);
+                std::fs::write(path, json).expect("write chrome trace");
+                println!("wrote {path} (open in chrome://tracing)");
+            }
+        }
+        "profile" => {
+            let out = a
+                .profiles
+                .as_ref()
+                .unwrap_or_else(|| usage("profile needs --profiles OUT.json"));
+            let app = app_of(&a.app, a.size);
+            let machines = machines_of(&a);
+            let opts = ClusterOptions {
+                seed: a.seed,
+                noise_sigma: a.noise,
+                ..Default::default()
+            };
+            let mut cluster = ClusterSim::build(&machines, &opts);
+            let cost = app.cost();
+            // Probe each unit across a size sweep (offline profiling,
+            // exactly what the static algorithm [17] requires).
+            let base = default_initial_block(app.total_items(), cost.as_ref()).max(1);
+            let ids: Vec<_> = cluster.ids().collect();
+            let models: Vec<UnitModel> = ids
+                .into_iter()
+                .map(|id| {
+                    let mut p = PerfProfile::new();
+                    for mult in [1u64, 2, 4, 8, 16, 32] {
+                        let b = base.saturating_mul(mult);
+                        let d = cluster.device_mut(id);
+                        let xfer = d.transfer_time(cost.as_ref(), b);
+                        let proc = d.proc_time(cost.as_ref(), b);
+                        p.record(b, proc, xfer);
+                    }
+                    p.fit().unwrap_or_else(|e| {
+                        eprintln!("profiling fit failed: {e}");
+                        std::process::exit(1)
+                    })
+                })
+                .collect();
+            for (i, m) in models.iter().enumerate() {
+                println!("unit {i}: F {}", m.f.describe());
+            }
+            let json = serde_json::to_string_pretty(&models).expect("models serialize");
+            std::fs::write(out, json).expect("write profiles");
+            println!("wrote {} unit profiles to {out}", models.len());
+        }
+        "compare" => {
+            let app = app_of(&a.app, a.size);
+            let scenario = scenario_of(a.machines);
+            println!(
+                "{} on {} machine(s), mean over {} seeds:",
+                app.label(),
+                a.machines,
+                a.seeds
+            );
+            let mut greedy_mean = None;
+            let mut rows = Vec::new();
+            for kind in [
+                PolicyKind::Greedy,
+                PolicyKind::Acosta,
+                PolicyKind::Hdss,
+                PolicyKind::PlbHec,
+            ] {
+                let agg = plb_bench::harness::run_many(app, scenario, a.single_gpu, kind, a.seeds);
+                if kind == PolicyKind::Greedy {
+                    greedy_mean = Some(agg.mean_makespan);
+                }
+                rows.push((kind.label(), agg.mean_makespan, agg.std_makespan));
+            }
+            let g = greedy_mean.expect("greedy ran");
+            println!(
+                "{:<10} {:>14} {:>10} {:>9}",
+                "policy", "makespan", "σ", "speedup"
+            );
+            for (label, mean, std) in rows {
+                println!("{label:<10} {mean:>12.6}s {std:>9.6} {:>8.2}x", g / mean);
+            }
+        }
+        _ => usage("unknown command"),
+    }
+}

@@ -1,0 +1,344 @@
+//! HDSS — the Heterogeneous Dynamic Self-Scheduler (\[19\] in the paper).
+//!
+//! Two phases:
+//!
+//! * **Adaptive phase** — every unit self-schedules probe blocks of
+//!   growing size (the same growth schedule on every unit — which is
+//!   why HDSS shows more idleness than PLB-HeC in the paper's Fig. 7:
+//!   slow units spend the whole phase chewing oversized probes) until
+//!   the adaptive data budget is consumed. A FLOP-rate-versus-size
+//!   curve `rate(x) = a·ln x + b` is fitted per unit by least squares,
+//!   and a scalar weight per unit is derived from the curve's value at
+//!   the unit's projected share — the "single number per processor" the
+//!   paper criticizes.
+//! * **Completion phase** — pure self-scheduling, no barriers: whenever
+//!   a unit goes idle it takes `weight × remaining × α` items, so block
+//!   sizes start big and decrease geometrically, trimming the
+//!   end-of-run imbalance. Weights are never updated again.
+
+use crate::config::PolicyConfig;
+use plb_hetsim::PuId;
+use plb_numerics::{fit_basis, BasisFn, BasisSet};
+use plb_runtime::{Policy, SchedulerCtx, TaskInfo};
+
+/// Fraction of a unit's weighted share taken per completion-phase block.
+const COMPLETION_ALPHA: f64 = 0.5;
+
+enum Phase {
+    Adaptive,
+    Completion,
+}
+
+/// The HDSS policy.
+pub struct HdssPolicy {
+    cfg: PolicyConfig,
+    phase: Phase,
+    /// Per-unit count of adaptive probes taken (drives the growth
+    /// schedule independently per unit — HDSS is a self-scheduler).
+    probe_count: Vec<u32>,
+    /// Per-unit flag: an adaptive probe is in flight. The weights are
+    /// fitted only once every probe has landed — the synchronization
+    /// point between HDSS's two phases, and the source of its phase-1
+    /// idleness (fast units wait while slow units chew their probes).
+    probing: Vec<bool>,
+    /// Adaptive-phase items still to hand out before weights freeze.
+    adaptive_budget: u64,
+    /// (block items, rate items/s) samples per unit.
+    rate_samples: Vec<Vec<(f64, f64)>>,
+    weights: Vec<f64>,
+    active: Vec<bool>,
+}
+
+impl HdssPolicy {
+    /// Create the policy from shared configuration.
+    pub fn new(cfg: &PolicyConfig) -> HdssPolicy {
+        HdssPolicy {
+            cfg: cfg.clone(),
+            phase: Phase::Adaptive,
+            probe_count: Vec::new(),
+            probing: Vec::new(),
+            adaptive_budget: 0,
+            rate_samples: Vec::new(),
+            weights: Vec::new(),
+            active: Vec::new(),
+        }
+    }
+
+    /// The fitted per-unit weights (empty during the adaptive phase).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Next adaptive probe for one unit: the growth schedule 1, 2, 4, 8
+    /// (capped) of `initialBlockSize`. Equal per step across units — the
+    /// original HDSS's choice and the source of its adaptive-phase
+    /// idleness on slow units (paper Fig. 7). The rescaled variant
+    /// (opt-in) shrinks probes by the unit's running rate estimate.
+    fn adaptive_probe(&mut self, ctx: &mut dyn SchedulerCtx, unit: usize) -> bool {
+        if self.adaptive_budget == 0 || ctx.remaining_items() == 0 || !self.active[unit] {
+            return false;
+        }
+        let step = self.probe_count[unit].min(3);
+        let base = self
+            .cfg
+            .initial_block
+            .saturating_mul(1u64 << step)
+            .max(self.cfg.granularity);
+        let block = if self.cfg.hdss_rescaled_probes {
+            match self.current_rate_ratio(unit) {
+                Some(r) => ((base as f64 * r) as u64).max(self.cfg.granularity),
+                None => base,
+            }
+        } else {
+            base
+        };
+        let block = block.min(self.adaptive_budget);
+        let got = ctx.assign(PuId(unit), block);
+        if got > 0 {
+            self.probe_count[unit] += 1;
+            self.probing[unit] = true;
+            self.adaptive_budget = self.adaptive_budget.saturating_sub(got);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// All probes landed and the budget is gone: fit the weights from
+    /// every unit's samples and move everyone into the completion phase.
+    fn try_enter_completion(&mut self, ctx: &mut dyn SchedulerCtx) {
+        if self.probing.iter().any(|&p| p) {
+            return; // a probe is still in flight; finished units idle
+        }
+        self.fit_weights(ctx.remaining_items());
+        // Deterministic stand-in for the (trivial) weight-fit cost.
+        ctx.charge_overhead(5e-6 * self.weights.len() as f64);
+        self.phase = Phase::Completion;
+        let ids: Vec<PuId> = (0..self.active.len())
+            .filter(|&i| self.active[i])
+            .map(PuId)
+            .collect();
+        for id in ids {
+            if !ctx.is_busy(id) {
+                self.assign_completion(ctx, id);
+            }
+        }
+    }
+
+    /// This unit's mean observed rate relative to the fastest unit's,
+    /// in (0, 1]; `None` before any measurements exist.
+    fn current_rate_ratio(&self, unit: usize) -> Option<f64> {
+        let mean_rate = |s: &Vec<(f64, f64)>| -> Option<f64> {
+            if s.is_empty() {
+                None
+            } else {
+                Some(s.iter().map(|&(_, r)| r).sum::<f64>() / s.len() as f64)
+            }
+        };
+        let mine = mean_rate(&self.rate_samples[unit])?;
+        let fastest = self
+            .rate_samples
+            .iter()
+            .filter_map(mean_rate)
+            .fold(f64::NAN, f64::max);
+        if fastest.is_finite() && fastest > 0.0 {
+            Some((mine / fastest).clamp(1e-3, 1.0))
+        } else {
+            None
+        }
+    }
+
+    /// Fit `rate(x) = a·ln x + b` per unit and evaluate at the unit's
+    /// projected share of the remaining data.
+    fn fit_weights(&mut self, remaining: u64) {
+        let live = self.active.iter().filter(|&&a| a).count().max(1);
+        let eval_x = (remaining as f64 / live as f64).max(1.0);
+        let log_basis = BasisSet::new(&[BasisFn::One, BasisFn::LnX]);
+        self.weights = self
+            .rate_samples
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if !self.active[i] || s.is_empty() {
+                    return 0.0;
+                }
+                let rate = match fit_basis(s, &log_basis) {
+                    Ok(fit) => fit.eval(eval_x),
+                    Err(_) => s.iter().map(|&(_, r)| r).sum::<f64>() / s.len() as f64,
+                };
+                rate.max(1e-9)
+            })
+            .collect();
+        let sum: f64 = self.weights.iter().sum();
+        if sum > 0.0 {
+            for w in &mut self.weights {
+                *w /= sum;
+            }
+        } else {
+            for (w, &a) in self.weights.iter_mut().zip(&self.active) {
+                *w = if a { 1.0 / live as f64 } else { 0.0 };
+            }
+        }
+    }
+
+    fn completion_block(&self, pu: usize, remaining: u64) -> u64 {
+        let ideal = self.weights[pu] * remaining as f64 * COMPLETION_ALPHA;
+        let b = crate::modeling::round_to_granularity(ideal, self.cfg.granularity);
+        b.min(remaining.max(1))
+    }
+
+    fn assign_completion(&mut self, ctx: &mut dyn SchedulerCtx, pu: PuId) {
+        let remaining = ctx.remaining_items();
+        if remaining == 0 || !self.active[pu.0] {
+            return;
+        }
+        let b = self.completion_block(pu.0, remaining);
+        ctx.assign(pu, b);
+    }
+}
+
+impl Policy for HdssPolicy {
+    fn name(&self) -> &str {
+        "hdss"
+    }
+
+    fn on_start(&mut self, ctx: &mut dyn SchedulerCtx) {
+        let n = ctx.pus().len();
+        self.active = ctx.pus().iter().map(|p| p.available).collect();
+        self.rate_samples = vec![Vec::new(); n];
+        self.weights = vec![0.0; n];
+        self.probe_count = vec![0; n];
+        self.probing = vec![false; n];
+        // The adaptive phase consumes the same share of the input the
+        // other profile-based schedulers grant their modeling phases.
+        self.adaptive_budget =
+            ((ctx.total_items() as f64 * self.cfg.modeling_cap_fraction * 0.5) as u64).max(1);
+        let ids: Vec<usize> = (0..n).filter(|&i| self.active[i]).collect();
+        for i in ids {
+            self.adaptive_probe(ctx, i);
+        }
+    }
+
+    fn on_task_finished(&mut self, ctx: &mut dyn SchedulerCtx, done: &TaskInfo) {
+        match self.phase {
+            Phase::Adaptive => {
+                self.probing[done.pu.0] = false;
+                let t = done.total_time();
+                if t > 0.0 {
+                    self.rate_samples[done.pu.0].push((done.items as f64, done.items as f64 / t));
+                }
+                // Self-scheduling within the phase: this unit takes its
+                // next probe while the budget lasts. Once the budget is
+                // gone, it waits for every outstanding probe to land —
+                // the weights need all units' measurements — and that
+                // wait is exactly the phase-1 idleness of Fig. 7.
+                if self.adaptive_probe(ctx, done.pu.0) {
+                    return;
+                }
+                self.try_enter_completion(ctx);
+            }
+            Phase::Completion => {
+                self.assign_completion(ctx, done.pu);
+            }
+        }
+    }
+
+    fn on_device_lost(&mut self, ctx: &mut dyn SchedulerCtx, pu: PuId) {
+        self.active[pu.0] = false;
+        match self.phase {
+            Phase::Adaptive => {
+                // Its in-flight probe (if any) will never land; don't
+                // hold the weight synchronization for it.
+                self.probing[pu.0] = false;
+                if self.adaptive_budget == 0 {
+                    self.try_enter_completion(ctx);
+                }
+            }
+            Phase::Completion => {
+                // Self-scheduling absorbs the loss: renormalize weights
+                // so survivors' blocks stay proportional.
+                self.weights[pu.0] = 0.0;
+                let s: f64 = self.weights.iter().sum();
+                if s > 0.0 {
+                    for w in &mut self.weights {
+                        *w /= s;
+                    }
+                }
+            }
+        }
+    }
+
+    fn block_distribution(&self) -> Option<Vec<f64>> {
+        if self.weights.iter().any(|&w| w > 0.0) {
+            Some(self.weights.clone())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plb_hetsim::cluster::ClusterOptions;
+    use plb_hetsim::workload::LinearCost;
+    use plb_hetsim::{cluster_scenario, ClusterSim, Scenario};
+    use plb_runtime::SimEngine;
+
+    fn run_hdss(scenario: Scenario, items: u64) -> plb_runtime::RunReport {
+        let mut cluster = ClusterSim::build(
+            &cluster_scenario(scenario, false),
+            &ClusterOptions {
+                noise_sigma: 0.0,
+                ..Default::default()
+            },
+        );
+        // Heavy, wide items (a matmul-row-like workload): GPUs reach
+        // good occupancy already at probe-block sizes.
+        let cost = LinearCost {
+            label: "heavy".into(),
+            flops_per_item: 1e5,
+            in_bytes_per_item: 64.0,
+            out_bytes_per_item: 64.0,
+            threads_per_item: 64.0,
+        };
+        let cfg = PolicyConfig::default().with_initial_block(1000);
+        let mut policy = HdssPolicy::new(&cfg);
+        SimEngine::new(&mut cluster, &cost)
+            .run(&mut policy, items)
+            .unwrap()
+    }
+
+    #[test]
+    fn completes_all_items() {
+        let r = run_hdss(Scenario::Two, 2_000_000);
+        assert_eq!(r.total_items, 2_000_000);
+    }
+
+    #[test]
+    fn weights_favor_the_gpu() {
+        let r = run_hdss(Scenario::One, 2_000_000);
+        let w = r.block_distribution.unwrap();
+        assert!(w[1] > w[0], "GPU should outweigh CPU: {w:?}");
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn completion_blocks_decrease() {
+        let cfg = PolicyConfig::default();
+        let mut p = HdssPolicy::new(&cfg);
+        p.active = vec![true];
+        p.weights = vec![1.0];
+        let b1 = p.completion_block(0, 100_000);
+        let b2 = p.completion_block(0, 100_000 - b1);
+        assert!(b2 < b1, "{b1} then {b2}");
+    }
+
+    #[test]
+    fn tiny_input_finishes_within_adaptive_phase() {
+        // Input smaller than the probing budget: the policy must finish
+        // without entering a degenerate completion phase.
+        let r = run_hdss(Scenario::One, 1500);
+        assert_eq!(r.total_items, 1500);
+    }
+}

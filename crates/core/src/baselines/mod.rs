@@ -1,0 +1,13 @@
+//! The three baseline schedulers the paper compares PLB-HeC against
+//! (Section IV): StarPU-style greedy dispatch, Acosta et al.'s
+//! relative-power iterative rebalancing, and Belviranli et al.'s HDSS.
+
+pub mod acosta;
+pub mod greedy;
+pub mod hdss;
+pub mod static_profile;
+
+pub use acosta::AcostaPolicy;
+pub use greedy::GreedyPolicy;
+pub use hdss::HdssPolicy;
+pub use static_profile::StaticProfilePolicy;

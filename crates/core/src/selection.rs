@@ -1,0 +1,452 @@
+//! The block-size selection phase (paper Section III-C).
+//!
+//! Solves the equal-finish-time partition problem over the fitted
+//! per-unit models with the interior-point method (the paper's IPOPT
+//! role, filled by `plb-ipm`), then rounds the real-valued fractions to
+//! valid application block sizes.
+//!
+//! Production robustness requires a fallback chain: if the NLP solve
+//! fails or returns an unusable point (wild curves extrapolated far from
+//! the probed range can do that), a damped fixed-point equalization
+//! takes over, and as a last resort a one-shot rate-proportional split —
+//! the quality degrades gracefully toward what Acosta/HDSS would have
+//! produced anyway.
+
+use crate::config::SolverChoice;
+use crate::profile::UnitModel;
+use plb_ipm::nlp::Curve;
+use plb_ipm::{solve, BlockPartitionNlp, BoxedCurve, IpmOptions, IpmStatus};
+use std::time::Instant;
+
+/// Which solver produced the selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionMethod {
+    /// The interior-point NLP solve succeeded (normal path).
+    InteriorPoint,
+    /// Damped fixed-point equalization fallback.
+    FixedPoint,
+    /// One-shot rate-proportional fallback.
+    RateProportional,
+}
+
+/// The outcome of one block-size selection.
+#[derive(Debug, Clone)]
+pub struct SelectionResult {
+    /// Per-unit fraction of the window (0 for inactive units).
+    pub fractions: Vec<f64>,
+    /// Per-unit block size in items; sums to the window.
+    pub blocks: Vec<u64>,
+    /// Predicted common execution time of the round, seconds.
+    pub predicted_time: f64,
+    /// Which solver produced the result.
+    pub method: SelectionMethod,
+    /// Wall-clock cost of the selection itself, seconds (the paper
+    /// reports ~170 ms with IPOPT on its 4-machine scenario).
+    pub solve_seconds: f64,
+    /// Interior-point iterations (0 for fallbacks).
+    pub ipm_iterations: usize,
+}
+
+/// A fitted unit model reinterpreted on the fraction domain of a
+/// `window`-item round.
+struct FracCurve {
+    model: UnitModel,
+    window: f64,
+}
+
+impl Curve for FracCurve {
+    fn value(&self, x: f64) -> f64 {
+        self.model.total_time(x * self.window)
+    }
+    fn deriv1(&self, x: f64) -> f64 {
+        self.window * self.model.total_d1(x * self.window)
+    }
+    fn deriv2(&self, x: f64) -> f64 {
+        self.window * self.window * self.model.total_d2(x * self.window)
+    }
+}
+
+/// Select the per-unit block sizes for a round of `window_items`.
+///
+/// `active[i]` masks failed units: they receive fraction 0 and no items.
+///
+/// # Panics
+/// Panics when `models` and `active` lengths differ, when no unit is
+/// active, or when `window_items == 0`.
+pub fn select_block_sizes(
+    models: &[UnitModel],
+    active: &[bool],
+    window_items: u64,
+    granularity: u64,
+) -> SelectionResult {
+    select_block_sizes_with(
+        models,
+        active,
+        window_items,
+        granularity,
+        SolverChoice::Auto,
+    )
+}
+
+/// [`select_block_sizes`] with an explicit solver choice (ablation knob).
+pub fn select_block_sizes_with(
+    models: &[UnitModel],
+    active: &[bool],
+    window_items: u64,
+    granularity: u64,
+    solver: SolverChoice,
+) -> SelectionResult {
+    assert_eq!(models.len(), active.len(), "models/active length mismatch");
+    assert!(window_items > 0, "empty selection window");
+    let live: Vec<usize> = (0..models.len()).filter(|&i| active[i]).collect();
+    assert!(!live.is_empty(), "no active processing units");
+
+    let t0 = Instant::now();
+    let n = models.len();
+
+    // Single unit: trivial.
+    if live.len() == 1 {
+        let mut fractions = vec![0.0; n];
+        fractions[live[0]] = 1.0;
+        let mut blocks = vec![0u64; n];
+        blocks[live[0]] = window_items;
+        let predicted = models[live[0]].total_time(window_items as f64);
+        return SelectionResult {
+            fractions,
+            blocks,
+            predicted_time: predicted,
+            method: SelectionMethod::RateProportional,
+            solve_seconds: t0.elapsed().as_secs_f64(),
+            ipm_iterations: 0,
+        };
+    }
+
+    let window = window_items as f64;
+    let curves: Vec<BoxedCurve> = live
+        .iter()
+        .map(|&i| {
+            Box::new(FracCurve {
+                model: models[i].clone(),
+                window,
+            }) as BoxedCurve
+        })
+        .collect();
+
+    let nlp = BlockPartitionNlp::new(curves);
+
+    let (live_fractions, method, iterations) = match solver {
+        SolverChoice::RateProportionalOnly => (
+            rate_proportional(&nlp),
+            SelectionMethod::RateProportional,
+            0,
+        ),
+        SolverChoice::FixedPointOnly => match fixed_point_equalize(&nlp) {
+            Some(f) => (f, SelectionMethod::FixedPoint, 0),
+            None => (
+                rate_proportional(&nlp),
+                SelectionMethod::RateProportional,
+                0,
+            ),
+        },
+        SolverChoice::Auto => match solve(&nlp, &IpmOptions::default()) {
+            Ok(sol)
+                if matches!(sol.status, IpmStatus::Optimal)
+                    || sol.is_usable(1e-4) && fractions_sane(&sol.x[..live.len()]) =>
+            {
+                let mut f: Vec<f64> = sol.x[..live.len()].to_vec();
+                sanitize(&mut f);
+                (f, SelectionMethod::InteriorPoint, sol.iterations)
+            }
+            _ => match fixed_point_equalize(&nlp) {
+                Some(f) => (f, SelectionMethod::FixedPoint, 0),
+                None => (
+                    rate_proportional(&nlp),
+                    SelectionMethod::RateProportional,
+                    0,
+                ),
+            },
+        },
+    };
+
+    // Predicted common time: max over units (they should be nearly
+    // equal when the solve succeeded).
+    let predicted = live_fractions
+        .iter()
+        .enumerate()
+        .map(|(j, &x)| nlp.unit_time(j, x.max(1e-12)))
+        .fold(0.0f64, f64::max);
+
+    // Scatter back to full-width vectors and round to blocks.
+    let mut fractions = vec![0.0; n];
+    for (j, &i) in live.iter().enumerate() {
+        fractions[i] = live_fractions[j];
+    }
+    let blocks = apportion(&fractions, window_items, granularity);
+
+    SelectionResult {
+        fractions,
+        blocks,
+        predicted_time: predicted,
+        method,
+        solve_seconds: t0.elapsed().as_secs_f64(),
+        ipm_iterations: iterations,
+    }
+}
+
+fn fractions_sane(f: &[f64]) -> bool {
+    f.iter()
+        .all(|v| v.is_finite() && *v >= -1e-6 && *v <= 1.0 + 1e-6)
+        && (f.iter().sum::<f64>() - 1.0).abs() < 1e-3
+}
+
+fn sanitize(f: &mut [f64]) {
+    for v in f.iter_mut() {
+        if !v.is_finite() || *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+    let s: f64 = f.iter().sum();
+    if s > 0.0 {
+        for v in f.iter_mut() {
+            *v /= s;
+        }
+    } else {
+        let n = f.len() as f64;
+        f.fill(1.0 / n);
+    }
+}
+
+/// Damped fixed-point iteration on effective rates: repeatedly set
+/// `x_i ∝ x_i / E_i(x_i)` (items per second actually achieved at the
+/// current split). Converges for monotone increasing time curves.
+fn fixed_point_equalize(nlp: &BlockPartitionNlp) -> Option<Vec<f64>> {
+    let n = nlp.units();
+    let mut x = vec![1.0 / n as f64; n];
+    for _ in 0..200 {
+        let mut rates = vec![0.0; n];
+        for i in 0..n {
+            let t = nlp.unit_time(i, x[i].max(1e-9));
+            if !(t.is_finite() && t > 0.0) {
+                return None;
+            }
+            rates[i] = x[i].max(1e-9) / t;
+        }
+        let s: f64 = rates.iter().sum();
+        if !(s.is_finite() && s > 0.0) {
+            return None;
+        }
+        let mut max_change = 0.0f64;
+        for i in 0..n {
+            let target = rates[i] / s;
+            let next = 0.5 * x[i] + 0.5 * target; // damping
+            max_change = max_change.max((next - x[i]).abs());
+            x[i] = next;
+        }
+        if max_change < 1e-10 {
+            break;
+        }
+    }
+    sanitize(&mut x);
+    Some(x)
+}
+
+/// One-shot split proportional to the rate each unit achieves on an
+/// equal share.
+fn rate_proportional(nlp: &BlockPartitionNlp) -> Vec<f64> {
+    let mut x = nlp.warm_start_fractions();
+    sanitize(&mut x);
+    x
+}
+
+/// Round fractions to granular block sizes conserving the exact window
+/// total (largest-remainder apportionment in granularity quanta; the
+/// sub-quantum remainder goes to the unit with the largest fraction).
+pub fn apportion(fractions: &[f64], window_items: u64, granularity: u64) -> Vec<u64> {
+    let g = granularity.max(1);
+    let quanta_total = window_items / g;
+    let remainder_items = window_items % g;
+    let n = fractions.len();
+    let mut blocks = vec![0u64; n];
+
+    if quanta_total > 0 {
+        let ideal: Vec<f64> = fractions.iter().map(|f| f * quanta_total as f64).collect();
+        let mut floor_sum = 0u64;
+        let mut rema: Vec<(f64, usize)> = Vec::with_capacity(n);
+        for (i, &q) in ideal.iter().enumerate() {
+            let fl = q.floor().max(0.0) as u64;
+            blocks[i] = fl;
+            floor_sum += fl;
+            rema.push((q - fl as f64, i));
+        }
+        let mut leftover = quanta_total.saturating_sub(floor_sum);
+        rema.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut k = 0;
+        while leftover > 0 {
+            blocks[rema[k % n].1] += 1;
+            leftover -= 1;
+            k += 1;
+        }
+        for b in blocks.iter_mut() {
+            *b *= g;
+        }
+    }
+
+    if remainder_items > 0 {
+        let best = fractions
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        blocks[best] += remainder_items;
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::PerfProfile;
+
+    /// Build a model for a linear device: t = overhead + items/rate.
+    fn linear_model(rate: f64, overhead: f64) -> UnitModel {
+        let mut p = PerfProfile::new();
+        for &x in &[1000u64, 2000, 4000, 8000, 16000, 32000] {
+            p.record(x, overhead + x as f64 / rate, 0.0);
+        }
+        p.fit().unwrap()
+    }
+
+    #[test]
+    fn proportional_for_linear_devices() {
+        let models = vec![linear_model(1e5, 0.0), linear_model(3e5, 0.0)];
+        let r = select_block_sizes(&models, &[true, true], 100_000, 1);
+        assert!((r.fractions[0] - 0.25).abs() < 0.02, "{:?}", r.fractions);
+        assert!((r.fractions[1] - 0.75).abs() < 0.02, "{:?}", r.fractions);
+        assert_eq!(r.blocks.iter().sum::<u64>(), 100_000);
+        assert_eq!(r.method, SelectionMethod::InteriorPoint);
+        assert!(r.solve_seconds >= 0.0);
+    }
+
+    #[test]
+    fn equalizes_finish_times() {
+        let models = vec![
+            linear_model(5e4, 0.01),
+            linear_model(2e5, 0.002),
+            linear_model(8e5, 0.001),
+        ];
+        let r = select_block_sizes(&models, &[true; 3], 1_000_000, 1);
+        let times: Vec<f64> = (0..3)
+            .map(|i| models[i].total_time(r.blocks[i] as f64))
+            .collect();
+        let tmax = times.iter().cloned().fold(0.0f64, f64::max);
+        let tmin = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            (tmax - tmin) / tmax < 0.05,
+            "times not equalized: {times:?} (blocks {:?})",
+            r.blocks
+        );
+    }
+
+    #[test]
+    fn single_active_unit_takes_all() {
+        let models = vec![linear_model(1e5, 0.0), linear_model(3e5, 0.0)];
+        let r = select_block_sizes(&models, &[false, true], 5000, 1);
+        assert_eq!(r.blocks, vec![0, 5000]);
+        assert_eq!(r.fractions, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn inactive_unit_excluded() {
+        let models = vec![
+            linear_model(1e5, 0.0),
+            linear_model(1e5, 0.0),
+            linear_model(1e5, 0.0),
+        ];
+        let r = select_block_sizes(&models, &[true, false, true], 90_000, 1);
+        assert_eq!(r.blocks[1], 0);
+        assert_eq!(r.blocks.iter().sum::<u64>(), 90_000);
+        assert!((r.blocks[0] as f64 - 45_000.0).abs() < 2000.0);
+    }
+
+    #[test]
+    fn granularity_respected_and_total_conserved() {
+        let models = vec![linear_model(1e5, 0.0), linear_model(2e5, 0.0)];
+        let r = select_block_sizes(&models, &[true, true], 10_000, 128);
+        assert_eq!(r.blocks.iter().sum::<u64>(), 10_000);
+        // All blocks are multiples of 128 except the remainder carrier.
+        let off_grid = r.blocks.iter().filter(|&&b| b % 128 != 0).count();
+        assert!(off_grid <= 1, "{:?}", r.blocks);
+    }
+
+    #[test]
+    fn apportion_conserves_any_window() {
+        let f = [0.37, 0.21, 0.42];
+        for w in [1u64, 7, 100, 9999, 65536] {
+            for g in [1u64, 3, 64] {
+                let b = apportion(&f, w, g);
+                assert_eq!(b.iter().sum::<u64>(), w, "w={w} g={g}");
+            }
+        }
+    }
+
+    #[test]
+    fn apportion_zero_fraction_gets_nothing_mostly() {
+        let b = apportion(&[0.0, 1.0], 1000, 1);
+        assert_eq!(b, vec![0, 1000]);
+    }
+
+    #[test]
+    fn fallback_when_curves_are_pathological() {
+        // A model fitted on constant times: E(x) flat → IPM's equal-time
+        // constraints are degenerate in x; the fallback chain must still
+        // produce a valid partition.
+        let mut p = PerfProfile::new();
+        for &x in &[100u64, 200, 400, 800, 1600] {
+            p.record(x, 0.5, 0.0);
+        }
+        let flat = p.fit().unwrap();
+        let models = vec![flat, linear_model(1e5, 0.0)];
+        let r = select_block_sizes(&models, &[true, true], 10_000, 1);
+        assert_eq!(r.blocks.iter().sum::<u64>(), 10_000);
+        assert!(r.fractions.iter().all(|f| *f >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no active")]
+    fn all_inactive_panics() {
+        let models = vec![linear_model(1e5, 0.0)];
+        select_block_sizes(&models, &[false], 100, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty selection")]
+    fn zero_window_panics() {
+        let models = vec![linear_model(1e5, 0.0)];
+        select_block_sizes(&models, &[true], 0, 1);
+    }
+
+    #[test]
+    fn gpu_like_curve_gets_larger_share_than_naive_weighting() {
+        // A device that is inefficient on small blocks but very fast on
+        // large ones (GPU): solving the curve system should hand it more
+        // than a naive rate-at-small-probe weighting would.
+        let mut p = PerfProfile::new();
+        for &x in &[1000u64, 2000, 4000, 8000, 16000, 32000, 64000] {
+            let xf = x as f64;
+            // Saturating: rate grows with x. t = x / (rate_max * x/(x+k))
+            let k = 20_000.0;
+            let t = xf * (xf + k) / (2e6 * xf);
+            p.record(x, t, 0.0);
+        }
+        let gpu = p.fit().unwrap();
+        let cpu = linear_model(2e5, 0.0);
+        let r = select_block_sizes(&[gpu, cpu], &[true, true], 500_000, 1);
+        assert!(
+            r.fractions[0] > 0.7,
+            "GPU should dominate at this window: {:?} ({:?})",
+            r.fractions,
+            r.method
+        );
+    }
+}

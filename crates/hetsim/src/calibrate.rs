@@ -1,0 +1,394 @@
+//! Calibrate a [`DevicePerf`] model from measured
+//! kernel timings.
+//!
+//! The Table I presets are derived from spec sheets; to simulate *your*
+//! hardware, run a microbenchmark sweep on the real device and fit the
+//! model. Writing `Q = peak · eff_max` (the sustained rate in FLOP/s)
+//! and `h = half_threads`, the kernel-time model
+//!
+//! ```text
+//! t = overhead + F / (Q · th/(th + h))
+//!   = overhead + (1/Q) · F + (h/Q) · F/th
+//! ```
+//!
+//! is *linear* in the three parameter combinations
+//! `(overhead, 1/Q, h/Q)` with regressors `[1, F, F/th]` — so
+//! calibration is a single linear least-squares solve.
+//!
+//! **Identifiability.** The occupancy ramp (`h`) is identifiable only
+//! if the sweep varies `F` and `F/th` independently. A block-size sweep
+//! of a fixed-cost-per-item kernel has `th ∝ F`, making `F/th` constant
+//! (absorbed into the overhead): the fit then reproduces that workload
+//! family exactly but pins `h = 0`. To calibrate the ramp itself,
+//! combine sweeps with different per-item parallelism, or strong-scaling
+//! points (fixed `F`, varied `th`) at more than one `F`.
+
+use crate::perf::DevicePerf;
+use crate::workload::CostModel;
+use plb_numerics::{lstsq, Mat};
+
+/// The result of a calibration.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// The fitted device model.
+    pub perf: DevicePerf,
+    /// Relative RMS error of the fit over the samples.
+    pub rel_rms: f64,
+    /// True when the sweep could not identify the occupancy ramp
+    /// (`F/th` was effectively constant) and `half_threads` was pinned
+    /// to zero with the ramp constant absorbed into the overhead.
+    pub ramp_unidentifiable: bool,
+}
+
+/// Calibration failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CalibrateError {
+    /// Need at least three samples (three parameters).
+    NotEnoughSamples,
+    /// A sample had non-positive flops/threads or a non-finite or
+    /// non-positive time.
+    InvalidSample,
+    /// The least-squares system could not be solved.
+    Singular,
+}
+
+impl std::fmt::Display for CalibrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalibrateError::NotEnoughSamples => write!(f, "need at least 3 samples"),
+            CalibrateError::InvalidSample => write!(f, "invalid sample"),
+            CalibrateError::Singular => write!(f, "degenerate calibration system"),
+        }
+    }
+}
+
+impl std::error::Error for CalibrateError {}
+
+/// One raw calibration measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawSample {
+    /// Floating-point operations the kernel performed.
+    pub flops: f64,
+    /// Fine-grained threads the kernel exposed.
+    pub threads: f64,
+    /// Measured wall time in seconds.
+    pub time_s: f64,
+}
+
+fn rel_spread(values: &[f64]) -> f64 {
+    let max = values.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    let min = values.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+    if max <= 0.0 {
+        0.0
+    } else {
+        (max - min) / max
+    }
+}
+
+/// Calibrate from raw `(flops, threads, time)` measurements.
+///
+/// ```
+/// use plb_hetsim::{calibrate_device_raw, RawSample};
+///
+/// // A device with 10 µs launch overhead sustaining 1 TFLOP/s,
+/// // saturated at these thread counts.
+/// let samples: Vec<RawSample> = (1..=8)
+///     .map(|k| {
+///         let flops = 1e9 * k as f64;
+///         RawSample { flops, threads: 1e7, time_s: 1e-5 + flops / 1e12 }
+///     })
+///     .collect();
+/// let cal = calibrate_device_raw(&samples, 200.0).unwrap();
+/// assert!(cal.rel_rms < 1e-6);
+/// let sustained = cal.perf.peak_gflops * cal.perf.eff_max;
+/// assert!((sustained - 1000.0).abs() < 1.0);
+/// ```
+pub fn calibrate_device_raw(
+    samples: &[RawSample],
+    mem_bandwidth_gbs: f64,
+) -> Result<Calibration, CalibrateError> {
+    if samples.len() < 3 {
+        return Err(CalibrateError::NotEnoughSamples);
+    }
+    let valid = |v: f64| v > 0.0 && v.is_finite();
+    if samples
+        .iter()
+        .any(|s| !valid(s.flops) || !valid(s.threads) || !valid(s.time_s))
+    {
+        return Err(CalibrateError::InvalidSample);
+    }
+
+    // The ramp column F/th must vary *independently of* both the
+    // constant column and the F column to be identifiable: a block-size
+    // sweep has F/th constant, a constant-thread sweep has F/th ∝ F.
+    // Either collinearity makes the 3-column system singular; detect
+    // cheaply and fall back to the 2-parameter model (ramp constant
+    // absorbed into overhead / slope).
+    let ratios: Vec<f64> = samples.iter().map(|s| s.flops / s.threads).collect();
+    let ratio_per_flop: Vec<f64> = samples.iter().map(|s| 1.0 / s.threads).collect(); // (F/th)/F
+    let mut ramp_unidentifiable = rel_spread(&ratios) < 1e-6 || rel_spread(&ratio_per_flop) < 1e-6;
+
+    let build = |k: usize| -> (Mat, Vec<f64>) {
+        let n = samples.len();
+        let mut design = Mat::zeros(n, k);
+        let mut rhs = vec![0.0; n];
+        for (i, s) in samples.iter().enumerate() {
+            design[(i, 0)] = 1.0;
+            design[(i, 1)] = s.flops;
+            if k == 3 {
+                design[(i, 2)] = s.flops / s.threads;
+            }
+            rhs[i] = s.time_s;
+        }
+        (design, rhs)
+    };
+
+    let coeffs = if ramp_unidentifiable {
+        let (design, rhs) = build(2);
+        lstsq(&design, &rhs).map_err(|_| CalibrateError::Singular)?
+    } else {
+        let (design, rhs) = build(3);
+        match lstsq(&design, &rhs) {
+            Ok(c) => c,
+            Err(_) => {
+                // Numerically collinear despite the spread checks.
+                ramp_unidentifiable = true;
+                let (design, rhs) = build(2);
+                lstsq(&design, &rhs).map_err(|_| CalibrateError::Singular)?
+            }
+        }
+    };
+    let overhead = coeffs[0].max(0.0);
+    let inv_q = coeffs[1].max(1e-300);
+    let h_over_q = if coeffs.len() == 3 {
+        coeffs[2].max(0.0)
+    } else {
+        0.0
+    };
+
+    let q = 1.0 / inv_q; // FLOP/s sustained
+    let half_threads = h_over_q * q;
+
+    let eff_max = 0.9;
+    let perf = DevicePerf {
+        peak_gflops: q / 1e9 / eff_max,
+        eff_max,
+        half_threads,
+        overhead_s: overhead,
+        mem_bandwidth_gbs,
+    };
+
+    let mut sse = 0.0;
+    for s in samples {
+        let pred = perf.kernel_time(s.flops, 0.0, s.threads);
+        sse += (s.time_s - pred) * (s.time_s - pred);
+    }
+    let mean_t: f64 = samples.iter().map(|s| s.time_s).sum::<f64>() / samples.len() as f64;
+    let rel_rms = (sse / samples.len() as f64).sqrt() / mean_t.max(1e-300);
+
+    Ok(Calibration {
+        perf,
+        rel_rms,
+        ramp_unidentifiable,
+    })
+}
+
+/// Calibrate from `(block items, measured seconds)` samples of a known
+/// workload: the convenience wrapper over
+/// [`calibrate_device_raw`].
+pub fn calibrate_device(
+    samples: &[(u64, f64)],
+    cost: &dyn CostModel,
+    mem_bandwidth_gbs: f64,
+) -> Result<Calibration, CalibrateError> {
+    let raw: Vec<RawSample> = samples
+        .iter()
+        .map(|&(items, t)| RawSample {
+            flops: cost.flops(items),
+            threads: cost.threads(items).max(1.0),
+            time_s: t,
+        })
+        .collect();
+    calibrate_device_raw(&raw, mem_bandwidth_gbs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::LinearCost;
+
+    fn gpu_like() -> DevicePerf {
+        DevicePerf {
+            peak_gflops: 1500.0,
+            eff_max: 0.9,
+            half_threads: 40_000.0,
+            overhead_s: 100e-6,
+            mem_bandwidth_gbs: 200.0,
+        }
+    }
+
+    /// Measure the true device at explicit (flops, threads) points.
+    fn measure(perf: &DevicePerf, points: &[(f64, f64)]) -> Vec<RawSample> {
+        points
+            .iter()
+            .map(|&(flops, threads)| RawSample {
+                flops,
+                threads,
+                time_s: perf.kernel_time(flops, 0.0, threads),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_all_parameters_from_a_2d_sweep() {
+        let truth = gpu_like();
+        // Two weak-scaling sweeps at different per-item widths: F and
+        // F/th vary independently.
+        let mut points = Vec::new();
+        for k in 0..10 {
+            let items = (64u64 << k) as f64;
+            points.push((1e5 * items, 8.0 * items)); // wide items
+            points.push((1e5 * items, 512.0 * items)); // narrow items
+        }
+        let samples = measure(&truth, &points);
+        let cal = calibrate_device_raw(&samples, 200.0).unwrap();
+        assert!(!cal.ramp_unidentifiable);
+        assert!(cal.rel_rms < 1e-9, "rel rms {}", cal.rel_rms);
+        let q_truth = truth.peak_gflops * truth.eff_max;
+        let q_fit = cal.perf.peak_gflops * cal.perf.eff_max;
+        assert!(
+            (q_fit / q_truth - 1.0).abs() < 1e-6,
+            "Q {} vs {}",
+            q_fit,
+            q_truth
+        );
+        assert!(
+            (cal.perf.half_threads / truth.half_threads - 1.0).abs() < 1e-6,
+            "half {} vs {}",
+            cal.perf.half_threads,
+            truth.half_threads
+        );
+        assert!((cal.perf.overhead_s - truth.overhead_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proportional_sweeps_fit_exactly_but_flag_the_ramp() {
+        // With threads ∝ flops the ramp is a constant: the calibration
+        // must still reproduce the sweep (ramp constant folded into the
+        // overhead) and report the identifiability limit.
+        let truth = gpu_like();
+        let cost = LinearCost {
+            label: "cal".into(),
+            flops_per_item: 1e5,
+            in_bytes_per_item: 0.0,
+            out_bytes_per_item: 0.0,
+            threads_per_item: 8.0,
+        };
+        let sizes: Vec<u64> = (0..12).map(|k| 64u64 << k).collect();
+        let samples: Vec<(u64, f64)> = sizes
+            .iter()
+            .map(|&s| (s, truth.kernel_time(cost.flops(s), 0.0, cost.threads(s))))
+            .collect();
+        let cal = calibrate_device(&samples, &cost, 200.0).unwrap();
+        assert!(cal.ramp_unidentifiable);
+        assert!(cal.rel_rms < 1e-9, "rel rms {}", cal.rel_rms);
+        // In-family prediction stays exact at unseen sizes.
+        for &probe in &[300u64, 5_000, 90_000, 700_000] {
+            let t_true = truth.kernel_time(cost.flops(probe), 0.0, cost.threads(probe));
+            let t_fit = cal
+                .perf
+                .kernel_time(cost.flops(probe), 0.0, cost.threads(probe));
+            assert!(
+                ((t_fit - t_true) / t_true).abs() < 1e-9,
+                "at {probe}: {t_fit} vs {t_true}"
+            );
+        }
+    }
+
+    #[test]
+    fn cpu_like_flat_efficiency_also_fits() {
+        let truth = DevicePerf {
+            peak_gflops: 150.0,
+            eff_max: 0.9,
+            half_threads: 32.0,
+            overhead_s: 20e-6,
+            mem_bandwidth_gbs: 40.0,
+        };
+        let mut points = Vec::new();
+        for k in 0..10 {
+            let items = (16u64 << k) as f64;
+            points.push((1e4 * items, items));
+            points.push((1e4 * items, 4.0 * items));
+        }
+        let samples = measure(&truth, &points);
+        let cal = calibrate_device_raw(&samples, 40.0).unwrap();
+        assert!(cal.rel_rms < 1e-6, "rel rms {}", cal.rel_rms);
+        assert!((cal.perf.half_threads / truth.half_threads - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        let cost = LinearCost::generic();
+        assert!(matches!(
+            calibrate_device(&[(1, 0.1), (2, 0.2)], &cost, 1.0),
+            Err(CalibrateError::NotEnoughSamples)
+        ));
+        assert!(matches!(
+            calibrate_device(&[(1, 0.1), (0, 0.2), (3, 0.3)], &cost, 1.0),
+            Err(CalibrateError::InvalidSample)
+        ));
+        assert!(matches!(
+            calibrate_device(&[(1, 0.1), (2, -0.2), (3, 0.3)], &cost, 1.0),
+            Err(CalibrateError::InvalidSample)
+        ));
+    }
+
+    #[test]
+    fn noisy_measurements_still_land_close() {
+        let truth = gpu_like();
+        let mut points = Vec::new();
+        for k in 0..12 {
+            let items = (64u64 << k) as f64;
+            points.push((1e5 * items, 8.0 * items));
+            points.push((1e5 * items, 256.0 * items));
+        }
+        // Deterministic ±2% wobble.
+        let samples: Vec<RawSample> = measure(&truth, &points)
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut s)| {
+                s.time_s *= 1.0 + 0.02 * if i % 2 == 0 { 1.0 } else { -1.0 };
+                s
+            })
+            .collect();
+        let cal = calibrate_device_raw(&samples, 200.0).unwrap();
+        let q_truth = truth.peak_gflops * truth.eff_max;
+        let q_fit = cal.perf.peak_gflops * cal.perf.eff_max;
+        assert!(
+            (q_fit / q_truth - 1.0).abs() < 0.1,
+            "Q {} vs {}",
+            q_fit,
+            q_truth
+        );
+        assert!(cal.rel_rms < 0.05);
+    }
+
+    #[test]
+    fn calibration_of_a_table1_preset_roundtrips() {
+        // Calibrate against the simulator's own Tesla K20c and get the
+        // same model back.
+        let truth = DevicePerf::for_gpu(&crate::presets::machine_a().gpus[0]);
+        let mut points = Vec::new();
+        for k in 0..12 {
+            let items = (128u64 << k) as f64;
+            points.push((2e5 * items, items));
+            points.push((2e5 * items, 64.0 * items));
+        }
+        let samples = measure(&truth, &points);
+        let cal = calibrate_device_raw(&samples, truth.mem_bandwidth_gbs).unwrap();
+        let q_truth = truth.peak_gflops * truth.eff_max;
+        let q_fit = cal.perf.peak_gflops * cal.perf.eff_max;
+        assert!((q_fit / q_truth - 1.0).abs() < 1e-6);
+        assert!((cal.perf.half_threads / truth.half_threads - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,118 @@
+//! The cost-model interface applications expose to the simulator.
+//!
+//! A data-parallel application (paper Section III: domain decomposition)
+//! is characterized, for a block of `items` work units, by how many
+//! floating-point operations it performs, how many bytes move to/from the
+//! device, how many bytes its kernel touches in device memory, and how
+//! much fine-grained parallelism it exposes. The device model combines
+//! these with hardware parameters to produce kernel times.
+
+/// Per-application cost model. `items` counts application work units:
+/// matrix rows for MM, gene sets for GRN, options for Black-Scholes.
+pub trait CostModel: Send + Sync {
+    /// Human-readable application name.
+    fn name(&self) -> &str;
+
+    /// Floating-point operations for a block of `items`.
+    fn flops(&self, items: u64) -> f64;
+
+    /// Bytes transferred host→device for the block.
+    fn bytes_in(&self, items: u64) -> f64;
+
+    /// Bytes transferred device→host for the block's results.
+    fn bytes_out(&self, items: u64) -> f64;
+
+    /// Bytes the kernel streams through device memory while computing
+    /// (the roofline memory term). Defaults to `bytes_in + bytes_out`.
+    fn bytes_touched(&self, items: u64) -> f64 {
+        self.bytes_in(items) + self.bytes_out(items)
+    }
+
+    /// Fine-grained parallel threads the block can occupy a device with.
+    /// Drives the GPU efficiency ramp: small blocks underutilize large
+    /// devices. Defaults to one thread per item.
+    fn threads(&self, items: u64) -> f64 {
+        items as f64
+    }
+
+    /// Bytes of *broadcast* input every task needs regardless of its
+    /// block size (matrix A in the paper's MM application, the
+    /// expression matrix in GRN). The broadcast set is staged once in
+    /// each node's host RAM; a device whose memory cannot hold it must
+    /// re-stream the overflow across PCIe on **every task** — the
+    /// per-task fixed cost that makes many-small-task scheduling
+    /// expensive at large problem sizes. Defaults to 0 (no broadcast
+    /// input).
+    fn broadcast_bytes(&self) -> f64 {
+        0.0
+    }
+}
+
+/// A trivially configurable cost model for tests and microbenchmarks:
+/// `flops = flops_per_item * items`, plus fixed per-item byte counts.
+#[derive(Debug, Clone)]
+pub struct LinearCost {
+    /// Name reported by the model.
+    pub label: String,
+    /// FLOPs per item.
+    pub flops_per_item: f64,
+    /// Input bytes per item.
+    pub in_bytes_per_item: f64,
+    /// Output bytes per item.
+    pub out_bytes_per_item: f64,
+    /// Threads per item.
+    pub threads_per_item: f64,
+}
+
+impl LinearCost {
+    /// A generic compute-bound model: 1 kFLOP, 8 bytes in/out per item.
+    pub fn generic() -> Self {
+        LinearCost {
+            label: "linear".into(),
+            flops_per_item: 1000.0,
+            in_bytes_per_item: 8.0,
+            out_bytes_per_item: 8.0,
+            threads_per_item: 1.0,
+        }
+    }
+}
+
+impl CostModel for LinearCost {
+    fn name(&self) -> &str {
+        &self.label
+    }
+    fn flops(&self, items: u64) -> f64 {
+        self.flops_per_item * items as f64
+    }
+    fn bytes_in(&self, items: u64) -> f64 {
+        self.in_bytes_per_item * items as f64
+    }
+    fn bytes_out(&self, items: u64) -> f64 {
+        self.out_bytes_per_item * items as f64
+    }
+    fn threads(&self, items: u64) -> f64 {
+        self.threads_per_item * items as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_cost_scales_linearly() {
+        let c = LinearCost::generic();
+        assert_eq!(c.flops(10), 10.0 * c.flops_per_item);
+        assert_eq!(c.bytes_in(3), 24.0);
+        assert_eq!(c.bytes_out(3), 24.0);
+        assert_eq!(c.bytes_touched(3), 48.0);
+        assert_eq!(c.threads(5), 5.0);
+    }
+
+    #[test]
+    fn zero_items_cost_nothing() {
+        let c = LinearCost::generic();
+        assert_eq!(c.flops(0), 0.0);
+        assert_eq!(c.bytes_touched(0), 0.0);
+    }
+}

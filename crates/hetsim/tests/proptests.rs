@@ -1,0 +1,121 @@
+//! Property-based tests for the cluster simulator.
+
+use plb_hetsim::cluster::ClusterOptions;
+use plb_hetsim::workload::LinearCost;
+use plb_hetsim::{cluster_scenario, ClusterSim, Link, PuId, Scenario};
+use proptest::prelude::*;
+
+fn cost(flops: f64, threads: f64) -> LinearCost {
+    LinearCost {
+        label: "prop".into(),
+        flops_per_item: flops,
+        in_bytes_per_item: 16.0,
+        out_bytes_per_item: 16.0,
+        threads_per_item: threads,
+    }
+}
+
+proptest! {
+    #[test]
+    fn kernel_times_are_positive_and_monotone_in_items(
+        seed in 0u64..1000,
+        flops in 10.0f64..1e7,
+        items in 1u64..1_000_000,
+    ) {
+        let machines = cluster_scenario(Scenario::One, false);
+        let opts = ClusterOptions { seed, noise_sigma: 0.0, ..Default::default() };
+        let mut cluster = ClusterSim::build(&machines, &opts);
+        let c = cost(flops, 1.0);
+        for id in cluster.ids().collect::<Vec<_>>() {
+            let t1 = cluster.device_mut(id).proc_time(&c, items);
+            let t2 = cluster.device_mut(id).proc_time(&c, items.saturating_mul(2));
+            prop_assert!(t1 > 0.0 && t1.is_finite());
+            prop_assert!(t2 >= t1, "{id}: doubling items must not speed up");
+        }
+    }
+
+    #[test]
+    fn noise_preserves_scale(
+        seed in 0u64..500,
+        items in 1000u64..100_000,
+    ) {
+        // Noisy time stays within the ±4σ clamp of the noise-free time.
+        let machines = cluster_scenario(Scenario::One, false);
+        let c = cost(1e5, 64.0);
+        let noise_free = {
+            let opts = ClusterOptions { seed, noise_sigma: 0.0, ..Default::default() };
+            let mut cl = ClusterSim::build(&machines, &opts);
+            cl.device_mut(PuId(0)).proc_time(&c, items)
+        };
+        let opts = ClusterOptions { seed, noise_sigma: 0.03, ..Default::default() };
+        let mut cl = ClusterSim::build(&machines, &opts);
+        let noisy = cl.device_mut(PuId(0)).proc_time(&c, items);
+        let hi = noise_free * (0.03f64 * 4.0).exp();
+        let lo = noise_free * (-0.03f64 * 4.0).exp();
+        prop_assert!(noisy >= lo && noisy <= hi, "{noisy} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn transfer_time_is_affine_in_bytes(
+        latency in 1e-6f64..1e-2,
+        bandwidth in 0.01f64..100.0,
+        b1 in 1.0f64..1e9,
+        b2 in 1.0f64..1e9,
+    ) {
+        let l = Link { latency_s: latency, bandwidth_gbs: bandwidth };
+        // t(b1) + t(b2) == t(b1+b2) + latency (affine with intercept).
+        let lhs = l.time(b1) + l.time(b2);
+        let rhs = l.time(b1 + b2) + latency;
+        prop_assert!((lhs - rhs).abs() < 1e-9 * lhs.max(1.0));
+    }
+
+    #[test]
+    fn same_seed_reproduces_measurements(
+        seed in 0u64..1000,
+        items in 1u64..50_000,
+    ) {
+        let machines = cluster_scenario(Scenario::Two, false);
+        let opts = ClusterOptions { seed, noise_sigma: 0.05, ..Default::default() };
+        let c = cost(1e4, 8.0);
+        let mut a = ClusterSim::build(&machines, &opts);
+        let mut b = ClusterSim::build(&machines, &opts);
+        for id in a.ids().collect::<Vec<_>>() {
+            prop_assert_eq!(
+                a.device_mut(id).proc_time(&c, items).to_bits(),
+                b.device_mut(id).proc_time(&c, items).to_bits()
+            );
+            prop_assert_eq!(
+                a.device_mut(id).transfer_time(&c, items).to_bits(),
+                b.device_mut(id).transfer_time(&c, items).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn slowdown_scales_proportionally(
+        factor in 1.01f64..20.0,
+        items in 100u64..100_000,
+    ) {
+        let machines = cluster_scenario(Scenario::One, false);
+        let opts = ClusterOptions { seed: 3, noise_sigma: 0.0, ..Default::default() };
+        let c = cost(1e5, 32.0);
+        let mut cl = ClusterSim::build(&machines, &opts);
+        let base = cl.device_mut(PuId(1)).proc_time(&c, items);
+        cl.device_mut(PuId(1)).set_slowdown(factor);
+        let slowed = cl.device_mut(PuId(1)).proc_time(&c, items);
+        prop_assert!((slowed / base - factor).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_scenario_builds_expected_unit_counts(single_gpu in any::<bool>()) {
+        // A:1 gpu, B:2, C:2, D:1 (or 1 each in single-gpu mode).
+        let gpu_counts = if single_gpu { [1, 1, 1, 1] } else { [1, 2, 2, 1] };
+        for (si, s) in Scenario::ALL.iter().enumerate() {
+            let machines = cluster_scenario(*s, single_gpu);
+            let cluster = ClusterSim::build(&machines, &ClusterOptions::default());
+            let expect: usize =
+                (0..=si).map(|m| 1 + gpu_counts[m]).sum();
+            prop_assert_eq!(cluster.len(), expect);
+        }
+    }
+}

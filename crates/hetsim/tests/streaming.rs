@@ -1,0 +1,144 @@
+//! Broadcast working-set streaming: the size-dependent per-task cost
+//! behind the paper's "speedup grows with matrix size" result.
+
+use plb_hetsim::cluster::ClusterOptions;
+use plb_hetsim::workload::CostModel;
+use plb_hetsim::{cluster_scenario, ClusterSim, PuId, PuKind, Scenario};
+
+/// A workload with a configurable broadcast set.
+struct BroadcastCost {
+    broadcast: f64,
+}
+
+impl CostModel for BroadcastCost {
+    fn name(&self) -> &str {
+        "broadcast-test"
+    }
+    fn flops(&self, items: u64) -> f64 {
+        1e6 * items as f64
+    }
+    fn bytes_in(&self, items: u64) -> f64 {
+        8.0 * items as f64
+    }
+    fn bytes_out(&self, items: u64) -> f64 {
+        8.0 * items as f64
+    }
+    fn threads(&self, items: u64) -> f64 {
+        64.0 * items as f64
+    }
+    fn broadcast_bytes(&self) -> f64 {
+        self.broadcast
+    }
+}
+
+fn noise_free_cluster() -> ClusterSim {
+    ClusterSim::build(
+        &cluster_scenario(Scenario::One, false),
+        &ClusterOptions {
+            noise_sigma: 0.0,
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn small_broadcast_sets_stream_nothing() {
+    let mut c = noise_free_cluster();
+    // 100 MB fits the K20c's 6 GB with room to spare.
+    let with = BroadcastCost { broadcast: 100e6 };
+    let without = BroadcastCost { broadcast: 0.0 };
+    let gpu = PuId(1);
+    let t_with = c.device_mut(gpu).transfer_time(&with, 1000);
+    let t_without = c.device_mut(gpu).transfer_time(&without, 1000);
+    assert_eq!(
+        t_with.to_bits(),
+        t_without.to_bits(),
+        "cached broadcast must be free"
+    );
+}
+
+#[test]
+fn oversized_broadcast_adds_constant_per_task_cost() {
+    let mut c = noise_free_cluster();
+    let gpu = PuId(1);
+    let mem = c.device(gpu).spec.mem_bytes;
+    let cost = BroadcastCost {
+        broadcast: mem * 2.0,
+    };
+    // The overflow charge is independent of the block size (it's a
+    // per-task constant): the difference between two block sizes equals
+    // the plain byte-transfer difference.
+    let t_small = c.device_mut(gpu).transfer_time(&cost, 100);
+    let t_big = c.device_mut(gpu).transfer_time(&cost, 10_000);
+    let plain = BroadcastCost { broadcast: 0.0 };
+    let p_small = c.device_mut(gpu).transfer_time(&plain, 100);
+    let p_big = c.device_mut(gpu).transfer_time(&plain, 10_000);
+    let with_delta = t_big - t_small;
+    let plain_delta = p_big - p_small;
+    assert!(
+        (with_delta - plain_delta).abs() < 1e-12,
+        "streaming term must be size-independent: {with_delta} vs {plain_delta}"
+    );
+    // And the constant itself is the overflow over PCIe bandwidth.
+    let overflow = cost.broadcast_bytes() - 0.8 * mem;
+    let expected = overflow / 6e9; // pcie_task bandwidth
+    let measured = t_small - p_small;
+    assert!(
+        (measured - expected).abs() / expected < 1e-9,
+        "stream cost {measured} vs expected {expected}"
+    );
+}
+
+#[test]
+fn cpus_never_stream_broadcast_sets() {
+    let mut c = noise_free_cluster();
+    let cpu = PuId(0);
+    assert_eq!(c.device(cpu).spec.kind, PuKind::Cpu);
+    let huge = BroadcastCost { broadcast: 1e15 };
+    // Master CPU: no transfer path at all → 0.
+    assert_eq!(c.device_mut(cpu).transfer_time(&huge, 1000), 0.0);
+}
+
+#[test]
+fn remote_cpu_pays_network_but_not_streaming() {
+    let mut c = ClusterSim::build(
+        &cluster_scenario(Scenario::Two, false),
+        &ClusterOptions {
+            noise_sigma: 0.0,
+            ..Default::default()
+        },
+    );
+    let remote_cpu = PuId(2);
+    assert_eq!(c.device(remote_cpu).spec.kind, PuKind::Cpu);
+    let huge = BroadcastCost { broadcast: 1e15 };
+    let none = BroadcastCost { broadcast: 0.0 };
+    let t_huge = c.device_mut(remote_cpu).transfer_time(&huge, 1000);
+    let t_none = c.device_mut(remote_cpu).transfer_time(&none, 1000);
+    assert_eq!(
+        t_huge.to_bits(),
+        t_none.to_bits(),
+        "the broadcast set lives in host RAM; CPUs never re-stream it"
+    );
+    assert!(
+        t_none > 0.0,
+        "remote CPUs still pay the network for block data"
+    );
+}
+
+#[test]
+fn matmul_streams_only_at_large_orders() {
+    // The crossover that shapes Fig. 4: A fits at 4096, nothing fits at
+    // 65536.
+    let c = noise_free_cluster();
+    let gpu = PuId(1);
+    let small = plb_apps::MatMul::new(4096).cost();
+    let large = plb_apps::MatMul::new(65536).cost();
+    assert_eq!(c.device(gpu).spec.name, "A/gpu0");
+    let t_small_overflow = c.device(gpu).stream_overflow_time(&small);
+    let t_large_overflow = c.device(gpu).stream_overflow_time(&large);
+    assert_eq!(t_small_overflow, 0.0, "4096^2 A (67 MB) fits the K20c");
+    assert!(
+        t_large_overflow > 1.0,
+        "65536^2 A (17 GB) must stream for seconds per task, got {t_large_overflow}"
+    );
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+// Indexed loops mirror the textbook linear-algebra formulations and
+// keep row/column index symmetry visible; iterator rewrites obscure it.
+#![allow(clippy::needless_range_loop)]
+
+//! Interior-point NLP solver — the workspace's IPOPT substitute.
+//!
+//! The paper solves its block-size selection problem (Section III-C) with
+//! IPOPT's interior-point line-search filter method (reference \[25\],
+//! Nocedal, Wächter & Waltz, "Adaptive barrier update strategies for
+//! nonlinear interior methods"). This crate implements that algorithm
+//! family from scratch for the small dense problems PLB-HeC produces:
+//!
+//! * primal-dual log-barrier formulation of
+//!   `min f(x)  s.t.  c(x) = 0,  x ≥ lb`;
+//! * Newton steps on the perturbed KKT system with inertia-correcting
+//!   diagonal regularization;
+//! * a Wächter–Biegler-style filter line search with a
+//!   fraction-to-boundary rule;
+//! * both a monotone (Fiacco–McCormick) and an adaptive (Mehrotra-style,
+//!   per the paper's reference) barrier-update strategy.
+//!
+//! The crate also ships [`problem::BlockPartitionNlp`], the exact NLP of
+//! Equations (3)–(5): minimize the common finish time `T` subject to
+//! `E_g(x_g) = T` for every processing unit and `Σ x_g = 1`.
+
+pub mod filter;
+pub mod kkt;
+pub mod nlp;
+pub mod problem;
+pub mod solver;
+
+pub use nlp::{BoxedCurve, NlpProblem};
+pub use problem::BlockPartitionNlp;
+pub use solver::{solve, BarrierStrategy, IpmError, IpmOptions, IpmStatus, Solution};

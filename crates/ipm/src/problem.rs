@@ -1,0 +1,286 @@
+//! The PLB-HeC block-size selection NLP (paper Section III-C).
+//!
+//! Given fitted per-processing-unit execution-time curves
+//! `E_g(x) = F_g(x) + G_g(x)` defined on the *fraction* of the input
+//! assigned to unit `g`, find the fractions that equalize finish times:
+//!
+//! ```text
+//! minimize    T
+//! subject to  E_g(x_g) − T = 0        for g = 1..n   (Equation 4)
+//!             Σ_g x_g − 1 = 0                         (Equation 3)
+//!             x_g ≥ x_min,  T ≥ 0
+//! ```
+//!
+//! Minimizing the common time `T` while forcing all units to finish
+//! together is exactly the paper's formulation: "minimizes E_1(x_1) while
+//! satisfying the constraint E_1 = E_2 = ... = E_n".
+
+use crate::nlp::{BoxedCurve, NlpProblem};
+use plb_numerics::Mat;
+
+/// Smallest admissible fraction per unit. Strictly positive so the
+/// logarithmic barrier is defined; practically zero work.
+pub const X_MIN: f64 = 1e-9;
+
+/// The block-partition NLP over `n` processing units.
+///
+/// Decision vector layout: `[x_1, ..., x_n, T]`.
+///
+/// ```
+/// use plb_ipm::nlp::FnCurve;
+/// use plb_ipm::{solve, BlockPartitionNlp, BoxedCurve, IpmOptions};
+///
+/// // Two linear devices, one 3x faster than the other.
+/// let slow: BoxedCurve = Box::new(FnCurve::new(|x| x / 1.0, |_| 1.0, |_| 0.0));
+/// let fast: BoxedCurve = Box::new(FnCurve::new(|x| x / 3.0, |_| 1.0 / 3.0, |_| 0.0));
+/// let nlp = BlockPartitionNlp::new(vec![slow, fast]);
+/// let sol = solve(&nlp, &IpmOptions::default()).unwrap();
+/// // Equal finish times => fractions proportional to the rates.
+/// assert!((sol.x[0] - 0.25).abs() < 1e-4);
+/// assert!((sol.x[1] - 0.75).abs() < 1e-4);
+/// ```
+pub struct BlockPartitionNlp {
+    curves: Vec<BoxedCurve>,
+}
+
+impl BlockPartitionNlp {
+    /// Build the problem from per-unit execution-time curves on the
+    /// fraction domain `(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `curves` is empty.
+    pub fn new(curves: Vec<BoxedCurve>) -> Self {
+        assert!(!curves.is_empty(), "need at least one processing unit");
+        BlockPartitionNlp { curves }
+    }
+
+    /// Number of processing units.
+    pub fn units(&self) -> usize {
+        self.curves.len()
+    }
+
+    /// Evaluate unit `g`'s execution-time curve at fraction `x`.
+    pub fn unit_time(&self, g: usize, x: f64) -> f64 {
+        self.curves[g].value(x)
+    }
+
+    /// Inverse-rate warm start: `x_g ∝ 1 / E_g(1/n)`, i.e. faster units
+    /// (lower predicted time on an equal share) get proportionally more.
+    /// Falls back to the uniform split if any curve misbehaves.
+    pub fn warm_start_fractions(&self) -> Vec<f64> {
+        let n = self.curves.len();
+        let uniform = 1.0 / n as f64;
+        // Fitted curves extrapolated far beyond their probed range can
+        // go non-positive; retreat to smaller probe fractions before
+        // giving up on the inverse-rate heuristic entirely.
+        for probe in [uniform, uniform / 4.0, uniform / 16.0, uniform / 64.0] {
+            let mut inv: Vec<f64> = self
+                .curves
+                .iter()
+                .map(|c| {
+                    let t = c.value(probe);
+                    if t.is_finite() && t > 0.0 {
+                        1.0 / t
+                    } else {
+                        -1.0
+                    }
+                })
+                .collect();
+            if inv.iter().all(|&v| v > 0.0) {
+                let s: f64 = inv.iter().sum();
+                for v in &mut inv {
+                    *v /= s;
+                }
+                return inv;
+            }
+        }
+        vec![uniform; n]
+    }
+}
+
+impl NlpProblem for BlockPartitionNlp {
+    fn n(&self) -> usize {
+        self.curves.len() + 1 // fractions + T
+    }
+
+    fn m(&self) -> usize {
+        self.curves.len() + 1 // equal-time constraints + simplex
+    }
+
+    fn objective(&self, x: &[f64]) -> f64 {
+        // Minimize the common finish time T.
+        x[self.curves.len()]
+    }
+
+    fn gradient(&self, _x: &[f64], grad: &mut [f64]) {
+        grad.fill(0.0);
+        grad[self.curves.len()] = 1.0;
+    }
+
+    fn constraints(&self, x: &[f64], c: &mut [f64]) {
+        let n = self.curves.len();
+        let t = x[n];
+        for (g, curve) in self.curves.iter().enumerate() {
+            c[g] = curve.value(x[g]) - t;
+        }
+        c[n] = x[..n].iter().sum::<f64>() - 1.0;
+    }
+
+    fn jacobian(&self, x: &[f64], jac: &mut Mat) {
+        let n = self.curves.len();
+        for i in 0..jac.rows() {
+            jac.row_mut(i).fill(0.0);
+        }
+        for (g, curve) in self.curves.iter().enumerate() {
+            jac[(g, g)] = curve.deriv1(x[g]);
+            jac[(g, n)] = -1.0;
+        }
+        for g in 0..n {
+            jac[(n, g)] = 1.0;
+        }
+    }
+
+    fn lagrangian_hessian(&self, x: &[f64], lambda: &[f64], h: &mut Mat) {
+        for i in 0..h.rows() {
+            h.row_mut(i).fill(0.0);
+        }
+        // Objective is linear; only the equal-time constraints carry
+        // curvature: ∇²(λ_g (E_g(x_g) − T)) = λ_g E_g''(x_g) on (g, g).
+        for (g, curve) in self.curves.iter().enumerate() {
+            h[(g, g)] = lambda[g] * curve.deriv2(x[g]);
+        }
+    }
+
+    fn lower_bounds(&self) -> Vec<f64> {
+        let n = self.curves.len();
+        let mut lb = vec![X_MIN; n + 1];
+        lb[n] = 0.0; // T ≥ 0
+        lb
+    }
+
+    fn initial_point(&self) -> Vec<f64> {
+        let fractions = self.warm_start_fractions();
+        // Start T at the max predicted time of the warm start so the
+        // equal-time constraints begin nearly feasible.
+        let t0 = fractions
+            .iter()
+            .enumerate()
+            .map(|(g, &f)| self.curves[g].value(f))
+            .fold(0.0f64, |a, v| a.max(if v.is_finite() { v } else { 0.0 }))
+            .max(1e-6);
+        let mut x = fractions;
+        x.push(t0);
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nlp::FnCurve;
+    use crate::solver::{solve, IpmOptions, IpmStatus};
+
+    fn linear_curve(rate: f64) -> BoxedCurve {
+        // time = x / rate (linear device, no overhead)
+        Box::new(FnCurve::new(
+            move |x: f64| x / rate,
+            move |_| 1.0 / rate,
+            |_| 0.0,
+        ))
+    }
+
+    #[test]
+    fn two_equal_units_split_evenly() {
+        let nlp = BlockPartitionNlp::new(vec![linear_curve(1.0), linear_curve(1.0)]);
+        let sol = solve(&nlp, &IpmOptions::default()).unwrap();
+        assert_eq!(sol.status, IpmStatus::Optimal);
+        assert!((sol.x[0] - 0.5).abs() < 1e-5, "{:?}", sol.x);
+        assert!((sol.x[1] - 0.5).abs() < 1e-5, "{:?}", sol.x);
+    }
+
+    #[test]
+    fn rates_proportional_split_for_linear_devices() {
+        // Rates 1 : 3 → fractions 0.25 : 0.75, T = 0.25.
+        let nlp = BlockPartitionNlp::new(vec![linear_curve(1.0), linear_curve(3.0)]);
+        let sol = solve(&nlp, &IpmOptions::default()).unwrap();
+        assert_eq!(sol.status, IpmStatus::Optimal);
+        assert!((sol.x[0] - 0.25).abs() < 1e-5, "{:?}", sol.x);
+        assert!((sol.x[1] - 0.75).abs() < 1e-5, "{:?}", sol.x);
+        assert!((sol.x[2] - 0.25).abs() < 1e-5, "T = {}", sol.x[2]);
+    }
+
+    #[test]
+    fn equal_time_constraint_holds_for_nonlinear_curves() {
+        // GPU-like sublinear device vs CPU-like linear device.
+        let gpu: BoxedCurve = Box::new(FnCurve::new(
+            |x: f64| 0.05 + 0.3 * x + 0.1 * x * x,
+            |x: f64| 0.3 + 0.2 * x,
+            |_| 0.2,
+        ));
+        let cpu = linear_curve(0.8);
+        let nlp = BlockPartitionNlp::new(vec![gpu, cpu]);
+        let sol = solve(&nlp, &IpmOptions::default()).unwrap();
+        assert!(sol.constraint_violation < 1e-6, "{:?}", sol);
+        let t0 = nlp.unit_time(0, sol.x[0]);
+        let t1 = nlp.unit_time(1, sol.x[1]);
+        assert!((t0 - t1).abs() < 1e-5, "times {t0} vs {t1}");
+        assert!((sol.x[0] + sol.x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn four_heterogeneous_units() {
+        let rates = [1.0, 2.5, 4.0, 8.0];
+        let nlp = BlockPartitionNlp::new(rates.iter().map(|&r| linear_curve(r)).collect());
+        let sol = solve(&nlp, &IpmOptions::default()).unwrap();
+        assert_eq!(sol.status, IpmStatus::Optimal);
+        let total: f64 = rates.iter().sum();
+        for (g, &r) in rates.iter().enumerate() {
+            assert!(
+                (sol.x[g] - r / total).abs() < 1e-4,
+                "unit {g}: {} vs {}",
+                sol.x[g],
+                r / total
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_favors_fast_units() {
+        let nlp = BlockPartitionNlp::new(vec![linear_curve(1.0), linear_curve(9.0)]);
+        let ws = nlp.warm_start_fractions();
+        assert!(ws[1] > ws[0]);
+        assert!((ws.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_start_handles_bad_curves() {
+        let bad: BoxedCurve = Box::new(FnCurve::new(|_| f64::NAN, |_| 0.0, |_| 0.0));
+        let nlp = BlockPartitionNlp::new(vec![bad, linear_curve(1.0)]);
+        let ws = nlp.warm_start_fractions();
+        assert_eq!(ws, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn fractions_remain_strictly_positive_with_extreme_heterogeneity() {
+        // 1000x spread: slow device gets a tiny but positive share.
+        let nlp = BlockPartitionNlp::new(vec![linear_curve(0.001), linear_curve(1.0)]);
+        let sol = solve(&nlp, &IpmOptions::default()).unwrap();
+        assert!(sol.x[0] >= X_MIN);
+        assert!(sol.x[0] < 0.01);
+        assert!((sol.x[0] + sol.x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_units_panics() {
+        BlockPartitionNlp::new(vec![]);
+    }
+
+    #[test]
+    fn single_unit_gets_everything() {
+        let nlp = BlockPartitionNlp::new(vec![linear_curve(2.0)]);
+        let sol = solve(&nlp, &IpmOptions::default()).unwrap();
+        assert!((sol.x[0] - 1.0).abs() < 1e-6, "{:?}", sol.x);
+        assert!((sol.x[1] - 0.5).abs() < 1e-5, "T = {}", sol.x[1]);
+    }
+}

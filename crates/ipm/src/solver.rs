@@ -1,0 +1,617 @@
+//! The primal-dual interior-point driver: barrier loop, filter line
+//! search, fraction-to-boundary rule, and both barrier-update strategies
+//! of the paper's reference \[25\].
+
+use crate::filter::Filter;
+use crate::kkt::{solve_kkt, KktInputs};
+use crate::nlp::NlpProblem;
+use plb_numerics::Mat;
+
+/// How the barrier parameter μ is driven to zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierStrategy {
+    /// Fiacco–McCormick: hold μ until the barrier KKT error is below
+    /// `κ_ε·μ`, then shrink superlinearly. IPOPT's default.
+    Monotone,
+    /// Adaptive Mehrotra-style: re-target μ from the current
+    /// complementarity every iteration (Nocedal–Wächter–Waltz, the
+    /// paper's reference \[25\]).
+    Adaptive,
+}
+
+/// Solver options.
+#[derive(Debug, Clone)]
+pub struct IpmOptions {
+    /// Convergence tolerance on the unperturbed KKT error.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iter: usize,
+    /// Initial barrier parameter.
+    pub mu_init: f64,
+    /// Barrier update strategy.
+    pub barrier: BarrierStrategy,
+    /// Fraction-to-boundary parameter τ (steps keep `1−τ` of the slack).
+    pub tau: f64,
+    /// Maximum backtracking halvings per line search.
+    pub max_backtracks: usize,
+}
+
+impl Default for IpmOptions {
+    fn default() -> Self {
+        IpmOptions {
+            tol: 1e-8,
+            max_iter: 200,
+            mu_init: 0.1,
+            barrier: BarrierStrategy::Monotone,
+            tau: 0.995,
+            max_backtracks: 30,
+        }
+    }
+}
+
+/// Termination status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpmStatus {
+    /// KKT error below tolerance.
+    Optimal,
+    /// Iteration cap reached; iterate returned may still be usable.
+    MaxIterations,
+    /// The filter line search could not make progress.
+    LineSearchFailure,
+}
+
+/// A solver result.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Final primal point.
+    pub x: Vec<f64>,
+    /// Final equality multipliers.
+    pub lambda: Vec<f64>,
+    /// Final bound multipliers.
+    pub z: Vec<f64>,
+    /// Objective at `x`.
+    pub objective: f64,
+    /// Unperturbed KKT error at `x`.
+    pub kkt_error: f64,
+    /// Constraint violation ‖c(x)‖∞ at `x`.
+    pub constraint_violation: f64,
+    /// Iterations used.
+    pub iterations: usize,
+    /// How the solver stopped.
+    pub status: IpmStatus,
+}
+
+impl Solution {
+    /// True when the point is usable: optimal, or stopped early but with
+    /// small constraint violation and finite values.
+    pub fn is_usable(&self, feas_tol: f64) -> bool {
+        self.x.iter().all(|v| v.is_finite()) && self.constraint_violation <= feas_tol
+    }
+}
+
+/// Hard errors (problem setup, not convergence).
+#[derive(Debug, Clone)]
+pub enum IpmError {
+    /// Problem dimensions are inconsistent or empty.
+    BadProblem(String),
+    /// Every KKT solve failed even at maximum regularization.
+    NumericalBreakdown(String),
+}
+
+impl std::fmt::Display for IpmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IpmError::BadProblem(s) => write!(f, "bad problem: {s}"),
+            IpmError::NumericalBreakdown(s) => write!(f, "numerical breakdown: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for IpmError {}
+
+const KAPPA_EPS: f64 = 10.0;
+const KAPPA_MU: f64 = 0.2;
+const THETA_MU: f64 = 1.5;
+const KAPPA_SIGMA: f64 = 1e10;
+const ALPHA_MIN: f64 = 1e-12;
+
+struct Eval {
+    f: f64,
+    grad: Vec<f64>,
+    c: Vec<f64>,
+    jac: Mat,
+}
+
+fn evaluate(p: &dyn NlpProblem, x: &[f64]) -> Eval {
+    let (n, m) = (p.n(), p.m());
+    let mut grad = vec![0.0; n];
+    p.gradient(x, &mut grad);
+    let mut c = vec![0.0; m];
+    p.constraints(x, &mut c);
+    let mut jac = Mat::zeros(m, n);
+    p.jacobian(x, &mut jac);
+    Eval {
+        f: p.objective(x),
+        grad,
+        c,
+        jac,
+    }
+}
+
+fn theta(c: &[f64]) -> f64 {
+    c.iter().map(|v| v.abs()).sum()
+}
+
+fn barrier_phi(f: f64, x: &[f64], lb: &[f64], mu: f64) -> f64 {
+    let mut phi = f;
+    for i in 0..x.len() {
+        let d = x[i] - lb[i];
+        if d <= 0.0 {
+            return f64::INFINITY;
+        }
+        phi -= mu * d.ln();
+    }
+    phi
+}
+
+/// Unperturbed (μ = 0) KKT error: stationarity, feasibility,
+/// complementarity.
+fn kkt_error(ev: &Eval, x: &[f64], lb: &[f64], z: &[f64], lambda: &[f64], mu: f64) -> f64 {
+    let n = x.len();
+    let jt_lambda = ev.jac.tr_matvec(lambda);
+    let mut stat = 0.0f64;
+    for i in 0..n {
+        stat = stat.max((ev.grad[i] + jt_lambda[i] - z[i]).abs());
+    }
+    let feas = ev.c.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    let mut compl = 0.0f64;
+    for i in 0..n {
+        compl = compl.max(((x[i] - lb[i]) * z[i] - mu).abs());
+    }
+    // Scale stationarity by the multiplier magnitude (IPOPT's s_d) so
+    // huge multipliers don't keep a converged point "unconverged".
+    let zl: f64 =
+        z.iter().map(|v| v.abs()).sum::<f64>() + lambda.iter().map(|v| v.abs()).sum::<f64>();
+    let s_d = ((zl / ((n + lambda.len()).max(1) as f64)) / 100.0).max(1.0);
+    (stat / s_d).max(feas).max(compl)
+}
+
+/// Largest step in `[0, 1]` keeping `v + α dv ≥ (1 − τ)·v` element-wise
+/// distance to the bound (the fraction-to-boundary rule).
+fn max_step(v: &[f64], lb: &[f64], dv: &[f64], tau: f64) -> f64 {
+    let mut alpha: f64 = 1.0;
+    for i in 0..v.len() {
+        if dv[i] < 0.0 {
+            let slack = v[i] - lb[i];
+            let a = -tau * slack / dv[i];
+            alpha = alpha.min(a);
+        }
+    }
+    alpha.clamp(0.0, 1.0)
+}
+
+/// Solve an [`NlpProblem`] with the interior-point filter method.
+pub fn solve(problem: &dyn NlpProblem, opts: &IpmOptions) -> Result<Solution, IpmError> {
+    let n = problem.n();
+    let m = problem.m();
+    if n == 0 {
+        return Err(IpmError::BadProblem("no variables".into()));
+    }
+    let lb = problem.lower_bounds();
+    if lb.len() != n {
+        return Err(IpmError::BadProblem(format!(
+            "lower_bounds length {} != n {}",
+            lb.len(),
+            n
+        )));
+    }
+
+    // Push the start strictly inside the bounds.
+    let mut x = problem.initial_point();
+    if x.len() != n {
+        return Err(IpmError::BadProblem(format!(
+            "initial_point length {} != n {}",
+            x.len(),
+            n
+        )));
+    }
+    for i in 0..n {
+        let margin = 1e-4 * (1.0 + lb[i].abs());
+        if x[i] < lb[i] + margin {
+            x[i] = lb[i] + margin;
+        }
+    }
+
+    let mut mu = opts.mu_init;
+    let mut z: Vec<f64> = (0..n).map(|i| mu / (x[i] - lb[i])).collect();
+    let mut lambda = vec![0.0; m];
+
+    let mut ev = evaluate(problem, &x);
+    let mut filter = Filter::new((theta(&ev.c) * 1e4).max(1.0));
+    let mut hess = Mat::zeros(n, n);
+    let mut ls_failures = 0usize;
+
+    for iter in 0..opts.max_iter {
+        let err0 = kkt_error(&ev, &x, &lb, &z, &lambda, 0.0);
+        if err0 < opts.tol {
+            return Ok(Solution {
+                objective: ev.f,
+                kkt_error: err0,
+                constraint_violation: ev.c.iter().fold(0.0f64, |a, v| a.max(v.abs())),
+                x,
+                lambda,
+                z,
+                iterations: iter,
+                status: IpmStatus::Optimal,
+            });
+        }
+
+        // Barrier update.
+        match opts.barrier {
+            BarrierStrategy::Monotone => {
+                let err_mu = kkt_error(&ev, &x, &lb, &z, &lambda, mu);
+                if err_mu < KAPPA_EPS * mu {
+                    let new_mu = (KAPPA_MU * mu).min(mu.powf(THETA_MU)).max(opts.tol / 10.0);
+                    if new_mu < mu {
+                        mu = new_mu;
+                        filter.clear();
+                    }
+                }
+            }
+            BarrierStrategy::Adaptive => {
+                // Re-target from the average complementarity with a
+                // centering factor; cheap stand-in for Mehrotra probing
+                // that works well on these small problems.
+                let avg: f64 = (0..n).map(|i| (x[i] - lb[i]) * z[i]).sum::<f64>() / n as f64;
+                let new_mu = (0.1 * avg).max(opts.tol / 10.0);
+                if (new_mu - mu).abs() > 0.1 * mu {
+                    filter.clear();
+                }
+                mu = new_mu;
+            }
+        }
+
+        problem.lagrangian_hessian(&x, &lambda, &mut hess);
+        let step = solve_kkt(&KktInputs {
+            hess: &hess,
+            jac: &ev.jac,
+            grad: &ev.grad,
+            c: &ev.c,
+            x: &x,
+            lb: &lb,
+            z: &z,
+            lambda: &lambda,
+            mu,
+        })
+        .map_err(|e| IpmError::NumericalBreakdown(e.to_string()))?;
+
+        let alpha_pri_max = max_step(&x, &lb, &step.dx, opts.tau);
+        let zeros = vec![0.0; n];
+        let alpha_dual_max = max_step(&z, &zeros, &step.dz, opts.tau);
+
+        // Filter line search on the primal step.
+        let theta_cur = theta(&ev.c);
+        let phi_cur = barrier_phi(ev.f, &x, &lb, mu);
+        let mut alpha = alpha_pri_max;
+        let mut accepted = false;
+        let mut x_trial = vec![0.0; n];
+        let mut ev_trial = None;
+        for _ in 0..=opts.max_backtracks {
+            if alpha < ALPHA_MIN {
+                break;
+            }
+            for i in 0..n {
+                x_trial[i] = x[i] + alpha * step.dx[i];
+            }
+            let et = evaluate(problem, &x_trial);
+            let theta_t = theta(&et.c);
+            let phi_t = barrier_phi(et.f, &x_trial, &lb, mu);
+            let improves = theta_t < (1.0 - 1e-5) * theta_cur
+                || phi_t < phi_cur - 1e-8 * phi_cur.abs().max(1.0);
+            if filter.acceptable(theta_t, phi_t)
+                && (improves || theta_cur == 0.0 && phi_t <= phi_cur)
+            {
+                // θ-type acceptance: remember the pair so we cannot cycle.
+                if phi_t >= phi_cur - 1e-8 {
+                    filter.add(theta_cur, phi_cur);
+                }
+                ev_trial = Some(et);
+                accepted = true;
+                break;
+            }
+            alpha *= 0.5;
+        }
+
+        if !accepted {
+            ls_failures += 1;
+            if ls_failures >= 3 {
+                let err = kkt_error(&ev, &x, &lb, &z, &lambda, 0.0);
+                return Ok(Solution {
+                    objective: ev.f,
+                    kkt_error: err,
+                    constraint_violation: ev.c.iter().fold(0.0f64, |a, v| a.max(v.abs())),
+                    x,
+                    lambda,
+                    z,
+                    iterations: iter,
+                    status: IpmStatus::LineSearchFailure,
+                });
+            }
+            // Crude restoration: clear the filter, take a tiny damped
+            // step toward feasibility and keep iterating.
+            filter.clear();
+            for i in 0..n {
+                x[i] += (alpha_pri_max * 1e-3) * step.dx[i];
+            }
+            ev = evaluate(problem, &x);
+            continue;
+        }
+        ls_failures = 0;
+
+        x.copy_from_slice(&x_trial);
+        ev = ev_trial.expect("accepted step always has an evaluation");
+        for j in 0..m {
+            lambda[j] += alpha * step.dlambda[j];
+        }
+        for i in 0..n {
+            z[i] += alpha_dual_max * step.dz[i];
+            // IPOPT's κ_Σ safeguard keeps z within a box of μ/d.
+            let d = (x[i] - lb[i]).max(1e-300);
+            let lo = mu / (KAPPA_SIGMA * d);
+            let hi = KAPPA_SIGMA * mu / d;
+            z[i] = z[i].clamp(lo.min(hi), hi.max(lo)).max(1e-300);
+        }
+    }
+
+    let err = kkt_error(&ev, &x, &lb, &z, &lambda, 0.0);
+    Ok(Solution {
+        objective: ev.f,
+        kkt_error: err,
+        constraint_violation: ev.c.iter().fold(0.0f64, |a, v| a.max(v.abs())),
+        x,
+        lambda,
+        z,
+        iterations: opts.max_iter,
+        status: IpmStatus::MaxIterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plb_numerics::Mat;
+
+    /// min (x0-1)² + (x1-2)²  s.t. x ≥ 0 — interior solution.
+    struct Quad;
+
+    impl NlpProblem for Quad {
+        fn n(&self) -> usize {
+            2
+        }
+        fn m(&self) -> usize {
+            0
+        }
+        fn objective(&self, x: &[f64]) -> f64 {
+            (x[0] - 1.0).powi(2) + (x[1] - 2.0).powi(2)
+        }
+        fn gradient(&self, x: &[f64], g: &mut [f64]) {
+            g[0] = 2.0 * (x[0] - 1.0);
+            g[1] = 2.0 * (x[1] - 2.0);
+        }
+        fn constraints(&self, _x: &[f64], _c: &mut [f64]) {}
+        fn jacobian(&self, _x: &[f64], _j: &mut Mat) {}
+        fn lagrangian_hessian(&self, _x: &[f64], _l: &[f64], h: &mut Mat) {
+            *h = Mat::identity(2);
+            h.scale(2.0);
+        }
+        fn initial_point(&self) -> Vec<f64> {
+            vec![5.0, 5.0]
+        }
+    }
+
+    #[test]
+    fn unconstrained_interior_minimum() {
+        let sol = solve(&Quad, &IpmOptions::default()).unwrap();
+        assert_eq!(sol.status, IpmStatus::Optimal);
+        assert!((sol.x[0] - 1.0).abs() < 1e-6, "{:?}", sol.x);
+        assert!((sol.x[1] - 2.0).abs() < 1e-6, "{:?}", sol.x);
+    }
+
+    /// min (x0+2)² + (x1-2)²  s.t. x ≥ 0 — active bound at x0 = 0.
+    struct QuadActive;
+
+    impl NlpProblem for QuadActive {
+        fn n(&self) -> usize {
+            2
+        }
+        fn m(&self) -> usize {
+            0
+        }
+        fn objective(&self, x: &[f64]) -> f64 {
+            (x[0] + 2.0).powi(2) + (x[1] - 2.0).powi(2)
+        }
+        fn gradient(&self, x: &[f64], g: &mut [f64]) {
+            g[0] = 2.0 * (x[0] + 2.0);
+            g[1] = 2.0 * (x[1] - 2.0);
+        }
+        fn constraints(&self, _x: &[f64], _c: &mut [f64]) {}
+        fn jacobian(&self, _x: &[f64], _j: &mut Mat) {}
+        fn lagrangian_hessian(&self, _x: &[f64], _l: &[f64], h: &mut Mat) {
+            *h = Mat::identity(2);
+            h.scale(2.0);
+        }
+        fn initial_point(&self) -> Vec<f64> {
+            vec![1.0, 1.0]
+        }
+    }
+
+    #[test]
+    fn active_bound_detected() {
+        let sol = solve(&QuadActive, &IpmOptions::default()).unwrap();
+        assert_eq!(sol.status, IpmStatus::Optimal);
+        assert!(sol.x[0].abs() < 1e-5, "{:?}", sol.x);
+        assert!((sol.x[1] - 2.0).abs() < 1e-5, "{:?}", sol.x);
+        // Bound multiplier for the active bound is strictly positive.
+        assert!(sol.z[0] > 1e-3, "z = {:?}", sol.z);
+    }
+
+    /// min x0² + x1²  s.t. x0 + x1 = 1, x ≥ 0 → (0.5, 0.5).
+    struct EqQuad;
+
+    impl NlpProblem for EqQuad {
+        fn n(&self) -> usize {
+            2
+        }
+        fn m(&self) -> usize {
+            1
+        }
+        fn objective(&self, x: &[f64]) -> f64 {
+            x[0] * x[0] + x[1] * x[1]
+        }
+        fn gradient(&self, x: &[f64], g: &mut [f64]) {
+            g[0] = 2.0 * x[0];
+            g[1] = 2.0 * x[1];
+        }
+        fn constraints(&self, x: &[f64], c: &mut [f64]) {
+            c[0] = x[0] + x[1] - 1.0;
+        }
+        fn jacobian(&self, _x: &[f64], j: &mut Mat) {
+            j[(0, 0)] = 1.0;
+            j[(0, 1)] = 1.0;
+        }
+        fn lagrangian_hessian(&self, _x: &[f64], _l: &[f64], h: &mut Mat) {
+            *h = Mat::identity(2);
+            h.scale(2.0);
+        }
+        fn initial_point(&self) -> Vec<f64> {
+            vec![0.9, 0.3]
+        }
+    }
+
+    #[test]
+    fn equality_constrained_quadratic() {
+        for strategy in [BarrierStrategy::Monotone, BarrierStrategy::Adaptive] {
+            let opts = IpmOptions {
+                barrier: strategy,
+                ..Default::default()
+            };
+            let sol = solve(&EqQuad, &opts).unwrap();
+            assert_eq!(sol.status, IpmStatus::Optimal, "{strategy:?}");
+            assert!((sol.x[0] - 0.5).abs() < 1e-6, "{strategy:?}: {:?}", sol.x);
+            assert!((sol.x[1] - 0.5).abs() < 1e-6, "{strategy:?}: {:?}", sol.x);
+            assert!(sol.constraint_violation < 1e-8);
+        }
+    }
+
+    /// Nonconvex objective with a constraint: Hessian regularization path.
+    struct NonConvex;
+
+    impl NlpProblem for NonConvex {
+        fn n(&self) -> usize {
+            2
+        }
+        fn m(&self) -> usize {
+            1
+        }
+        fn objective(&self, x: &[f64]) -> f64 {
+            -x[0] * x[1] // saddle
+        }
+        fn gradient(&self, x: &[f64], g: &mut [f64]) {
+            g[0] = -x[1];
+            g[1] = -x[0];
+        }
+        fn constraints(&self, x: &[f64], c: &mut [f64]) {
+            c[0] = x[0] + x[1] - 1.0;
+        }
+        fn jacobian(&self, _x: &[f64], j: &mut Mat) {
+            j[(0, 0)] = 1.0;
+            j[(0, 1)] = 1.0;
+        }
+        fn lagrangian_hessian(&self, _x: &[f64], _l: &[f64], h: &mut Mat) {
+            *h = Mat::zeros(2, 2);
+            h[(0, 1)] = -1.0;
+            h[(1, 0)] = -1.0;
+        }
+        fn initial_point(&self) -> Vec<f64> {
+            vec![0.8, 0.2]
+        }
+    }
+
+    #[test]
+    fn nonconvex_saddle_converges_to_max_product() {
+        // On the simplex segment, -x0*x1 is minimized at x0 = x1 = 0.5.
+        let sol = solve(&NonConvex, &IpmOptions::default()).unwrap();
+        assert!(sol.constraint_violation < 1e-6);
+        assert!((sol.x[0] - 0.5).abs() < 1e-4, "{:?}", sol.x);
+    }
+
+    #[test]
+    fn empty_problem_rejected() {
+        struct Empty;
+        impl NlpProblem for Empty {
+            fn n(&self) -> usize {
+                0
+            }
+            fn m(&self) -> usize {
+                0
+            }
+            fn objective(&self, _: &[f64]) -> f64 {
+                0.0
+            }
+            fn gradient(&self, _: &[f64], _: &mut [f64]) {}
+            fn constraints(&self, _: &[f64], _: &mut [f64]) {}
+            fn jacobian(&self, _: &[f64], _: &mut Mat) {}
+            fn lagrangian_hessian(&self, _: &[f64], _: &[f64], _: &mut Mat) {}
+            fn initial_point(&self) -> Vec<f64> {
+                vec![]
+            }
+        }
+        assert!(matches!(
+            solve(&Empty, &IpmOptions::default()),
+            Err(IpmError::BadProblem(_))
+        ));
+    }
+
+    #[test]
+    fn infeasible_start_is_pushed_inside() {
+        // Start below the bounds; the solver must still converge.
+        struct BadStart;
+        impl NlpProblem for BadStart {
+            fn n(&self) -> usize {
+                1
+            }
+            fn m(&self) -> usize {
+                0
+            }
+            fn objective(&self, x: &[f64]) -> f64 {
+                (x[0] - 3.0).powi(2)
+            }
+            fn gradient(&self, x: &[f64], g: &mut [f64]) {
+                g[0] = 2.0 * (x[0] - 3.0);
+            }
+            fn constraints(&self, _: &[f64], _: &mut [f64]) {}
+            fn jacobian(&self, _: &[f64], _: &mut Mat) {}
+            fn lagrangian_hessian(&self, _: &[f64], _: &[f64], h: &mut Mat) {
+                h[(0, 0)] = 2.0;
+            }
+            fn initial_point(&self) -> Vec<f64> {
+                vec![-5.0]
+            }
+        }
+        let sol = solve(&BadStart, &IpmOptions::default()).unwrap();
+        assert_eq!(sol.status, IpmStatus::Optimal);
+        assert!((sol.x[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_step_respects_fraction_to_boundary() {
+        let v = [1.0, 1.0];
+        let lb = [0.0, 0.0];
+        let dv = [-2.0, 0.5];
+        let a = max_step(&v, &lb, &dv, 0.995);
+        // Moving -2 from slack 1: cap at 0.995/2.
+        assert!((a - 0.4975).abs() < 1e-12);
+        // No negative direction: full step.
+        assert_eq!(max_step(&v, &lb, &[0.1, 0.2], 0.995), 1.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Classic small NLPs with known solutions: a validation suite for the
+//! interior-point solver beyond the block-partition problems it was
+//! built for. Problems are drawn from the standard test literature
+//! (Hock–Schittkowski and textbook examples), restated in the solver's
+//! `min f(x) s.t. c(x) = 0, x ≥ lb` form.
+
+use plb_ipm::{solve, IpmOptions, IpmStatus, NlpProblem};
+use plb_numerics::Mat;
+
+struct Nlp<F, G, C, J, H> {
+    n: usize,
+    m: usize,
+    f: F,
+    grad: G,
+    cons: C,
+    jac: J,
+    hess: H,
+    x0: Vec<f64>,
+    lb: Vec<f64>,
+}
+
+impl<F, G, C, J, H> NlpProblem for Nlp<F, G, C, J, H>
+where
+    F: Fn(&[f64]) -> f64,
+    G: Fn(&[f64], &mut [f64]),
+    C: Fn(&[f64], &mut [f64]),
+    J: Fn(&[f64], &mut Mat),
+    H: Fn(&[f64], &[f64], &mut Mat),
+{
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn m(&self) -> usize {
+        self.m
+    }
+    fn objective(&self, x: &[f64]) -> f64 {
+        (self.f)(x)
+    }
+    fn gradient(&self, x: &[f64], g: &mut [f64]) {
+        (self.grad)(x, g)
+    }
+    fn constraints(&self, x: &[f64], c: &mut [f64]) {
+        (self.cons)(x, c)
+    }
+    fn jacobian(&self, x: &[f64], j: &mut Mat) {
+        (self.jac)(x, j)
+    }
+    fn lagrangian_hessian(&self, x: &[f64], l: &[f64], h: &mut Mat) {
+        (self.hess)(x, l, h)
+    }
+    fn lower_bounds(&self) -> Vec<f64> {
+        self.lb.clone()
+    }
+    fn initial_point(&self) -> Vec<f64> {
+        self.x0.clone()
+    }
+}
+
+/// HS35 (Beale): min 9 - 8x1 - 6x2 - 4x3 + 2x1² + 2x2² + x3²
+///               + 2x1x2 + 2x1x3, s.t. x1 + x2 + 2x3 ≤ 3, x ≥ 0.
+/// We encode the inequality with a slack variable s ≥ 0:
+/// x1 + x2 + 2x3 + s = 3. Optimum f* = 1/9 at (4/3, 7/9, 4/9).
+#[test]
+fn hs35_beale() {
+    let p = Nlp {
+        n: 4,
+        m: 1,
+        f: |x: &[f64]| {
+            9.0 - 8.0 * x[0] - 6.0 * x[1] - 4.0 * x[2]
+                + 2.0 * x[0] * x[0]
+                + 2.0 * x[1] * x[1]
+                + x[2] * x[2]
+                + 2.0 * x[0] * x[1]
+                + 2.0 * x[0] * x[2]
+        },
+        grad: |x: &[f64], g: &mut [f64]| {
+            g[0] = -8.0 + 4.0 * x[0] + 2.0 * x[1] + 2.0 * x[2];
+            g[1] = -6.0 + 4.0 * x[1] + 2.0 * x[0];
+            g[2] = -4.0 + 2.0 * x[2] + 2.0 * x[0];
+            g[3] = 0.0;
+        },
+        cons: |x: &[f64], c: &mut [f64]| {
+            c[0] = x[0] + x[1] + 2.0 * x[2] + x[3] - 3.0;
+        },
+        jac: |_x: &[f64], j: &mut Mat| {
+            j[(0, 0)] = 1.0;
+            j[(0, 1)] = 1.0;
+            j[(0, 2)] = 2.0;
+            j[(0, 3)] = 1.0;
+        },
+        hess: |_x: &[f64], _l: &[f64], h: &mut Mat| {
+            for i in 0..h.rows() {
+                h.row_mut(i).fill(0.0);
+            }
+            h[(0, 0)] = 4.0;
+            h[(1, 1)] = 4.0;
+            h[(2, 2)] = 2.0;
+            h[(0, 1)] = 2.0;
+            h[(1, 0)] = 2.0;
+            h[(0, 2)] = 2.0;
+            h[(2, 0)] = 2.0;
+        },
+        x0: vec![0.5, 0.5, 0.5, 0.5],
+        lb: vec![0.0; 4],
+    };
+    let sol = solve(&p, &IpmOptions::default()).unwrap();
+    assert_eq!(sol.status, IpmStatus::Optimal);
+    assert!(
+        (sol.objective - 1.0 / 9.0).abs() < 1e-5,
+        "f* = {}",
+        sol.objective
+    );
+    assert!((sol.x[0] - 4.0 / 3.0).abs() < 1e-3);
+    assert!((sol.x[1] - 7.0 / 9.0).abs() < 1e-3);
+    assert!((sol.x[2] - 4.0 / 9.0).abs() < 1e-3);
+}
+
+/// HS6-like equality problem: min (1 - x1)², s.t. 10(x2 - x1²) = 0,
+/// relocated to the positive orthant. Optimum at x1 = x2 = 1, f* = 0.
+#[test]
+fn hs6_parabola_equality() {
+    let p = Nlp {
+        n: 2,
+        m: 1,
+        f: |x: &[f64]| (1.0 - x[0]).powi(2),
+        grad: |x: &[f64], g: &mut [f64]| {
+            g[0] = -2.0 * (1.0 - x[0]);
+            g[1] = 0.0;
+        },
+        cons: |x: &[f64], c: &mut [f64]| {
+            c[0] = 10.0 * (x[1] - x[0] * x[0]);
+        },
+        jac: |x: &[f64], j: &mut Mat| {
+            j[(0, 0)] = -20.0 * x[0];
+            j[(0, 1)] = 10.0;
+        },
+        hess: |_x: &[f64], l: &[f64], h: &mut Mat| {
+            for i in 0..h.rows() {
+                h.row_mut(i).fill(0.0);
+            }
+            h[(0, 0)] = 2.0 + l[0] * (-20.0);
+        },
+        x0: vec![0.2, 0.8],
+        lb: vec![0.0, 0.0],
+    };
+    let sol = solve(&p, &IpmOptions::default()).unwrap();
+    assert_eq!(sol.status, IpmStatus::Optimal);
+    assert!(sol.objective < 1e-8, "f* = {}", sol.objective);
+    assert!((sol.x[0] - 1.0).abs() < 1e-4 && (sol.x[1] - 1.0).abs() < 1e-4);
+}
+
+/// Maximum-entropy distribution: min Σ x ln x s.t. Σ x = 1, x ≥ 0
+/// → uniform distribution, f* = −ln n.
+#[test]
+fn maximum_entropy_is_uniform() {
+    let n = 5;
+    let p = Nlp {
+        n,
+        m: 1,
+        f: |x: &[f64]| x.iter().map(|&v| v * v.max(1e-300).ln()).sum(),
+        grad: |x: &[f64], g: &mut [f64]| {
+            for (gi, &v) in g.iter_mut().zip(x) {
+                *gi = v.max(1e-300).ln() + 1.0;
+            }
+        },
+        cons: |x: &[f64], c: &mut [f64]| {
+            c[0] = x.iter().sum::<f64>() - 1.0;
+        },
+        jac: |_x: &[f64], j: &mut Mat| {
+            for k in 0..j.cols() {
+                j[(0, k)] = 1.0;
+            }
+        },
+        hess: |x: &[f64], _l: &[f64], h: &mut Mat| {
+            for i in 0..h.rows() {
+                h.row_mut(i).fill(0.0);
+            }
+            for i in 0..x.len() {
+                h[(i, i)] = 1.0 / x[i].max(1e-300);
+            }
+        },
+        x0: vec![0.3, 0.1, 0.25, 0.15, 0.2],
+        lb: vec![0.0; 5],
+    };
+    let sol = solve(&p, &IpmOptions::default()).unwrap();
+    assert_eq!(sol.status, IpmStatus::Optimal);
+    for &xi in &sol.x {
+        assert!((xi - 0.2).abs() < 1e-5, "{:?}", sol.x);
+    }
+    assert!((sol.objective + (n as f64).ln() * 0.2 * n as f64).abs() < 1e-5);
+}
+
+/// Projection onto the simplex: min ||x − y||² s.t. Σ x = 1, x ≥ 0 with
+/// a y whose projection has an active bound (a vertex-adjacent case).
+#[test]
+fn simplex_projection_with_active_bound() {
+    let y = [1.5f64, 0.4, -0.8];
+    let p = Nlp {
+        n: 3,
+        m: 1,
+        f: move |x: &[f64]| x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum(),
+        grad: move |x: &[f64], g: &mut [f64]| {
+            for i in 0..3 {
+                g[i] = 2.0 * (x[i] - y[i]);
+            }
+        },
+        cons: |x: &[f64], c: &mut [f64]| {
+            c[0] = x.iter().sum::<f64>() - 1.0;
+        },
+        jac: |_x: &[f64], j: &mut Mat| {
+            j[(0, 0)] = 1.0;
+            j[(0, 1)] = 1.0;
+            j[(0, 2)] = 1.0;
+        },
+        hess: |_x: &[f64], _l: &[f64], h: &mut Mat| {
+            for i in 0..h.rows() {
+                h.row_mut(i).fill(0.0);
+            }
+            for i in 0..3 {
+                h[(i, i)] = 2.0;
+            }
+        },
+        x0: vec![0.34, 0.33, 0.33],
+        lb: vec![0.0; 3],
+    };
+    let sol = solve(&p, &IpmOptions::default()).unwrap();
+    assert_eq!(sol.status, IpmStatus::Optimal);
+    // Known projection x = max(y − τ, 0) with Σx = 1: the support is
+    // {x1} alone (τ = 0.5 gives y2 − τ < 0), so x = (1, 0, 0) with two
+    // active bounds.
+    assert!((sol.x[0] - 1.0).abs() < 1e-4, "{:?}", sol.x);
+    assert!(sol.x[1] < 1e-4, "{:?}", sol.x);
+    assert!(sol.x[2] < 1e-4, "{:?}", sol.x);
+}
+
+/// A feasibility-only problem (constant objective): the solver must find
+/// a point on the constraint manifold.
+#[test]
+fn pure_feasibility() {
+    let p = Nlp {
+        n: 2,
+        m: 1,
+        f: |_x: &[f64]| 0.0,
+        grad: |_x: &[f64], g: &mut [f64]| g.fill(0.0),
+        cons: |x: &[f64], c: &mut [f64]| {
+            c[0] = x[0] * x[0] + x[1] * x[1] - 2.0;
+        },
+        jac: |x: &[f64], j: &mut Mat| {
+            j[(0, 0)] = 2.0 * x[0];
+            j[(0, 1)] = 2.0 * x[1];
+        },
+        hess: |_x: &[f64], l: &[f64], h: &mut Mat| {
+            for i in 0..h.rows() {
+                h.row_mut(i).fill(0.0);
+            }
+            h[(0, 0)] = 2.0 * l[0];
+            h[(1, 1)] = 2.0 * l[0];
+        },
+        x0: vec![0.3, 0.2],
+        lb: vec![0.0, 0.0],
+    };
+    let sol = solve(&p, &IpmOptions::default()).unwrap();
+    assert!(sol.constraint_violation < 1e-6, "{:?}", sol);
+    let r2 = sol.x[0] * sol.x[0] + sol.x[1] * sol.x[1];
+    assert!((r2 - 2.0).abs() < 1e-5);
+}

@@ -1,0 +1,90 @@
+//! Codelets: StarPU's unit of application code.
+//!
+//! A StarPU codelet bundles per-architecture implementations of one
+//! computation. On this workspace's host backend there is no physical
+//! GPU, so heterogeneity comes from the *resources* a processing unit is
+//! granted (its worker-thread count): a "big" unit runs the same kernel
+//! over more cores. The kernel receives the item range it must process
+//! and the resources of the unit executing it.
+
+use plb_hetsim::PuKind;
+use std::ops::Range;
+
+/// Resources of the processing unit executing a codelet.
+#[derive(Debug, Clone)]
+pub struct PuResources {
+    /// CPU threads granted to this unit.
+    pub threads: usize,
+    /// What the unit models (CPU or GPU).
+    pub kind: PuKind,
+}
+
+/// A data-parallel computation over a contiguous item range.
+///
+/// Implementations must be thread-safe: different units execute disjoint
+/// ranges concurrently.
+pub trait Codelet: Send + Sync {
+    /// Codelet name for traces.
+    fn name(&self) -> &str;
+
+    /// Process `range` of the application's items using up to
+    /// `res.threads` worker threads. Called inside a scoped thread pool
+    /// sized to the unit.
+    fn execute(&self, range: Range<u64>, res: &PuResources);
+}
+
+/// A codelet built from a closure (tests, small examples).
+pub struct FnCodelet<F: Fn(Range<u64>, &PuResources) + Send + Sync> {
+    name: String,
+    f: F,
+}
+
+impl<F: Fn(Range<u64>, &PuResources) + Send + Sync> FnCodelet<F> {
+    /// Wrap a closure as a codelet.
+    pub fn new(name: &str, f: F) -> Self {
+        FnCodelet {
+            name: name.to_string(),
+            f,
+        }
+    }
+}
+
+impl<F: Fn(Range<u64>, &PuResources) + Send + Sync> Codelet for FnCodelet<F> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn execute(&self, range: Range<u64>, res: &PuResources) {
+        (self.f)(range, res)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn fn_codelet_executes() {
+        static COUNT: AtomicU64 = AtomicU64::new(0);
+        let c = FnCodelet::new("count", |r, _| {
+            COUNT.fetch_add(r.end - r.start, Ordering::Relaxed);
+        });
+        assert_eq!(c.name(), "count");
+        c.execute(
+            0..10,
+            &PuResources {
+                threads: 1,
+                kind: PuKind::Cpu,
+            },
+        );
+        c.execute(
+            10..15,
+            &PuResources {
+                threads: 2,
+                kind: PuKind::Gpu,
+            },
+        );
+        assert_eq!(COUNT.load(Ordering::Relaxed), 15);
+    }
+}

@@ -1,0 +1,580 @@
+//! The discrete-event simulation engine.
+//!
+//! Executes a data-parallel application of `total_items` work units on a
+//! [`ClusterSim`] under a scheduling [`Policy`]. Virtual time advances
+//! through a binary-heap event queue; each task occupies its unit for
+//! `transfer_time + proc_time` as measured by the device models. The
+//! engine enforces StarPU's worker discipline: one in-flight task per
+//! processing unit.
+//!
+//! Perturbations (slowdowns, failures, restorations) can be scheduled at
+//! absolute virtual times to reproduce the paper's future-work scenarios
+//! (cloud QoS drift, machine loss).
+
+use crate::data::{DataHandle, DataRegistry, MemNode};
+use crate::metrics::RunReport;
+use crate::policy::{Policy, PuHandle, SchedulerCtx};
+use crate::task::{TaskId, TaskInfo};
+use crate::trace::Trace;
+use plb_hetsim::{ClusterSim, CostModel, PuId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A scheduled runtime perturbation.
+#[derive(Debug, Clone)]
+pub struct Perturbation {
+    /// Virtual time at which the perturbation fires.
+    pub at: f64,
+    /// What happens.
+    pub kind: PerturbationKind,
+}
+
+/// Kinds of perturbation.
+#[derive(Debug, Clone, Copy)]
+pub enum PerturbationKind {
+    /// Multiply a unit's kernel times by `factor` from now on (cloud QoS
+    /// drift; `1.0` restores nominal speed).
+    SetSlowdown(PuId, f64),
+    /// The unit fails: its in-flight task is lost (items re-credited)
+    /// and it accepts no further work.
+    Fail(PuId),
+    /// A failed unit comes back.
+    Restore(PuId),
+}
+
+/// Engine errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The policy left work unassigned with every unit idle — a policy
+    /// bug (or every device failed).
+    Stalled {
+        /// Items never assigned.
+        remaining: u64,
+        /// Virtual time at which the stall was detected.
+        at: f64,
+    },
+    /// No processing unit is available at start.
+    NoUnits,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Stalled { remaining, at } => {
+                write!(
+                    f,
+                    "run stalled at t={at:.6}s with {remaining} items unassigned"
+                )
+            }
+            RunError::NoUnits => write!(f, "no processing units available"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Event-queue entry. Ordered by time, then sequence for determinism.
+#[derive(Debug, Clone, PartialEq)]
+struct Event {
+    time: f64,
+    seq: u64,
+    payload: EventPayload,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum EventPayload {
+    /// Task `task` on `pu` completes.
+    Completion { pu: PuId, task: TaskId },
+    /// Index into the perturbation list.
+    Perturb(usize),
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Total order: times are always finite here.
+        self.time
+            .partial_cmp(&other.time)
+            .expect("event times are finite")
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    task: TaskId,
+    items: u64,
+    start: f64,
+    xfer: f64,
+    proc: f64,
+}
+
+struct EngineState<'a> {
+    cluster: &'a mut ClusterSim,
+    cost: &'a dyn CostModel,
+    handles: Vec<PuHandle>,
+    inflight: Vec<Option<Pending>>,
+    remaining: u64,
+    total: u64,
+    clock: f64,
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    next_task: u64,
+    trace: Trace,
+    overhead_until: f64,
+    /// StarPU-style data management: per-task block buffers and the
+    /// application's broadcast set, with a transfer ledger per memory
+    /// node feeding the run report's byte accounting.
+    registry: DataRegistry,
+    broadcast: Option<DataHandle>,
+}
+
+impl<'a> EngineState<'a> {
+    fn push_event(&mut self, time: f64, payload: EventPayload) {
+        self.seq += 1;
+        self.heap.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            payload,
+        }));
+    }
+}
+
+impl SchedulerCtx for EngineState<'_> {
+    fn now(&self) -> f64 {
+        self.clock
+    }
+
+    fn pus(&self) -> &[PuHandle] {
+        &self.handles
+    }
+
+    fn remaining_items(&self) -> u64 {
+        self.remaining
+    }
+
+    fn total_items(&self) -> u64 {
+        self.total
+    }
+
+    fn assign(&mut self, pu: PuId, items: u64) -> u64 {
+        if items == 0 || self.remaining == 0 {
+            return 0;
+        }
+        let h = &self.handles[pu.0];
+        if !h.available || self.inflight[pu.0].is_some() {
+            return 0;
+        }
+        let items = items.min(self.remaining);
+        self.remaining -= items;
+
+        // Data management: the block's input buffer moves host -> unit;
+        // the broadcast set is staged once per unit (cache hit after).
+        let node = MemNode::of_pu(pu.0);
+        let block_bytes = self.cost.bytes_in(items).max(0.0) as u64;
+        if block_bytes > 0 {
+            let h = self.registry.register(block_bytes, MemNode::HOST);
+            self.registry.acquire(h, node, MemNode::HOST);
+        }
+        if let Some(b) = self.broadcast {
+            self.registry.acquire(b, node, MemNode::HOST);
+        }
+
+        let dev = self.cluster.device_mut(pu);
+        let xfer = dev.transfer_time(self.cost, items);
+        let proc = dev.proc_time(self.cost, items);
+        let task = TaskId(self.next_task);
+        self.next_task += 1;
+        // Assignments issued while scheduler overhead is outstanding
+        // begin only after the overhead window closes.
+        let start = self.clock.max(self.overhead_until);
+        self.inflight[pu.0] = Some(Pending {
+            task,
+            items,
+            start,
+            xfer,
+            proc,
+        });
+        self.push_event(start + xfer + proc, EventPayload::Completion { pu, task });
+        items
+    }
+
+    fn is_busy(&self, pu: PuId) -> bool {
+        self.inflight[pu.0].is_some()
+    }
+
+    fn any_busy(&self) -> bool {
+        self.inflight.iter().any(Option::is_some)
+    }
+
+    fn charge_overhead(&mut self, seconds: f64) {
+        if seconds.is_finite() && seconds > 0.0 {
+            self.overhead_until = self.overhead_until.max(self.clock) + seconds;
+        }
+    }
+}
+
+/// The discrete-event engine: a cluster, a cost model, and optional
+/// perturbations.
+///
+/// ```
+/// use plb_hetsim::cluster::ClusterOptions;
+/// use plb_hetsim::workload::LinearCost;
+/// use plb_hetsim::{cluster_scenario, ClusterSim, Scenario};
+/// use plb_runtime::{FixedBlockPolicy, SimEngine};
+///
+/// let machines = cluster_scenario(Scenario::One, false);
+/// let mut cluster = ClusterSim::build(&machines, &ClusterOptions::default());
+/// let cost = LinearCost::generic();
+/// let mut policy = FixedBlockPolicy { block: 1_000 };
+/// let report = SimEngine::new(&mut cluster, &cost)
+///     .run(&mut policy, 50_000)
+///     .unwrap();
+/// assert_eq!(report.total_items, 50_000);
+/// assert!(report.makespan > 0.0);
+/// ```
+pub struct SimEngine<'a> {
+    cluster: &'a mut ClusterSim,
+    cost: &'a dyn CostModel,
+    perturbations: Vec<Perturbation>,
+    last_trace: Option<Trace>,
+}
+
+impl<'a> SimEngine<'a> {
+    /// Create an engine over a cluster and an application cost model.
+    pub fn new(cluster: &'a mut ClusterSim, cost: &'a dyn CostModel) -> SimEngine<'a> {
+        SimEngine {
+            cluster,
+            cost,
+            perturbations: Vec::new(),
+            last_trace: None,
+        }
+    }
+
+    /// Schedule perturbations (may be unsorted; the engine orders them).
+    pub fn with_perturbations(mut self, p: Vec<Perturbation>) -> SimEngine<'a> {
+        self.perturbations = p;
+        self
+    }
+
+    /// Run `total_items` under `policy`. Returns the run report, or an
+    /// error when the policy deadlocks the run.
+    pub fn run(
+        &mut self,
+        policy: &mut dyn Policy,
+        total_items: u64,
+    ) -> Result<RunReport, RunError> {
+        let handles: Vec<PuHandle> = self
+            .cluster
+            .devices()
+            .iter()
+            .enumerate()
+            .map(|(i, d)| PuHandle {
+                id: PuId(i),
+                name: d.spec.name.clone(),
+                kind: d.spec.kind,
+                machine: d.spec.machine,
+                available: d.is_available(),
+            })
+            .collect();
+        if !handles.iter().any(|h| h.available) {
+            return Err(RunError::NoUnits);
+        }
+        let n = handles.len();
+        let registry = DataRegistry::new();
+        let broadcast_bytes = self.cost.broadcast_bytes().max(0.0) as u64;
+        let broadcast = if broadcast_bytes > 0 {
+            Some(registry.register(broadcast_bytes, MemNode::HOST))
+        } else {
+            None
+        };
+        let mut st = EngineState {
+            cluster: &mut *self.cluster,
+            cost: self.cost,
+            handles,
+            inflight: vec![None; n],
+            remaining: total_items,
+            total: total_items,
+            clock: 0.0,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            next_task: 0,
+            trace: Trace::new(n),
+            overhead_until: 0.0,
+            registry,
+            broadcast,
+        };
+        for (i, p) in self.perturbations.iter().enumerate() {
+            st.push_event(p.at.max(0.0), EventPayload::Perturb(i));
+        }
+
+        policy.on_start(&mut st);
+
+        loop {
+            // Completion / stall checks.
+            let busy = st.any_busy();
+            let events_pending = !st.heap.is_empty();
+            if st.remaining == 0 && !busy {
+                break;
+            }
+            if !events_pending {
+                return Err(RunError::Stalled {
+                    remaining: st.remaining,
+                    at: st.clock,
+                });
+            }
+            if !busy && st.remaining > 0 {
+                // Only perturbation events can remain; if none of them
+                // can restore progress the final stall check will fire.
+                let only_perturb = st
+                    .heap
+                    .iter()
+                    .all(|Reverse(e)| matches!(e.payload, EventPayload::Perturb(_)));
+                if only_perturb
+                    && !self
+                        .perturbations
+                        .iter()
+                        .any(|p| matches!(p.kind, PerturbationKind::Restore(_)))
+                {
+                    return Err(RunError::Stalled {
+                        remaining: st.remaining,
+                        at: st.clock,
+                    });
+                }
+            }
+
+            let Reverse(ev) = st.heap.pop().expect("checked non-empty");
+            debug_assert!(ev.time + 1e-12 >= st.clock, "time went backwards");
+            st.clock = ev.time.max(st.clock);
+
+            match ev.payload {
+                EventPayload::Completion { pu, task } => {
+                    // Ignore completions of tasks cancelled by a failure.
+                    let matches_current =
+                        st.inflight[pu.0].as_ref().is_some_and(|p| p.task == task);
+                    if !matches_current {
+                        continue;
+                    }
+                    let pend = st.inflight[pu.0].take().expect("checked above");
+                    st.trace
+                        .record_task(pu, pend.task, pend.items, pend.start, pend.xfer, pend.proc);
+                    let info = TaskInfo {
+                        task_id: pend.task,
+                        pu,
+                        items: pend.items,
+                        xfer_time: pend.xfer,
+                        proc_time: pend.proc,
+                        start: pend.start,
+                        finish: st.clock,
+                    };
+                    policy.on_task_finished(&mut st, &info);
+                }
+                EventPayload::Perturb(idx) => {
+                    match self.perturbations[idx].kind {
+                        PerturbationKind::SetSlowdown(pu, f) => {
+                            st.cluster.device_mut(pu).set_slowdown(f);
+                            // In-flight tasks keep their original times:
+                            // the slowdown applies from the next kernel,
+                            // like a contended cloud node would behave
+                            // between scheduling rounds.
+                        }
+                        PerturbationKind::Fail(pu) => {
+                            st.cluster.device_mut(pu).fail();
+                            st.handles[pu.0].available = false;
+                            if let Some(pend) = st.inflight[pu.0].take() {
+                                // The lost task's items return to the pool.
+                                st.remaining += pend.items;
+                            }
+                            policy.on_device_lost(&mut st, pu);
+                        }
+                        PerturbationKind::Restore(pu) => {
+                            st.cluster.device_mut(pu).restore();
+                            st.handles[pu.0].available = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        let names: Vec<String> = st.handles.iter().map(|h| h.name.clone()).collect();
+        let mut report = RunReport::from_trace(
+            policy.name(),
+            &st.trace,
+            &names,
+            policy.block_distribution(),
+        );
+        for (i, pu) in report.pus.iter_mut().enumerate() {
+            pu.bytes_in = st.registry.bytes_into(MemNode::of_pu(i));
+        }
+        self.last_trace = Some(st.trace);
+        Ok(report)
+    }
+
+    /// The full trace of the most recent successful `run` (for Gantt
+    /// rendering and idle-time analysis).
+    pub fn last_trace(&self) -> Option<&Trace> {
+        self.last_trace.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::FixedBlockPolicy;
+    use plb_hetsim::cluster::ClusterOptions;
+    use plb_hetsim::workload::LinearCost;
+    use plb_hetsim::{cluster_scenario, Scenario};
+
+    fn make_cluster(s: Scenario) -> ClusterSim {
+        ClusterSim::build(
+            &cluster_scenario(s, false),
+            &ClusterOptions {
+                noise_sigma: 0.0,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn fixed_policy_processes_everything() {
+        let mut cluster = make_cluster(Scenario::Two);
+        let cost = LinearCost::generic();
+        let mut policy = FixedBlockPolicy { block: 1000 };
+        let report = SimEngine::new(&mut cluster, &cost)
+            .run(&mut policy, 100_000)
+            .unwrap();
+        assert_eq!(report.total_items, 100_000);
+        assert!(report.makespan > 0.0);
+    }
+
+    #[test]
+    fn zero_items_finishes_immediately() {
+        let mut cluster = make_cluster(Scenario::One);
+        let cost = LinearCost::generic();
+        let mut policy = FixedBlockPolicy { block: 10 };
+        let report = SimEngine::new(&mut cluster, &cost)
+            .run(&mut policy, 0)
+            .unwrap();
+        assert_eq!(report.total_items, 0);
+        assert_eq!(report.makespan, 0.0);
+    }
+
+    #[test]
+    fn stalled_policy_detected() {
+        struct LazyPolicy;
+        impl Policy for LazyPolicy {
+            fn name(&self) -> &str {
+                "lazy"
+            }
+            fn on_start(&mut self, _ctx: &mut dyn SchedulerCtx) {}
+            fn on_task_finished(&mut self, _ctx: &mut dyn SchedulerCtx, _d: &TaskInfo) {}
+        }
+        let mut cluster = make_cluster(Scenario::One);
+        let cost = LinearCost::generic();
+        let err = SimEngine::new(&mut cluster, &cost)
+            .run(&mut LazyPolicy, 100)
+            .unwrap_err();
+        assert!(matches!(err, RunError::Stalled { remaining: 100, .. }));
+    }
+
+    #[test]
+    fn failure_recredit_items_and_completes() {
+        let mut cluster = make_cluster(Scenario::Two);
+        let cost = LinearCost::generic();
+        let mut policy = FixedBlockPolicy { block: 5_000 };
+        let report = SimEngine::new(&mut cluster, &cost)
+            .with_perturbations(vec![Perturbation {
+                at: 1e-5,
+                kind: PerturbationKind::Fail(PuId(0)),
+            }])
+            .run(&mut policy, 200_000)
+            .unwrap();
+        // All items still processed by the surviving units.
+        assert_eq!(report.total_items, 200_000);
+        // The failed unit processed nothing (its first task was lost
+        // before completion).
+        assert_eq!(report.pus[0].items, 0);
+    }
+
+    #[test]
+    fn slowdown_perturbation_changes_future_tasks() {
+        let cost = LinearCost::generic();
+        let mut c1 = make_cluster(Scenario::One);
+        let base = SimEngine::new(&mut c1, &cost)
+            .run(&mut FixedBlockPolicy { block: 10_000 }, 500_000)
+            .unwrap();
+        let mut c2 = make_cluster(Scenario::One);
+        let slowed = SimEngine::new(&mut c2, &cost)
+            .with_perturbations(vec![Perturbation {
+                at: 0.0,
+                kind: PerturbationKind::SetSlowdown(PuId(1), 10.0),
+            }])
+            .run(&mut FixedBlockPolicy { block: 10_000 }, 500_000)
+            .unwrap();
+        assert!(slowed.makespan > base.makespan);
+    }
+
+    #[test]
+    fn all_failed_units_is_no_units() {
+        let mut cluster = make_cluster(Scenario::One);
+        for id in cluster.ids().collect::<Vec<_>>() {
+            cluster.device_mut(id).fail();
+        }
+        let cost = LinearCost::generic();
+        let err = SimEngine::new(&mut cluster, &cost)
+            .run(&mut FixedBlockPolicy { block: 10 }, 100)
+            .unwrap_err();
+        assert_eq!(err, RunError::NoUnits);
+    }
+
+    #[test]
+    fn assign_clamps_to_remaining() {
+        struct GreedyOnce;
+        impl Policy for GreedyOnce {
+            fn name(&self) -> &str {
+                "once"
+            }
+            fn on_start(&mut self, ctx: &mut dyn SchedulerCtx) {
+                let got = ctx.assign(PuId(0), u64::MAX);
+                assert_eq!(got, ctx.total_items());
+                // Second assign on a busy unit returns 0.
+                assert_eq!(ctx.assign(PuId(0), 10), 0);
+            }
+            fn on_task_finished(&mut self, _ctx: &mut dyn SchedulerCtx, _d: &TaskInfo) {}
+        }
+        let mut cluster = make_cluster(Scenario::One);
+        let cost = LinearCost::generic();
+        let report = SimEngine::new(&mut cluster, &cost)
+            .run(&mut GreedyOnce, 777)
+            .unwrap();
+        assert_eq!(report.total_items, 777);
+        assert_eq!(report.tasks, 1);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cost = LinearCost::generic();
+        let run = || {
+            let mut cluster = ClusterSim::build(
+                &cluster_scenario(Scenario::Three, false),
+                &ClusterOptions {
+                    noise_sigma: 0.05,
+                    seed: 9,
+                    ..Default::default()
+                },
+            );
+            SimEngine::new(&mut cluster, &cost)
+                .run(&mut FixedBlockPolicy { block: 3_000 }, 300_000)
+                .unwrap()
+                .makespan
+        };
+        assert_eq!(run(), run());
+    }
+}

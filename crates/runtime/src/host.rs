@@ -1,0 +1,473 @@
+//! The real-thread host backend.
+//!
+//! Runs the same [`Policy`] implementations as the simulator, but on
+//! actual host threads executing actual [`Codelet`] kernels with
+//! wall-clock timing. Heterogeneity is realized by granting each
+//! processing unit a different number of worker threads: a "GPU" unit is
+//! simply a wide pool, a weak CPU a narrow one — honest, measurable
+//! speed differences on one machine, which is what the examples
+//! demonstrate.
+
+use crate::codelet::{Codelet, PuResources};
+use crate::engine::RunError;
+use crate::metrics::RunReport;
+use crate::policy::{Policy, PuHandle, SchedulerCtx};
+use crate::task::{TaskId, TaskInfo};
+use crate::trace::Trace;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use plb_hetsim::{PuId, PuKind};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of one host processing unit.
+#[derive(Debug, Clone)]
+pub struct HostPu {
+    /// Display name.
+    pub name: String,
+    /// Kind the unit models.
+    pub kind: PuKind,
+    /// Worker threads granted to the unit.
+    pub threads: usize,
+}
+
+/// A QoS-drift injection for the host engine: once unit `pu` has
+/// completed `after_tasks` tasks, its kernel is executed `repeat` times
+/// per task, making it effectively `repeat`x slower *in real wall-clock
+/// time*. Requires idempotent codelets (every shipped application kernel
+/// writes pure functions of its inputs, so re-execution is safe).
+///
+/// Task-count triggering (rather than wall-clock) keeps tests and demos
+/// deterministic under arbitrary machine load.
+#[derive(Debug, Clone, Copy)]
+pub struct HostPerturbation {
+    /// Unit index the slowdown applies to.
+    pub pu: usize,
+    /// Number of completed tasks on that unit before the drift starts.
+    pub after_tasks: u64,
+    /// Kernel repetitions per task once active (1 = nominal).
+    pub repeat: u32,
+}
+
+struct Assignment {
+    task: TaskId,
+    offset: u64,
+    items: u64,
+}
+
+struct Completion {
+    pu: PuId,
+    task: TaskId,
+    offset: u64,
+    items: u64,
+    proc_time: f64,
+    started_at: f64,
+}
+
+struct HostState {
+    handles: Vec<PuHandle>,
+    senders: Vec<Sender<Assignment>>,
+    inflight: Vec<Option<TaskId>>,
+    remaining: u64,
+    total: u64,
+    cursor: u64,
+    next_task: u64,
+    epoch: Instant,
+}
+
+impl SchedulerCtx for HostState {
+    fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    fn pus(&self) -> &[PuHandle] {
+        &self.handles
+    }
+
+    fn remaining_items(&self) -> u64 {
+        self.remaining
+    }
+
+    fn total_items(&self) -> u64 {
+        self.total
+    }
+
+    fn assign(&mut self, pu: PuId, items: u64) -> u64 {
+        if items == 0 || self.remaining == 0 {
+            return 0;
+        }
+        if !self.handles[pu.0].available || self.inflight[pu.0].is_some() {
+            return 0;
+        }
+        let items = items.min(self.remaining);
+        self.remaining -= items;
+        let task = TaskId(self.next_task);
+        self.next_task += 1;
+        let offset = self.cursor;
+        self.cursor += items;
+        self.inflight[pu.0] = Some(task);
+        self.senders[pu.0]
+            .send(Assignment {
+                task,
+                offset,
+                items,
+            })
+            .expect("worker thread alive while engine runs");
+        items
+    }
+
+    fn is_busy(&self, pu: PuId) -> bool {
+        self.inflight[pu.0].is_some()
+    }
+
+    fn any_busy(&self) -> bool {
+        self.inflight.iter().any(Option::is_some)
+    }
+
+    fn charge_overhead(&mut self, _seconds: f64) {
+        // Wall-clock already elapsed while the scheduler computed.
+    }
+}
+
+/// Effective kernel repetitions for this unit's next task.
+fn repeat_for(perturbations: &[HostPerturbation], pu: usize, done: u64) -> u32 {
+    perturbations
+        .iter()
+        .filter(|p| p.pu == pu && done >= p.after_tasks)
+        .map(|p| p.repeat.max(1))
+        .max()
+        .unwrap_or(1)
+}
+
+/// The host engine: a set of unit configurations.
+///
+/// ```
+/// use plb_hetsim::PuKind;
+/// use plb_runtime::{FixedBlockPolicy, FnCodelet, HostEngine, HostPu};
+/// use std::sync::Arc;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let counter = Arc::new(AtomicU64::new(0));
+/// let c2 = Arc::clone(&counter);
+/// let codelet = Arc::new(FnCodelet::new("count", move |range, _res| {
+///     c2.fetch_add(range.end - range.start, Ordering::Relaxed);
+/// }));
+///
+/// let mut engine = HostEngine::new(vec![
+///     HostPu { name: "wide".into(), kind: PuKind::Gpu, threads: 2 },
+///     HostPu { name: "narrow".into(), kind: PuKind::Cpu, threads: 1 },
+/// ]);
+/// let mut policy = FixedBlockPolicy { block: 100 };
+/// let report = engine.run(&mut policy, codelet, 1_000).unwrap();
+/// assert_eq!(report.total_items, 1_000);
+/// assert_eq!(counter.load(Ordering::Relaxed), 1_000);
+/// ```
+pub struct HostEngine {
+    pus: Vec<HostPu>,
+    perturbations: Vec<HostPerturbation>,
+    last_trace: Option<Trace>,
+}
+
+impl HostEngine {
+    /// Create an engine with the given processing units.
+    pub fn new(pus: Vec<HostPu>) -> HostEngine {
+        assert!(!pus.is_empty(), "host engine needs at least one unit");
+        assert!(pus.iter().all(|p| p.threads > 0), "each unit needs threads");
+        HostEngine {
+            pus,
+            perturbations: Vec::new(),
+            last_trace: None,
+        }
+    }
+
+    /// Schedule QoS-drift injections (idempotent codelets required; see
+    /// [`HostPerturbation`]).
+    pub fn with_perturbations(mut self, p: Vec<HostPerturbation>) -> HostEngine {
+        self.perturbations = p;
+        self
+    }
+
+    /// Run `total_items` of `codelet` under `policy`, with real
+    /// execution and wall-clock timing.
+    pub fn run(
+        &mut self,
+        policy: &mut dyn Policy,
+        codelet: Arc<dyn Codelet>,
+        total_items: u64,
+    ) -> Result<RunReport, RunError> {
+        let n = self.pus.len();
+        let epoch = Instant::now();
+        let (done_tx, done_rx): (Sender<Completion>, Receiver<Completion>) = unbounded();
+
+        // One worker thread (owning a sized rayon pool) per unit.
+        let mut senders = Vec::with_capacity(n);
+        let mut joins = Vec::with_capacity(n);
+        for (i, pu) in self.pus.iter().enumerate() {
+            let (tx, rx): (Sender<Assignment>, Receiver<Assignment>) = unbounded();
+            senders.push(tx);
+            let done = done_tx.clone();
+            let codelet = Arc::clone(&codelet);
+            let res = PuResources {
+                threads: pu.threads,
+                kind: pu.kind,
+            };
+            let perturbations = self.perturbations.clone();
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(pu.threads)
+                .thread_name(move |t| format!("hostpu{i}-w{t}"))
+                .build()
+                .expect("thread pool construction");
+            joins.push(std::thread::spawn(move || {
+                let mut done_tasks = 0u64;
+                while let Ok(a) = rx.recv() {
+                    let started_at = epoch.elapsed().as_secs_f64();
+                    let repeat = repeat_for(&perturbations, i, done_tasks);
+                    let t0 = Instant::now();
+                    pool.install(|| {
+                        for _ in 0..repeat {
+                            codelet.execute(a.offset..a.offset + a.items, &res);
+                        }
+                    });
+                    let proc_time = t0.elapsed().as_secs_f64();
+                    done_tasks += 1;
+                    if done
+                        .send(Completion {
+                            pu: PuId(i),
+                            task: a.task,
+                            offset: a.offset,
+                            items: a.items,
+                            proc_time,
+                            started_at,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            }));
+        }
+        drop(done_tx);
+
+        let handles: Vec<PuHandle> = self
+            .pus
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PuHandle {
+                id: PuId(i),
+                name: p.name.clone(),
+                kind: p.kind,
+                machine: 0,
+                available: true,
+            })
+            .collect();
+        let mut st = HostState {
+            handles,
+            senders,
+            inflight: vec![None; n],
+            remaining: total_items,
+            total: total_items,
+            cursor: 0,
+            next_task: 0,
+            epoch,
+        };
+        let mut trace = Trace::new(n);
+
+        policy.on_start(&mut st);
+
+        let result = loop {
+            if st.remaining == 0 && !st.any_busy() {
+                break Ok(());
+            }
+            if !st.any_busy() {
+                break Err(RunError::Stalled {
+                    remaining: st.remaining,
+                    at: st.now(),
+                });
+            }
+            let c = done_rx.recv().expect("workers alive while tasks in flight");
+            debug_assert_eq!(st.inflight[c.pu.0], Some(c.task));
+            st.inflight[c.pu.0] = None;
+            trace.record_task(c.pu, c.task, c.items, c.started_at, 0.0, c.proc_time);
+            let info = TaskInfo {
+                task_id: c.task,
+                pu: c.pu,
+                items: c.items,
+                xfer_time: 0.0,
+                proc_time: c.proc_time,
+                start: c.started_at,
+                finish: c.started_at + c.proc_time,
+            };
+            let _ = c.offset;
+            policy.on_task_finished(&mut st, &info);
+        };
+
+        // Shut workers down.
+        st.senders.clear();
+        for j in joins {
+            j.join().expect("worker thread exits cleanly");
+        }
+        result?;
+
+        let names: Vec<String> = self.pus.iter().map(|p| p.name.clone()).collect();
+        let report =
+            RunReport::from_trace(policy.name(), &trace, &names, policy.block_distribution());
+        self.last_trace = Some(trace);
+        Ok(report)
+    }
+
+    /// The trace of the most recent successful run.
+    pub fn last_trace(&self) -> Option<&Trace> {
+        self.last_trace.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codelet::FnCodelet;
+    use crate::policy::FixedBlockPolicy;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn two_unequal_pus() -> Vec<HostPu> {
+        vec![
+            HostPu {
+                name: "wide".into(),
+                kind: PuKind::Gpu,
+                threads: 4,
+            },
+            HostPu {
+                name: "narrow".into(),
+                kind: PuKind::Cpu,
+                threads: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn processes_every_item_exactly_once() {
+        let touched = Arc::new(AtomicU64::new(0));
+        let t2 = Arc::clone(&touched);
+        let codelet = Arc::new(FnCodelet::new("sum", move |r, _| {
+            t2.fetch_add(r.end - r.start, Ordering::Relaxed);
+        }));
+        let mut engine = HostEngine::new(two_unequal_pus());
+        let report = engine
+            .run(&mut FixedBlockPolicy { block: 137 }, codelet, 10_000)
+            .unwrap();
+        assert_eq!(report.total_items, 10_000);
+        assert_eq!(touched.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn ranges_are_disjoint_and_cover() {
+        use parking_lot::Mutex;
+        let ranges = Arc::new(Mutex::new(Vec::new()));
+        let r2 = Arc::clone(&ranges);
+        let codelet = Arc::new(FnCodelet::new("collect", move |r, _| {
+            r2.lock().push(r);
+        }));
+        let mut engine = HostEngine::new(two_unequal_pus());
+        engine
+            .run(&mut FixedBlockPolicy { block: 97 }, codelet, 1000)
+            .unwrap();
+        let mut got = ranges.lock().clone();
+        got.sort_by_key(|r| r.start);
+        let mut expect = 0;
+        for r in got {
+            assert_eq!(r.start, expect, "gap or overlap in ranges");
+            expect = r.end;
+        }
+        assert_eq!(expect, 1000);
+    }
+
+    #[test]
+    fn stalled_policy_reported() {
+        struct Never;
+        impl Policy for Never {
+            fn name(&self) -> &str {
+                "never"
+            }
+            fn on_start(&mut self, _: &mut dyn SchedulerCtx) {}
+            fn on_task_finished(&mut self, _: &mut dyn SchedulerCtx, _: &TaskInfo) {}
+        }
+        let codelet = Arc::new(FnCodelet::new("noop", |_, _| {}));
+        let mut engine = HostEngine::new(two_unequal_pus());
+        let err = engine.run(&mut Never, codelet, 10).unwrap_err();
+        assert!(matches!(err, RunError::Stalled { remaining: 10, .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn empty_units_panic() {
+        HostEngine::new(vec![]);
+    }
+
+    #[test]
+    fn qos_drift_slows_the_unit_measurably() {
+        // A deterministic busy-work codelet; repeat=4 after 2 tasks
+        // roughly quadruples later task times on the drifted unit.
+        let codelet = Arc::new(FnCodelet::new("spin", |r, _| {
+            let mut acc = 0u64;
+            for i in r {
+                for k in 0..2_000u64 {
+                    acc = acc.wrapping_add(i ^ k).rotate_left(5);
+                }
+            }
+            std::hint::black_box(acc);
+        }));
+        let mut engine = HostEngine::new(vec![HostPu {
+            name: "solo".into(),
+            kind: PuKind::Cpu,
+            threads: 1,
+        }])
+        .with_perturbations(vec![HostPerturbation { pu: 0, after_tasks: 2, repeat: 4 }]);
+        let mut policy = FixedBlockPolicy { block: 20_000 };
+        engine.run(&mut policy, codelet, 80_000).unwrap();
+        let trace = engine.last_trace().unwrap();
+        let durations: Vec<f64> = trace
+            .segments()
+            .iter()
+            .map(|s| s.end - s.start)
+            .collect();
+        assert_eq!(durations.len(), 4);
+        let before = (durations[0] + durations[1]) / 2.0;
+        let after = (durations[2] + durations[3]) / 2.0;
+        assert!(
+            after > 2.0 * before,
+            "drifted tasks should run >=2x longer: {before:.4}s -> {after:.4}s"
+        );
+    }
+
+    #[test]
+    fn repeat_for_picks_strongest_active_drift() {
+        let p = vec![
+            HostPerturbation { pu: 0, after_tasks: 2, repeat: 3 },
+            HostPerturbation { pu: 0, after_tasks: 5, repeat: 7 },
+            HostPerturbation { pu: 1, after_tasks: 0, repeat: 2 },
+        ];
+        assert_eq!(repeat_for(&p, 0, 0), 1);
+        assert_eq!(repeat_for(&p, 0, 2), 3);
+        assert_eq!(repeat_for(&p, 0, 9), 7);
+        assert_eq!(repeat_for(&p, 1, 0), 2);
+        assert_eq!(repeat_for(&p, 2, 100), 1);
+    }
+
+    #[test]
+    fn trace_recorded_with_wall_times() {
+        let codelet = Arc::new(FnCodelet::new("spin", |r, _| {
+            // A tiny busy loop so proc times are nonzero.
+            let mut acc = 0u64;
+            for i in r {
+                acc = acc.wrapping_add(i).rotate_left(7);
+            }
+            std::hint::black_box(acc);
+        }));
+        let mut engine = HostEngine::new(two_unequal_pus());
+        let report = engine
+            .run(&mut FixedBlockPolicy { block: 50_000 }, codelet, 200_000)
+            .unwrap();
+        assert!(report.makespan > 0.0);
+        let trace = engine.last_trace().unwrap();
+        assert!(!trace.segments().is_empty());
+        assert!(trace.segments().iter().all(|s| s.end >= s.start));
+    }
+}

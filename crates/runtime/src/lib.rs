@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! A StarPU-like task runtime for heterogeneous processing units.
+//!
+//! The paper implements PLB-HeC "inside the StarPU framework", which
+//! exposes codelets (tasks with one implementation per architecture),
+//! data handles managed across memory nodes, and pluggable scheduling
+//! policies. This crate reproduces that runtime surface:
+//!
+//! * [`Policy`] — the scheduling-policy plug-in point. A policy receives
+//!   `on_start` / `on_task_finished` callbacks and assigns blocks of a
+//!   data-parallel workload to processing units, exactly the level at
+//!   which StarPU schedulers (and the paper's four algorithms) operate.
+//! * [`SimEngine`] — a discrete-event executor over a
+//!   [`plb_hetsim::ClusterSim`]: virtual time, deterministic, fast enough
+//!   to run 65536×65536-element experiments in milliseconds. It supports
+//!   scheduled perturbations (slowdowns, device failures) for the
+//!   paper's future-work scenarios.
+//! * [`HostEngine`] — a real-thread executor that runs actual
+//!   [`Codelet`] kernels on pools of host cores, so the same policies
+//!   drive genuinely measured wall-clock times in the examples.
+//! * [`DataRegistry`] — StarPU-flavored data management: handles,
+//!   per-unit memory nodes, and a transfer ledger.
+//! * [`trace`] — Gantt segments, per-unit busy/idle accounting, and the
+//!   run reports from which every figure of the paper is regenerated.
+
+pub mod codelet;
+pub mod data;
+pub mod engine;
+pub mod host;
+pub mod metrics;
+pub mod policy;
+pub mod task;
+pub mod trace;
+
+pub use codelet::{Codelet, FnCodelet, PuResources};
+pub use data::{DataHandle, DataRegistry, MemNode, TransferRecord};
+pub use engine::{Perturbation, PerturbationKind, RunError, SimEngine};
+pub use host::{HostEngine, HostPerturbation, HostPu};
+pub use metrics::{PuReport, RunReport};
+pub use policy::{FixedBlockPolicy, Policy, PuHandle, SchedulerCtx};
+pub use task::{TaskId, TaskInfo};
+pub use trace::{Segment, SegmentKind, Trace};

@@ -1,0 +1,66 @@
+//! Task records.
+
+use plb_hetsim::PuId;
+
+/// Unique identifier of a submitted task within one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u64);
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Everything a scheduling policy learns about a completed task — the
+/// same information StarPU's post-execution hooks expose, and all that
+/// the paper's algorithms consume: which unit ran what size, and how long
+/// transfer and processing took.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskInfo {
+    /// Task identity.
+    pub task_id: TaskId,
+    /// Unit that executed the task.
+    pub pu: PuId,
+    /// Block size in application items.
+    pub items: u64,
+    /// Data-transfer time (host → unit and results back), seconds.
+    pub xfer_time: f64,
+    /// Kernel processing time, seconds.
+    pub proc_time: f64,
+    /// Submission/start of transfer timestamp, seconds.
+    pub start: f64,
+    /// Completion timestamp, seconds.
+    pub finish: f64,
+}
+
+impl TaskInfo {
+    /// Total wall time the task occupied its unit.
+    pub fn total_time(&self) -> f64 {
+        self.xfer_time + self.proc_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_time_is_sum() {
+        let t = TaskInfo {
+            task_id: TaskId(1),
+            pu: PuId(0),
+            items: 10,
+            xfer_time: 0.5,
+            proc_time: 1.5,
+            start: 0.0,
+            finish: 2.0,
+        };
+        assert_eq!(t.total_time(), 2.0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TaskId(7).to_string(), "T7");
+    }
+}

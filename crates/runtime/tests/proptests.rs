@@ -1,0 +1,138 @@
+//! Property-based tests for the runtime: work conservation and trace
+//! invariants under arbitrary workload shapes and block sizes.
+
+use plb_hetsim::cluster::ClusterOptions;
+use plb_hetsim::workload::LinearCost;
+use plb_hetsim::{cluster_scenario, ClusterSim, Scenario};
+use plb_runtime::{Policy, SchedulerCtx, SimEngine, TaskInfo};
+use proptest::prelude::*;
+
+// FixedBlockPolicy lives behind the policy module; re-exported for tests.
+use plb_runtime::policy::FixedBlockPolicy as Fixed;
+
+fn cost() -> LinearCost {
+    LinearCost {
+        label: "prop".into(),
+        flops_per_item: 5e4,
+        in_bytes_per_item: 32.0,
+        out_bytes_per_item: 8.0,
+        threads_per_item: 16.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn work_is_conserved_for_any_block_size(
+        total in 1u64..300_000,
+        block in 1u64..50_000,
+        seed in 0u64..100,
+    ) {
+        let machines = cluster_scenario(Scenario::Two, false);
+        let opts = ClusterOptions { seed, noise_sigma: 0.03, ..Default::default() };
+        let mut cluster = ClusterSim::build(&machines, &opts);
+        let c = cost();
+        let mut policy = Fixed { block };
+        let report = SimEngine::new(&mut cluster, &c).run(&mut policy, total).unwrap();
+        prop_assert_eq!(report.total_items, total);
+        let per_pu: u64 = report.pus.iter().map(|p| p.items).sum();
+        prop_assert_eq!(per_pu, total);
+    }
+
+    #[test]
+    fn trace_segments_never_overlap_per_unit(
+        total in 1000u64..100_000,
+        block in 100u64..20_000,
+    ) {
+        let machines = cluster_scenario(Scenario::One, false);
+        let opts = ClusterOptions { seed: 7, noise_sigma: 0.02, ..Default::default() };
+        let mut cluster = ClusterSim::build(&machines, &opts);
+        let c = cost();
+        let mut policy = Fixed { block };
+        let mut engine = SimEngine::new(&mut cluster, &c);
+        let report = engine.run(&mut policy, total).unwrap();
+        let trace = engine.last_trace().unwrap();
+
+        for pu in 0..trace.n_pus() {
+            let mut segs: Vec<(f64, f64)> = trace
+                .segments()
+                .iter()
+                .filter(|s| s.pu == pu)
+                .map(|s| (s.start, s.end))
+                .collect();
+            segs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in segs.windows(2) {
+                prop_assert!(
+                    w[0].1 <= w[1].0 + 1e-12,
+                    "unit {pu}: segment [{:.6},{:.6}] overlaps [{:.6},{:.6}]",
+                    w[0].0, w[0].1, w[1].0, w[1].1
+                );
+            }
+        }
+        // Makespan is the latest segment end.
+        let max_end = trace.segments().iter().fold(0.0f64, |m, s| m.max(s.end));
+        prop_assert_eq!(report.makespan.to_bits(), max_end.to_bits());
+    }
+
+    #[test]
+    fn idle_fractions_are_valid_probabilities(
+        total in 1000u64..50_000,
+        block in 50u64..5_000,
+        seed in 0u64..50,
+    ) {
+        let machines = cluster_scenario(Scenario::Three, false);
+        let opts = ClusterOptions { seed, noise_sigma: 0.05, ..Default::default() };
+        let mut cluster = ClusterSim::build(&machines, &opts);
+        let c = cost();
+        let mut policy = Fixed { block };
+        let report = SimEngine::new(&mut cluster, &c).run(&mut policy, total).unwrap();
+        for pu in &report.pus {
+            prop_assert!((0.0..=1.0).contains(&pu.idle_fraction), "{}", pu.idle_fraction);
+            prop_assert!(pu.busy_s <= report.makespan * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn overhead_charges_delay_but_never_lose_work(
+        total in 1000u64..50_000,
+        overhead_s in 0.0f64..2.0,
+    ) {
+        /// Charges a fixed overhead at start, then behaves greedily.
+        struct Charging {
+            inner: Fixed,
+            overhead: f64,
+        }
+        impl Policy for Charging {
+            fn name(&self) -> &str {
+                "charging"
+            }
+            fn on_start(&mut self, ctx: &mut dyn SchedulerCtx) {
+                ctx.charge_overhead(self.overhead);
+                self.inner.on_start(ctx);
+            }
+            fn on_task_finished(&mut self, ctx: &mut dyn SchedulerCtx, d: &TaskInfo) {
+                self.inner.on_task_finished(ctx, d);
+            }
+        }
+        let machines = cluster_scenario(Scenario::One, false);
+        let opts = ClusterOptions { seed: 2, noise_sigma: 0.0, ..Default::default() };
+        let c = cost();
+
+        let mut cl = ClusterSim::build(&machines, &opts);
+        let base = SimEngine::new(&mut cl, &c)
+            .run(&mut Charging { inner: Fixed { block: 1000 }, overhead: 0.0 }, total)
+            .unwrap();
+        let mut cl = ClusterSim::build(&machines, &opts);
+        let delayed = SimEngine::new(&mut cl, &c)
+            .run(&mut Charging { inner: Fixed { block: 1000 }, overhead: overhead_s }, total)
+            .unwrap();
+        prop_assert_eq!(delayed.total_items, total);
+        prop_assert!(delayed.makespan >= base.makespan - 1e-12);
+        prop_assert!(
+            (delayed.makespan - base.makespan - overhead_s).abs() < 1e-6 + 0.1 * overhead_s,
+            "expected ~{overhead_s}s delay, got {}",
+            delayed.makespan - base.makespan
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Balance a workload on a cluster you define yourself — no Table I,
+//! just `MachineSpec`s — and reuse the recorded profiles with the
+//! static-profile policy ([17]) for a repeat run.
+//!
+//! ```sh
+//! cargo run --release --example custom_cluster
+//! ```
+
+use plb_hec_suite::hetsim::cluster::ClusterOptions;
+use plb_hec_suite::hetsim::{ClusterSim, CpuSpec, GpuSpec, MachineSpec};
+use plb_hec_suite::plb::{PerfProfile, PlbHecPolicy, PolicyConfig, StaticProfilePolicy};
+use plb_hec_suite::runtime::SimEngine;
+
+fn my_cluster() -> Vec<MachineSpec> {
+    vec![
+        MachineSpec {
+            name: "workstation".into(),
+            cpu: CpuSpec {
+                name: "Ryzen 9 5950X".into(),
+                cores: 16,
+                clock_ghz: 3.4,
+                cache_mb: 64.0,
+                ram_gb: 128.0,
+                simd_width: 8,
+                hyperthreading: true,
+            },
+            gpus: vec![GpuSpec {
+                name: "RTX 3080-class".into(),
+                cuda_cores: 8704,
+                sms: 68,
+                clock_ghz: 1.44,
+                mem_bandwidth_gbs: 760.0,
+                mem_gb: 10.0,
+            }],
+        },
+        MachineSpec {
+            name: "old-node".into(),
+            cpu: CpuSpec {
+                name: "Core i5-6500".into(),
+                cores: 4,
+                clock_ghz: 3.2,
+                cache_mb: 6.0,
+                ram_gb: 16.0,
+                simd_width: 8,
+                hyperthreading: false,
+            },
+            gpus: vec![],
+        },
+    ]
+}
+
+fn main() {
+    let machines = my_cluster();
+    let app = plb_hec_suite::apps::BlackScholes::new(400_000);
+    let cost = app.cost();
+    let total = app.total_items();
+    let cfg = PolicyConfig::default().with_initial_block(1_000);
+    let opts = ClusterOptions::default();
+
+    // First run: PLB-HeC profiles the cluster online.
+    let mut cluster = ClusterSim::build(&machines, &opts);
+    let mut plb = PlbHecPolicy::new(&cfg);
+    let report = SimEngine::new(&mut cluster, &cost)
+        .run(&mut plb, total)
+        .expect("run");
+    println!("PLB-HeC on the custom cluster: {:.4}s", report.makespan);
+    for pu in &report.pus {
+        println!(
+            "  {:18} {:>8} options ({:>5.1}%), {:>8} KiB staged",
+            pu.name,
+            pu.items,
+            pu.item_share * 100.0,
+            pu.bytes_in / 1024
+        );
+    }
+
+    // Second run: reuse profiles recorded offline, as the static
+    // algorithm [17] requires — no probing phase at all.
+    let mut profiler = ClusterSim::build(&machines, &opts);
+    let models: Vec<_> = profiler
+        .ids()
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|id| {
+            let mut p = PerfProfile::new();
+            for &b in &[1_000u64, 2_000, 4_000, 8_000, 16_000, 32_000] {
+                let d = profiler.device_mut(id);
+                let xfer = d.transfer_time(&cost, b);
+                let proc = d.proc_time(&cost, b);
+                p.record(b, proc, xfer);
+            }
+            p.fit().expect("profiles fit")
+        })
+        .collect();
+
+    let mut cluster = ClusterSim::build(&machines, &opts);
+    let mut static_p = StaticProfilePolicy::from_profiles(&cfg, models);
+    let static_report = SimEngine::new(&mut cluster, &cost)
+        .run(&mut static_p, total)
+        .expect("static run");
+    println!(
+        "\nStatic-profile rerun (no probing): {:.4}s ({:+.1}% vs PLB-HeC)",
+        static_report.makespan,
+        (static_report.makespan / report.makespan - 1.0) * 100.0
+    );
+    assert_eq!(report.total_items, total);
+    assert_eq!(static_report.total_items, total);
+}

@@ -1,0 +1,83 @@
+//! Gene regulatory network inference on the host backend: exhaustive
+//! predictor-pair search per target gene, balanced by PLB-HeC, with the
+//! planted regulatory relationships recovered and checked.
+//!
+//! ```sh
+//! cargo run --release --example grn_inference
+//! ```
+
+use plb_hec_suite::apps::grn::{GrnCodelet, GrnData};
+use plb_hec_suite::hetsim::PuKind;
+use plb_hec_suite::plb::{PlbHecPolicy, PolicyConfig};
+use plb_hec_suite::runtime::{HostEngine, HostPu};
+use std::sync::Arc;
+
+fn main() {
+    let genes = 60usize;
+    let samples = 50usize;
+    println!("Inferring regulators for {genes} genes ({samples} expression samples)");
+
+    // The generator plants gene g = f(gene g-1, gene g-2) for every
+    // third gene: inference should rediscover those pairs.
+    let data = Arc::new(GrnData::generate(genes, samples, 11));
+    let codelet = Arc::new(GrnCodelet::new(Arc::clone(&data)));
+
+    let mut engine = HostEngine::new(vec![
+        HostPu {
+            name: "wide".into(),
+            kind: PuKind::Gpu,
+            threads: 4,
+        },
+        HostPu {
+            name: "narrow".into(),
+            kind: PuKind::Cpu,
+            threads: 1,
+        },
+    ]);
+
+    let cfg = PolicyConfig::default().with_initial_block(4);
+    let mut policy = PlbHecPolicy::new(&cfg);
+    let report = engine
+        .run(
+            &mut policy,
+            Arc::clone(&codelet) as Arc<dyn plb_hec_suite::runtime::Codelet>,
+            genes as u64,
+        )
+        .expect("host run completes");
+
+    println!(
+        "makespan {:.1} ms, {} tasks",
+        report.makespan * 1e3,
+        report.tasks
+    );
+    for pu in &report.pus {
+        println!(
+            "  {:8} targets={:3} ({:4.1}%)",
+            pu.name,
+            pu.items,
+            pu.item_share * 100.0
+        );
+    }
+
+    // Check the planted relations were recovered.
+    let results = codelet.results();
+    let mut planted = 0;
+    let mut recovered = 0;
+    for g in (2..genes).step_by(3) {
+        planted += 1;
+        let r = results[g].expect("every target inferred");
+        if r.score == 0.0 && r.pair == ((g as u32 - 2), (g as u32 - 1)) {
+            recovered += 1;
+        }
+    }
+    println!("planted relations recovered: {recovered}/{planted}");
+    assert!(
+        results.iter().all(Option::is_some),
+        "every target must be processed"
+    );
+    assert_eq!(
+        recovered, planted,
+        "all planted regulator pairs must be found"
+    );
+    println!("verified: inference recovered every planted regulatory pair");
+}

@@ -1,0 +1,78 @@
+//! Quickstart: balance a data-parallel workload across the paper's
+//! four-machine heterogeneous cluster with PLB-HeC and compare against
+//! the greedy baseline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use plb_hec_suite::hetsim::cluster::ClusterOptions;
+use plb_hec_suite::hetsim::{cluster_scenario, ClusterSim, Scenario};
+use plb_hec_suite::plb::{GreedyPolicy, PlbHecPolicy, PolicyConfig};
+use plb_hec_suite::runtime::SimEngine;
+
+fn main() {
+    // The workload: Black-Scholes over 250k options (paper Fig. 5).
+    let app = plb_hec_suite::apps::BlackScholes::new(250_000);
+    let cost = app.cost();
+    let total = app.total_items();
+
+    // The cluster: machines A-D from the paper's Table I.
+    let machines = cluster_scenario(Scenario::Four, false);
+    println!("Cluster:");
+    for m in &machines {
+        println!(
+            "  {}: {} + {} GPU processor(s)",
+            m.name,
+            m.cpu.name,
+            m.gpus.len()
+        );
+    }
+
+    let cfg = PolicyConfig::default().with_initial_block(800);
+
+    // Run under PLB-HeC.
+    let mut cluster = ClusterSim::build(&machines, &ClusterOptions::default());
+    let mut plb = PlbHecPolicy::new(&cfg);
+    let report = SimEngine::new(&mut cluster, &cost)
+        .run(&mut plb, total)
+        .expect("run completes");
+
+    println!(
+        "\nPLB-HeC: makespan {:.3}s over {} tasks",
+        report.makespan, report.tasks
+    );
+    println!("Block-size distribution (fraction of one round per unit):");
+    if let Some(d) = &report.block_distribution {
+        for (pu, frac) in report.pus.iter().zip(d) {
+            println!(
+                "  {:8} {:>6.1}%   (idle {:>4.1}%)",
+                pu.name,
+                frac * 100.0,
+                pu.idle_fraction * 100.0
+            );
+        }
+    }
+    for sel in plb.selections() {
+        println!(
+            "Selection via {:?}: predicted round time {:.3}s, solver cost {:.1}µs",
+            sel.method,
+            sel.predicted_time,
+            sel.solve_seconds * 1e6
+        );
+    }
+
+    // Same workload under the greedy baseline.
+    let mut cluster = ClusterSim::build(&machines, &ClusterOptions::default());
+    let mut greedy = GreedyPolicy::new(&cfg);
+    let greedy_report = SimEngine::new(&mut cluster, &cost)
+        .run(&mut greedy, total)
+        .expect("run completes");
+
+    println!(
+        "\nGreedy baseline: makespan {:.3}s ({} tasks) -> PLB-HeC speedup {:.2}x",
+        greedy_report.makespan,
+        greedy_report.tasks,
+        greedy_report.makespan / report.makespan
+    );
+}

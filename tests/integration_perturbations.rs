@@ -1,0 +1,177 @@
+//! Cross-crate integration: QoS drift, device failure and restoration
+//! under every policy (the paper's Section VI scenarios).
+
+use plb_hec_suite::hetsim::cluster::ClusterOptions;
+use plb_hec_suite::hetsim::{cluster_scenario, ClusterSim, PuId, Scenario};
+use plb_hec_suite::plb::{AcostaPolicy, GreedyPolicy, HdssPolicy, PlbHecPolicy, PolicyConfig};
+use plb_hec_suite::runtime::{Perturbation, PerturbationKind, Policy, SimEngine};
+
+const TOTAL: u64 = 120_000;
+
+fn cost() -> impl plb_hec_suite::hetsim::CostModel {
+    plb_hec_suite::apps::GrnInference::new(TOTAL).cost()
+}
+
+fn cfg() -> PolicyConfig {
+    PolicyConfig::default().with_initial_block(120)
+}
+
+fn run_with(
+    policy: &mut dyn Policy,
+    perturbations: Vec<Perturbation>,
+) -> plb_hec_suite::runtime::RunReport {
+    let machines = cluster_scenario(Scenario::Two, false);
+    let mut cluster = ClusterSim::build(
+        &machines,
+        &ClusterOptions {
+            seed: 5,
+            noise_sigma: 0.02,
+            ..Default::default()
+        },
+    );
+    let c = cost();
+    SimEngine::new(&mut cluster, &c)
+        .with_perturbations(perturbations)
+        .run(policy, TOTAL)
+        .expect("run completes despite perturbations")
+}
+
+fn all_policies() -> Vec<Box<dyn Policy>> {
+    let cfg = cfg();
+    vec![
+        Box::new(PlbHecPolicy::new(&cfg)),
+        Box::new(GreedyPolicy::new(&cfg)),
+        Box::new(AcostaPolicy::new(&cfg)),
+        Box::new(HdssPolicy::new(&cfg)),
+    ]
+}
+
+#[test]
+fn every_policy_survives_gpu_failure() {
+    for mut p in all_policies() {
+        let report = run_with(
+            p.as_mut(),
+            vec![Perturbation {
+                at: 0.2,
+                kind: PerturbationKind::Fail(PuId(1)),
+            }],
+        );
+        assert_eq!(report.total_items, TOTAL, "{}", report.policy);
+    }
+}
+
+#[test]
+fn every_policy_survives_remote_machine_loss() {
+    for mut p in all_policies() {
+        let report = run_with(
+            p.as_mut(),
+            vec![
+                Perturbation {
+                    at: 0.15,
+                    kind: PerturbationKind::Fail(PuId(2)),
+                },
+                Perturbation {
+                    at: 0.15,
+                    kind: PerturbationKind::Fail(PuId(3)),
+                },
+                Perturbation {
+                    at: 0.15,
+                    kind: PerturbationKind::Fail(PuId(4)),
+                },
+            ],
+        );
+        assert_eq!(report.total_items, TOTAL, "{}", report.policy);
+        // Machine A's units absorb nearly everything.
+        let absorbed: u64 = report.pus[..2].iter().map(|p| p.items).sum();
+        assert!(
+            absorbed > TOTAL * 8 / 10,
+            "{}: survivors only processed {absorbed}",
+            report.policy
+        );
+    }
+}
+
+#[test]
+fn every_policy_survives_qos_drift() {
+    for mut p in all_policies() {
+        let report = run_with(
+            p.as_mut(),
+            vec![Perturbation {
+                at: 0.1,
+                kind: PerturbationKind::SetSlowdown(PuId(1), 8.0),
+            }],
+        );
+        assert_eq!(report.total_items, TOTAL, "{}", report.policy);
+    }
+}
+
+#[test]
+fn failed_then_restored_device_rejoins_greedy() {
+    // Restoration mid-run: greedy has no unit bookkeeping, so a restored
+    // unit is only picked up by policies that re-poll availability; the
+    // engine must at minimum complete the run.
+    let cfgv = cfg();
+    let mut p = GreedyPolicy::new(&cfgv);
+    let report = run_with(
+        &mut p,
+        vec![
+            Perturbation {
+                at: 0.05,
+                kind: PerturbationKind::Fail(PuId(1)),
+            },
+            Perturbation {
+                at: 0.10,
+                kind: PerturbationKind::Restore(PuId(1)),
+            },
+        ],
+    );
+    assert_eq!(report.total_items, TOTAL);
+}
+
+#[test]
+fn plb_rebalances_on_drift_and_shifts_load() {
+    let cfgv = cfg().with_round_fraction(0.15);
+    let machines = cluster_scenario(Scenario::Two, false);
+    let c = cost();
+
+    // Baseline distribution.
+    let mut cluster = ClusterSim::build(
+        &machines,
+        &ClusterOptions {
+            seed: 5,
+            noise_sigma: 0.02,
+            ..Default::default()
+        },
+    );
+    let mut p0 = PlbHecPolicy::new(&cfgv);
+    let base = SimEngine::new(&mut cluster, &c)
+        .run(&mut p0, TOTAL)
+        .unwrap();
+    let base_gpu_share = base.pus[1].item_share;
+
+    // Drifted run: the GPU slows 6x at 40% of the baseline makespan.
+    let mut cluster = ClusterSim::build(
+        &machines,
+        &ClusterOptions {
+            seed: 5,
+            noise_sigma: 0.02,
+            ..Default::default()
+        },
+    );
+    let mut p1 = PlbHecPolicy::new(&cfgv);
+    let drifted = SimEngine::new(&mut cluster, &c)
+        .with_perturbations(vec![Perturbation {
+            at: 0.4 * base.makespan,
+            kind: PerturbationKind::SetSlowdown(PuId(1), 6.0),
+        }])
+        .run(&mut p1, TOTAL)
+        .unwrap();
+
+    assert!(p1.rebalances() >= 1, "drift must trigger a rebalance");
+    assert!(
+        drifted.pus[1].item_share < base_gpu_share,
+        "slowed GPU must end with a smaller share ({:.3} vs {:.3})",
+        drifted.pus[1].item_share,
+        base_gpu_share
+    );
+}

@@ -1,0 +1,161 @@
+//! Cross-crate integration: every scheduling policy completes every
+//! application on every machine scenario, conserving work exactly.
+
+use plb_hec_suite::hetsim::cluster::ClusterOptions;
+use plb_hec_suite::hetsim::{cluster_scenario, ClusterSim, CostModel, Scenario};
+use plb_hec_suite::plb::{AcostaPolicy, GreedyPolicy, HdssPolicy, PlbHecPolicy, PolicyConfig};
+use plb_hec_suite::runtime::{Policy, RunReport, SimEngine};
+
+fn apps() -> Vec<(String, Box<dyn CostModel>, u64)> {
+    vec![
+        (
+            "mm-8192".into(),
+            Box::new(plb_hec_suite::apps::MatMul::new(8192).cost()) as Box<dyn CostModel>,
+            8192,
+        ),
+        (
+            "grn-60k".into(),
+            Box::new(plb_hec_suite::apps::GrnInference::new(60_000).cost()),
+            60_000,
+        ),
+        (
+            "bs-100k".into(),
+            Box::new(plb_hec_suite::apps::BlackScholes::new(100_000).cost()),
+            100_000,
+        ),
+    ]
+}
+
+fn policies(cfg: &PolicyConfig) -> Vec<Box<dyn Policy>> {
+    vec![
+        Box::new(PlbHecPolicy::new(cfg)),
+        Box::new(GreedyPolicy::new(cfg)),
+        Box::new(AcostaPolicy::new(cfg)),
+        Box::new(HdssPolicy::new(cfg)),
+    ]
+}
+
+fn run(policy: &mut dyn Policy, cost: &dyn CostModel, total: u64, scenario: Scenario) -> RunReport {
+    let machines = cluster_scenario(scenario, false);
+    let mut cluster = ClusterSim::build(
+        &machines,
+        &ClusterOptions {
+            seed: 1,
+            noise_sigma: 0.02,
+            ..Default::default()
+        },
+    );
+    SimEngine::new(&mut cluster, cost)
+        .run(policy, total)
+        .expect("policy must complete the run")
+}
+
+#[test]
+fn every_policy_completes_every_app_on_every_scenario() {
+    for scenario in Scenario::ALL {
+        for (name, cost, total) in apps() {
+            let cfg = PolicyConfig::default().with_initial_block((total / 500).max(64));
+            for mut policy in policies(&cfg) {
+                let report = run(policy.as_mut(), cost.as_ref(), total, scenario);
+                assert_eq!(
+                    report.total_items, total,
+                    "{} under {} on {:?}: items lost or duplicated",
+                    name, report.policy, scenario
+                );
+                assert!(report.makespan > 0.0);
+                // Item shares always form a distribution.
+                let share_sum: f64 = report.pus.iter().map(|p| p.item_share).sum();
+                assert!(
+                    (share_sum - 1.0).abs() < 1e-9,
+                    "{name}: shares sum to {share_sum}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn declared_distributions_are_normalized() {
+    let cfg = PolicyConfig::default().with_initial_block(200);
+    for (name, cost, total) in apps() {
+        for mut policy in policies(&cfg) {
+            let report = run(policy.as_mut(), cost.as_ref(), total, Scenario::Four);
+            if let Some(d) = &report.block_distribution {
+                let s: f64 = d.iter().sum();
+                assert!(
+                    (s - 1.0).abs() < 1e-6,
+                    "{}/{}: distribution sums to {s}",
+                    name,
+                    report.policy
+                );
+                assert!(d.iter().all(|&f| (0.0..=1.0).contains(&f)));
+            }
+        }
+    }
+}
+
+#[test]
+fn plb_hec_is_competitive_on_large_mm() {
+    // The paper's headline case: MM at the largest size, 4 machines.
+    // PLB-HeC must clearly beat greedy and never lose to it.
+    let cost = plb_hec_suite::apps::MatMul::new(65536).cost();
+    let cfg = PolicyConfig::default().with_initial_block(66);
+    let mut plb = PlbHecPolicy::new(&cfg);
+    let plb_time = run(&mut plb, &cost, 65536, Scenario::Four).makespan;
+    let mut greedy = GreedyPolicy::new(&cfg);
+    let greedy_time = run(&mut greedy, &cost, 65536, Scenario::Four).makespan;
+    assert!(
+        plb_time * 1.5 < greedy_time,
+        "PLB-HeC ({plb_time:.1}s) must beat greedy ({greedy_time:.1}s) by >1.5x at MM 65536"
+    );
+}
+
+#[test]
+fn single_machine_speedups_are_modest() {
+    // Paper: "With one machine, the influence of the scheduling
+    // algorithm was small, with speedups close to 1."
+    let cost = plb_hec_suite::apps::GrnInference::new(100_000).cost();
+    let cfg = PolicyConfig::default().with_initial_block(100);
+    let mut plb = PlbHecPolicy::new(&cfg);
+    let plb_time = run(&mut plb, &cost, 100_000, Scenario::One).makespan;
+    let mut greedy = GreedyPolicy::new(&cfg);
+    let greedy_time = run(&mut greedy, &cost, 100_000, Scenario::One).makespan;
+    let speedup = greedy_time / plb_time;
+    assert!(
+        (0.7..=1.6).contains(&speedup),
+        "single-machine GRN speedup should be near 1, got {speedup:.2}"
+    );
+}
+
+#[test]
+fn gpus_receive_larger_shares_than_their_machines_cpus() {
+    // Fig. 6's qualitative shape for the profile-based policies on a
+    // compute-bound workload.
+    let cost = plb_hec_suite::apps::MatMul::new(32768).cost();
+    let machines = cluster_scenario(Scenario::Four, true);
+    let mut cluster = ClusterSim::build(
+        &machines,
+        &ClusterOptions {
+            seed: 3,
+            noise_sigma: 0.02,
+            ..Default::default()
+        },
+    );
+    let cfg = PolicyConfig::default().with_initial_block(33);
+    let mut plb = PlbHecPolicy::new(&cfg);
+    let report = SimEngine::new(&mut cluster, &cost)
+        .run(&mut plb, 32768)
+        .unwrap();
+    let d = report
+        .block_distribution
+        .expect("plb declares a distribution");
+    // Units alternate cpu, gpu per machine in single-gpu mode.
+    for m in 0..4 {
+        assert!(
+            d[2 * m + 1] > d[2 * m],
+            "machine {m}: GPU share {:.3} must exceed CPU share {:.3}",
+            d[2 * m + 1],
+            d[2 * m]
+        );
+    }
+}
