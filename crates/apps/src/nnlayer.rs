@@ -34,8 +34,15 @@ pub struct NnLayer {
 impl NnLayer {
     /// Create the application.
     pub fn new(samples: u64, inputs: u64, outputs: u64) -> NnLayer {
-        assert!(samples > 0 && inputs > 0 && outputs > 0, "dimensions must be positive");
-        NnLayer { samples, inputs, outputs }
+        assert!(
+            samples > 0 && inputs > 0 && outputs > 0,
+            "dimensions must be positive"
+        );
+        NnLayer {
+            samples,
+            inputs,
+            outputs,
+        }
     }
 
     /// Total work items (samples).
@@ -45,7 +52,10 @@ impl NnLayer {
 
     /// The simulator cost model.
     pub fn cost(&self) -> NnLayerCost {
-        NnLayerCost { inputs: self.inputs, outputs: self.outputs }
+        NnLayerCost {
+            inputs: self.inputs,
+            outputs: self.outputs,
+        }
     }
 }
 
@@ -112,10 +122,21 @@ impl NnLayerData {
         let mut weights = vec![0.0f32; outputs * inputs];
         let mut biases = vec![0.0f32; outputs];
         let mut batch = vec![0.0f32; samples * inputs];
-        for v in weights.iter_mut().chain(biases.iter_mut()).chain(batch.iter_mut()) {
+        for v in weights
+            .iter_mut()
+            .chain(biases.iter_mut())
+            .chain(batch.iter_mut())
+        {
             *v = rng.gen_range(-0.5..0.5);
         }
-        NnLayerData { inputs, outputs, weights, biases, batch, samples }
+        NnLayerData {
+            inputs,
+            outputs,
+            weights,
+            biases,
+            batch,
+            samples,
+        }
     }
 
     /// Reference forward pass for one sample.
@@ -124,8 +145,7 @@ impl NnLayerData {
         (0..self.outputs)
             .map(|o| {
                 let w = &self.weights[o * self.inputs..(o + 1) * self.inputs];
-                let z: f32 =
-                    w.iter().zip(x).map(|(a, b)| a * b).sum::<f32>() + self.biases[o];
+                let z: f32 = w.iter().zip(x).map(|(a, b)| a * b).sum::<f32>() + self.biases[o];
                 z.max(0.0)
             })
             .collect()
@@ -152,12 +172,18 @@ impl NnLayerCodelet {
         let activations = (0..data.samples * data.outputs)
             .map(|_| ActCell(std::cell::UnsafeCell::new(0.0)))
             .collect();
-        NnLayerCodelet { data, activations: Arc::new(activations) }
+        NnLayerCodelet {
+            data,
+            activations: Arc::new(activations),
+        }
     }
 
     /// The computed activations, sample-major `samples × outputs`.
     pub fn activations(&self) -> Vec<f32> {
-        self.activations.iter().map(|c| unsafe { *c.0.get() }).collect()
+        self.activations
+            .iter()
+            .map(|c| unsafe { *c.0.get() })
+            .collect()
     }
 
     fn forward(&self, sample: usize) {
@@ -218,7 +244,10 @@ mod tests {
         // weights -> streams; a 2048x2048 layer = 16 MB -> cached.
         let cluster = ClusterSim::build(
             &cluster_scenario(Scenario::Two, false),
-            &ClusterOptions { noise_sigma: 0.0, ..Default::default() },
+            &ClusterOptions {
+                noise_sigma: 0.0,
+                ..Default::default()
+            },
         );
         let b_gpu = PuId(3);
         let small = NnLayer::new(1000, 2048, 2048).cost();
@@ -231,7 +260,13 @@ mod tests {
     fn codelet_matches_reference() {
         let data = Arc::new(NnLayerData::generate(16, 32, 24, 5));
         let codelet = NnLayerCodelet::new(Arc::clone(&data));
-        codelet.execute(0..16, &PuResources { threads: 1, kind: PuKind::Cpu });
+        codelet.execute(
+            0..16,
+            &PuResources {
+                threads: 1,
+                kind: PuKind::Cpu,
+            },
+        );
         let acts = codelet.activations();
         for s in 0..16 {
             let expect = data.reference_forward(s);
@@ -246,22 +281,44 @@ mod tests {
     fn relu_clamps_negative_preactivations() {
         let data = Arc::new(NnLayerData::generate(64, 48, 32, 11));
         let codelet = NnLayerCodelet::new(Arc::clone(&data));
-        codelet.execute(0..64, &PuResources { threads: 2, kind: PuKind::Gpu });
+        codelet.execute(
+            0..64,
+            &PuResources {
+                threads: 2,
+                kind: PuKind::Gpu,
+            },
+        );
         let acts = codelet.activations();
         assert!(acts.iter().all(|&a| a >= 0.0));
         // With symmetric random weights about half the preactivations
         // are negative: expect plenty of exact zeros.
         let zeros = acts.iter().filter(|&&a| a == 0.0).count();
-        assert!(zeros > acts.len() / 10, "only {zeros} zeros of {}", acts.len());
+        assert!(
+            zeros > acts.len() / 10,
+            "only {zeros} zeros of {}",
+            acts.len()
+        );
     }
 
     #[test]
     fn parallel_equals_sequential() {
         let data = Arc::new(NnLayerData::generate(50, 64, 40, 3));
         let a = NnLayerCodelet::new(Arc::clone(&data));
-        a.execute(0..50, &PuResources { threads: 1, kind: PuKind::Cpu });
+        a.execute(
+            0..50,
+            &PuResources {
+                threads: 1,
+                kind: PuKind::Cpu,
+            },
+        );
         let b = NnLayerCodelet::new(Arc::clone(&data));
-        b.execute(0..50, &PuResources { threads: 4, kind: PuKind::Gpu });
+        b.execute(
+            0..50,
+            &PuResources {
+                threads: 4,
+                kind: PuKind::Gpu,
+            },
+        );
         assert_eq!(a.activations(), b.activations());
     }
 
@@ -269,7 +326,13 @@ mod tests {
     fn partial_ranges_touch_only_their_samples() {
         let data = Arc::new(NnLayerData::generate(10, 8, 6, 1));
         let codelet = NnLayerCodelet::new(data);
-        codelet.execute(4..7, &PuResources { threads: 1, kind: PuKind::Cpu });
+        codelet.execute(
+            4..7,
+            &PuResources {
+                threads: 1,
+                kind: PuKind::Cpu,
+            },
+        );
         let acts = codelet.activations();
         assert!(acts[..4 * 6].iter().all(|&a| a == 0.0));
         assert!(acts[7 * 6..].iter().all(|&a| a == 0.0));

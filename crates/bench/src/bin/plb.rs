@@ -4,15 +4,19 @@
 //! ```text
 //! plb run     --app mm --size 32768 --machines 4 --policy plb-hec
 //!             [--seed N] [--single-gpu] [--noise SIGMA]
-//!             [--json FILE] [--gantt FILE.svg]
+//!             [--json FILE] [--gantt FILE.svg] [--events FILE.jsonl]
 //! plb compare --app bs --size 250000 --machines 4 [--seeds N]
 //! plb cluster [--machines 1..4]
+//! plb trace   --input FILE.jsonl
 //! ```
 //!
 //! `run` executes one simulated run and prints the report (optionally a
-//! JSON dump and an SVG Gantt); `compare` runs all four policies and
-//! prints their makespans and speedups; `cluster` shows the Table I
-//! machine presets.
+//! JSON dump, an SVG Gantt, and a structured JSONL event trace);
+//! `compare` runs all four policies and prints their makespans and
+//! speedups; `cluster` shows the Table I machine presets; `trace` loads
+//! a JSONL trace written by `run --events` and prints per-PU Gantt
+//! summaries, idle-time breakdowns, fit-quality timelines, and the
+//! rebalance history (see docs/OBSERVABILITY.md for the file format).
 
 use plb_bench::harness::{default_initial_block, App, PolicyKind};
 use plb_bench::viz::gantt_svg;
@@ -22,7 +26,7 @@ use plb_hec::{
 };
 use plb_hetsim::cluster::ClusterOptions;
 use plb_hetsim::{cluster_scenario, ClusterSim, Scenario};
-use plb_runtime::{Policy, RunReport, SimEngine};
+use plb_runtime::{write_jsonl, Policy, RunReport, SimEngine, TraceData, TraceHeader};
 
 struct Args {
     cmd: String,
@@ -39,6 +43,8 @@ struct Args {
     cluster_file: Option<String>,
     profiles: Option<String>,
     trace: Option<String>,
+    events: Option<String>,
+    input: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -57,6 +63,8 @@ fn parse_args() -> Args {
         cluster_file: None,
         profiles: None,
         trace: None,
+        events: None,
+        input: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -67,7 +75,7 @@ fn parse_args() -> Args {
                 .clone()
         };
         match arg.as_str() {
-            "run" | "compare" | "cluster" | "profile" => a.cmd = arg.clone(),
+            "run" | "compare" | "cluster" | "profile" | "trace" => a.cmd = arg.clone(),
             "--app" => a.app = next("--app"),
             "--size" => {
                 a.size = next("--size")
@@ -101,6 +109,8 @@ fn parse_args() -> Args {
             "--cluster" => a.cluster_file = Some(next("--cluster")),
             "--profiles" => a.profiles = Some(next("--profiles")),
             "--trace" => a.trace = Some(next("--trace")),
+            "--events" => a.events = Some(next("--events")),
+            "--input" => a.input = Some(next("--input")),
             "-h" | "--help" => usage(""),
             other => usage(&format!("unknown argument {other}")),
         }
@@ -118,13 +128,17 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage:\n  plb run     --app mm|grn|bs|nn --size N --machines 1-4 --policy \
          plb-hec|greedy|acosta|hdss\n              [--seed N] [--single-gpu] [--noise SIGMA] \
-         [--json FILE] [--gantt FILE.svg] [--trace FILE.json] [--cluster FILE.json]\n  plb compare --app \
+         [--json FILE] [--gantt FILE.svg] [--trace FILE.json]\n              [--events \
+         FILE.jsonl] [--cluster FILE.json]\n  plb compare --app \
          mm|grn|bs --size N --machines 1-4 [--seeds N] [--single-gpu]\n  plb cluster \
          [--machines 1-4] [--cluster FILE.json]\n  plb profile --app mm|grn|bs|nn --size N \
-         [--machines 1-4|--cluster FILE.json] --profiles OUT.json\n\nA --cluster file is a \
+         [--machines 1-4|--cluster FILE.json] --profiles OUT.json\n  plb trace   --input \
+         FILE.jsonl\n\nA --cluster file is a \
          JSON array of machine specs (see docs/cluster.example.json); it replaces the Table I \
          presets. `plb profile` probes each unit offline and saves its fitted models; \
-         `plb run --policy static --profiles FILE` reuses them without any online probing."
+         `plb run --policy static --profiles FILE` reuses them without any online probing. \
+         `plb run --events` captures the structured decision-event trace \
+         (docs/OBSERVABILITY.md) that `plb trace` summarizes offline."
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -280,6 +294,30 @@ fn main() {
                 std::fs::write(path, json).expect("write chrome trace");
                 println!("wrote {path} (open in chrome://tracing)");
             }
+            if let Some(path) = &a.events {
+                let header = TraceHeader {
+                    version: plb_runtime::TRACE_FORMAT_VERSION,
+                    policy: report.policy.clone(),
+                    pu_names: report.pus.iter().map(|p| p.name.clone()).collect(),
+                };
+                let segments = engine.last_trace().expect("trace recorded").segments();
+                let events = engine.last_events().expect("events recorded").events();
+                let jsonl = write_jsonl(&header, segments, &events);
+                std::fs::write(path, jsonl).expect("write event trace");
+                println!("wrote {path} (inspect with `plb trace --input {path}`)");
+            }
+        }
+        "trace" => {
+            let path = a
+                .input
+                .as_ref()
+                .unwrap_or_else(|| usage("trace needs --input FILE.jsonl"));
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")));
+            let data = TraceData::parse_jsonl(&text)
+                .unwrap_or_else(|e| usage(&format!("bad trace in {path}: {e}")));
+            use std::io::Write as _;
+            let _ = std::io::stdout().write_all(data.summarize().as_bytes());
         }
         "profile" => {
             let out = a

@@ -895,7 +895,12 @@ pub fn summary(seeds: u64) -> (String, Vec<Table>) {
     );
     let mut greedy_mean = 0.0;
     let mut rows = Vec::new();
-    for kind in [PolicyKind::Greedy, PolicyKind::Acosta, PolicyKind::Hdss, PolicyKind::PlbHec] {
+    for kind in [
+        PolicyKind::Greedy,
+        PolicyKind::Acosta,
+        PolicyKind::Hdss,
+        PolicyKind::PlbHec,
+    ] {
         let agg = run_many(App::MatMul(65536), Scenario::Four, false, kind, seeds);
         if kind == PolicyKind::Greedy {
             greedy_mean = agg.mean_makespan;
@@ -920,8 +925,20 @@ pub fn summary(seeds: u64) -> (String, Vec<Table>) {
         &["matrix order", "speedup"],
     );
     for &n in &plb_apps::paper_inputs::MM_SIZES {
-        let plb = run_many(App::MatMul(n), Scenario::Four, false, PolicyKind::PlbHec, seeds);
-        let greedy = run_many(App::MatMul(n), Scenario::Four, false, PolicyKind::Greedy, seeds);
+        let plb = run_many(
+            App::MatMul(n),
+            Scenario::Four,
+            false,
+            PolicyKind::PlbHec,
+            seeds,
+        );
+        let greedy = run_many(
+            App::MatMul(n),
+            Scenario::Four,
+            false,
+            PolicyKind::Greedy,
+            seeds,
+        );
         t.push_row(vec![
             n.to_string(),
             format!("{:.2}x", greedy.mean_makespan / plb.mean_makespan),
@@ -936,7 +953,13 @@ pub fn summary(seeds: u64) -> (String, Vec<Table>) {
         &["machines", "mean makespan"],
     );
     for s in Scenario::ALL {
-        let agg = run_many(App::BlackScholes(500_000), s, false, PolicyKind::PlbHec, seeds);
+        let agg = run_many(
+            App::BlackScholes(500_000),
+            s,
+            false,
+            PolicyKind::PlbHec,
+            seeds,
+        );
         t.push_row(vec![s.machines().to_string(), fmt_secs(agg.mean_makespan)]);
     }
     md.push_str(&t.to_markdown());

@@ -3,7 +3,7 @@
 use plb_hec::{AcostaPolicy, GreedyPolicy, HdssPolicy, PlbHecPolicy, PolicyConfig};
 use plb_hetsim::cluster::ClusterOptions;
 use plb_hetsim::{cluster_scenario, ClusterSim, CostModel, Scenario};
-use plb_runtime::{Perturbation, RunReport, SimEngine, Trace};
+use plb_runtime::{EventSink, Perturbation, RunReport, SimEngine, Trace};
 
 /// An evaluation application at a given input size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,6 +105,9 @@ pub struct RunOutcome {
     pub solve_times: Vec<f64>,
     /// Rebalance / share-update events the policy performed.
     pub rebalances: usize,
+    /// The structured decision-event stream of the run (see
+    /// [`plb_runtime::events`]).
+    pub events: EventSink,
 }
 
 /// The paper's `initialBlockSize` heuristic: chosen "empirically, so
@@ -182,11 +185,13 @@ pub fn run_once(
         }
     };
     let trace = engine.last_trace().expect("trace recorded").clone();
+    let events = engine.last_events().cloned().unwrap_or_default();
     RunOutcome {
         report,
         trace,
         solve_times,
         rebalances,
+        events,
     }
 }
 
@@ -346,7 +351,14 @@ mod tests {
     fn nn_extension_app_runs_and_streams_weights() {
         // The 1 GB weight matrix overflows the small GPUs: their shares
         // must come out below a proportional-by-core-count split.
-        let o = run_once(App::NnLayer(50_000), Scenario::Four, false, PolicyKind::PlbHec, 0, vec![]);
+        let o = run_once(
+            App::NnLayer(50_000),
+            Scenario::Four,
+            false,
+            PolicyKind::PlbHec,
+            0,
+            vec![],
+        );
         assert_eq!(o.report.total_items, 50_000);
         // B's GTX 295 halves (0.44 GB memory) stream hardest; each gets
         // only a sliver of the batch.
@@ -385,5 +397,20 @@ mod tests {
             Vec::new(),
         );
         assert!(!o.solve_times.is_empty());
+    }
+
+    #[test]
+    fn outcomes_carry_event_streams() {
+        let o = run_once(
+            App::BlackScholes(50_000),
+            Scenario::Two,
+            false,
+            PolicyKind::PlbHec,
+            0,
+            Vec::new(),
+        );
+        let c = o.events.counters();
+        assert!(c.probes > 0 && c.curve_fits > 0 && c.solves > 0);
+        assert_eq!(c.tasks_finished, o.report.tasks as u64);
     }
 }

@@ -26,7 +26,7 @@ use crate::modeling::{ModelingController, ModelingStatus};
 use crate::profile::{PerfProfile, UnitModel};
 use crate::selection::{select_block_sizes_with, SelectionResult};
 use plb_hetsim::PuId;
-use plb_runtime::{Policy, SchedulerCtx, TaskInfo};
+use plb_runtime::{EventKind, Policy, SchedulerCtx, TaskInfo};
 
 enum Phase {
     Modeling,
@@ -123,6 +123,8 @@ impl PlbHecPolicy {
             if got == 0 {
                 // Data exhausted before this probe could be issued.
                 dead.push((i, b));
+            } else {
+                ctx.emit_event(Some(i), EventKind::ProbeIssued { items: b, round: 1 });
             }
         }
         if !dead.is_empty() {
@@ -158,6 +160,41 @@ impl PlbHecPolicy {
         if sel.predicted_time.is_finite() && sel.predicted_time > 0.0 {
             self.mean_block_time = sel.predicted_time;
         }
+        // Replay the interior-point trajectory into the event stream: the
+        // per-iteration log is what distinguishes "solver converged in 9
+        // steps" from "line search died and a fallback saved the round".
+        for rec in &sel.ipm_log {
+            ctx.emit_event(
+                None,
+                EventKind::IpmIteration {
+                    iter: rec.iter,
+                    mu: rec.mu,
+                    kkt_error: rec.kkt_error,
+                    theta: rec.theta,
+                    backtracks: rec.backtracks,
+                    accepted: rec.accepted,
+                },
+            );
+        }
+        if let Some(status) = sel.ipm_status {
+            ctx.emit_event(
+                None,
+                EventKind::IpmDone {
+                    status: status.name().to_string(),
+                    iterations: sel.ipm_log.len(),
+                },
+            );
+        }
+        ctx.emit_event(
+            None,
+            EventKind::BlockSolve {
+                window,
+                method: sel.method.name().to_string(),
+                iterations: sel.ipm_iterations,
+                solve_s: sel.solve_seconds,
+                predicted_s: sel.predicted_time,
+            },
+        );
         // The paper's execution times include the interior-point solve
         // cost; charge it so the comparison against cheap schedulers is
         // fair. The charge uses a deterministic cost model (per-iteration
@@ -186,25 +223,70 @@ impl PlbHecPolicy {
         // Keep the accumulated probe measurements: rebalancing refits
         // extend them with execution-phase samples.
         if let Some(ctrl) = self.ctrl.take() {
+            let items_used = ctrl.items_used();
             self.profiles = ctrl.profiles().to_vec();
+            for (i, m) in models.iter().enumerate() {
+                if !self.active[i] {
+                    continue;
+                }
+                ctx.emit_event(
+                    Some(i),
+                    EventKind::CurveFit {
+                        r2_f: m.f_quality,
+                        r2_g: m.g_quality,
+                        basis_f: m.f.basis().describe(),
+                        samples: self.profiles[i].len(),
+                        accepted: m.min_r2() >= self.cfg.r2_threshold,
+                    },
+                );
+            }
+            ctx.emit_event(None, EventKind::ModelingDone { items_used });
         }
         self.models = models;
         self.phase = Phase::Executing;
         self.reselect_and_dispatch(ctx);
     }
 
-    fn refit_models(&mut self) {
+    fn refit_models(&mut self, ctx: &mut dyn SchedulerCtx) {
         for (i, p) in self.profiles.iter().enumerate() {
-            if let Ok(m) = p.fit_with(self.cfg.fit_mode) {
-                self.models[i] = m;
+            if !self.active[i] {
+                continue;
             }
-            // On a failed refit the previous model is kept: stale but
-            // valid, the conservative choice mid-run.
+            match p.fit_with(self.cfg.fit_mode) {
+                Ok(m) => {
+                    ctx.emit_event(
+                        Some(i),
+                        EventKind::CurveFit {
+                            r2_f: m.f_quality,
+                            r2_g: m.g_quality,
+                            basis_f: m.f.basis().describe(),
+                            samples: p.len(),
+                            accepted: true,
+                        },
+                    );
+                    self.models[i] = m;
+                }
+                Err(_) => {
+                    // On a failed refit the previous model is kept: stale
+                    // but valid, the conservative choice mid-run.
+                    ctx.emit_event(
+                        Some(i),
+                        EventKind::CurveFit {
+                            r2_f: 0.0,
+                            r2_g: 0.0,
+                            basis_f: self.models[i].f.basis().describe(),
+                            samples: p.len(),
+                            accepted: false,
+                        },
+                    );
+                }
+            }
         }
     }
 
     /// Does this completed block's time deviate from the equalized
-    /// prediction by more than the threshold?
+    /// prediction by more than the threshold? Returns the
+    /// `(expected, observed)` pair when it does.
     ///
     /// The paper phrases the trigger as a divergence of finishing times
     /// between units; since the selection gives every unit the *same*
@@ -213,9 +295,9 @@ impl PlbHecPolicy {
     /// is robust to the startup skew of the pipelined modeling phase,
     /// which staggers when units enter the execution phase without any
     /// actual imbalance.
-    fn check_divergence(&self, done: &TaskInfo) -> bool {
+    fn check_divergence(&self, done: &TaskInfo) -> Option<(f64, f64)> {
         if self.blocks[done.pu.0] == 0 {
-            return false;
+            return None;
         }
         // The unit's own fitted curve is the reference: a block running
         // more than the threshold away from it means either the machine
@@ -223,15 +305,20 @@ impl PlbHecPolicy {
         // tolerance — both are reasons to refit and re-solve.
         let expected = self.models[done.pu.0].total_time(done.items as f64);
         if !(expected.is_finite() && expected > 0.0) {
-            return false;
+            return None;
         }
-        (done.total_time() - expected).abs() > self.cfg.rebalance_threshold * expected
+        let observed = done.total_time();
+        if (observed - expected).abs() > self.cfg.rebalance_threshold * expected {
+            Some((expected, observed))
+        } else {
+            None
+        }
     }
 
     fn perform_rebalance(&mut self, ctx: &mut dyn SchedulerCtx) {
         self.rebalance_pending = false;
         self.rebalances += 1;
-        self.refit_models();
+        self.refit_models(ctx);
         self.reselect_and_dispatch(ctx);
     }
 }
@@ -272,11 +359,19 @@ impl Policy for PlbHecPolicy {
             Phase::Modeling => {
                 let ctrl = self.ctrl.as_mut().expect("controller in modeling phase");
                 let next = ctrl.on_task_done(done.pu.0, done.items, done.proc_time, done.xfer_time);
+                let round = ctrl.probes_done(done.pu.0) + 1;
                 if let Some(block) = next {
                     // Pipelined probing: this unit immediately gets its
                     // next (speed-rescaled) probe.
                     let got = ctx.assign(done.pu, block);
                     if got > 0 {
+                        ctx.emit_event(
+                            Some(done.pu.0),
+                            EventKind::ProbeIssued {
+                                items: block,
+                                round,
+                            },
+                        );
                         return;
                     }
                     self.ctrl
@@ -308,12 +403,20 @@ impl Policy for PlbHecPolicy {
                 // blocks (including the shrinking residue-phase blocks)
                 // are inherent tail effects, not imbalance.
                 let round_total: u64 = self.blocks.iter().sum();
-                if !self.rebalance_pending
-                    && ctx.remaining_items() >= round_total.max(1)
-                    && self.check_divergence(done)
-                {
-                    self.rebalance_pending = true;
-                    self.extra_granted.fill(false);
+                if !self.rebalance_pending && ctx.remaining_items() >= round_total.max(1) {
+                    if let Some((expected, observed)) = self.check_divergence(done) {
+                        ctx.emit_event(
+                            Some(done.pu.0),
+                            EventKind::RebalanceTriggered {
+                                trigger: "divergence".to_string(),
+                                expected_s: expected,
+                                observed_s: observed,
+                                divergence: (observed - expected).abs() / expected,
+                            },
+                        );
+                        self.rebalance_pending = true;
+                        self.extra_granted.fill(false);
+                    }
                 }
 
                 if self.rebalance_pending {
@@ -391,6 +494,15 @@ impl Policy for PlbHecPolicy {
                 if self.active.iter().any(|&a| a) && ctx.remaining_items() > 0 {
                     // Redistribute among survivors with existing models
                     // (the paper's fault-tolerance sketch, Section VI).
+                    ctx.emit_event(
+                        Some(pu.0),
+                        EventKind::RebalanceTriggered {
+                            trigger: "device-lost".to_string(),
+                            expected_s: 0.0,
+                            observed_s: 0.0,
+                            divergence: 0.0,
+                        },
+                    );
                     self.rebalances += 1;
                     self.reselect_and_dispatch(ctx);
                 }
@@ -564,6 +676,104 @@ mod tests {
     fn tiny_input_consumed_entirely_by_probing() {
         let (r, _) = run_plb(Scenario::Two, 3_000, vec![]);
         assert_eq!(r.total_items, 3_000);
+    }
+
+    #[test]
+    fn emits_probe_fit_solve_events() {
+        let mut cluster = ClusterSim::build(
+            &cluster_scenario(Scenario::Two, false),
+            &ClusterOptions {
+                noise_sigma: 0.01,
+                ..Default::default()
+            },
+        );
+        let cost = LinearCost::generic();
+        let cfg = PolicyConfig::default()
+            .with_initial_block(1000)
+            .with_round_fraction(0.25);
+        let mut policy = PlbHecPolicy::new(&cfg);
+        let mut engine = SimEngine::new(&mut cluster, &cost);
+        engine.run(&mut policy, 2_000_000).unwrap();
+
+        let sink = engine.last_events().expect("engine keeps the event sink");
+        let counters = sink.counters();
+        assert!(counters.probes > 0, "modeling must issue probes");
+        assert!(counters.curve_fits > 0, "modeling must fit curves");
+        assert!(counters.solves > 0, "execution must run a selection");
+        assert!(
+            sink.events()
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::ModelingDone { .. })),
+            "the modeling phase must close"
+        );
+        // The probe rounds on each unit count 1, 2, 3, ... in order.
+        for pu in 0..2 {
+            let rounds: Vec<u32> = sink
+                .events()
+                .iter()
+                .filter(|e| e.pu == Some(pu))
+                .filter_map(|e| match e.kind {
+                    EventKind::ProbeIssued { round, .. } => Some(round),
+                    _ => None,
+                })
+                .collect();
+            for (i, &r) in rounds.iter().enumerate() {
+                assert_eq!(r, i as u32 + 1, "probe rounds on pu {pu}: {rounds:?}");
+            }
+        }
+        // Every solve is attributed to a known method.
+        for e in sink.events() {
+            if let EventKind::BlockSolve { ref method, .. } = e.kind {
+                assert!(
+                    ["interior-point", "fixed-point", "rate-proportional"]
+                        .contains(&method.as_str()),
+                    "unknown method {method}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qos_drift_emits_divergence_rebalance_event() {
+        let mut cluster = ClusterSim::build(
+            &cluster_scenario(Scenario::One, false),
+            &ClusterOptions {
+                noise_sigma: 0.01,
+                ..Default::default()
+            },
+        );
+        let cost = heavy_cost();
+        let cfg = PolicyConfig::default()
+            .with_initial_block(1000)
+            .with_round_fraction(0.25);
+        let mut policy = PlbHecPolicy::new(&cfg);
+        let mut engine =
+            SimEngine::new(&mut cluster, &cost).with_perturbations(vec![Perturbation {
+                at: 0.1,
+                kind: PerturbationKind::SetSlowdown(plb_hetsim::PuId(1), 6.0),
+            }]);
+        engine.run(&mut policy, 8_000_000).unwrap();
+
+        let sink = engine.last_events().expect("engine keeps the event sink");
+        let trigger = sink.events().iter().find_map(|e| match e.kind {
+            EventKind::RebalanceTriggered {
+                ref trigger,
+                expected_s,
+                observed_s,
+                divergence,
+            } => Some((trigger.clone(), expected_s, observed_s, divergence)),
+            _ => None,
+        });
+        let (trigger, expected_s, observed_s, divergence) =
+            trigger.expect("QoS drift must emit a rebalance event");
+        assert_eq!(trigger, "divergence");
+        assert!(expected_s > 0.0 && observed_s > 0.0);
+        assert!(divergence > 0.1, "divergence {divergence} beats threshold");
+        // Every performed rebalance was announced by a trigger event (a
+        // trigger whose drain ran out of data performs nothing, so the
+        // event count can exceed the performed count).
+        assert!(policy.rebalances() >= 1);
+        assert!(sink.counters().rebalances as usize >= policy.rebalances());
     }
 
     #[test]

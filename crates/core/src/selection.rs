@@ -15,7 +15,7 @@
 use crate::config::SolverChoice;
 use crate::profile::UnitModel;
 use plb_ipm::nlp::Curve;
-use plb_ipm::{solve, BlockPartitionNlp, BoxedCurve, IpmOptions, IpmStatus};
+use plb_ipm::{solve, BlockPartitionNlp, BoxedCurve, IpmOptions, IpmStatus, IterationRecord};
 use std::time::Instant;
 
 /// Which solver produced the selection.
@@ -27,6 +27,17 @@ pub enum SelectionMethod {
     FixedPoint,
     /// One-shot rate-proportional fallback.
     RateProportional,
+}
+
+impl SelectionMethod {
+    /// Short machine name (used in trace events and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SelectionMethod::InteriorPoint => "interior-point",
+            SelectionMethod::FixedPoint => "fixed-point",
+            SelectionMethod::RateProportional => "rate-proportional",
+        }
+    }
 }
 
 /// The outcome of one block-size selection.
@@ -45,6 +56,12 @@ pub struct SelectionResult {
     pub solve_seconds: f64,
     /// Interior-point iterations (0 for fallbacks).
     pub ipm_iterations: usize,
+    /// Per-iteration interior-point log, kept even when the solve was
+    /// rejected and a fallback produced the final split — that is
+    /// exactly the trace a post-mortem needs.
+    pub ipm_log: Vec<IterationRecord>,
+    /// Termination status of the interior-point solve, when one ran.
+    pub ipm_status: Option<IpmStatus>,
 }
 
 /// A fitted unit model reinterpreted on the fraction domain of a
@@ -118,6 +135,8 @@ pub fn select_block_sizes_with(
             method: SelectionMethod::RateProportional,
             solve_seconds: t0.elapsed().as_secs_f64(),
             ipm_iterations: 0,
+            ipm_log: Vec::new(),
+            ipm_status: None,
         };
     }
 
@@ -134,37 +153,37 @@ pub fn select_block_sizes_with(
 
     let nlp = BlockPartitionNlp::new(curves);
 
+    let fallback = |nlp: &BlockPartitionNlp| match fixed_point_equalize(nlp) {
+        Some(f) => (f, SelectionMethod::FixedPoint, 0),
+        None => (rate_proportional(nlp), SelectionMethod::RateProportional, 0),
+    };
+
+    let mut ipm_log: Vec<IterationRecord> = Vec::new();
+    let mut ipm_status: Option<IpmStatus> = None;
     let (live_fractions, method, iterations) = match solver {
         SolverChoice::RateProportionalOnly => (
             rate_proportional(&nlp),
             SelectionMethod::RateProportional,
             0,
         ),
-        SolverChoice::FixedPointOnly => match fixed_point_equalize(&nlp) {
-            Some(f) => (f, SelectionMethod::FixedPoint, 0),
-            None => (
-                rate_proportional(&nlp),
-                SelectionMethod::RateProportional,
-                0,
-            ),
-        },
+        SolverChoice::FixedPointOnly => fallback(&nlp),
         SolverChoice::Auto => match solve(&nlp, &IpmOptions::default()) {
-            Ok(sol)
-                if matches!(sol.status, IpmStatus::Optimal)
-                    || sol.is_usable(1e-4) && fractions_sane(&sol.x[..live.len()]) =>
-            {
-                let mut f: Vec<f64> = sol.x[..live.len()].to_vec();
-                sanitize(&mut f);
-                (f, SelectionMethod::InteriorPoint, sol.iterations)
+            Ok(sol) => {
+                // The solve happened: keep its trajectory and status for
+                // observability regardless of whether we accept the point.
+                ipm_status = Some(sol.status);
+                ipm_log = sol.iteration_log;
+                let usable = matches!(sol.status, IpmStatus::Optimal)
+                    || sol.is_usable(1e-4) && fractions_sane(&sol.x[..live.len()]);
+                if usable {
+                    let mut f: Vec<f64> = sol.x[..live.len()].to_vec();
+                    sanitize(&mut f);
+                    (f, SelectionMethod::InteriorPoint, sol.iterations)
+                } else {
+                    fallback(&nlp)
+                }
             }
-            _ => match fixed_point_equalize(&nlp) {
-                Some(f) => (f, SelectionMethod::FixedPoint, 0),
-                None => (
-                    rate_proportional(&nlp),
-                    SelectionMethod::RateProportional,
-                    0,
-                ),
-            },
+            Err(_) => fallback(&nlp),
         },
     };
 
@@ -190,6 +209,8 @@ pub fn select_block_sizes_with(
         method,
         solve_seconds: t0.elapsed().as_secs_f64(),
         ipm_iterations: iterations,
+        ipm_log,
+        ipm_status,
     }
 }
 
@@ -394,6 +415,17 @@ mod tests {
     fn apportion_zero_fraction_gets_nothing_mostly() {
         let b = apportion(&[0.0, 1.0], 1000, 1);
         assert_eq!(b, vec![0, 1000]);
+    }
+
+    #[test]
+    fn ipm_log_kept_on_interior_point_path() {
+        let models = vec![linear_model(1e5, 0.0), linear_model(3e5, 0.0)];
+        let r = select_block_sizes(&models, &[true, true], 100_000, 1);
+        assert_eq!(r.method, SelectionMethod::InteriorPoint);
+        assert_eq!(r.ipm_status, Some(IpmStatus::Optimal));
+        assert_eq!(r.ipm_log.len(), r.ipm_iterations);
+        assert!(r.ipm_log.iter().all(|rec| rec.mu > 0.0));
+        assert_eq!(r.method.name(), "interior-point");
     }
 
     #[test]

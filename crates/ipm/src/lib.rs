@@ -32,4 +32,6 @@ pub mod solver;
 
 pub use nlp::{BoxedCurve, NlpProblem};
 pub use problem::BlockPartitionNlp;
-pub use solver::{solve, BarrierStrategy, IpmError, IpmOptions, IpmStatus, Solution};
+pub use solver::{
+    solve, BarrierStrategy, IpmError, IpmOptions, IpmStatus, IterationRecord, Solution,
+};

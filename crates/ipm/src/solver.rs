@@ -34,6 +34,10 @@ pub struct IpmOptions {
     pub tau: f64,
     /// Maximum backtracking halvings per line search.
     pub max_backtracks: usize,
+    /// Keep a per-iteration [`IterationRecord`] log on the returned
+    /// [`Solution`]. Cheap (a few floats per iteration, iteration counts
+    /// are capped), so on by default; disable for bulk embedded solves.
+    pub record_iterations: bool,
 }
 
 impl Default for IpmOptions {
@@ -45,6 +49,7 @@ impl Default for IpmOptions {
             barrier: BarrierStrategy::Monotone,
             tau: 0.995,
             max_backtracks: 30,
+            record_iterations: true,
         }
     }
 }
@@ -58,6 +63,40 @@ pub enum IpmStatus {
     MaxIterations,
     /// The filter line search could not make progress.
     LineSearchFailure,
+}
+
+impl IpmStatus {
+    /// Short machine name of the status (used in trace events).
+    pub fn name(&self) -> &'static str {
+        match self {
+            IpmStatus::Optimal => "optimal",
+            IpmStatus::MaxIterations => "max_iterations",
+            IpmStatus::LineSearchFailure => "line_search_failure",
+        }
+    }
+}
+
+/// One outer iteration of a solve, recorded for observability (this
+/// crate stays dependency-free; serialization happens at the event
+/// layer).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationRecord {
+    /// 0-based iteration index.
+    pub iter: usize,
+    /// Barrier parameter μ used for this iteration's step.
+    pub mu: f64,
+    /// Unperturbed KKT error at the iterate before stepping.
+    pub kkt_error: f64,
+    /// Constraint violation θ = ‖c(x)‖₁ before stepping.
+    pub theta: f64,
+    /// Barrier merit φ before stepping.
+    pub phi: f64,
+    /// Accepted primal step length (0 when the line search failed).
+    pub alpha: f64,
+    /// Filter rejections before acceptance (or before giving up).
+    pub backtracks: usize,
+    /// Whether the filter accepted a step this iteration.
+    pub accepted: bool,
 }
 
 /// A solver result.
@@ -79,6 +118,8 @@ pub struct Solution {
     pub iterations: usize,
     /// How the solver stopped.
     pub status: IpmStatus,
+    /// Per-iteration log (empty when `record_iterations` was off).
+    pub iteration_log: Vec<IterationRecord>,
 }
 
 impl Solution {
@@ -230,6 +271,7 @@ pub fn solve(problem: &dyn NlpProblem, opts: &IpmOptions) -> Result<Solution, Ip
     let mut filter = Filter::new((theta(&ev.c) * 1e4).max(1.0));
     let mut hess = Mat::zeros(n, n);
     let mut ls_failures = 0usize;
+    let mut log: Vec<IterationRecord> = Vec::new();
 
     for iter in 0..opts.max_iter {
         let err0 = kkt_error(&ev, &x, &lb, &z, &lambda, 0.0);
@@ -243,6 +285,7 @@ pub fn solve(problem: &dyn NlpProblem, opts: &IpmOptions) -> Result<Solution, Ip
                 z,
                 iterations: iter,
                 status: IpmStatus::Optimal,
+                iteration_log: log,
             });
         }
 
@@ -294,6 +337,7 @@ pub fn solve(problem: &dyn NlpProblem, opts: &IpmOptions) -> Result<Solution, Ip
         let phi_cur = barrier_phi(ev.f, &x, &lb, mu);
         let mut alpha = alpha_pri_max;
         let mut accepted = false;
+        let mut backtracks = 0usize;
         let mut x_trial = vec![0.0; n];
         let mut ev_trial = None;
         for _ in 0..=opts.max_backtracks {
@@ -320,6 +364,20 @@ pub fn solve(problem: &dyn NlpProblem, opts: &IpmOptions) -> Result<Solution, Ip
                 break;
             }
             alpha *= 0.5;
+            backtracks += 1;
+        }
+
+        if opts.record_iterations {
+            log.push(IterationRecord {
+                iter,
+                mu,
+                kkt_error: err0,
+                theta: theta_cur,
+                phi: phi_cur,
+                alpha: if accepted { alpha } else { 0.0 },
+                backtracks,
+                accepted,
+            });
         }
 
         if !accepted {
@@ -335,6 +393,7 @@ pub fn solve(problem: &dyn NlpProblem, opts: &IpmOptions) -> Result<Solution, Ip
                     z,
                     iterations: iter,
                     status: IpmStatus::LineSearchFailure,
+                    iteration_log: log,
                 });
             }
             // Crude restoration: clear the filter, take a tiny damped
@@ -373,6 +432,7 @@ pub fn solve(problem: &dyn NlpProblem, opts: &IpmOptions) -> Result<Solution, Ip
         z,
         iterations: opts.max_iter,
         status: IpmStatus::MaxIterations,
+        iteration_log: log,
     })
 }
 
@@ -601,6 +661,43 @@ mod tests {
         let sol = solve(&BadStart, &IpmOptions::default()).unwrap();
         assert_eq!(sol.status, IpmStatus::Optimal);
         assert!((sol.x[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iteration_log_recorded_and_consistent() {
+        let sol = solve(&EqQuad, &IpmOptions::default()).unwrap();
+        assert_eq!(sol.status, IpmStatus::Optimal);
+        // One record per completed (non-terminating) iteration.
+        assert_eq!(sol.iteration_log.len(), sol.iterations);
+        for (i, r) in sol.iteration_log.iter().enumerate() {
+            assert_eq!(r.iter, i);
+            assert!(r.mu > 0.0);
+            assert!(r.kkt_error.is_finite() && r.kkt_error >= 0.0);
+            assert!(r.accepted || r.alpha == 0.0);
+        }
+        // KKT error at the last logged iterate exceeds the tolerance
+        // (otherwise the solve would have stopped there).
+        let last = sol.iteration_log.last().unwrap();
+        assert!(last.kkt_error >= IpmOptions::default().tol);
+    }
+
+    #[test]
+    fn iteration_log_disabled_when_requested() {
+        let opts = IpmOptions {
+            record_iterations: false,
+            ..Default::default()
+        };
+        let sol = solve(&EqQuad, &opts).unwrap();
+        assert_eq!(sol.status, IpmStatus::Optimal);
+        assert!(sol.iteration_log.is_empty());
+        assert!(sol.iterations > 0);
+    }
+
+    #[test]
+    fn status_names_are_stable() {
+        assert_eq!(IpmStatus::Optimal.name(), "optimal");
+        assert_eq!(IpmStatus::MaxIterations.name(), "max_iterations");
+        assert_eq!(IpmStatus::LineSearchFailure.name(), "line_search_failure");
     }
 
     #[test]

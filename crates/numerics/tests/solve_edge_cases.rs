@@ -27,7 +27,9 @@ fn tall_qr_least_squares_residual_is_orthogonal() {
     // m=6, n=2: the residual of the LS solution must be orthogonal to
     // the column space.
     let a = Mat::from_fn(6, 2, |i, j| ((i + 1) as f64).powi(j as i32 + 1));
-    let b: Vec<f64> = (0..6).map(|i| (i as f64) * 1.3 - 2.0 + ((i * i) as f64) * 0.1).collect();
+    let b: Vec<f64> = (0..6)
+        .map(|i| (i as f64) * 1.3 - 2.0 + ((i * i) as f64) * 0.1)
+        .collect();
     let x = Qr::factor(&a).unwrap().solve(&b).unwrap();
     let ax = a.matvec(&x);
     let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();

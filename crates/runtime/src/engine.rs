@@ -12,6 +12,7 @@
 //! (cloud QoS drift, machine loss).
 
 use crate::data::{DataHandle, DataRegistry, MemNode};
+use crate::events::{EventKind, EventSink};
 use crate::metrics::RunReport;
 use crate::policy::{Policy, PuHandle, SchedulerCtx};
 use crate::task::{TaskId, TaskInfo};
@@ -128,6 +129,7 @@ struct EngineState<'a> {
     seq: u64,
     next_task: u64,
     trace: Trace,
+    events: EventSink,
     overhead_until: f64,
     /// StarPU-style data management: per-task block buffers and the
     /// application's broadcast set, with a transfer ledger per memory
@@ -202,6 +204,22 @@ impl SchedulerCtx for EngineState<'_> {
             xfer,
             proc,
         });
+        self.events.record(
+            self.clock,
+            Some(pu.0),
+            EventKind::TaskSubmit {
+                task: task.0,
+                items,
+            },
+        );
+        self.events.record(
+            start,
+            Some(pu.0),
+            EventKind::TaskStart {
+                task: task.0,
+                items,
+            },
+        );
         self.push_event(start + xfer + proc, EventPayload::Completion { pu, task });
         items
     }
@@ -218,6 +236,10 @@ impl SchedulerCtx for EngineState<'_> {
         if seconds.is_finite() && seconds > 0.0 {
             self.overhead_until = self.overhead_until.max(self.clock) + seconds;
         }
+    }
+
+    fn emit_event(&mut self, pu: Option<usize>, kind: EventKind) {
+        self.events.record(self.clock, pu, kind);
     }
 }
 
@@ -245,6 +267,7 @@ pub struct SimEngine<'a> {
     cost: &'a dyn CostModel,
     perturbations: Vec<Perturbation>,
     last_trace: Option<Trace>,
+    last_events: Option<EventSink>,
 }
 
 impl<'a> SimEngine<'a> {
@@ -255,6 +278,7 @@ impl<'a> SimEngine<'a> {
             cost,
             perturbations: Vec::new(),
             last_trace: None,
+            last_events: None,
         }
     }
 
@@ -262,6 +286,28 @@ impl<'a> SimEngine<'a> {
     pub fn with_perturbations(mut self, p: Vec<Perturbation>) -> SimEngine<'a> {
         self.perturbations = p;
         self
+    }
+
+    /// Record the stall, preserve the partial trace/event stream for
+    /// post-mortem inspection, and build the error.
+    fn stall(
+        st: &mut EngineState<'_>,
+        last_trace: &mut Option<Trace>,
+        last_events: &mut Option<EventSink>,
+    ) -> RunError {
+        st.events.record(
+            st.clock,
+            None,
+            EventKind::Stalled {
+                remaining: st.remaining,
+            },
+        );
+        *last_trace = Some(std::mem::take(&mut st.trace));
+        *last_events = Some(std::mem::take(&mut st.events));
+        RunError::Stalled {
+            remaining: st.remaining,
+            at: st.clock,
+        }
     }
 
     /// Run `total_items` under `policy`. Returns the run report, or an
@@ -307,6 +353,7 @@ impl<'a> SimEngine<'a> {
             seq: 0,
             next_task: 0,
             trace: Trace::new(n),
+            events: EventSink::default(),
             overhead_until: 0.0,
             registry,
             broadcast,
@@ -314,6 +361,15 @@ impl<'a> SimEngine<'a> {
         for (i, p) in self.perturbations.iter().enumerate() {
             st.push_event(p.at.max(0.0), EventPayload::Perturb(i));
         }
+        st.events.record(
+            0.0,
+            None,
+            EventKind::RunStart {
+                policy: policy.name().to_string(),
+                total_items,
+                n_pus: n,
+            },
+        );
 
         policy.on_start(&mut st);
 
@@ -325,10 +381,11 @@ impl<'a> SimEngine<'a> {
                 break;
             }
             if !events_pending {
-                return Err(RunError::Stalled {
-                    remaining: st.remaining,
-                    at: st.clock,
-                });
+                return Err(Self::stall(
+                    &mut st,
+                    &mut self.last_trace,
+                    &mut self.last_events,
+                ));
             }
             if !busy && st.remaining > 0 {
                 // Only perturbation events can remain; if none of them
@@ -343,10 +400,11 @@ impl<'a> SimEngine<'a> {
                         .iter()
                         .any(|p| matches!(p.kind, PerturbationKind::Restore(_)))
                 {
-                    return Err(RunError::Stalled {
-                        remaining: st.remaining,
-                        at: st.clock,
-                    });
+                    return Err(Self::stall(
+                        &mut st,
+                        &mut self.last_trace,
+                        &mut self.last_events,
+                    ));
                 }
             }
 
@@ -365,6 +423,16 @@ impl<'a> SimEngine<'a> {
                     let pend = st.inflight[pu.0].take().expect("checked above");
                     st.trace
                         .record_task(pu, pend.task, pend.items, pend.start, pend.xfer, pend.proc);
+                    st.events.record(
+                        st.clock,
+                        Some(pu.0),
+                        EventKind::TaskFinish {
+                            task: pend.task.0,
+                            items: pend.items,
+                            xfer_s: pend.xfer,
+                            proc_s: pend.proc,
+                        },
+                    );
                     let info = TaskInfo {
                         task_id: pend.task,
                         pu,
@@ -380,6 +448,11 @@ impl<'a> SimEngine<'a> {
                     match self.perturbations[idx].kind {
                         PerturbationKind::SetSlowdown(pu, f) => {
                             st.cluster.device_mut(pu).set_slowdown(f);
+                            st.events.record(
+                                st.clock,
+                                Some(pu.0),
+                                EventKind::SlowdownSet { factor: f },
+                            );
                             // In-flight tasks keep their original times:
                             // the slowdown applies from the next kernel,
                             // like a contended cloud node would behave
@@ -392,17 +465,29 @@ impl<'a> SimEngine<'a> {
                                 // The lost task's items return to the pool.
                                 st.remaining += pend.items;
                             }
+                            st.events
+                                .record(st.clock, Some(pu.0), EventKind::DeviceFailed);
                             policy.on_device_lost(&mut st, pu);
                         }
                         PerturbationKind::Restore(pu) => {
                             st.cluster.device_mut(pu).restore();
                             st.handles[pu.0].available = true;
+                            st.events
+                                .record(st.clock, Some(pu.0), EventKind::DeviceRestored);
                         }
                     }
                 }
             }
         }
 
+        st.events.record(
+            st.clock,
+            None,
+            EventKind::RunEnd {
+                makespan_s: st.trace.makespan(),
+                total_items,
+            },
+        );
         let names: Vec<String> = st.handles.iter().map(|h| h.name.clone()).collect();
         let mut report = RunReport::from_trace(
             policy.name(),
@@ -413,7 +498,10 @@ impl<'a> SimEngine<'a> {
         for (i, pu) in report.pus.iter_mut().enumerate() {
             pu.bytes_in = st.registry.bytes_into(MemNode::of_pu(i));
         }
+        report.events = st.events.counters();
+        report.rebalances = report.events.rebalances as usize;
         self.last_trace = Some(st.trace);
+        self.last_events = Some(st.events);
         Ok(report)
     }
 
@@ -421,6 +509,13 @@ impl<'a> SimEngine<'a> {
     /// rendering and idle-time analysis).
     pub fn last_trace(&self) -> Option<&Trace> {
         self.last_trace.as_ref()
+    }
+
+    /// The structured event stream of the most recent `run` — also
+    /// populated on a stalled run, so post-mortems can see what the
+    /// policy last did. See [`crate::events`].
+    pub fn last_events(&self) -> Option<&EventSink> {
+        self.last_events.as_ref()
     }
 }
 
@@ -556,6 +651,70 @@ mod tests {
             .unwrap();
         assert_eq!(report.total_items, 777);
         assert_eq!(report.tasks, 1);
+    }
+
+    #[test]
+    fn run_records_event_stream() {
+        let mut cluster = make_cluster(Scenario::Two);
+        let cost = LinearCost::generic();
+        let mut engine = SimEngine::new(&mut cluster, &cost).with_perturbations(vec![
+            Perturbation {
+                at: 1e-4,
+                kind: PerturbationKind::SetSlowdown(PuId(1), 2.0),
+            },
+            Perturbation {
+                at: 2e-4,
+                kind: PerturbationKind::Fail(PuId(0)),
+            },
+        ]);
+        let report = engine
+            .run(&mut FixedBlockPolicy { block: 5_000 }, 100_000)
+            .unwrap();
+        let sink = engine.last_events().expect("events recorded");
+        let events = sink.events();
+        assert!(matches!(events[0].kind, EventKind::RunStart { .. }));
+        assert!(matches!(
+            events.last().unwrap().kind,
+            EventKind::RunEnd { .. }
+        ));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::SlowdownSet { .. })));
+        assert!(events.iter().any(|e| e.kind == EventKind::DeviceFailed));
+        // Counters on the report agree with the stream.
+        assert_eq!(report.events.tasks_finished, report.tasks as u64);
+        assert_eq!(report.events.perturbations, 2);
+        assert_eq!(report.events.device_failures, 1);
+        // Per-PU timestamps are monotone after clamping.
+        let mut last: std::collections::HashMap<usize, f64> = Default::default();
+        for e in &events {
+            if let Some(p) = e.pu {
+                let prev = last.entry(p).or_insert(f64::NEG_INFINITY);
+                assert!(e.t >= *prev, "event time regressed on pu {p}");
+                *prev = e.t;
+            }
+        }
+    }
+
+    #[test]
+    fn stalled_run_preserves_events() {
+        struct LazyPolicy;
+        impl Policy for LazyPolicy {
+            fn name(&self) -> &str {
+                "lazy"
+            }
+            fn on_start(&mut self, _ctx: &mut dyn SchedulerCtx) {}
+            fn on_task_finished(&mut self, _ctx: &mut dyn SchedulerCtx, _d: &TaskInfo) {}
+        }
+        let mut cluster = make_cluster(Scenario::One);
+        let cost = LinearCost::generic();
+        let mut engine = SimEngine::new(&mut cluster, &cost);
+        let err = engine.run(&mut LazyPolicy, 42).unwrap_err();
+        assert!(matches!(err, RunError::Stalled { remaining: 42, .. }));
+        let events = engine.last_events().expect("post-mortem events").events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Stalled { remaining: 42 })));
     }
 
     #[test]

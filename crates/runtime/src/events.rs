@@ -1,0 +1,941 @@
+//! Structured decision-level event tracing.
+//!
+//! The [`trace`](crate::trace) module records what each unit was *doing*
+//! (busy Compute/Transfer segments); this module records what the stack
+//! *decided* and *observed* — when a probe block was issued, when a curve
+//! was refit and with what quality, when the interior-point solver ran
+//! and how it converged, when a rebalance fired and why, when a device
+//! failed or slowed down. Together the two streams make every run a
+//! replayable, diagnosable artifact (the data behind the paper's Figs.
+//! 3, 6 and 7 at decision granularity).
+//!
+//! The full schema — every variant, field meanings, units — is
+//! documented in `docs/OBSERVABILITY.md`, together with the JSONL file
+//! format produced by [`write_jsonl`] and read back by
+//! [`TraceData::parse_jsonl`], and worked diagnosis examples.
+//!
+//! Design notes:
+//!
+//! * Events are recorded into an [`EventSink`], a bounded ring buffer:
+//!   recording never allocates past the configured capacity and never
+//!   blocks, so emission is safe on the scheduling hot path. When the
+//!   buffer wraps, the *oldest* events are overwritten and counted in
+//!   [`EventSink::dropped`] — recent history is what debugging needs.
+//! * All emission happens on the scheduler thread (both engines route
+//!   policy callbacks and assignments through a single thread), so the
+//!   sink needs no lock.
+//! * Timestamps are clamped non-decreasing per processing unit, so
+//!   per-PU event order in the buffer is always chronological even when
+//!   an event carries a scheduled future time (e.g. a task start behind
+//!   a scheduler-overhead window) and a perturbation lands inside that
+//!   window.
+
+use crate::trace::{Segment, SegmentKind, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Schema version stamped into every exported trace header.
+pub const TRACE_FORMAT_VERSION: u32 = 1;
+
+/// Default ring-buffer capacity (events).
+pub const DEFAULT_SINK_CAPACITY: usize = 1 << 16;
+
+/// What happened. Field units: times in seconds (`*_s` suffix), sizes in
+/// work items. See `docs/OBSERVABILITY.md` for the 1:1 schema reference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum EventKind {
+    /// A run began (`pu` is `None`).
+    RunStart {
+        /// Policy name driving the run.
+        policy: String,
+        /// Items the application will process.
+        total_items: u64,
+        /// Processing units in the cluster.
+        n_pus: usize,
+    },
+    /// The engine accepted an assignment for `pu`.
+    TaskSubmit {
+        /// Engine-assigned task id.
+        task: u64,
+        /// Items in the task's block.
+        items: u64,
+    },
+    /// The task began occupying its unit (may trail the submit when a
+    /// scheduler-overhead window delays it).
+    TaskStart {
+        /// Engine-assigned task id.
+        task: u64,
+        /// Items in the task's block.
+        items: u64,
+    },
+    /// The task completed.
+    TaskFinish {
+        /// Engine-assigned task id.
+        task: u64,
+        /// Items in the task's block.
+        items: u64,
+        /// Measured input-transfer time, seconds.
+        xfer_s: f64,
+        /// Measured kernel time, seconds.
+        proc_s: f64,
+    },
+    /// A slowdown perturbation was applied to `pu`.
+    SlowdownSet {
+        /// Kernel-time multiplier from now on (1.0 = nominal).
+        factor: f64,
+    },
+    /// `pu` failed; its in-flight task (if any) was lost.
+    DeviceFailed,
+    /// `pu` came back after a failure.
+    DeviceRestored,
+    /// The run deadlocked: no work in flight, items left, policy silent.
+    Stalled {
+        /// Items never assigned.
+        remaining: u64,
+    },
+    /// The run completed (`pu` is `None`).
+    RunEnd {
+        /// Final makespan, seconds.
+        makespan_s: f64,
+        /// Items processed.
+        total_items: u64,
+    },
+
+    /// PLB-HeC issued a modeling-phase probe block to `pu`.
+    ProbeIssued {
+        /// Probe block size in items.
+        items: u64,
+        /// 1-based probe number on this unit.
+        round: u32,
+    },
+    /// A per-unit curve fit was attempted (modeling gate or rebalancing
+    /// refit).
+    CurveFit {
+        /// Gate quality of the processing-time fit `F_p` (R², or the
+        /// relative-residual quality for near-constant data).
+        r2_f: f64,
+        /// Gate quality of the transfer-time fit `G_p`.
+        r2_g: f64,
+        /// Chosen basis of `F_p`, e.g. `"a + b·x"`.
+        basis_f: String,
+        /// Samples the fit consumed.
+        samples: usize,
+        /// Whether the fit cleared its acceptance test: the R² gate when
+        /// modeling ends (budget-forced models report `false`), or fit
+        /// success on a rebalancing refit (a failed refit keeps the
+        /// previous model and reports `false`).
+        accepted: bool,
+    },
+    /// The modeling phase finished (`pu` is `None`).
+    ModelingDone {
+        /// Items consumed by probing.
+        items_used: u64,
+    },
+    /// A block-size selection (interior-point solve or fallback) ran
+    /// (`pu` is `None`).
+    BlockSolve {
+        /// Items distributed by this round.
+        window: u64,
+        /// `"interior-point"`, `"fixed-point"` or `"rate-proportional"`.
+        method: String,
+        /// Interior-point iterations (0 for fallbacks).
+        iterations: usize,
+        /// Wall-clock cost of the selection, seconds.
+        solve_s: f64,
+        /// Predicted common finish time of the round, seconds.
+        predicted_s: f64,
+    },
+    /// The rebalance threshold fired (`pu` = the unit whose block
+    /// diverged, or the lost device).
+    RebalanceTriggered {
+        /// `"divergence"` (QoS drift / model error) or `"device-lost"`.
+        trigger: String,
+        /// Model-predicted block time, seconds (0 for `device-lost`).
+        expected_s: f64,
+        /// Measured block time, seconds (0 for `device-lost`).
+        observed_s: f64,
+        /// `|observed − expected| / expected` (0 for `device-lost`).
+        divergence: f64,
+    },
+
+    /// One interior-point iteration (`pu` is `None`).
+    IpmIteration {
+        /// 0-based iteration index within its solve.
+        iter: usize,
+        /// Barrier parameter μ at this iteration.
+        mu: f64,
+        /// Unperturbed KKT error at the iterate.
+        kkt_error: f64,
+        /// Constraint violation θ = ‖c(x)‖₁.
+        theta: f64,
+        /// Filter line-search rejections before acceptance.
+        backtracks: usize,
+        /// Whether the filter accepted a step this iteration.
+        accepted: bool,
+    },
+    /// An interior-point solve terminated (`pu` is `None`).
+    IpmDone {
+        /// `"optimal"`, `"max_iterations"` or `"line_search_failure"`.
+        status: String,
+        /// Iterations used.
+        iterations: usize,
+    },
+}
+
+impl EventKind {
+    /// Short machine name of the variant (the JSONL `kind` tag).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::RunStart { .. } => "run_start",
+            EventKind::TaskSubmit { .. } => "task_submit",
+            EventKind::TaskStart { .. } => "task_start",
+            EventKind::TaskFinish { .. } => "task_finish",
+            EventKind::SlowdownSet { .. } => "slowdown_set",
+            EventKind::DeviceFailed => "device_failed",
+            EventKind::DeviceRestored => "device_restored",
+            EventKind::Stalled { .. } => "stalled",
+            EventKind::RunEnd { .. } => "run_end",
+            EventKind::ProbeIssued { .. } => "probe_issued",
+            EventKind::CurveFit { .. } => "curve_fit",
+            EventKind::ModelingDone { .. } => "modeling_done",
+            EventKind::BlockSolve { .. } => "block_solve",
+            EventKind::RebalanceTriggered { .. } => "rebalance_triggered",
+            EventKind::IpmIteration { .. } => "ipm_iteration",
+            EventKind::IpmDone { .. } => "ipm_done",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Global sequence number (gaps reveal ring-buffer overwrites).
+    pub seq: u64,
+    /// Timestamp, seconds (virtual for the simulator, wall-clock for the
+    /// host engine). Non-decreasing per `pu`.
+    pub t: f64,
+    /// The processing unit the event concerns, when there is one.
+    pub pu: Option<usize>,
+    /// The event payload.
+    #[serde(flatten)]
+    pub kind: EventKind,
+}
+
+/// Bounded, overwrite-oldest event buffer. See the module docs for the
+/// concurrency and clamping contract.
+#[derive(Debug, Clone)]
+pub struct EventSink {
+    buf: Vec<Event>,
+    /// Index of the oldest element once the buffer has wrapped.
+    head: usize,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+    /// Per-PU monotonicity clamp; index = pu, last slot unused for
+    /// global events (those clamp against `last_global`).
+    last_t: Vec<f64>,
+    last_global: f64,
+}
+
+impl Default for EventSink {
+    fn default() -> Self {
+        EventSink::new(DEFAULT_SINK_CAPACITY)
+    }
+}
+
+impl EventSink {
+    /// Create a sink holding at most `capacity` events.
+    pub fn new(capacity: usize) -> EventSink {
+        EventSink {
+            buf: Vec::new(),
+            head: 0,
+            capacity: capacity.max(1),
+            next_seq: 0,
+            dropped: 0,
+            last_t: Vec::new(),
+            last_global: 0.0,
+        }
+    }
+
+    /// Record one event at time `t` (clamped non-decreasing per unit).
+    pub fn record(&mut self, t: f64, pu: Option<usize>, kind: EventKind) {
+        let t = if t.is_finite() { t } else { self.last_global };
+        let t = match pu {
+            Some(p) => {
+                if self.last_t.len() <= p {
+                    self.last_t.resize(p + 1, 0.0);
+                }
+                let clamped = t.max(self.last_t[p]);
+                self.last_t[p] = clamped;
+                clamped
+            }
+            None => t.max(self.last_global),
+        };
+        self.last_global = self.last_global.max(t);
+        let ev = Event {
+            seq: self.next_seq,
+            t,
+            pu,
+            kind,
+        };
+        self.next_seq += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events overwritten because the ring wrapped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever recorded (held + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Aggregate counters over the held events (plus the drop count).
+    pub fn counters(&self) -> EventCounters {
+        let mut c = EventCounters::from_events(self.events().iter());
+        c.dropped = self.dropped;
+        c
+    }
+}
+
+/// Aggregate event counts of one run — carried on
+/// [`RunReport`](crate::metrics::RunReport) so every figure harness sees
+/// the decision-level totals without touching the event stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventCounters {
+    /// Task submissions accepted by the engine.
+    pub tasks_submitted: u64,
+    /// Task completions.
+    pub tasks_finished: u64,
+    /// Modeling-phase probe blocks issued.
+    pub probes: u64,
+    /// Curve-fit attempts (modeling gate + rebalancing refits).
+    pub curve_fits: u64,
+    /// Fit attempts that were rejected (previous model kept).
+    pub fit_rejections: u64,
+    /// Block-size selections (interior-point solve or fallback).
+    pub solves: u64,
+    /// Rebalance triggers (divergence threshold or device loss).
+    pub rebalances: u64,
+    /// Interior-point iterations across all solves.
+    pub ipm_iterations: u64,
+    /// Filter line-search rejections across all solves.
+    pub ipm_backtracks: u64,
+    /// Perturbations applied (slowdowns, failures, restorations).
+    pub perturbations: u64,
+    /// Device failures among the perturbations.
+    pub device_failures: u64,
+    /// Stall errors.
+    pub stalls: u64,
+    /// Events lost to ring-buffer overwrite (counts may undercount when
+    /// nonzero).
+    pub dropped: u64,
+}
+
+impl EventCounters {
+    /// Tally counters from an event stream.
+    pub fn from_events<'a>(events: impl Iterator<Item = &'a Event>) -> EventCounters {
+        let mut c = EventCounters::default();
+        for e in events {
+            match &e.kind {
+                EventKind::TaskSubmit { .. } => c.tasks_submitted += 1,
+                EventKind::TaskFinish { .. } => c.tasks_finished += 1,
+                EventKind::ProbeIssued { .. } => c.probes += 1,
+                EventKind::CurveFit { accepted, .. } => {
+                    c.curve_fits += 1;
+                    if !accepted {
+                        c.fit_rejections += 1;
+                    }
+                }
+                EventKind::BlockSolve { .. } => c.solves += 1,
+                EventKind::RebalanceTriggered { .. } => c.rebalances += 1,
+                EventKind::IpmIteration { backtracks, .. } => {
+                    c.ipm_iterations += 1;
+                    c.ipm_backtracks += *backtracks as u64;
+                }
+                EventKind::SlowdownSet { .. } | EventKind::DeviceRestored => {
+                    c.perturbations += 1;
+                }
+                EventKind::DeviceFailed => {
+                    c.perturbations += 1;
+                    c.device_failures += 1;
+                }
+                EventKind::Stalled { .. } => c.stalls += 1,
+                EventKind::RunStart { .. }
+                | EventKind::TaskStart { .. }
+                | EventKind::RunEnd { .. }
+                | EventKind::ModelingDone { .. }
+                | EventKind::IpmDone { .. } => {}
+            }
+        }
+        c
+    }
+}
+
+/// First line of an exported trace file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceHeader {
+    /// Trace format version ([`TRACE_FORMAT_VERSION`]).
+    pub version: u32,
+    /// Policy that produced the run.
+    pub policy: String,
+    /// Unit display names, indexed by unit id.
+    pub pu_names: Vec<String>,
+}
+
+/// Serialize a run (header, busy segments, decision events) to JSONL:
+/// one JSON object per line, each tagged with a `"rec"` field of
+/// `"header"`, `"segment"` or `"event"`. The format is documented in
+/// `docs/OBSERVABILITY.md`.
+pub fn write_jsonl(header: &TraceHeader, segments: &[Segment], events: &[Event]) -> String {
+    fn tagged(rec: &str, value: serde_json::Value) -> String {
+        let mut obj = value;
+        if let Some(map) = obj.as_object_mut() {
+            map.insert("rec".into(), serde_json::Value::String(rec.into()));
+        }
+        serde_json::to_string(&obj).expect("trace records serialize")
+    }
+    let mut out = String::new();
+    out.push_str(&tagged(
+        "header",
+        serde_json::to_value(header).expect("header serializes"),
+    ));
+    out.push('\n');
+    for s in segments {
+        out.push_str(&tagged(
+            "segment",
+            serde_json::to_value(s).expect("segment serializes"),
+        ));
+        out.push('\n');
+    }
+    for e in events {
+        out.push_str(&tagged(
+            "event",
+            serde_json::to_value(e).expect("event serializes"),
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+/// A parsed trace file: everything needed to re-derive Gantt charts,
+/// idle accounting, fit timelines and rebalance history offline.
+#[derive(Debug, Clone)]
+pub struct TraceData {
+    /// The file header.
+    pub header: TraceHeader,
+    /// Busy segments, in recorded order.
+    pub segments: Vec<Segment>,
+    /// Decision events, oldest first.
+    pub events: Vec<Event>,
+}
+
+impl TraceData {
+    /// Parse a JSONL trace produced by [`write_jsonl`].
+    pub fn parse_jsonl(text: &str) -> Result<TraceData, String> {
+        let mut header: Option<TraceHeader> = None;
+        let mut segments = Vec::new();
+        let mut events = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut v: serde_json::Value = serde_json::from_str(line)
+                .map_err(|e| format!("line {}: invalid JSON: {e}", lineno + 1))?;
+            let rec = v
+                .get("rec")
+                .and_then(|r| r.as_str())
+                .ok_or_else(|| format!("line {}: missing \"rec\" tag", lineno + 1))?
+                .to_string();
+            if let Some(map) = v.as_object_mut() {
+                map.remove("rec");
+            }
+            match rec.as_str() {
+                "header" => {
+                    let h: TraceHeader = serde_json::from_value(v)
+                        .map_err(|e| format!("line {}: bad header: {e}", lineno + 1))?;
+                    if h.version > TRACE_FORMAT_VERSION {
+                        return Err(format!(
+                            "trace format version {} is newer than supported {}",
+                            h.version, TRACE_FORMAT_VERSION
+                        ));
+                    }
+                    header = Some(h);
+                }
+                "segment" => segments.push(
+                    serde_json::from_value(v)
+                        .map_err(|e| format!("line {}: bad segment: {e}", lineno + 1))?,
+                ),
+                "event" => events.push(
+                    serde_json::from_value(v)
+                        .map_err(|e| format!("line {}: bad event: {e}", lineno + 1))?,
+                ),
+                other => return Err(format!("line {}: unknown record \"{other}\"", lineno + 1)),
+            }
+        }
+        let header = header.ok_or("trace file has no header line")?;
+        Ok(TraceData {
+            header,
+            segments,
+            events,
+        })
+    }
+
+    /// Number of processing units the trace covers.
+    pub fn n_pus(&self) -> usize {
+        self.header.pu_names.len().max(
+            self.segments
+                .iter()
+                .map(|s| s.pu + 1)
+                .chain(self.events.iter().filter_map(|e| e.pu.map(|p| p + 1)))
+                .max()
+                .unwrap_or(0),
+        )
+    }
+
+    /// Rebuild a [`Trace`] from the stored segments (for Gantt rendering
+    /// and idle accounting).
+    pub fn to_trace(&self) -> Trace {
+        Trace::from_segments(self.n_pus(), self.segments.clone())
+    }
+
+    /// Aggregate event counters of the stored stream.
+    pub fn counters(&self) -> EventCounters {
+        EventCounters::from_events(self.events.iter())
+    }
+
+    /// Human-readable run summary: per-PU Gantt totals, idle-time
+    /// breakdown, fit-quality timeline, solver activity, and rebalance
+    /// history. This is what `plb trace` prints.
+    pub fn summarize(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let n = self.n_pus();
+        let trace = self.to_trace();
+        let ms = trace.makespan();
+        let name_of = |p: usize| -> String {
+            self.header
+                .pu_names
+                .get(p)
+                .cloned()
+                .unwrap_or_else(|| format!("PU{p}"))
+        };
+        let name_w = (0..n).map(|p| name_of(p).len()).max().unwrap_or(4).max(4);
+
+        let _ = writeln!(out, "policy    : {}", self.header.policy);
+        let _ = writeln!(out, "makespan  : {ms:.6} s");
+        let _ = writeln!(
+            out,
+            "records   : {} segments, {} events",
+            self.segments.len(),
+            self.events.len()
+        );
+
+        // Per-PU Gantt summary and idle breakdown.
+        let _ = writeln!(out, "\nper-unit time accounting:");
+        let _ = writeln!(
+            out,
+            "  {:<name_w$} {:>7} {:>11} {:>11} {:>11} {:>7}",
+            "unit", "tasks", "compute", "transfer", "idle", "idle%"
+        );
+        for p in 0..n {
+            let (mut compute, mut transfer, mut tasks) = (0.0f64, 0.0f64, 0usize);
+            for s in self.segments.iter().filter(|s| s.pu == p) {
+                match s.kind {
+                    SegmentKind::Compute => {
+                        compute += s.duration();
+                        tasks += 1;
+                    }
+                    SegmentKind::Transfer => transfer += s.duration(),
+                }
+            }
+            let idle = (ms - compute - transfer).max(0.0);
+            let idle_pct = if ms > 0.0 { idle / ms * 100.0 } else { 0.0 };
+            let _ = writeln!(
+                out,
+                "  {:<name_w$} {:>7} {:>10.4}s {:>10.4}s {:>10.4}s {:>6.1}%",
+                name_of(p),
+                tasks,
+                compute,
+                transfer,
+                idle,
+                idle_pct
+            );
+        }
+
+        // Fit-quality timeline.
+        let fits: Vec<&Event> = self
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::CurveFit { .. }))
+            .collect();
+        if !fits.is_empty() {
+            let _ = writeln!(out, "\nfit-quality timeline:");
+            for e in &fits {
+                if let EventKind::CurveFit {
+                    r2_f,
+                    r2_g,
+                    basis_f,
+                    samples,
+                    accepted,
+                } = &e.kind
+                {
+                    let pu = e.pu.map(name_of).unwrap_or_else(|| "-".into());
+                    let _ = writeln!(
+                        out,
+                        "  t={:>10.6}s {:<name_w$} R²(F)={:.3} R²(G)={:.3} n={:<3} {} {}",
+                        e.t,
+                        pu,
+                        r2_f,
+                        r2_g,
+                        samples,
+                        if *accepted { "accepted" } else { "REJECTED" },
+                        basis_f
+                    );
+                }
+            }
+        }
+
+        // Solver activity.
+        let solves: Vec<&Event> = self
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::BlockSolve { .. }))
+            .collect();
+        if !solves.is_empty() {
+            let _ = writeln!(out, "\nblock-size selections:");
+            for e in &solves {
+                if let EventKind::BlockSolve {
+                    window,
+                    method,
+                    iterations,
+                    solve_s,
+                    predicted_s,
+                } = &e.kind
+                {
+                    let _ = writeln!(
+                        out,
+                        "  t={:>10.6}s window={:<9} {:<16} iters={:<3} solve={:.6}s predicted={:.6}s",
+                        e.t, window, method, iterations, solve_s, predicted_s
+                    );
+                }
+            }
+        }
+
+        // Rebalance history.
+        let rebalances: Vec<&Event> = self
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::RebalanceTriggered { .. }))
+            .collect();
+        let _ = writeln!(out, "\nrebalances: {}", rebalances.len());
+        for e in &rebalances {
+            if let EventKind::RebalanceTriggered {
+                trigger,
+                expected_s,
+                observed_s,
+                divergence,
+            } = &e.kind
+            {
+                let pu = e.pu.map(name_of).unwrap_or_else(|| "-".into());
+                let _ = writeln!(
+                    out,
+                    "  t={:>10.6}s {:<name_w$} {} expected={:.6}s observed={:.6}s divergence={:.1}%",
+                    e.t,
+                    pu,
+                    trigger,
+                    expected_s,
+                    observed_s,
+                    divergence * 100.0
+                );
+            }
+        }
+
+        // Aggregate counters.
+        let c = self.counters();
+        let _ = writeln!(out, "\nevent counters:");
+        let _ = writeln!(
+            out,
+            "  tasks={}/{} probes={} fits={} (rejected {}) solves={} rebalances={}",
+            c.tasks_finished,
+            c.tasks_submitted,
+            c.probes,
+            c.curve_fits,
+            c.fit_rejections,
+            c.solves,
+            c.rebalances
+        );
+        let _ = writeln!(
+            out,
+            "  ipm: {} iterations, {} backtracks; perturbations={} stalls={} dropped={}",
+            c.ipm_iterations, c.ipm_backtracks, c.perturbations, c.stalls, c.dropped
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskId;
+    use plb_hetsim::PuId;
+
+    fn fill(sink: &mut EventSink, n: usize) {
+        for i in 0..n {
+            sink.record(
+                i as f64,
+                Some(0),
+                EventKind::TaskSubmit {
+                    task: i as u64,
+                    items: 1,
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn ring_buffer_overwrites_oldest() {
+        let mut sink = EventSink::new(4);
+        fill(&mut sink, 6);
+        assert_eq!(sink.len(), 4);
+        assert_eq!(sink.dropped(), 2);
+        assert_eq!(sink.recorded(), 6);
+        let evs = sink.events();
+        // Oldest two (seq 0, 1) were overwritten.
+        assert_eq!(evs.first().unwrap().seq, 2);
+        assert_eq!(evs.last().unwrap().seq, 5);
+        // Still chronological.
+        for w in evs.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+            assert!(w[0].t <= w[1].t);
+        }
+    }
+
+    #[test]
+    fn timestamps_clamped_monotone_per_pu() {
+        let mut sink = EventSink::new(16);
+        sink.record(5.0, Some(1), EventKind::TaskStart { task: 0, items: 1 });
+        // An earlier-stamped event on the same unit is clamped forward.
+        sink.record(3.0, Some(1), EventKind::DeviceFailed);
+        // Other units are unaffected.
+        sink.record(3.0, Some(0), EventKind::DeviceFailed);
+        let evs = sink.events();
+        assert_eq!(evs[1].t, 5.0);
+        assert_eq!(evs[2].t, 3.0);
+    }
+
+    #[test]
+    fn counters_tally_kinds() {
+        let mut sink = EventSink::new(64);
+        sink.record(
+            0.0,
+            Some(0),
+            EventKind::ProbeIssued {
+                items: 10,
+                round: 1,
+            },
+        );
+        sink.record(
+            0.1,
+            Some(0),
+            EventKind::CurveFit {
+                r2_f: 0.99,
+                r2_g: 1.0,
+                basis_f: "a + b·x".into(),
+                samples: 4,
+                accepted: true,
+            },
+        );
+        sink.record(
+            0.2,
+            Some(1),
+            EventKind::CurveFit {
+                r2_f: 0.1,
+                r2_g: 0.0,
+                basis_f: "?".into(),
+                samples: 2,
+                accepted: false,
+            },
+        );
+        sink.record(
+            0.3,
+            None,
+            EventKind::IpmIteration {
+                iter: 0,
+                mu: 0.1,
+                kkt_error: 1.0,
+                theta: 0.5,
+                backtracks: 3,
+                accepted: true,
+            },
+        );
+        sink.record(
+            0.4,
+            None,
+            EventKind::BlockSolve {
+                window: 100,
+                method: "interior-point".into(),
+                iterations: 9,
+                solve_s: 1e-4,
+                predicted_s: 0.5,
+            },
+        );
+        sink.record(
+            0.5,
+            Some(0),
+            EventKind::RebalanceTriggered {
+                trigger: "divergence".into(),
+                expected_s: 1.0,
+                observed_s: 2.0,
+                divergence: 1.0,
+            },
+        );
+        sink.record(0.6, Some(1), EventKind::DeviceFailed);
+        let c = sink.counters();
+        assert_eq!(c.probes, 1);
+        assert_eq!(c.curve_fits, 2);
+        assert_eq!(c.fit_rejections, 1);
+        assert_eq!(c.ipm_iterations, 1);
+        assert_eq!(c.ipm_backtracks, 3);
+        assert_eq!(c.solves, 1);
+        assert_eq!(c.rebalances, 1);
+        assert_eq!(c.perturbations, 1);
+        assert_eq!(c.device_failures, 1);
+        assert_eq!(c.dropped, 0);
+    }
+
+    fn sample_trace_data() -> TraceData {
+        let mut trace = Trace::new(2);
+        trace.record_task(PuId(0), TaskId(0), 100, 0.0, 0.5, 1.5);
+        trace.record_task(PuId(1), TaskId(1), 50, 0.0, 0.0, 1.0);
+        let mut sink = EventSink::new(64);
+        sink.record(
+            0.0,
+            None,
+            EventKind::RunStart {
+                policy: "test".into(),
+                total_items: 150,
+                n_pus: 2,
+            },
+        );
+        sink.record(
+            0.0,
+            Some(0),
+            EventKind::TaskSubmit {
+                task: 0,
+                items: 100,
+            },
+        );
+        sink.record(
+            2.0,
+            Some(0),
+            EventKind::TaskFinish {
+                task: 0,
+                items: 100,
+                xfer_s: 0.5,
+                proc_s: 1.5,
+            },
+        );
+        sink.record(
+            2.0,
+            None,
+            EventKind::RunEnd {
+                makespan_s: 2.0,
+                total_items: 150,
+            },
+        );
+        TraceData {
+            header: TraceHeader {
+                version: TRACE_FORMAT_VERSION,
+                policy: "test".into(),
+                pu_names: vec!["cpu".into(), "gpu".into()],
+            },
+            segments: trace.segments().to_vec(),
+            events: sink.events(),
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let data = sample_trace_data();
+        let text = write_jsonl(&data.header, &data.segments, &data.events);
+        let parsed = TraceData::parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.header, data.header);
+        assert_eq!(parsed.segments.len(), data.segments.len());
+        assert_eq!(parsed.events, data.events);
+        // The reconstructed trace matches the original accounting.
+        let t = parsed.to_trace();
+        assert_eq!(t.n_pus(), 2);
+        assert_eq!(t.makespan(), 2.0);
+        assert_eq!(t.items_per_pu(), vec![100, 50]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(TraceData::parse_jsonl("not json\n").is_err());
+        assert!(TraceData::parse_jsonl("{\"rec\":\"mystery\"}\n").is_err());
+        // No header at all.
+        assert!(TraceData::parse_jsonl("").is_err());
+        // A newer version is refused rather than misread.
+        let newer = format!(
+            "{{\"rec\":\"header\",\"version\":{},\"policy\":\"x\",\"pu_names\":[]}}",
+            TRACE_FORMAT_VERSION + 1
+        );
+        assert!(TraceData::parse_jsonl(&newer).is_err());
+    }
+
+    #[test]
+    fn summary_mentions_units_and_counters() {
+        let data = sample_trace_data();
+        let s = data.summarize();
+        assert!(s.contains("cpu"));
+        assert!(s.contains("gpu"));
+        assert!(s.contains("rebalances: 0"));
+        assert!(s.contains("makespan"));
+        assert!(s.contains("event counters"));
+    }
+
+    #[test]
+    fn event_kind_names_are_stable() {
+        assert_eq!(EventKind::DeviceFailed.name(), "device_failed");
+        assert_eq!(EventKind::Stalled { remaining: 1 }.name(), "stalled");
+        // The serde tag matches `name()` (the schema contract the docs
+        // rely on).
+        let e = Event {
+            seq: 0,
+            t: 0.0,
+            pu: None,
+            kind: EventKind::ModelingDone { items_used: 7 },
+        };
+        let v = serde_json::to_value(&e).unwrap();
+        assert_eq!(v["kind"], "modeling_done");
+        assert_eq!(v["items_used"], 7);
+    }
+}

@@ -10,6 +10,7 @@
 
 use crate::codelet::{Codelet, PuResources};
 use crate::engine::RunError;
+use crate::events::{EventKind, EventSink};
 use crate::metrics::RunReport;
 use crate::policy::{Policy, PuHandle, SchedulerCtx};
 use crate::task::{TaskId, TaskInfo};
@@ -72,6 +73,7 @@ struct HostState {
     cursor: u64,
     next_task: u64,
     epoch: Instant,
+    events: EventSink,
 }
 
 impl SchedulerCtx for HostState {
@@ -105,6 +107,15 @@ impl SchedulerCtx for HostState {
         let offset = self.cursor;
         self.cursor += items;
         self.inflight[pu.0] = Some(task);
+        let now = self.epoch.elapsed().as_secs_f64();
+        self.events.record(
+            now,
+            Some(pu.0),
+            EventKind::TaskSubmit {
+                task: task.0,
+                items,
+            },
+        );
         self.senders[pu.0]
             .send(Assignment {
                 task,
@@ -125,6 +136,11 @@ impl SchedulerCtx for HostState {
 
     fn charge_overhead(&mut self, _seconds: f64) {
         // Wall-clock already elapsed while the scheduler computed.
+    }
+
+    fn emit_event(&mut self, pu: Option<usize>, kind: EventKind) {
+        let now = self.epoch.elapsed().as_secs_f64();
+        self.events.record(now, pu, kind);
     }
 }
 
@@ -165,6 +181,7 @@ pub struct HostEngine {
     pus: Vec<HostPu>,
     perturbations: Vec<HostPerturbation>,
     last_trace: Option<Trace>,
+    last_events: Option<EventSink>,
 }
 
 impl HostEngine {
@@ -176,6 +193,7 @@ impl HostEngine {
             pus,
             perturbations: Vec::new(),
             last_trace: None,
+            last_events: None,
         }
     }
 
@@ -268,8 +286,18 @@ impl HostEngine {
             cursor: 0,
             next_task: 0,
             epoch,
+            events: EventSink::default(),
         };
         let mut trace = Trace::new(n);
+        st.events.record(
+            0.0,
+            None,
+            EventKind::RunStart {
+                policy: policy.name().to_string(),
+                total_items,
+                n_pus: n,
+            },
+        );
 
         policy.on_start(&mut st);
 
@@ -278,15 +306,41 @@ impl HostEngine {
                 break Ok(());
             }
             if !st.any_busy() {
+                let at = st.now();
+                st.events.record(
+                    at,
+                    None,
+                    EventKind::Stalled {
+                        remaining: st.remaining,
+                    },
+                );
                 break Err(RunError::Stalled {
                     remaining: st.remaining,
-                    at: st.now(),
+                    at,
                 });
             }
             let c = done_rx.recv().expect("workers alive while tasks in flight");
             debug_assert_eq!(st.inflight[c.pu.0], Some(c.task));
             st.inflight[c.pu.0] = None;
             trace.record_task(c.pu, c.task, c.items, c.started_at, 0.0, c.proc_time);
+            st.events.record(
+                c.started_at,
+                Some(c.pu.0),
+                EventKind::TaskStart {
+                    task: c.task.0,
+                    items: c.items,
+                },
+            );
+            st.events.record(
+                c.started_at + c.proc_time,
+                Some(c.pu.0),
+                EventKind::TaskFinish {
+                    task: c.task.0,
+                    items: c.items,
+                    xfer_s: 0.0,
+                    proc_s: c.proc_time,
+                },
+            );
             let info = TaskInfo {
                 task_id: c.task,
                 pu: c.pu,
@@ -305,18 +359,39 @@ impl HostEngine {
         for j in joins {
             j.join().expect("worker thread exits cleanly");
         }
+        if result.is_ok() {
+            st.events.record(
+                st.epoch.elapsed().as_secs_f64(),
+                None,
+                EventKind::RunEnd {
+                    makespan_s: trace.makespan(),
+                    total_items,
+                },
+            );
+        }
+        let counters = st.events.counters();
+        self.last_events = Some(std::mem::take(&mut st.events));
+        self.last_trace = Some(trace);
         result?;
 
         let names: Vec<String> = self.pus.iter().map(|p| p.name.clone()).collect();
-        let report =
-            RunReport::from_trace(policy.name(), &trace, &names, policy.block_distribution());
-        self.last_trace = Some(trace);
+        let trace = self.last_trace.as_ref().expect("stored above");
+        let mut report =
+            RunReport::from_trace(policy.name(), trace, &names, policy.block_distribution());
+        report.rebalances = counters.rebalances as usize;
+        report.events = counters;
         Ok(report)
     }
 
     /// The trace of the most recent successful run.
     pub fn last_trace(&self) -> Option<&Trace> {
         self.last_trace.as_ref()
+    }
+
+    /// The structured event stream of the most recent run (also kept on
+    /// a stalled run for post-mortems). See [`crate::events`].
+    pub fn last_events(&self) -> Option<&EventSink> {
+        self.last_events.as_ref()
     }
 }
 
@@ -419,15 +494,15 @@ mod tests {
             kind: PuKind::Cpu,
             threads: 1,
         }])
-        .with_perturbations(vec![HostPerturbation { pu: 0, after_tasks: 2, repeat: 4 }]);
+        .with_perturbations(vec![HostPerturbation {
+            pu: 0,
+            after_tasks: 2,
+            repeat: 4,
+        }]);
         let mut policy = FixedBlockPolicy { block: 20_000 };
         engine.run(&mut policy, codelet, 80_000).unwrap();
         let trace = engine.last_trace().unwrap();
-        let durations: Vec<f64> = trace
-            .segments()
-            .iter()
-            .map(|s| s.end - s.start)
-            .collect();
+        let durations: Vec<f64> = trace.segments().iter().map(|s| s.end - s.start).collect();
         assert_eq!(durations.len(), 4);
         let before = (durations[0] + durations[1]) / 2.0;
         let after = (durations[2] + durations[3]) / 2.0;
@@ -440,15 +515,44 @@ mod tests {
     #[test]
     fn repeat_for_picks_strongest_active_drift() {
         let p = vec![
-            HostPerturbation { pu: 0, after_tasks: 2, repeat: 3 },
-            HostPerturbation { pu: 0, after_tasks: 5, repeat: 7 },
-            HostPerturbation { pu: 1, after_tasks: 0, repeat: 2 },
+            HostPerturbation {
+                pu: 0,
+                after_tasks: 2,
+                repeat: 3,
+            },
+            HostPerturbation {
+                pu: 0,
+                after_tasks: 5,
+                repeat: 7,
+            },
+            HostPerturbation {
+                pu: 1,
+                after_tasks: 0,
+                repeat: 2,
+            },
         ];
         assert_eq!(repeat_for(&p, 0, 0), 1);
         assert_eq!(repeat_for(&p, 0, 2), 3);
         assert_eq!(repeat_for(&p, 0, 9), 7);
         assert_eq!(repeat_for(&p, 1, 0), 2);
         assert_eq!(repeat_for(&p, 2, 100), 1);
+    }
+
+    #[test]
+    fn events_recorded_on_host_runs() {
+        let codelet = Arc::new(FnCodelet::new("noop", |_, _| {}));
+        let mut engine = HostEngine::new(two_unequal_pus());
+        let report = engine
+            .run(&mut FixedBlockPolicy { block: 250 }, codelet, 1_000)
+            .unwrap();
+        let events = engine.last_events().expect("events recorded").events();
+        assert!(matches!(events[0].kind, EventKind::RunStart { .. }));
+        assert!(matches!(
+            events.last().unwrap().kind,
+            EventKind::RunEnd { .. }
+        ));
+        assert_eq!(report.events.tasks_finished, report.tasks as u64);
+        assert_eq!(report.events.tasks_submitted, report.tasks as u64);
     }
 
     #[test]

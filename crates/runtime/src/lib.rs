@@ -23,10 +23,14 @@
 //!   per-unit memory nodes, and a transfer ledger.
 //! * [`trace`] — Gantt segments, per-unit busy/idle accounting, and the
 //!   run reports from which every figure of the paper is regenerated.
+//! * [`events`] — structured decision-level event tracing (probes, curve
+//!   fits, solves, rebalances, perturbations) with JSONL export; see
+//!   `docs/OBSERVABILITY.md` for the schema.
 
 pub mod codelet;
 pub mod data;
 pub mod engine;
+pub mod events;
 pub mod host;
 pub mod metrics;
 pub mod policy;
@@ -36,6 +40,10 @@ pub mod trace;
 pub use codelet::{Codelet, FnCodelet, PuResources};
 pub use data::{DataHandle, DataRegistry, MemNode, TransferRecord};
 pub use engine::{Perturbation, PerturbationKind, RunError, SimEngine};
+pub use events::{
+    write_jsonl, Event, EventCounters, EventKind, EventSink, TraceData, TraceHeader,
+    TRACE_FORMAT_VERSION,
+};
 pub use host::{HostEngine, HostPerturbation, HostPu};
 pub use metrics::{PuReport, RunReport};
 pub use policy::{FixedBlockPolicy, Policy, PuHandle, SchedulerCtx};

@@ -1,5 +1,6 @@
 //! Run reports: the per-experiment summary every figure is built from.
 
+use crate::events::EventCounters;
 use crate::trace::Trace;
 use plb_hetsim::PuId;
 use serde::Serialize;
@@ -42,6 +43,12 @@ pub struct RunReport {
     /// Number of rebalance events the policy reported (via task
     /// counting in the engine: set by the caller when known).
     pub rebalances: usize,
+    /// Aggregate decision-level event counts (probes, fits, solves,
+    /// rebalances, perturbations) from the run's
+    /// [`EventSink`](crate::events::EventSink). Zeroed when the run was
+    /// executed without event tracing.
+    #[serde(default)]
+    pub events: EventCounters,
 }
 
 impl RunReport {
@@ -81,6 +88,7 @@ impl RunReport {
             pus,
             block_distribution,
             rebalances: 0,
+            events: EventCounters::default(),
         }
     }
 

@@ -7,6 +7,7 @@
 //! trait in the `plb-hec` crate, and run unchanged on both the
 //! discrete-event and the real-thread engines.
 
+use crate::events::EventKind;
 use crate::task::TaskInfo;
 use plb_hetsim::{PuId, PuKind};
 
@@ -61,6 +62,14 @@ pub trait SchedulerCtx {
     /// the host engine the time has already passed for real, so it is a
     /// no-op there.
     fn charge_overhead(&mut self, seconds: f64);
+
+    /// Record a structured decision-level event at the current time,
+    /// attributed to `pu` when one is involved. Policies use this to
+    /// surface their internal decisions (probe issued, curve fit, solve,
+    /// rebalance) in the run's event stream — see
+    /// [`crate::events`]. The default discards the event, so contexts
+    /// without a sink (tests, minimal embeddings) need no extra code.
+    fn emit_event(&mut self, _pu: Option<usize>, _kind: EventKind) {}
 }
 
 /// A scheduling policy. Implementations live in the `plb-hec` crate; the

@@ -6,10 +6,10 @@
 
 use crate::task::TaskId;
 use plb_hetsim::PuId;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// What a unit was doing during a segment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SegmentKind {
     /// Moving input/result data.
     Transfer,
@@ -18,7 +18,7 @@ pub enum SegmentKind {
 }
 
 /// One busy interval of one unit.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Segment {
     /// The unit.
     pub pu: usize,
@@ -54,6 +54,16 @@ impl Trace {
         Trace {
             segments: Vec::new(),
             n_pus,
+        }
+    }
+
+    /// Rebuild a trace from previously exported segments (e.g. a parsed
+    /// JSONL trace — see [`crate::events::TraceData`]).
+    pub fn from_segments(n_pus: usize, segments: Vec<Segment>) -> Trace {
+        let max_pu = segments.iter().map(|s| s.pu + 1).max().unwrap_or(0);
+        Trace {
+            segments,
+            n_pus: n_pus.max(max_pu),
         }
     }
 
@@ -282,8 +292,7 @@ mod tests {
         // 2 thread-name metadata events + 4 segments (one task has a
         // transfer prefix).
         assert_eq!(events.len(), 2 + t.segments().len());
-        let xs: Vec<&serde_json::Value> =
-            events.iter().filter(|e| e["ph"] == "X").collect();
+        let xs: Vec<&serde_json::Value> = events.iter().filter(|e| e["ph"] == "X").collect();
         assert_eq!(xs.len(), t.segments().len());
         for e in xs {
             assert!(e["ts"].as_f64().unwrap() >= 0.0);

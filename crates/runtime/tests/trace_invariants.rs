@@ -1,0 +1,158 @@
+//! Structural invariants of execution traces and event streams: the
+//! guarantees `docs/OBSERVABILITY.md` documents for trace consumers.
+//!
+//! * Per-PU Gantt segments never overlap (a unit runs one task at a
+//!   time) and carry non-negative durations.
+//! * Event timestamps are non-decreasing per PU.
+//! * `RunReport::from_trace` accounting is self-consistent:
+//!   `item_share` sums to 1 and `idle_fraction` complements
+//!   `busy / makespan`.
+//! * The JSONL export round-trips losslessly through
+//!   `TraceData::parse_jsonl`.
+
+use std::collections::HashMap;
+
+use plb_hetsim::cluster::ClusterOptions;
+use plb_hetsim::workload::LinearCost;
+use plb_hetsim::{cluster_scenario, ClusterSim, PuId, Scenario};
+use plb_runtime::policy::FixedBlockPolicy;
+use plb_runtime::{
+    write_jsonl, EventSink, RunReport, SimEngine, Trace, TraceData, TraceHeader,
+    TRACE_FORMAT_VERSION,
+};
+
+fn cluster() -> ClusterSim {
+    ClusterSim::build(
+        &cluster_scenario(Scenario::Two, false),
+        &ClusterOptions {
+            seed: 7,
+            noise_sigma: 0.01,
+            ..Default::default()
+        },
+    )
+}
+
+fn cost() -> LinearCost {
+    LinearCost {
+        label: "invariants".into(),
+        flops_per_item: 1e5,
+        in_bytes_per_item: 32.0,
+        out_bytes_per_item: 8.0,
+        threads_per_item: 32.0,
+    }
+}
+
+/// One instrumented run: the report, its trace, and its event stream.
+fn run() -> (RunReport, Trace, EventSink) {
+    let mut c = cluster();
+    let cost = cost();
+    let mut p = FixedBlockPolicy { block: 20_000 };
+    let mut engine = SimEngine::new(&mut c, &cost);
+    let report = engine.run(&mut p, 400_000).expect("run completes");
+    let trace = engine.last_trace().expect("trace recorded").clone();
+    let events = engine.last_events().expect("events recorded").clone();
+    (report, trace, events)
+}
+
+#[test]
+fn per_pu_segments_never_overlap() {
+    let (_, trace, _) = run();
+    let mut by_pu: HashMap<usize, Vec<(f64, f64)>> = HashMap::new();
+    for s in trace.segments() {
+        assert!(s.end >= s.start, "segment with negative duration: {s:?}");
+        by_pu.entry(s.pu).or_default().push((s.start, s.end));
+    }
+    assert!(!by_pu.is_empty(), "run produced no segments");
+    for (pu, mut spans) in by_pu {
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in spans.windows(2) {
+            assert!(
+                w[1].0 >= w[0].1 - 1e-12,
+                "pu {pu}: segment {:?} overlaps {:?}",
+                w[1],
+                w[0]
+            );
+        }
+    }
+}
+
+#[test]
+fn event_timestamps_monotone_per_pu() {
+    let (_, _, events) = run();
+    let mut last: HashMap<Option<usize>, f64> = HashMap::new();
+    let mut last_seq = None;
+    for e in events.events() {
+        let prev = last.entry(e.pu).or_insert(f64::NEG_INFINITY);
+        assert!(
+            e.t >= *prev,
+            "pu {:?}: timestamp {} < {} at seq {}",
+            e.pu,
+            e.t,
+            prev,
+            e.seq
+        );
+        *prev = e.t;
+        if let Some(s) = last_seq {
+            assert!(e.seq > s, "sequence numbers must strictly increase");
+        }
+        last_seq = Some(e.seq);
+    }
+}
+
+#[test]
+fn report_accounting_is_consistent() {
+    let (report, trace, _) = run();
+    let share_sum: f64 = report.pus.iter().map(|p| p.item_share).sum();
+    assert!(
+        (share_sum - 1.0).abs() < 1e-9,
+        "item shares sum to {share_sum}"
+    );
+    for (i, pu) in report.pus.iter().enumerate() {
+        let busy = trace.busy_time(PuId(i));
+        assert!((pu.busy_s - busy).abs() < 1e-12);
+        let expect_idle = 1.0 - busy / report.makespan;
+        assert!(
+            (pu.idle_fraction - expect_idle).abs() < 1e-9,
+            "pu {i}: idle {} vs 1 - busy/makespan {}",
+            pu.idle_fraction,
+            expect_idle
+        );
+        assert!((0.0..=1.0).contains(&pu.idle_fraction));
+    }
+    // Rebuilding the report from the same trace reproduces it.
+    let names: Vec<String> = report.pus.iter().map(|p| p.name.clone()).collect();
+    let rebuilt = RunReport::from_trace(&report.policy, &trace, &names, None);
+    assert_eq!(rebuilt.total_items, report.total_items);
+    assert_eq!(rebuilt.tasks, report.tasks);
+    assert_eq!(rebuilt.makespan, report.makespan);
+}
+
+#[test]
+fn jsonl_round_trip_is_lossless() {
+    let (report, trace, events) = run();
+    let header = TraceHeader {
+        version: TRACE_FORMAT_VERSION,
+        policy: report.policy.clone(),
+        pu_names: report.pus.iter().map(|p| p.name.clone()).collect(),
+    };
+    let stream = events.events();
+    let text = write_jsonl(&header, trace.segments(), &stream);
+
+    let parsed = TraceData::parse_jsonl(&text).expect("valid JSONL parses");
+    assert_eq!(parsed.header, header);
+    assert_eq!(parsed.segments, trace.segments());
+    assert_eq!(parsed.events, stream);
+    assert_eq!(parsed.counters(), events.counters());
+
+    // The re-derived trace preserves the Gantt accounting.
+    let rebuilt = parsed.to_trace();
+    assert_eq!(rebuilt.n_pus(), trace.n_pus());
+    assert!((rebuilt.makespan() - trace.makespan()).abs() < 1e-12);
+    assert_eq!(rebuilt.items_per_pu(), trace.items_per_pu());
+
+    // And the summary renders without panicking, mentioning every unit.
+    let summary = parsed.summarize();
+    for p in &report.pus {
+        assert!(summary.contains(&p.name), "summary omits {}", p.name);
+    }
+}

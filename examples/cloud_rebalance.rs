@@ -16,7 +16,10 @@
 use plb_hec_suite::hetsim::cluster::ClusterOptions;
 use plb_hec_suite::hetsim::{cluster_scenario, ClusterSim, PuId, Scenario};
 use plb_hec_suite::plb::{GreedyPolicy, PlbHecPolicy, PolicyConfig};
-use plb_hec_suite::runtime::{Perturbation, PerturbationKind, SimEngine};
+use plb_hec_suite::runtime::{
+    write_jsonl, EventKind, Perturbation, PerturbationKind, SimEngine, TraceHeader,
+    TRACE_FORMAT_VERSION,
+};
 
 fn main() {
     let app = plb_hec_suite::apps::MatMul::new(16384);
@@ -69,6 +72,47 @@ fn main() {
     print!(
         "{}",
         engine.last_trace().expect("trace").ascii_gantt(&names, 96)
+    );
+
+    // The structured event stream shows the decision trail behind the
+    // Gantt: when the threshold fired and by how much the block ran over.
+    let sink = engine.last_events().expect("events recorded");
+    for e in sink.events() {
+        if let EventKind::RebalanceTriggered {
+            ref trigger,
+            expected_s,
+            observed_s,
+            ..
+        } = e.kind
+        {
+            println!(
+                "\nrebalance at t={:.3}s on {}: {} (block expected {:.4}s, ran {:.4}s)",
+                e.t,
+                e.pu.map(|p| names[p].clone()).unwrap_or_else(|| "-".into()),
+                trigger,
+                expected_s,
+                observed_s
+            );
+        }
+    }
+
+    // Export the full trace for `plb trace --input <file>` (the JSONL
+    // schema is documented in docs/OBSERVABILITY.md).
+    let header = TraceHeader {
+        version: TRACE_FORMAT_VERSION,
+        policy: report.policy.clone(),
+        pu_names: names.clone(),
+    };
+    let jsonl = write_jsonl(
+        &header,
+        engine.last_trace().expect("trace").segments(),
+        &sink.events(),
+    );
+    let out = std::env::temp_dir().join("cloud_rebalance.trace.jsonl");
+    std::fs::write(&out, jsonl).expect("write event trace");
+    println!(
+        "\nwrote {} (inspect with `plb trace --input ...`)",
+        out.display()
     );
 
     // Greedy under the same drift.

@@ -35,7 +35,11 @@ fn main() {
     let mut policy = PlbHecPolicy::new(&cfg);
     let mut engine = SimEngine::new(&mut cluster, &cost);
     let report = engine.run(&mut policy, app.total_items()).expect("sim run");
-    println!("  makespan {:.3}s across {} units:", report.makespan, report.pus.len());
+    println!(
+        "  makespan {:.3}s across {} units:",
+        report.makespan,
+        report.pus.len()
+    );
     for pu in &report.pus {
         println!(
             "    {:8} {:>7} samples ({:>5.1}%)",
@@ -56,8 +60,16 @@ fn main() {
     let data = Arc::new(NnLayerData::generate(samples, 256, 128, 7));
     let codelet = Arc::new(NnLayerCodelet::new(Arc::clone(&data)));
     let mut host = HostEngine::new(vec![
-        HostPu { name: "wide".into(), kind: PuKind::Gpu, threads: 4 },
-        HostPu { name: "narrow".into(), kind: PuKind::Cpu, threads: 1 },
+        HostPu {
+            name: "wide".into(),
+            kind: PuKind::Gpu,
+            threads: 4,
+        },
+        HostPu {
+            name: "narrow".into(),
+            kind: PuKind::Cpu,
+            threads: 1,
+        },
     ]);
     let cfg = PolicyConfig::default().with_initial_block(100);
     let mut policy = PlbHecPolicy::new(&cfg);

@@ -151,7 +151,9 @@ fn host_wall_times_feed_plb_models() {
     // can actually outrun a 1-thread pool. On a single-core host (CI
     // containers!) the pools are genuinely equal and PLB-HeC correctly
     // measures a ~50/50 split — which is itself worth asserting.
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let items: Vec<u64> = report.pus.iter().map(|p| p.items).collect();
     if cores >= 4 {
         assert!(
@@ -189,7 +191,11 @@ fn host_qos_drift_triggers_real_rebalance() {
     }]);
     let mut policy = PlbHecPolicy::new(&cfg);
     let report = engine
-        .run(&mut policy, Arc::clone(&codelet) as Arc<dyn Codelet>, n as u64)
+        .run(
+            &mut policy,
+            Arc::clone(&codelet) as Arc<dyn Codelet>,
+            n as u64,
+        )
         .expect("host run completes under drift");
     assert_eq!(report.total_items, n as u64);
     assert!(
