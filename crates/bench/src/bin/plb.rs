@@ -26,7 +26,7 @@ use plb_hec::{
 };
 use plb_hetsim::cluster::ClusterOptions;
 use plb_hetsim::{cluster_scenario, ClusterSim, Scenario};
-use plb_runtime::{write_jsonl, Policy, RunReport, SimEngine, TraceData, TraceHeader};
+use plb_runtime::{write_jsonl, FaultPlan, Policy, RunReport, SimEngine, TraceData, TraceHeader};
 
 struct Args {
     cmd: String,
@@ -45,6 +45,7 @@ struct Args {
     trace: Option<String>,
     events: Option<String>,
     input: Option<String>,
+    faults: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -65,6 +66,7 @@ fn parse_args() -> Args {
         trace: None,
         events: None,
         input: None,
+        faults: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -111,6 +113,7 @@ fn parse_args() -> Args {
             "--trace" => a.trace = Some(next("--trace")),
             "--events" => a.events = Some(next("--events")),
             "--input" => a.input = Some(next("--input")),
+            "--faults" => a.faults = Some(next("--faults")),
             "-h" | "--help" => usage(""),
             other => usage(&format!("unknown argument {other}")),
         }
@@ -129,7 +132,7 @@ fn usage(err: &str) -> ! {
         "usage:\n  plb run     --app mm|grn|bs|nn --size N --machines 1-4 --policy \
          plb-hec|greedy|acosta|hdss\n              [--seed N] [--single-gpu] [--noise SIGMA] \
          [--json FILE] [--gantt FILE.svg] [--trace FILE.json]\n              [--events \
-         FILE.jsonl] [--cluster FILE.json]\n  plb compare --app \
+         FILE.jsonl] [--cluster FILE.json] [--faults SPEC]\n  plb compare --app \
          mm|grn|bs --size N --machines 1-4 [--seeds N] [--single-gpu]\n  plb cluster \
          [--machines 1-4] [--cluster FILE.json]\n  plb profile --app mm|grn|bs|nn --size N \
          [--machines 1-4|--cluster FILE.json] --profiles OUT.json\n  plb trace   --input \
@@ -138,7 +141,10 @@ fn usage(err: &str) -> ! {
          presets. `plb profile` probes each unit offline and saves its fitted models; \
          `plb run --policy static --profiles FILE` reuses them without any online probing. \
          `plb run --events` captures the structured decision-event trace \
-         (docs/OBSERVABILITY.md) that `plb trace` summarizes offline."
+         (docs/OBSERVABILITY.md) that `plb trace` summarizes offline. \
+         `plb run --faults` injects deterministic faults, e.g. \
+         'panic:pu=1,nth=3; flaky:pu=2,n=4; delay:pu=0,from=2,n=5,s=0.1' \
+         (docs/FAULT_TOLERANCE.md)."
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -219,6 +225,14 @@ fn print_report(report: &RunReport) {
         let pretty: Vec<String> = d.iter().map(|f| format!("{:.3}", f)).collect();
         let _ = writeln!(out, "distribution: [{}]", pretty.join(", "));
     }
+    let ev = &report.events;
+    if ev.task_failures > 0 || ev.task_retries > 0 || ev.quarantines > 0 {
+        let _ = writeln!(
+            out,
+            "faults    : {} failed, {} retried, {} quarantined, {} device losses",
+            ev.task_failures, ev.task_retries, ev.quarantines, ev.device_failures
+        );
+    }
     // Write in one shot, tolerating a closed pipe (e.g. `plb run | head`).
     use std::io::Write as _;
     let _ = std::io::stdout().write_all(out.as_bytes());
@@ -258,6 +272,11 @@ fn main() {
             };
             let mut policy = policy_of(&a.policy, &cfg, &a.profiles);
             let mut engine = SimEngine::new(&mut cluster, cost.as_ref());
+            if let Some(spec) = &a.faults {
+                let plan = FaultPlan::parse(spec)
+                    .unwrap_or_else(|e| usage(&format!("bad --faults spec: {e}")));
+                engine = engine.with_faults(plan);
+            }
             let report = engine
                 .run(policy.as_mut(), app.total_items())
                 .unwrap_or_else(|e| {

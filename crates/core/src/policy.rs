@@ -26,7 +26,7 @@ use crate::modeling::{ModelingController, ModelingStatus};
 use crate::profile::{PerfProfile, UnitModel};
 use crate::selection::{select_block_sizes_with, SelectionResult};
 use plb_hetsim::PuId;
-use plb_runtime::{EventKind, Policy, SchedulerCtx, TaskInfo};
+use plb_runtime::{EventKind, Policy, SchedulerCtx, TaskFailure, TaskInfo};
 
 enum Phase {
     Modeling,
@@ -209,6 +209,17 @@ impl PlbHecPolicy {
         self.selections.push(sel);
         self.last_finish.fill(None);
         self.extra_granted.fill(false);
+        // Arm the engine's watchdog with the model's prediction: a task
+        // deadline of k × E_p(x) only means something when E_p comes from
+        // the same fitted curves that sized the blocks.
+        for i in 0..self.blocks.len() {
+            if self.active[i] && self.blocks[i] > 0 {
+                let t = self.models[i].total_time(self.blocks[i] as f64);
+                if t.is_finite() && t > 0.0 {
+                    ctx.set_deadline_hint(PuId(i), t / self.blocks[i] as f64);
+                }
+            }
+        }
         for i in 0..self.blocks.len() {
             if self.active[i] && self.blocks[i] > 0 && !ctx.is_busy(PuId(i)) {
                 ctx.assign(PuId(i), self.blocks[i]);
@@ -505,6 +516,87 @@ impl Policy for PlbHecPolicy {
                     );
                     self.rebalances += 1;
                     self.reselect_and_dispatch(ctx);
+                }
+            }
+        }
+    }
+
+    fn on_device_restored(&mut self, ctx: &mut dyn SchedulerCtx, pu: PuId) {
+        if self.active[pu.0] {
+            return;
+        }
+        match self.phase {
+            Phase::Modeling => {
+                // A mid-modeling rejoin would need fresh probes for the
+                // unit and would distort the synchronized rounds; the
+                // unit sits out until the execution phase instead.
+            }
+            Phase::Executing => {
+                self.active[pu.0] = true;
+                self.last_finish[pu.0] = None;
+                if ctx.remaining_items() > 0 {
+                    // The survivors' split no longer includes the best
+                    // use of the restored unit: re-solve over the full
+                    // active set (its pre-quarantine model still holds).
+                    ctx.emit_event(
+                        Some(pu.0),
+                        EventKind::RebalanceTriggered {
+                            trigger: "device-restored".to_string(),
+                            expected_s: 0.0,
+                            observed_s: 0.0,
+                            divergence: 0.0,
+                        },
+                    );
+                    self.rebalances += 1;
+                    self.reselect_and_dispatch(ctx);
+                }
+            }
+        }
+    }
+
+    fn on_task_failed(&mut self, ctx: &mut dyn SchedulerCtx, failure: &TaskFailure) {
+        // Called once the failed task's items are back in the pool
+        // (retries exhausted or the unit quarantined). A quarantine also
+        // fires `on_device_lost`, which re-solves the split; this hook
+        // covers what that path cannot: putting the re-credited items
+        // back in flight on whoever is idle.
+        match self.phase {
+            Phase::Modeling => {
+                // A quarantine already went through `on_device_lost`,
+                // which deactivated the unit and cancelled its probe;
+                // cancelling again would corrupt the round gate. Only
+                // the retries-exhausted-while-still-active case still
+                // owes the controller a cancellation.
+                if !self.active[failure.pu.0] {
+                    return;
+                }
+                let Some(ctrl) = self.ctrl.as_mut() else {
+                    return;
+                };
+                // The probe measurement will never land; stop the round
+                // gate from waiting on it.
+                ctrl.cancel_probe(failure.pu.0, failure.items);
+                match ctrl.status() {
+                    ModelingStatus::Done(models) => self.finish_modeling(ctx, models),
+                    ModelingStatus::Probing => {
+                        if ctrl.outstanding() == 0 && !ctx.any_busy() {
+                            let models = ctrl.force_models();
+                            self.finish_modeling(ctx, models);
+                        }
+                    }
+                }
+            }
+            Phase::Executing => {
+                if ctx.remaining_items() == 0 {
+                    return;
+                }
+                for i in 0..self.blocks.len() {
+                    if ctx.remaining_items() == 0 {
+                        break;
+                    }
+                    if self.active[i] && self.blocks[i] > 0 && !ctx.is_busy(PuId(i)) {
+                        ctx.assign(PuId(i), self.blocks[i]);
+                    }
                 }
             }
         }

@@ -1,0 +1,357 @@
+//! Deterministic fault-injection plans.
+//!
+//! Both execution engines accept a [`FaultPlan`]: a list of faults that
+//! fire when a unit *attempts* a task, keyed by the per-unit attempt
+//! index (0-based, counting every dispatch including engine retries).
+//! Attempt-count triggering — rather than wall-clock — keeps chaos tests
+//! deterministic under arbitrary machine load, mirroring how
+//! `HostPerturbation` triggers QoS drift by completed-task count.
+//!
+//! The plan lives in this crate so the simulator, the real-thread host
+//! engine, and the bench CLI can share one vocabulary of failure:
+//!
+//! * [`FaultKind::PanicOnAttempt`] — the kernel panics on one specific
+//!   attempt (a crashing block).
+//! * [`FaultKind::FlakyUntil`] — the kernel panics on every attempt until
+//!   the unit has tried `attempts` tasks, then runs healthy (a flaky unit
+//!   that recovers).
+//! * [`FaultKind::Delay`] — a fixed extra delay per attempt over an
+//!   attempt window (a slow or hung kernel; long delays exercise the
+//!   host watchdog's deadline path).
+//! * [`FaultKind::RandomDelay`] — like `Delay` but with a seeded,
+//!   hash-derived duration per attempt, still fully deterministic.
+
+use serde::{Deserialize, Serialize};
+
+/// One fault bound to one processing unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fault {
+    /// Unit index the fault applies to.
+    pub pu: usize,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+/// Kinds of injectable fault. Attempt indices are 0-based and count
+/// every dispatch to the unit, including engine-driven retries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "fault", rename_all = "snake_case")]
+pub enum FaultKind {
+    /// The kernel panics on exactly the `nth` attempt.
+    PanicOnAttempt {
+        /// 0-based attempt index that panics.
+        nth: u64,
+    },
+    /// The kernel panics on attempts `0..attempts`, then runs healthy.
+    FlakyUntil {
+        /// Number of leading attempts that panic.
+        attempts: u64,
+    },
+    /// Each attempt in `from..from + attempts` takes `seconds` longer.
+    Delay {
+        /// First affected attempt index.
+        from: u64,
+        /// Number of affected attempts.
+        attempts: u64,
+        /// Extra seconds injected per attempt.
+        seconds: f64,
+    },
+    /// Each attempt in `from..from + attempts` takes a deterministic
+    /// pseudo-random extra duration in `[0, max_seconds)`, derived by
+    /// hashing `(seed, pu, attempt)`.
+    RandomDelay {
+        /// First affected attempt index.
+        from: u64,
+        /// Number of affected attempts.
+        attempts: u64,
+        /// Exclusive upper bound on the injected delay, seconds.
+        max_seconds: f64,
+        /// Hash seed; the same seed always yields the same delays.
+        seed: u64,
+    },
+}
+
+/// What a unit must do on a given attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// The kernel panics (after any injected delay is ignored: panic
+    /// wins over delay when both match).
+    Panic,
+    /// The kernel takes this many extra seconds.
+    Delay(f64),
+}
+
+/// A deterministic fault-injection plan: any number of faults over any
+/// units. Empty plans are free — engines consult the plan only when it
+/// holds faults.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The injected faults, in no particular order.
+    pub faults: Vec<Fault>,
+}
+
+/// SplitMix64: tiny, deterministic, dependency-free hash for
+/// [`FaultKind::RandomDelay`].
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Build a plan from a fault list.
+    pub fn new(faults: Vec<Fault>) -> FaultPlan {
+        FaultPlan { faults }
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The action unit `pu` must take on its `attempt`-th dispatch
+    /// (`None` = run normally). Panics win over delays; multiple
+    /// matching delays sum.
+    pub fn action(&self, pu: usize, attempt: u64) -> Option<FaultAction> {
+        let mut delay = 0.0f64;
+        for f in self.faults.iter().filter(|f| f.pu == pu) {
+            match f.kind {
+                FaultKind::PanicOnAttempt { nth } => {
+                    if attempt == nth {
+                        return Some(FaultAction::Panic);
+                    }
+                }
+                FaultKind::FlakyUntil { attempts } => {
+                    if attempt < attempts {
+                        return Some(FaultAction::Panic);
+                    }
+                }
+                FaultKind::Delay {
+                    from,
+                    attempts,
+                    seconds,
+                } => {
+                    if attempt >= from && attempt - from < attempts && seconds > 0.0 {
+                        delay += seconds;
+                    }
+                }
+                FaultKind::RandomDelay {
+                    from,
+                    attempts,
+                    max_seconds,
+                    seed,
+                } => {
+                    if attempt >= from && attempt - from < attempts && max_seconds > 0.0 {
+                        let h = splitmix64(
+                            seed ^ splitmix64(((pu as u64) << 32) | (attempt & 0xffff_ffff)),
+                        );
+                        // 53 high bits -> uniform f64 in [0, 1).
+                        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+                        delay += unit * max_seconds;
+                    }
+                }
+            }
+        }
+        if delay > 0.0 {
+            Some(FaultAction::Delay(delay))
+        } else {
+            None
+        }
+    }
+
+    /// Parse the CLI syntax used by `plb run --faults`: a
+    /// semicolon-separated list of faults, each `kind:key=value,...`.
+    ///
+    /// ```text
+    /// panic:pu=1,nth=3             panic on unit 1's 4th attempt
+    /// flaky:pu=2,n=4               unit 2 panics its first 4 attempts
+    /// delay:pu=0,from=2,n=5,s=0.1  +0.1s on unit 0 attempts 2..7
+    /// rdelay:pu=0,from=0,n=9,max=0.2,seed=7
+    /// ```
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut faults = Vec::new();
+        for part in spec.split(';').filter(|p| !p.trim().is_empty()) {
+            let part = part.trim();
+            let (kind, rest) = part
+                .split_once(':')
+                .ok_or_else(|| format!("fault `{part}`: expected kind:key=value,..."))?;
+            let mut kv = std::collections::HashMap::new();
+            for pair in rest.split(',').filter(|p| !p.trim().is_empty()) {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("fault `{part}`: bad key=value `{pair}`"))?;
+                kv.insert(k.trim().to_string(), v.trim().to_string());
+            }
+            let get_u64 = |k: &str| -> Result<u64, String> {
+                kv.get(k)
+                    .ok_or_else(|| format!("fault `{part}`: missing `{k}`"))?
+                    .parse()
+                    .map_err(|_| format!("fault `{part}`: `{k}` must be an integer"))
+            };
+            let get_f64 = |k: &str| -> Result<f64, String> {
+                kv.get(k)
+                    .ok_or_else(|| format!("fault `{part}`: missing `{k}`"))?
+                    .parse()
+                    .map_err(|_| format!("fault `{part}`: `{k}` must be a number"))
+            };
+            let pu = get_u64("pu")? as usize;
+            let kind = match kind.trim() {
+                "panic" => FaultKind::PanicOnAttempt {
+                    nth: get_u64("nth")?,
+                },
+                "flaky" => FaultKind::FlakyUntil {
+                    attempts: get_u64("n")?,
+                },
+                "delay" => FaultKind::Delay {
+                    from: get_u64("from")?,
+                    attempts: get_u64("n")?,
+                    seconds: get_f64("s")?,
+                },
+                "rdelay" => FaultKind::RandomDelay {
+                    from: get_u64("from")?,
+                    attempts: get_u64("n")?,
+                    max_seconds: get_f64("max")?,
+                    seed: get_u64("seed").unwrap_or(0),
+                },
+                other => {
+                    return Err(format!(
+                        "unknown fault kind `{other}` (panic, flaky, delay, rdelay)"
+                    ))
+                }
+            };
+            faults.push(Fault { pu, kind });
+        }
+        if faults.is_empty() {
+            return Err("empty fault spec".into());
+        }
+        Ok(FaultPlan { faults })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_fires_on_exact_attempt() {
+        let plan = FaultPlan::new(vec![Fault {
+            pu: 1,
+            kind: FaultKind::PanicOnAttempt { nth: 2 },
+        }]);
+        assert_eq!(plan.action(1, 1), None);
+        assert_eq!(plan.action(1, 2), Some(FaultAction::Panic));
+        assert_eq!(plan.action(1, 3), None);
+        assert_eq!(plan.action(0, 2), None);
+    }
+
+    #[test]
+    fn flaky_recovers_after_threshold() {
+        let plan = FaultPlan::new(vec![Fault {
+            pu: 0,
+            kind: FaultKind::FlakyUntil { attempts: 3 },
+        }]);
+        for a in 0..3 {
+            assert_eq!(plan.action(0, a), Some(FaultAction::Panic));
+        }
+        assert_eq!(plan.action(0, 3), None);
+    }
+
+    #[test]
+    fn delays_sum_and_panic_wins() {
+        let plan = FaultPlan::new(vec![
+            Fault {
+                pu: 0,
+                kind: FaultKind::Delay {
+                    from: 0,
+                    attempts: 10,
+                    seconds: 0.5,
+                },
+            },
+            Fault {
+                pu: 0,
+                kind: FaultKind::Delay {
+                    from: 5,
+                    attempts: 10,
+                    seconds: 0.25,
+                },
+            },
+            Fault {
+                pu: 0,
+                kind: FaultKind::PanicOnAttempt { nth: 6 },
+            },
+        ]);
+        assert_eq!(plan.action(0, 1), Some(FaultAction::Delay(0.5)));
+        assert_eq!(plan.action(0, 5), Some(FaultAction::Delay(0.75)));
+        assert_eq!(plan.action(0, 6), Some(FaultAction::Panic));
+        assert_eq!(plan.action(0, 20), None);
+    }
+
+    #[test]
+    fn random_delay_is_deterministic_and_bounded() {
+        let plan = FaultPlan::new(vec![Fault {
+            pu: 2,
+            kind: FaultKind::RandomDelay {
+                from: 0,
+                attempts: 100,
+                max_seconds: 0.2,
+                seed: 42,
+            },
+        }]);
+        let mut distinct = std::collections::BTreeSet::new();
+        for a in 0..100 {
+            match plan.action(2, a) {
+                Some(FaultAction::Delay(d)) => {
+                    assert!((0.0..0.2).contains(&d), "delay {d} out of range");
+                    assert_eq!(plan.action(2, a), Some(FaultAction::Delay(d)));
+                    distinct.insert((d * 1e12) as u64);
+                }
+                other => panic!("expected delay, got {other:?}"),
+            }
+        }
+        assert!(distinct.len() > 90, "delays should vary across attempts");
+    }
+
+    #[test]
+    fn parse_round_trips_the_cli_syntax() {
+        let plan = FaultPlan::parse("panic:pu=1,nth=3; flaky:pu=2,n=4;delay:pu=0,from=2,n=5,s=0.1")
+            .unwrap();
+        assert_eq!(plan.faults.len(), 3);
+        assert_eq!(
+            plan.faults[0],
+            Fault {
+                pu: 1,
+                kind: FaultKind::PanicOnAttempt { nth: 3 },
+            }
+        );
+        assert_eq!(
+            plan.faults[2],
+            Fault {
+                pu: 0,
+                kind: FaultKind::Delay {
+                    from: 2,
+                    attempts: 5,
+                    seconds: 0.1,
+                },
+            }
+        );
+        assert!(FaultPlan::parse("").is_err());
+        assert!(FaultPlan::parse("explode:pu=0").is_err());
+        assert!(FaultPlan::parse("panic:pu=0").is_err(), "missing nth");
+        assert!(FaultPlan::parse("panic:nth=0").is_err(), "missing pu");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let plan = FaultPlan::parse("rdelay:pu=0,from=0,n=2,max=0.5,seed=9").unwrap();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

@@ -21,6 +21,7 @@
 
 pub mod calibrate;
 pub mod cluster;
+pub mod fault;
 pub mod noise;
 pub mod perf;
 pub mod presets;
@@ -32,6 +33,7 @@ pub use calibrate::{
     calibrate_device, calibrate_device_raw, CalibrateError, Calibration, RawSample,
 };
 pub use cluster::{ClusterSim, PuId, PuKind, PuSpec, SimDevice};
+pub use fault::{Fault, FaultAction, FaultKind, FaultPlan};
 pub use noise::NoiseGen;
 pub use perf::{cpu_peak_gflops, gpu_peak_gflops, DevicePerf};
 pub use presets::{cluster_scenario, machine_a, machine_b, machine_c, machine_d, Scenario};

@@ -13,9 +13,10 @@
 
 use crate::data::{DataHandle, DataRegistry, MemNode};
 use crate::events::{EventKind, EventSink};
+use crate::fault::{FaultAction, FaultPlan, FaultToleranceConfig};
 use crate::metrics::RunReport;
 use crate::policy::{Policy, PuHandle, SchedulerCtx};
-use crate::task::{TaskId, TaskInfo};
+use crate::task::{FailureReason, TaskFailure, TaskId, TaskInfo};
 use crate::trace::Trace;
 use plb_hetsim::{ClusterSim, CostModel, PuId};
 use std::cmp::Reverse;
@@ -56,6 +57,12 @@ pub enum RunError {
     },
     /// No processing unit is available at start.
     NoUnits,
+    /// The engine's own machinery failed (thread spawn, pool
+    /// construction). Host engine only; the simulator never returns it.
+    Infrastructure {
+        /// Human-readable cause.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -68,6 +75,9 @@ impl std::fmt::Display for RunError {
                 )
             }
             RunError::NoUnits => write!(f, "no processing units available"),
+            RunError::Infrastructure { detail } => {
+                write!(f, "engine infrastructure failure: {detail}")
+            }
         }
     }
 }
@@ -94,10 +104,10 @@ impl Eq for Event {}
 
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Total order: times are always finite here.
+        // Times are always finite here; total_cmp keeps the order total
+        // without a panic path.
         self.time
-            .partial_cmp(&other.time)
-            .expect("event times are finite")
+            .total_cmp(&other.time)
             .then(self.seq.cmp(&other.seq))
     }
 }
@@ -115,6 +125,10 @@ struct Pending {
     start: f64,
     xfer: f64,
     proc: f64,
+    /// 0-based attempt number of this block (0 = first try).
+    attempt: u32,
+    /// The fault plan decided this attempt panics at "completion" time.
+    doomed: bool,
 }
 
 struct EngineState<'a> {
@@ -136,6 +150,14 @@ struct EngineState<'a> {
     /// node feeding the run report's byte accounting.
     registry: DataRegistry,
     broadcast: Option<DataHandle>,
+    /// Fault injection + response (see [`crate::fault`]).
+    faults: FaultPlan,
+    ft: FaultToleranceConfig,
+    /// Per-unit dispatch counter (including retries) — the fault plan's
+    /// attempt index.
+    attempts: Vec<u64>,
+    /// Per-unit consecutive-failure counter; reset by any success.
+    consec_failures: Vec<u32>,
 }
 
 impl<'a> EngineState<'a> {
@@ -191,9 +213,22 @@ impl SchedulerCtx for EngineState<'_> {
 
         let dev = self.cluster.device_mut(pu);
         let xfer = dev.transfer_time(self.cost, items);
-        let proc = dev.proc_time(self.cost, items);
+        let mut proc = dev.proc_time(self.cost, items);
         let task = TaskId(self.next_task);
         self.next_task += 1;
+        // Consult the fault plan for this dispatch: injected delays
+        // stretch the kernel, injected panics surface when the
+        // "completion" event fires.
+        let fault_attempt = self.attempts[pu.0];
+        self.attempts[pu.0] += 1;
+        let doomed = match self.faults.action(pu.0, fault_attempt) {
+            Some(FaultAction::Panic) => true,
+            Some(FaultAction::Delay(s)) => {
+                proc += s;
+                false
+            }
+            None => false,
+        };
         // Assignments issued while scheduler overhead is outstanding
         // begin only after the overhead window closes.
         let start = self.clock.max(self.overhead_until);
@@ -203,6 +238,8 @@ impl SchedulerCtx for EngineState<'_> {
             start,
             xfer,
             proc,
+            attempt: 0,
+            doomed,
         });
         self.events.record(
             self.clock,
@@ -266,6 +303,8 @@ pub struct SimEngine<'a> {
     cluster: &'a mut ClusterSim,
     cost: &'a dyn CostModel,
     perturbations: Vec<Perturbation>,
+    faults: FaultPlan,
+    ft: FaultToleranceConfig,
     last_trace: Option<Trace>,
     last_events: Option<EventSink>,
 }
@@ -277,6 +316,8 @@ impl<'a> SimEngine<'a> {
             cluster,
             cost,
             perturbations: Vec::new(),
+            faults: FaultPlan::none(),
+            ft: FaultToleranceConfig::default(),
             last_trace: None,
             last_events: None,
         }
@@ -286,6 +327,30 @@ impl<'a> SimEngine<'a> {
     pub fn with_perturbations(mut self, p: Vec<Perturbation>) -> SimEngine<'a> {
         self.perturbations = p;
         self
+    }
+
+    /// Inject deterministic faults (panics, delays) by per-unit attempt
+    /// index. See [`FaultPlan`].
+    pub fn with_faults(mut self, plan: FaultPlan) -> SimEngine<'a> {
+        self.faults = plan;
+        self
+    }
+
+    /// Override the fault-response tunables (retry bound, backoff,
+    /// quarantine threshold). Deadlines don't apply to virtual time.
+    pub fn with_fault_tolerance(mut self, ft: FaultToleranceConfig) -> SimEngine<'a> {
+        self.ft = ft;
+        self
+    }
+
+    /// Is a `Restore` perturbation still waiting in the event queue?
+    /// (Only pending restores can bring a dead cluster back; already-
+    /// fired ones must not defer a stall.)
+    fn restore_pending(st: &EngineState<'_>, perturbations: &[Perturbation]) -> bool {
+        st.heap.iter().any(|Reverse(e)| {
+            matches!(e.payload, EventPayload::Perturb(i)
+                if matches!(perturbations[i].kind, PerturbationKind::Restore(_)))
+        })
     }
 
     /// Record the stall, preserve the partial trace/event stream for
@@ -357,6 +422,10 @@ impl<'a> SimEngine<'a> {
             overhead_until: 0.0,
             registry,
             broadcast,
+            faults: self.faults.clone(),
+            ft: self.ft.clone(),
+            attempts: vec![0; n],
+            consec_failures: vec![0; n],
         };
         for (i, p) in self.perturbations.iter().enumerate() {
             st.push_event(p.at.max(0.0), EventPayload::Perturb(i));
@@ -388,18 +457,14 @@ impl<'a> SimEngine<'a> {
                 ));
             }
             if !busy && st.remaining > 0 {
-                // Only perturbation events can remain; if none of them
-                // can restore progress the final stall check will fire.
+                // Only perturbation events can remain; unless one of the
+                // *pending* ones is a restore, no future event can make
+                // progress — stall now rather than replaying the queue.
                 let only_perturb = st
                     .heap
                     .iter()
                     .all(|Reverse(e)| matches!(e.payload, EventPayload::Perturb(_)));
-                if only_perturb
-                    && !self
-                        .perturbations
-                        .iter()
-                        .any(|p| matches!(p.kind, PerturbationKind::Restore(_)))
-                {
+                if only_perturb && !Self::restore_pending(&st, &self.perturbations) {
                     return Err(Self::stall(
                         &mut st,
                         &mut self.last_trace,
@@ -408,7 +473,15 @@ impl<'a> SimEngine<'a> {
                 }
             }
 
-            let Reverse(ev) = st.heap.pop().expect("checked non-empty");
+            let Some(Reverse(ev)) = st.heap.pop() else {
+                // Unreachable: the events_pending check above guarantees
+                // a non-empty heap. Treat defensively as a stall.
+                return Err(Self::stall(
+                    &mut st,
+                    &mut self.last_trace,
+                    &mut self.last_events,
+                ));
+            };
             debug_assert!(ev.time + 1e-12 >= st.clock, "time went backwards");
             st.clock = ev.time.max(st.clock);
 
@@ -420,7 +493,123 @@ impl<'a> SimEngine<'a> {
                     if !matches_current {
                         continue;
                     }
-                    let pend = st.inflight[pu.0].take().expect("checked above");
+                    let Some(pend) = st.inflight[pu.0].take() else {
+                        continue;
+                    };
+                    if pend.doomed {
+                        // The injected fault fires: this attempt panicked
+                        // instead of completing.
+                        st.consec_failures[pu.0] += 1;
+                        let failures = st.consec_failures[pu.0];
+                        st.events.record(
+                            st.clock,
+                            Some(pu.0),
+                            EventKind::TaskFailed {
+                                task: pend.task.0,
+                                items: pend.items,
+                                attempt: pend.attempt,
+                                reason: FailureReason::Panicked.name().to_string(),
+                            },
+                        );
+                        if failures >= st.ft.quarantine_after {
+                            // Quarantine: the unit leaves the active set,
+                            // its block returns to the pool, and the
+                            // policy re-solves over the survivors.
+                            st.cluster.device_mut(pu).fail();
+                            st.handles[pu.0].available = false;
+                            st.remaining += pend.items;
+                            st.events.record(
+                                st.clock,
+                                Some(pu.0),
+                                EventKind::PuQuarantined { failures },
+                            );
+                            st.events
+                                .record(st.clock, Some(pu.0), EventKind::DeviceFailed);
+                            policy.on_device_lost(&mut st, pu);
+                            let failure = TaskFailure {
+                                task_id: pend.task,
+                                pu,
+                                items: pend.items,
+                                attempt: pend.attempt,
+                                at: st.clock,
+                                reason: FailureReason::Panicked,
+                            };
+                            policy.on_task_failed(&mut st, &failure);
+                            if !st.handles.iter().any(|h| h.available)
+                                && !Self::restore_pending(&st, &self.perturbations)
+                            {
+                                // Every unit is gone and nothing can
+                                // bring one back: stall immediately.
+                                return Err(Self::stall(
+                                    &mut st,
+                                    &mut self.last_trace,
+                                    &mut self.last_events,
+                                ));
+                            }
+                        } else if pend.attempt < st.ft.max_retries {
+                            // Bounded in-place retry with exponential
+                            // backoff; the fault plan sees a fresh
+                            // per-unit attempt index.
+                            let retry_attempt = pend.attempt + 1;
+                            let backoff = st.ft.backoff_for(retry_attempt);
+                            st.events.record(
+                                st.clock,
+                                Some(pu.0),
+                                EventKind::TaskRetry {
+                                    task: pend.task.0,
+                                    items: pend.items,
+                                    attempt: retry_attempt,
+                                    backoff_s: backoff,
+                                },
+                            );
+                            let fault_attempt = st.attempts[pu.0];
+                            st.attempts[pu.0] += 1;
+                            let dev = st.cluster.device_mut(pu);
+                            let xfer = dev.transfer_time(st.cost, pend.items);
+                            let mut proc = dev.proc_time(st.cost, pend.items);
+                            let doomed = match st.faults.action(pu.0, fault_attempt) {
+                                Some(FaultAction::Panic) => true,
+                                Some(FaultAction::Delay(s)) => {
+                                    proc += s;
+                                    false
+                                }
+                                None => false,
+                            };
+                            let start = st.clock + backoff;
+                            st.inflight[pu.0] = Some(Pending {
+                                task: pend.task,
+                                items: pend.items,
+                                start,
+                                xfer,
+                                proc,
+                                attempt: retry_attempt,
+                                doomed,
+                            });
+                            st.push_event(
+                                start + xfer + proc,
+                                EventPayload::Completion {
+                                    pu,
+                                    task: pend.task,
+                                },
+                            );
+                        } else {
+                            // Retries exhausted without hitting the
+                            // quarantine bar: the block's items return
+                            // to the pool for the other units.
+                            st.remaining += pend.items;
+                            let failure = TaskFailure {
+                                task_id: pend.task,
+                                pu,
+                                items: pend.items,
+                                attempt: pend.attempt,
+                                at: st.clock,
+                                reason: FailureReason::Panicked,
+                            };
+                            policy.on_task_failed(&mut st, &failure);
+                        }
+                        continue;
+                    }
+                    st.consec_failures[pu.0] = 0;
                     st.trace
                         .record_task(pu, pend.task, pend.items, pend.start, pend.xfer, pend.proc);
                     st.events.record(
@@ -464,16 +653,41 @@ impl<'a> SimEngine<'a> {
                             if let Some(pend) = st.inflight[pu.0].take() {
                                 // The lost task's items return to the pool.
                                 st.remaining += pend.items;
+                                st.events.record(
+                                    st.clock,
+                                    Some(pu.0),
+                                    EventKind::TaskFailed {
+                                        task: pend.task.0,
+                                        items: pend.items,
+                                        attempt: pend.attempt,
+                                        reason: FailureReason::WorkerLost.name().to_string(),
+                                    },
+                                );
                             }
                             st.events
                                 .record(st.clock, Some(pu.0), EventKind::DeviceFailed);
                             policy.on_device_lost(&mut st, pu);
+                            if st.remaining > 0
+                                && !st.handles.iter().any(|h| h.available)
+                                && !Self::restore_pending(&st, &self.perturbations)
+                            {
+                                // The last unit just died with no restore
+                                // scheduled: report the stall immediately
+                                // with the partial event stream attached.
+                                return Err(Self::stall(
+                                    &mut st,
+                                    &mut self.last_trace,
+                                    &mut self.last_events,
+                                ));
+                            }
                         }
                         PerturbationKind::Restore(pu) => {
                             st.cluster.device_mut(pu).restore();
                             st.handles[pu.0].available = true;
+                            st.consec_failures[pu.0] = 0;
                             st.events
                                 .record(st.clock, Some(pu.0), EventKind::DeviceRestored);
+                            policy.on_device_restored(&mut st, pu);
                         }
                     }
                 }

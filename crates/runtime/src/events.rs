@@ -34,7 +34,9 @@ use crate::trace::{Segment, SegmentKind, Trace};
 use serde::{Deserialize, Serialize};
 
 /// Schema version stamped into every exported trace header.
-pub const TRACE_FORMAT_VERSION: u32 = 1;
+/// Version history: 1 = PR 1 baseline; 2 adds the fault-tolerance kinds
+/// (`task_failed`, `task_retry`, `pu_quarantined`).
+pub const TRACE_FORMAT_VERSION: u32 = 2;
 
 /// Default ring-buffer capacity (events).
 pub const DEFAULT_SINK_CAPACITY: usize = 1 << 16;
@@ -78,6 +80,38 @@ pub enum EventKind {
         xfer_s: f64,
         /// Measured kernel time, seconds.
         proc_s: f64,
+    },
+    /// A task attempt failed on its unit: the kernel panicked, the task
+    /// blew its deadline, or the worker infrastructure died. The items
+    /// are either retried in place or re-credited to the pool.
+    TaskFailed {
+        /// Engine-assigned task id.
+        task: u64,
+        /// Items in the task's block.
+        items: u64,
+        /// 0-based attempt number that failed (0 = first dispatch).
+        attempt: u32,
+        /// `"panic"`, `"deadline"` or `"worker-lost"`.
+        reason: String,
+    },
+    /// A failed block is being retried on the same unit after an
+    /// exponential backoff.
+    TaskRetry {
+        /// Engine-assigned task id (unchanged across retries).
+        task: u64,
+        /// Items in the task's block.
+        items: u64,
+        /// 0-based attempt number being dispatched (≥ 1).
+        attempt: u32,
+        /// Backoff applied before this retry, seconds.
+        backoff_s: f64,
+    },
+    /// `pu` hit the consecutive-failure threshold and left the active
+    /// set; its block's items were re-credited and the policy notified
+    /// so it redistributes over the survivors.
+    PuQuarantined {
+        /// Consecutive failures that tripped the threshold.
+        failures: u32,
     },
     /// A slowdown perturbation was applied to `pu`.
     SlowdownSet {
@@ -190,6 +224,9 @@ impl EventKind {
             EventKind::TaskSubmit { .. } => "task_submit",
             EventKind::TaskStart { .. } => "task_start",
             EventKind::TaskFinish { .. } => "task_finish",
+            EventKind::TaskFailed { .. } => "task_failed",
+            EventKind::TaskRetry { .. } => "task_retry",
+            EventKind::PuQuarantined { .. } => "pu_quarantined",
             EventKind::SlowdownSet { .. } => "slowdown_set",
             EventKind::DeviceFailed => "device_failed",
             EventKind::DeviceRestored => "device_restored",
@@ -351,6 +388,17 @@ pub struct EventCounters {
     pub perturbations: u64,
     /// Device failures among the perturbations.
     pub device_failures: u64,
+    /// Failed task attempts (kernel panics, blown deadlines, worker
+    /// infrastructure loss).
+    #[serde(default)]
+    pub task_failures: u64,
+    /// In-place retries of failed blocks.
+    #[serde(default)]
+    pub task_retries: u64,
+    /// Units quarantined after hitting the consecutive-failure
+    /// threshold.
+    #[serde(default)]
+    pub quarantines: u64,
     /// Stall errors.
     pub stalls: u64,
     /// Events lost to ring-buffer overwrite (counts may undercount when
@@ -386,6 +434,9 @@ impl EventCounters {
                     c.perturbations += 1;
                     c.device_failures += 1;
                 }
+                EventKind::TaskFailed { .. } => c.task_failures += 1,
+                EventKind::TaskRetry { .. } => c.task_retries += 1,
+                EventKind::PuQuarantined { .. } => c.quarantines += 1,
                 EventKind::Stalled { .. } => c.stalls += 1,
                 EventKind::RunStart { .. }
                 | EventKind::TaskStart { .. }
@@ -413,6 +464,10 @@ pub struct TraceHeader {
 /// one JSON object per line, each tagged with a `"rec"` field of
 /// `"header"`, `"segment"` or `"event"`. The format is documented in
 /// `docs/OBSERVABILITY.md`.
+// Serializing plain data structs (no maps with non-string keys, no
+// custom Serialize impls) cannot fail; the expects below are
+// unreachable rather than error paths.
+#[allow(clippy::expect_used)]
 pub fn write_jsonl(header: &TraceHeader, segments: &[Segment], events: &[Event]) -> String {
     fn tagged(rec: &str, value: serde_json::Value) -> String {
         let mut obj = value;
@@ -696,6 +751,11 @@ impl TraceData {
             out,
             "  ipm: {} iterations, {} backtracks; perturbations={} stalls={} dropped={}",
             c.ipm_iterations, c.ipm_backtracks, c.perturbations, c.stalls, c.dropped
+        );
+        let _ = writeln!(
+            out,
+            "  faults: {} task failures, {} retries, {} quarantines, {} device failures",
+            c.task_failures, c.task_retries, c.quarantines, c.device_failures
         );
         out
     }

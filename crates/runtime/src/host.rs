@@ -7,18 +7,50 @@
 //! simply a wide pool, a weak CPU a narrow one — honest, measurable
 //! speed differences on one machine, which is what the examples
 //! demonstrate.
+//!
+//! # Fault tolerance
+//!
+//! The host path mirrors the simulator's failure semantics on real
+//! threads (see `docs/FAULT_TOLERANCE.md` for the full model):
+//!
+//! * **Panic isolation** — each kernel invocation runs under
+//!   [`std::panic::catch_unwind`], so a panicking codelet marks its task
+//!   failed instead of poisoning the worker; the unit stays usable.
+//! * **Deadlines** — every dispatched task gets a watchdog deadline of
+//!   `deadline_factor × E_p(x)`, where `E_p(x)` is the policy's
+//!   model-predicted block time (via
+//!   [`SchedulerCtx::set_deadline_hint`]) or, absent a hint, the
+//!   engine's running per-item rate estimate. A blown deadline declares
+//!   the unit lost: its worker may be wedged inside the kernel, so the
+//!   thread is detached rather than joined and the unit never returns.
+//! * **Retry / re-dispatch** — a failed block is retried in place with
+//!   exponential backoff up to `max_retries` times; past that its items
+//!   are re-credited to the shared pool and flow to the surviving units
+//!   through the normal assignment path (the ranges are recycled so the
+//!   disjoint-cover guarantee over `0..total_items` still holds).
+//! * **Quarantine** — `quarantine_after` consecutive failures remove the
+//!   unit from the active set and notify the policy via
+//!   `on_device_lost`, which for PLB-HeC re-solves the block-size split
+//!   over the survivors. With a probation window configured, a
+//!   quarantined (but not deadline-lost) unit is restored after
+//!   `probation_s` and the policy told via `on_device_restored`.
+//!
+//! Deterministic faults are injected with a [`FaultPlan`] shared with
+//! the simulator; re-dispatch after a lost unit assumes idempotent
+//! codelets, exactly like [`HostPerturbation`] re-execution does.
 
 use crate::codelet::{Codelet, PuResources};
 use crate::engine::RunError;
 use crate::events::{EventKind, EventSink};
+use crate::fault::{FaultAction, FaultPlan, FaultToleranceConfig};
 use crate::metrics::RunReport;
 use crate::policy::{Policy, PuHandle, SchedulerCtx};
-use crate::task::{TaskId, TaskInfo};
+use crate::task::{FailureReason, TaskFailure, TaskId, TaskInfo};
 use crate::trace::Trace;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use plb_hetsim::{PuId, PuKind};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration of one host processing unit.
 #[derive(Debug, Clone)]
@@ -49,31 +81,186 @@ pub struct HostPerturbation {
     pub repeat: u32,
 }
 
+/// One dispatch of a block to a worker. The engine resolves the fault
+/// plan at dispatch time (it owns the per-unit attempt counters), so the
+/// worker just obeys `inject`.
 struct Assignment {
     task: TaskId,
     offset: u64,
     items: u64,
+    /// 0-based attempt number of this block (0 = first dispatch).
+    attempt: u32,
+    /// Sleep this long before executing (retry backoff).
+    backoff_s: f64,
+    /// Injected fault for this attempt, if any.
+    inject: Option<FaultAction>,
 }
 
 struct Completion {
     pu: PuId,
     task: TaskId,
-    offset: u64,
     items: u64,
     proc_time: f64,
     started_at: f64,
 }
 
+/// What a worker reports back: a completed attempt or a caught panic.
+enum WorkerMsg {
+    Done(Completion),
+    Failed {
+        pu: PuId,
+        task: TaskId,
+        attempt: u32,
+    },
+}
+
+/// Engine-side record of an in-flight attempt.
+#[derive(Debug, Clone, Copy)]
+struct HostPending {
+    task: TaskId,
+    offset: u64,
+    items: u64,
+    attempt: u32,
+    /// Absolute watchdog deadline (engine clock), when one applies.
+    deadline_at: Option<f64>,
+}
+
 struct HostState {
     handles: Vec<PuHandle>,
-    senders: Vec<Sender<Assignment>>,
-    inflight: Vec<Option<TaskId>>,
+    senders: Vec<Option<Sender<Assignment>>>,
+    inflight: Vec<Option<HostPending>>,
     remaining: u64,
     total: u64,
     cursor: u64,
+    /// Ranges of failed blocks returned to the pool; served before fresh
+    /// cursor ranges so the disjoint-cover invariant holds under
+    /// re-dispatch.
+    reclaimed: Vec<(u64, u64)>,
     next_task: u64,
     epoch: Instant,
     events: EventSink,
+    faults: FaultPlan,
+    ft: FaultToleranceConfig,
+    /// Per-unit dispatch counter (including retries) — the fault plan's
+    /// attempt index.
+    attempts: Vec<u64>,
+    /// Per-unit consecutive-failure counter; reset by any success.
+    consec_failures: Vec<u32>,
+    /// Policy-provided seconds-per-item prediction (deadline hint).
+    deadline_hint: Vec<Option<f64>>,
+    /// Observed seconds-per-item EWMA (deadline fallback).
+    rate_ewma: Vec<Option<f64>>,
+    /// Probation expiry for quarantined units (engine clock).
+    quarantined_until: Vec<Option<f64>>,
+    /// Permanently lost units (deadline blowout / dead worker). Their
+    /// threads may be wedged and are never joined.
+    lost: Vec<bool>,
+    /// Units whose loss was detected inside `assign` (policy callback
+    /// re-entrancy guard): the engine loop delivers `on_device_lost`.
+    pending_lost: Vec<PuId>,
+}
+
+impl HostState {
+    /// Take a contiguous range of up to `want` items: reclaimed ranges
+    /// first (splitting when larger than the request), then fresh items
+    /// from the cursor. Returns `(offset, items)`.
+    fn take_range(&mut self, want: u64) -> (u64, u64) {
+        if let Some((off, len)) = self.reclaimed.pop() {
+            if len > want {
+                self.reclaimed.push((off + want, len - want));
+                (off, want)
+            } else {
+                (off, len)
+            }
+        } else {
+            let off = self.cursor;
+            self.cursor += want;
+            (off, want)
+        }
+    }
+
+    /// Return a failed block's range to the pool.
+    fn reclaim(&mut self, offset: u64, items: u64) {
+        self.remaining += items;
+        self.reclaimed.push((offset, items));
+    }
+
+    /// Send one attempt of a block to its unit's worker. Resolves the
+    /// fault plan, computes the watchdog deadline, and records the
+    /// in-flight entry. Returns `false` when the worker is gone (the
+    /// caller handles the loss).
+    fn dispatch(
+        &mut self,
+        pu: usize,
+        task: TaskId,
+        offset: u64,
+        items: u64,
+        attempt: u32,
+        backoff_s: f64,
+    ) -> bool {
+        let fault_attempt = self.attempts[pu];
+        self.attempts[pu] += 1;
+        let inject = self.faults.action(pu, fault_attempt);
+        let rate = self.deadline_hint[pu].or(self.rate_ewma[pu]);
+        let now = self.now();
+        let deadline_at = self
+            .ft
+            .deadline_for(rate, items)
+            .map(|d| now + backoff_s + d);
+        self.inflight[pu] = Some(HostPending {
+            task,
+            offset,
+            items,
+            attempt,
+            deadline_at,
+        });
+        let sent = match self.senders[pu].as_ref() {
+            Some(tx) => tx
+                .send(Assignment {
+                    task,
+                    offset,
+                    items,
+                    attempt,
+                    backoff_s,
+                    inject,
+                })
+                .is_ok(),
+            None => false,
+        };
+        if !sent {
+            self.inflight[pu] = None;
+        }
+        sent
+    }
+
+    /// Permanently remove a unit whose worker is gone or wedged. Emits
+    /// `device_failed` and queues the `on_device_lost` notification for
+    /// the engine loop (never calls the policy directly — this can run
+    /// inside a policy's own `assign` call).
+    fn mark_lost(&mut self, pu: usize) {
+        if self.lost[pu] {
+            return;
+        }
+        self.lost[pu] = true;
+        self.handles[pu].available = false;
+        self.senders[pu] = None;
+        self.quarantined_until[pu] = None;
+        let now = self.now();
+        self.events.record(now, Some(pu), EventKind::DeviceFailed);
+        self.pending_lost.push(PuId(pu));
+    }
+
+    /// Fold an observed per-item rate into the unit's EWMA estimate.
+    fn observe_rate(&mut self, pu: usize, proc_time: f64, items: u64) {
+        if items == 0 || !(proc_time.is_finite() && proc_time >= 0.0) {
+            return;
+        }
+        let rate = proc_time / items as f64;
+        self.rate_ewma[pu] = Some(match self.rate_ewma[pu] {
+            Some(prev) => 0.5 * prev + 0.5 * rate,
+            None => rate,
+        });
+    }
 }
 
 impl SchedulerCtx for HostState {
@@ -97,33 +284,39 @@ impl SchedulerCtx for HostState {
         if items == 0 || self.remaining == 0 {
             return 0;
         }
-        if !self.handles[pu.0].available || self.inflight[pu.0].is_some() {
+        if !self.handles[pu.0].available
+            || self.inflight[pu.0].is_some()
+            || self.senders[pu.0].is_none()
+        {
             return 0;
         }
-        let items = items.min(self.remaining);
-        self.remaining -= items;
+        let want = items.min(self.remaining);
+        // Re-credited ranges are served first so failed blocks re-run;
+        // a reclaimed fragment may be smaller than the request, in which
+        // case fewer items are assigned (policies must tolerate any
+        // return value).
+        let (offset, got) = self.take_range(want);
+        self.remaining -= got;
         let task = TaskId(self.next_task);
         self.next_task += 1;
-        let offset = self.cursor;
-        self.cursor += items;
-        self.inflight[pu.0] = Some(task);
-        let now = self.epoch.elapsed().as_secs_f64();
+        let now = self.now();
         self.events.record(
             now,
             Some(pu.0),
             EventKind::TaskSubmit {
                 task: task.0,
-                items,
+                items: got,
             },
         );
-        self.senders[pu.0]
-            .send(Assignment {
-                task,
-                offset,
-                items,
-            })
-            .expect("worker thread alive while engine runs");
-        items
+        if !self.dispatch(pu.0, task, offset, got, 0, 0.0) {
+            // The worker died out from under us: the block returns to
+            // the pool and the unit is lost; the engine loop delivers
+            // the policy notification.
+            self.reclaim(offset, got);
+            self.mark_lost(pu.0);
+            return 0;
+        }
+        got
     }
 
     fn is_busy(&self, pu: PuId) -> bool {
@@ -142,6 +335,14 @@ impl SchedulerCtx for HostState {
         let now = self.epoch.elapsed().as_secs_f64();
         self.events.record(now, pu, kind);
     }
+
+    fn set_deadline_hint(&mut self, pu: PuId, seconds_per_item: f64) {
+        self.deadline_hint[pu.0] = if seconds_per_item.is_finite() && seconds_per_item > 0.0 {
+            Some(seconds_per_item)
+        } else {
+            None
+        };
+    }
 }
 
 /// Effective kernel repetitions for this unit's next task.
@@ -152,6 +353,14 @@ fn repeat_for(perturbations: &[HostPerturbation], pu: usize, done: u64) -> u32 {
         .map(|p| p.repeat.max(1))
         .max()
         .unwrap_or(1)
+}
+
+/// Deliver queued `on_device_lost` notifications (losses detected inside
+/// `assign`, where calling back into the policy would re-enter it).
+fn notify_lost(st: &mut HostState, policy: &mut dyn Policy) {
+    while let Some(pu) = st.pending_lost.pop() {
+        policy.on_device_lost(st, pu);
+    }
 }
 
 /// The host engine: a set of unit configurations.
@@ -180,6 +389,8 @@ fn repeat_for(perturbations: &[HostPerturbation], pu: usize, done: u64) -> u32 {
 pub struct HostEngine {
     pus: Vec<HostPu>,
     perturbations: Vec<HostPerturbation>,
+    faults: FaultPlan,
+    ft: FaultToleranceConfig,
     last_trace: Option<Trace>,
     last_events: Option<EventSink>,
 }
@@ -192,6 +403,8 @@ impl HostEngine {
         HostEngine {
             pus,
             perturbations: Vec::new(),
+            faults: FaultPlan::none(),
+            ft: FaultToleranceConfig::default(),
             last_trace: None,
             last_events: None,
         }
@@ -201,6 +414,21 @@ impl HostEngine {
     /// [`HostPerturbation`]).
     pub fn with_perturbations(mut self, p: Vec<HostPerturbation>) -> HostEngine {
         self.perturbations = p;
+        self
+    }
+
+    /// Inject deterministic faults (panics, delays) by per-unit attempt
+    /// index. See [`FaultPlan`]. Re-dispatch after a loss assumes
+    /// idempotent codelets.
+    pub fn with_faults(mut self, plan: FaultPlan) -> HostEngine {
+        self.faults = plan;
+        self
+    }
+
+    /// Override the fault-response tunables: retry bound, backoff,
+    /// quarantine threshold, deadline factor, probation window.
+    pub fn with_fault_tolerance(mut self, ft: FaultToleranceConfig) -> HostEngine {
+        self.ft = ft;
         self
     }
 
@@ -214,14 +442,16 @@ impl HostEngine {
     ) -> Result<RunReport, RunError> {
         let n = self.pus.len();
         let epoch = Instant::now();
-        let (done_tx, done_rx): (Sender<Completion>, Receiver<Completion>) = unbounded();
+        let (done_tx, done_rx): (Sender<WorkerMsg>, Receiver<WorkerMsg>) = unbounded();
 
-        // One worker thread (owning a sized rayon pool) per unit.
-        let mut senders = Vec::with_capacity(n);
+        // One worker thread (owning a sized rayon pool) per unit. A
+        // spawn or pool-construction failure tears down what exists and
+        // reports infrastructure loss instead of panicking.
+        let mut senders: Vec<Sender<Assignment>> = Vec::with_capacity(n);
         let mut joins = Vec::with_capacity(n);
+        let mut infra_error: Option<String> = None;
         for (i, pu) in self.pus.iter().enumerate() {
             let (tx, rx): (Sender<Assignment>, Receiver<Assignment>) = unbounded();
-            senders.push(tx);
             let done = done_tx.clone();
             let codelet = Arc::clone(&codelet);
             let res = PuResources {
@@ -229,41 +459,92 @@ impl HostEngine {
                 kind: pu.kind,
             };
             let perturbations = self.perturbations.clone();
-            let pool = rayon::ThreadPoolBuilder::new()
+            let pool = match rayon::ThreadPoolBuilder::new()
                 .num_threads(pu.threads)
                 .thread_name(move |t| format!("hostpu{i}-w{t}"))
                 .build()
-                .expect("thread pool construction");
-            joins.push(std::thread::spawn(move || {
-                let mut done_tasks = 0u64;
-                while let Ok(a) = rx.recv() {
-                    let started_at = epoch.elapsed().as_secs_f64();
-                    let repeat = repeat_for(&perturbations, i, done_tasks);
-                    let t0 = Instant::now();
-                    pool.install(|| {
-                        for _ in 0..repeat {
-                            codelet.execute(a.offset..a.offset + a.items, &res);
-                        }
-                    });
-                    let proc_time = t0.elapsed().as_secs_f64();
-                    done_tasks += 1;
-                    if done
-                        .send(Completion {
-                            pu: PuId(i),
-                            task: a.task,
-                            offset: a.offset,
-                            items: a.items,
-                            proc_time,
-                            started_at,
-                        })
-                        .is_err()
-                    {
-                        break;
-                    }
+            {
+                Ok(p) => p,
+                Err(e) => {
+                    infra_error = Some(format!("thread pool construction for unit {i}: {e}"));
+                    break;
                 }
-            }));
+            };
+            let spawned = std::thread::Builder::new()
+                .name(format!("hostpu{i}"))
+                .spawn(move || {
+                    let mut attempts_run = 0u64;
+                    while let Ok(a) = rx.recv() {
+                        if a.backoff_s > 0.0 && a.backoff_s.is_finite() {
+                            std::thread::sleep(Duration::from_secs_f64(a.backoff_s));
+                        }
+                        let started_at = epoch.elapsed().as_secs_f64();
+                        let repeat = repeat_for(&perturbations, i, attempts_run);
+                        let t0 = Instant::now();
+                        // Catch codelet panics so one bad kernel marks
+                        // its task failed instead of killing the worker.
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                pool.install(|| {
+                                    match a.inject {
+                                        Some(FaultAction::Delay(s)) => {
+                                            if s.is_finite() && s > 0.0 {
+                                                std::thread::sleep(Duration::from_secs_f64(s));
+                                            }
+                                        }
+                                        Some(FaultAction::Panic) => {
+                                            panic!(
+                                                "injected fault: panic on attempt {}",
+                                                a.attempt
+                                            );
+                                        }
+                                        None => {}
+                                    }
+                                    for _ in 0..repeat {
+                                        codelet.execute(a.offset..a.offset + a.items, &res);
+                                    }
+                                });
+                            }));
+                        let proc_time = t0.elapsed().as_secs_f64();
+                        attempts_run += 1;
+                        let msg = match outcome {
+                            Ok(()) => WorkerMsg::Done(Completion {
+                                pu: PuId(i),
+                                task: a.task,
+                                items: a.items,
+                                proc_time,
+                                started_at,
+                            }),
+                            Err(_) => WorkerMsg::Failed {
+                                pu: PuId(i),
+                                task: a.task,
+                                attempt: a.attempt,
+                            },
+                        };
+                        if done.send(msg).is_err() {
+                            break;
+                        }
+                    }
+                });
+            match spawned {
+                Ok(h) => {
+                    senders.push(tx);
+                    joins.push(h);
+                }
+                Err(e) => {
+                    infra_error = Some(format!("worker thread spawn for unit {i}: {e}"));
+                    break;
+                }
+            }
         }
         drop(done_tx);
+        if let Some(detail) = infra_error {
+            drop(senders);
+            for j in joins {
+                let _ = j.join();
+            }
+            return Err(RunError::Infrastructure { detail });
+        }
 
         let handles: Vec<PuHandle> = self
             .pus
@@ -279,14 +560,24 @@ impl HostEngine {
             .collect();
         let mut st = HostState {
             handles,
-            senders,
+            senders: senders.into_iter().map(Some).collect(),
             inflight: vec![None; n],
             remaining: total_items,
             total: total_items,
             cursor: 0,
+            reclaimed: Vec::new(),
             next_task: 0,
             epoch,
             events: EventSink::default(),
+            faults: self.faults.clone(),
+            ft: self.ft.clone(),
+            attempts: vec![0; n],
+            consec_failures: vec![0; n],
+            deadline_hint: vec![None; n],
+            rate_ewma: vec![None; n],
+            quarantined_until: vec![None; n],
+            lost: vec![false; n],
+            pending_lost: Vec::new(),
         };
         let mut trace = Trace::new(n);
         st.events.record(
@@ -300,12 +591,44 @@ impl HostEngine {
         );
 
         policy.on_start(&mut st);
+        notify_lost(&mut st, policy);
 
         let result = loop {
             if st.remaining == 0 && !st.any_busy() {
                 break Ok(());
             }
+
+            // End probation windows that have elapsed: the unit rejoins
+            // the active set and the policy can fold it back in.
+            for i in 0..n {
+                let due = st.quarantined_until[i].is_some_and(|t| st.now() >= t);
+                if due {
+                    st.quarantined_until[i] = None;
+                    st.consec_failures[i] = 0;
+                    st.handles[i].available = true;
+                    let now = st.now();
+                    st.events.record(now, Some(i), EventKind::DeviceRestored);
+                    policy.on_device_restored(&mut st, PuId(i));
+                    notify_lost(&mut st, policy);
+                }
+            }
+            if st.remaining == 0 && !st.any_busy() {
+                break Ok(());
+            }
+
             if !st.any_busy() {
+                // Idle with work left: wait out a pending probation, or
+                // report the stall (policy silent / every unit gone).
+                let next_probation = st
+                    .quarantined_until
+                    .iter()
+                    .flatten()
+                    .fold(f64::INFINITY, |a, &t| a.min(t));
+                if next_probation.is_finite() {
+                    let wait = (next_probation - st.now()).max(0.0);
+                    std::thread::sleep(Duration::from_secs_f64(wait.min(0.05) + 1e-4));
+                    continue;
+                }
                 let at = st.now();
                 st.events.record(
                     at,
@@ -319,45 +642,226 @@ impl HostEngine {
                     at,
                 });
             }
-            let c = done_rx.recv().expect("workers alive while tasks in flight");
-            debug_assert_eq!(st.inflight[c.pu.0], Some(c.task));
-            st.inflight[c.pu.0] = None;
-            trace.record_task(c.pu, c.task, c.items, c.started_at, 0.0, c.proc_time);
-            st.events.record(
-                c.started_at,
-                Some(c.pu.0),
-                EventKind::TaskStart {
-                    task: c.task.0,
-                    items: c.items,
-                },
-            );
-            st.events.record(
-                c.started_at + c.proc_time,
-                Some(c.pu.0),
-                EventKind::TaskFinish {
-                    task: c.task.0,
-                    items: c.items,
-                    xfer_s: 0.0,
-                    proc_s: c.proc_time,
-                },
-            );
-            let info = TaskInfo {
-                task_id: c.task,
-                pu: c.pu,
-                items: c.items,
-                xfer_time: 0.0,
-                proc_time: c.proc_time,
-                start: c.started_at,
-                finish: c.started_at + c.proc_time,
+
+            // Watchdog-aware wait: wake at the earliest task deadline or
+            // probation expiry, whichever comes first.
+            let mut wake = f64::INFINITY;
+            for p in st.inflight.iter().flatten() {
+                if let Some(d) = p.deadline_at {
+                    wake = wake.min(d);
+                }
+            }
+            for t in st.quarantined_until.iter().flatten() {
+                wake = wake.min(*t);
+            }
+            let timeout = if wake.is_finite() {
+                (wake - st.now()).max(0.0).min(60.0)
+            } else {
+                60.0
             };
-            let _ = c.offset;
-            policy.on_task_finished(&mut st, &info);
+            let msg = match done_rx.recv_timeout(Duration::from_secs_f64(timeout)) {
+                Ok(m) => Some(m),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => {
+                    break Err(RunError::Infrastructure {
+                        detail: "all worker threads exited while tasks were in flight".into(),
+                    });
+                }
+            };
+
+            let Some(msg) = msg else {
+                // Timed out: declare units with blown deadlines lost.
+                // Their threads may be wedged mid-kernel, so they are
+                // detached, never joined, and never restored; the lost
+                // block re-runs on a survivor (idempotent codelets).
+                let now = st.now();
+                for i in 0..n {
+                    let blown = st.inflight[i]
+                        .as_ref()
+                        .and_then(|p| p.deadline_at)
+                        .is_some_and(|d| now >= d);
+                    if !blown {
+                        continue;
+                    }
+                    let Some(pend) = st.inflight[i].take() else {
+                        continue;
+                    };
+                    st.events.record(
+                        now,
+                        Some(i),
+                        EventKind::TaskFailed {
+                            task: pend.task.0,
+                            items: pend.items,
+                            attempt: pend.attempt,
+                            reason: FailureReason::DeadlineExceeded.name().to_string(),
+                        },
+                    );
+                    st.reclaim(pend.offset, pend.items);
+                    st.mark_lost(i);
+                    notify_lost(&mut st, policy);
+                    let failure = TaskFailure {
+                        task_id: pend.task,
+                        pu: PuId(i),
+                        items: pend.items,
+                        attempt: pend.attempt,
+                        at: now,
+                        reason: FailureReason::DeadlineExceeded,
+                    };
+                    policy.on_task_failed(&mut st, &failure);
+                    notify_lost(&mut st, policy);
+                }
+                continue;
+            };
+
+            match msg {
+                WorkerMsg::Done(c) => {
+                    // Stale completions (from units already declared
+                    // lost, whose wedged worker eventually finished) are
+                    // ignored: the block was re-dispatched elsewhere.
+                    let current = st.inflight[c.pu.0]
+                        .as_ref()
+                        .is_some_and(|p| p.task == c.task);
+                    if !current {
+                        continue;
+                    }
+                    st.inflight[c.pu.0] = None;
+                    st.consec_failures[c.pu.0] = 0;
+                    st.observe_rate(c.pu.0, c.proc_time, c.items);
+                    trace.record_task(c.pu, c.task, c.items, c.started_at, 0.0, c.proc_time);
+                    st.events.record(
+                        c.started_at,
+                        Some(c.pu.0),
+                        EventKind::TaskStart {
+                            task: c.task.0,
+                            items: c.items,
+                        },
+                    );
+                    st.events.record(
+                        c.started_at + c.proc_time,
+                        Some(c.pu.0),
+                        EventKind::TaskFinish {
+                            task: c.task.0,
+                            items: c.items,
+                            xfer_s: 0.0,
+                            proc_s: c.proc_time,
+                        },
+                    );
+                    let info = TaskInfo {
+                        task_id: c.task,
+                        pu: c.pu,
+                        items: c.items,
+                        xfer_time: 0.0,
+                        proc_time: c.proc_time,
+                        start: c.started_at,
+                        finish: c.started_at + c.proc_time,
+                    };
+                    policy.on_task_finished(&mut st, &info);
+                    notify_lost(&mut st, policy);
+                }
+                WorkerMsg::Failed { pu, task, .. } => {
+                    let current = st.inflight[pu.0].as_ref().is_some_and(|p| p.task == task);
+                    if !current {
+                        continue;
+                    }
+                    let Some(pend) = st.inflight[pu.0].take() else {
+                        continue;
+                    };
+                    st.consec_failures[pu.0] += 1;
+                    let failures = st.consec_failures[pu.0];
+                    let now = st.now();
+                    st.events.record(
+                        now,
+                        Some(pu.0),
+                        EventKind::TaskFailed {
+                            task: pend.task.0,
+                            items: pend.items,
+                            attempt: pend.attempt,
+                            reason: FailureReason::Panicked.name().to_string(),
+                        },
+                    );
+                    if failures >= st.ft.quarantine_after {
+                        // Quarantine: the unit leaves the active set,
+                        // its block returns to the pool, and the policy
+                        // re-solves the split over the survivors. The
+                        // worker itself is healthy (the panic was
+                        // caught), so with a probation window it can
+                        // come back.
+                        st.handles[pu.0].available = false;
+                        st.quarantined_until[pu.0] = st.ft.probation_s.map(|p| now + p);
+                        st.reclaim(pend.offset, pend.items);
+                        st.events
+                            .record(now, Some(pu.0), EventKind::PuQuarantined { failures });
+                        st.events.record(now, Some(pu.0), EventKind::DeviceFailed);
+                        policy.on_device_lost(&mut st, pu);
+                        notify_lost(&mut st, policy);
+                        let failure = TaskFailure {
+                            task_id: pend.task,
+                            pu,
+                            items: pend.items,
+                            attempt: pend.attempt,
+                            at: now,
+                            reason: FailureReason::Panicked,
+                        };
+                        policy.on_task_failed(&mut st, &failure);
+                        notify_lost(&mut st, policy);
+                    } else if pend.attempt < st.ft.max_retries {
+                        // Bounded in-place retry with exponential
+                        // backoff.
+                        let retry_attempt = pend.attempt + 1;
+                        let backoff = st.ft.backoff_for(retry_attempt);
+                        st.events.record(
+                            now,
+                            Some(pu.0),
+                            EventKind::TaskRetry {
+                                task: pend.task.0,
+                                items: pend.items,
+                                attempt: retry_attempt,
+                                backoff_s: backoff,
+                            },
+                        );
+                        if !st.dispatch(
+                            pu.0,
+                            pend.task,
+                            pend.offset,
+                            pend.items,
+                            retry_attempt,
+                            backoff,
+                        ) {
+                            st.reclaim(pend.offset, pend.items);
+                            st.mark_lost(pu.0);
+                            notify_lost(&mut st, policy);
+                        }
+                    } else {
+                        // Retries exhausted without hitting the
+                        // quarantine bar: the block's items return to
+                        // the pool for the other units.
+                        st.reclaim(pend.offset, pend.items);
+                        let failure = TaskFailure {
+                            task_id: pend.task,
+                            pu,
+                            items: pend.items,
+                            attempt: pend.attempt,
+                            at: now,
+                            reason: FailureReason::Panicked,
+                        };
+                        policy.on_task_failed(&mut st, &failure);
+                        notify_lost(&mut st, policy);
+                    }
+                }
+            }
         };
 
-        // Shut workers down.
+        // Shut healthy workers down; threads of lost units may be wedged
+        // inside a kernel and are detached instead of joined.
         st.senders.clear();
-        for j in joins {
-            j.join().expect("worker thread exits cleanly");
+        let mut join_failed = false;
+        for (i, j) in joins.into_iter().enumerate() {
+            if st.lost[i] {
+                continue;
+            }
+            if j.join().is_err() {
+                join_failed = true;
+            }
         }
         if result.is_ok() {
             st.events.record(
@@ -373,9 +877,20 @@ impl HostEngine {
         self.last_events = Some(std::mem::take(&mut st.events));
         self.last_trace = Some(trace);
         result?;
+        if join_failed {
+            // The codelet guard catches kernel panics, so a panicking
+            // worker thread means engine infrastructure broke.
+            return Err(RunError::Infrastructure {
+                detail: "a worker thread panicked outside the codelet guard".into(),
+            });
+        }
 
         let names: Vec<String> = self.pus.iter().map(|p| p.name.clone()).collect();
-        let trace = self.last_trace.as_ref().expect("stored above");
+        let Some(trace) = self.last_trace.as_ref() else {
+            return Err(RunError::Infrastructure {
+                detail: "run trace missing after a successful run".into(),
+            });
+        };
         let mut report =
             RunReport::from_trace(policy.name(), trace, &names, policy.block_distribution());
         report.rebalances = counters.rebalances as usize;
@@ -468,6 +983,29 @@ mod tests {
         let mut engine = HostEngine::new(two_unequal_pus());
         let err = engine.run(&mut Never, codelet, 10).unwrap_err();
         assert!(matches!(err, RunError::Stalled { remaining: 10, .. }));
+    }
+
+    #[test]
+    fn stalled_run_preserves_events() {
+        // Host-engine twin of the simulator test of the same name: a
+        // stalled run still exposes its partial event stream.
+        struct Never;
+        impl Policy for Never {
+            fn name(&self) -> &str {
+                "never"
+            }
+            fn on_start(&mut self, _: &mut dyn SchedulerCtx) {}
+            fn on_task_finished(&mut self, _: &mut dyn SchedulerCtx, _: &TaskInfo) {}
+        }
+        let codelet = Arc::new(FnCodelet::new("noop", |_, _| {}));
+        let mut engine = HostEngine::new(two_unequal_pus());
+        let err = engine.run(&mut Never, codelet, 42).unwrap_err();
+        assert!(matches!(err, RunError::Stalled { remaining: 42, .. }));
+        let events = engine.last_events().expect("post-mortem events").events();
+        assert!(matches!(events[0].kind, EventKind::RunStart { .. }));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Stalled { remaining: 42 })));
     }
 
     #[test]

@@ -1,4 +1,10 @@
 #![warn(missing_docs)]
+// The run path must degrade into typed errors, not panics: unwrap/expect
+// are banned outside tests (satellite of the fault-tolerance PR; see
+// docs/FAULT_TOLERANCE.md). Justified exceptions carry a local `allow`
+// with a proof of unreachability.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 //! A StarPU-like task runtime for heterogeneous processing units.
 //!
@@ -26,11 +32,16 @@
 //! * [`events`] — structured decision-level event tracing (probes, curve
 //!   fits, solves, rebalances, perturbations) with JSONL export; see
 //!   `docs/OBSERVABILITY.md` for the schema.
+//! * [`fault`] — fault injection ([`FaultPlan`], shared with the
+//!   simulator crate) and the fault-tolerance response knobs
+//!   ([`FaultToleranceConfig`]: retries, backoff, quarantine, host
+//!   watchdog deadlines); see `docs/FAULT_TOLERANCE.md`.
 
 pub mod codelet;
 pub mod data;
 pub mod engine;
 pub mod events;
+pub mod fault;
 pub mod host;
 pub mod metrics;
 pub mod policy;
@@ -44,8 +55,9 @@ pub use events::{
     write_jsonl, Event, EventCounters, EventKind, EventSink, TraceData, TraceHeader,
     TRACE_FORMAT_VERSION,
 };
+pub use fault::{Fault, FaultAction, FaultKind, FaultPlan, FaultToleranceConfig};
 pub use host::{HostEngine, HostPerturbation, HostPu};
 pub use metrics::{PuReport, RunReport};
 pub use policy::{FixedBlockPolicy, Policy, PuHandle, SchedulerCtx};
-pub use task::{TaskId, TaskInfo};
+pub use task::{FailureReason, TaskFailure, TaskId, TaskInfo};
 pub use trace::{Segment, SegmentKind, Trace};

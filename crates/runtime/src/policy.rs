@@ -8,7 +8,7 @@
 //! discrete-event and the real-thread engines.
 
 use crate::events::EventKind;
-use crate::task::TaskInfo;
+use crate::task::{TaskFailure, TaskInfo};
 use plb_hetsim::{PuId, PuKind};
 
 /// Static view of one processing unit given to policies.
@@ -70,6 +70,16 @@ pub trait SchedulerCtx {
     /// [`crate::events`]. The default discards the event, so contexts
     /// without a sink (tests, minimal embeddings) need no extra code.
     fn emit_event(&mut self, _pu: Option<usize>, _kind: EventKind) {}
+
+    /// Tell the engine what the policy's performance model predicts for
+    /// `pu`: `seconds_per_item` of wall time per application item. The
+    /// host engine multiplies this by a task's block size (and the
+    /// configured safety factor) to derive the watchdog deadline
+    /// `k × E_p(x)`. Non-finite or non-positive hints clear a previous
+    /// hint. The default ignores the hint — the simulator needs no
+    /// watchdog, and the host engine falls back to its own observed
+    /// per-item rate until a hint arrives.
+    fn set_deadline_hint(&mut self, _pu: PuId, _seconds_per_item: f64) {}
 }
 
 /// A scheduling policy. Implementations live in the `plb-hec` crate; the
@@ -91,6 +101,21 @@ pub trait Policy: Send {
     /// does nothing, which suits policies that reassign work on every
     /// completion anyway.
     fn on_device_lost(&mut self, _ctx: &mut dyn SchedulerCtx, _pu: PuId) {}
+
+    /// Called when a previously quarantined unit re-enters the active
+    /// set (the host engine's probation window elapsed, or a simulator
+    /// `Restore` perturbation fired). The unit's handle is available
+    /// again before this call. The default does nothing.
+    fn on_device_restored(&mut self, _ctx: &mut dyn SchedulerCtx, _pu: PuId) {}
+
+    /// Called when a task attempt failed *and its items returned to the
+    /// shared pool* — i.e. after in-place retries were exhausted or the
+    /// unit was quarantined, not on every retried attempt. The items
+    /// have been re-credited before this call, so policies that push
+    /// work on completion can hand the block to a survivor here. The
+    /// default does nothing: engines re-dispatch re-credited items
+    /// through the normal assignment path anyway.
+    fn on_task_failed(&mut self, _ctx: &mut dyn SchedulerCtx, _failure: &TaskFailure) {}
 
     /// The per-unit fraction of data the policy would currently assign
     /// in one round — the quantity plotted in the paper's Fig. 6. `None`

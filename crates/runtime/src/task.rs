@@ -41,6 +41,54 @@ impl TaskInfo {
     }
 }
 
+/// Why a task attempt failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureReason {
+    /// The kernel panicked; the worker caught the unwind and the unit
+    /// remains usable.
+    Panicked,
+    /// The task blew its watchdog deadline; the unit was declared lost.
+    DeadlineExceeded,
+    /// The worker infrastructure died (channel closed, thread gone).
+    WorkerLost,
+}
+
+impl FailureReason {
+    /// Short machine name (the `reason` field of `task_failed` events).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FailureReason::Panicked => "panic",
+            FailureReason::DeadlineExceeded => "deadline",
+            FailureReason::WorkerLost => "worker-lost",
+        }
+    }
+}
+
+impl std::fmt::Display for FailureReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Everything a policy learns about a failed task attempt whose items
+/// went back to the shared pool (in-place retries are engine-internal
+/// and not reported here). Mirrors [`TaskInfo`] for the failure path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskFailure {
+    /// Task identity (stable across the block's retries).
+    pub task_id: TaskId,
+    /// Unit the attempt ran on.
+    pub pu: PuId,
+    /// Block size in application items (re-credited to the pool).
+    pub items: u64,
+    /// 0-based attempt number that failed last.
+    pub attempt: u32,
+    /// Time of the failure, seconds.
+    pub at: f64,
+    /// Why the attempt failed.
+    pub reason: FailureReason,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

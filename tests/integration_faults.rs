@@ -1,0 +1,209 @@
+//! Cross-crate acceptance test for the fault-tolerance layer: the full
+//! PLB-HeC policy on the real-thread host engine, with a panicking
+//! kernel injected on one unit and a hung kernel on another. The run
+//! must complete on the remaining units with retries, a quarantine,
+//! and a profile-aware rebalance all on record.
+
+use plb_hec_suite::hetsim::PuKind;
+use plb_hec_suite::plb::{PlbHecPolicy, PolicyConfig};
+use plb_hec_suite::runtime::{
+    Codelet, EventKind, Fault, FaultKind, FaultPlan, FaultToleranceConfig, FnCodelet, HostEngine,
+    HostPu, SimEngine,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn three_pus() -> Vec<HostPu> {
+    vec![
+        HostPu {
+            name: "wide".into(),
+            kind: PuKind::Gpu,
+            threads: 2,
+        },
+        HostPu {
+            name: "mid".into(),
+            kind: PuKind::Cpu,
+            threads: 1,
+        },
+        HostPu {
+            name: "narrow".into(),
+            kind: PuKind::Cpu,
+            threads: 1,
+        },
+    ]
+}
+
+/// A counting codelet with per-item busy work, so blocks have real
+/// duration and the run is still in flight when the injected faults
+/// land mid-execution.
+fn spin_codelet(counter: Arc<AtomicU64>) -> Arc<dyn Codelet> {
+    Arc::new(FnCodelet::new("spin-count", move |r, _| {
+        let mut acc = 0u64;
+        for i in r.clone() {
+            for k in 0..2_000u64 {
+                acc = acc.wrapping_add(i ^ k).rotate_left(5);
+            }
+        }
+        std::hint::black_box(acc);
+        counter.fetch_add(r.end - r.start, Ordering::Relaxed);
+    }))
+}
+
+#[test]
+fn plb_hec_host_run_survives_panic_and_hang() {
+    // Unit 1 panics persistently from its 6th attempt on (it fails its
+    // way into quarantine); unit 2 hangs inside the kernel on its 8th
+    // attempt (the watchdog declares it lost). Late attempt indices let
+    // the PLB-HeC modeling phase finish cleanly first, so the response
+    // happens mid-execution with fitted models — the paper's
+    // device-loss scenario. Unit 0 carries the run home.
+    let n: u64 = 60_000;
+    let touched = Arc::new(AtomicU64::new(0));
+    let codelet = spin_codelet(Arc::clone(&touched));
+    let plan = FaultPlan::new(vec![
+        Fault {
+            pu: 1,
+            kind: FaultKind::PanicOnAttempt { nth: 6 },
+        },
+        Fault {
+            pu: 1,
+            kind: FaultKind::PanicOnAttempt { nth: 7 },
+        },
+        Fault {
+            pu: 1,
+            kind: FaultKind::PanicOnAttempt { nth: 8 },
+        },
+        Fault {
+            pu: 2,
+            kind: FaultKind::Delay {
+                from: 8,
+                attempts: 1,
+                seconds: 30.0,
+            },
+        },
+    ]);
+    let ft = FaultToleranceConfig::default()
+        .with_backoff_base(0.002)
+        .with_min_deadline(0.25)
+        .with_deadline_factor(8.0);
+    let cfg = PolicyConfig::default()
+        .with_initial_block(1_500)
+        .with_round_fraction(0.15);
+    let mut policy = PlbHecPolicy::new(&cfg);
+    let mut engine = HostEngine::new(three_pus())
+        .with_faults(plan)
+        .with_fault_tolerance(ft);
+    let t0 = std::time::Instant::now();
+    let report = engine
+        .run(&mut policy, Arc::clone(&codelet), n)
+        .expect("the healthy units must finish the run");
+    assert!(
+        t0.elapsed().as_secs_f64() < 25.0,
+        "the watchdog, not the hung kernel, bounds the wait"
+    );
+
+    // Every item completed (>= because a deadline-lost block may
+    // eventually be double-executed by the wedged worker).
+    assert_eq!(report.total_items, n);
+    assert!(touched.load(Ordering::Relaxed) >= n);
+
+    // The response is all on record: failed attempts, in-place
+    // retries, and unit 1's quarantine.
+    assert!(report.events.task_failures >= 3);
+    assert!(report.events.task_retries >= 1, "retries must be recorded");
+    assert!(report.events.quarantines >= 1, "unit 1 must be quarantined");
+    assert!(
+        report.events.device_failures >= 1,
+        "device losses must be recorded"
+    );
+
+    // The policy re-solved the block split when it lost a unit.
+    let events = engine.last_events().expect("events recorded").events();
+    assert!(
+        events.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::RebalanceTriggered { trigger, .. }
+                if trigger == "device-lost"
+        )),
+        "losing a unit must trigger a profile-aware rebalance"
+    );
+    assert!(policy.rebalances() >= 1);
+}
+
+#[test]
+fn plb_hec_host_fault_run_is_repeatable() {
+    // The fault plan is attempt-indexed, so the *injected* behavior is
+    // identical across runs even though wall-clock times differ: the
+    // same unit is quarantined every time.
+    for _ in 0..2 {
+        let touched = Arc::new(AtomicU64::new(0));
+        let codelet = spin_codelet(Arc::clone(&touched));
+        let plan = FaultPlan::new(vec![Fault {
+            pu: 1,
+            kind: FaultKind::FlakyUntil { attempts: u64::MAX },
+        }]);
+        let cfg = PolicyConfig::default()
+            .with_initial_block(1_000)
+            .with_round_fraction(0.2);
+        let mut policy = PlbHecPolicy::new(&cfg);
+        let mut engine = HostEngine::new(three_pus())
+            .with_faults(plan)
+            .with_fault_tolerance(FaultToleranceConfig::default().with_backoff_base(0.002));
+        let n: u64 = 20_000;
+        let report = engine
+            .run(&mut policy, codelet, n)
+            .expect("survivors finish");
+        assert_eq!(report.total_items, n);
+        assert_eq!(touched.load(Ordering::Relaxed), n);
+        assert_eq!(report.events.quarantines, 1);
+        assert_eq!(report.pus[1].items, 0, "the doomed unit completes nothing");
+    }
+}
+
+#[test]
+fn plb_hec_sim_flaky_unit_is_quarantined_and_run_completes() {
+    // The same semantics on the simulator, fully deterministic: a unit
+    // that fails every attempt is quarantined and PLB-HeC carries the
+    // whole workload on the survivors.
+    use plb_hec_suite::hetsim::cluster::ClusterOptions;
+    use plb_hec_suite::hetsim::workload::LinearCost;
+    use plb_hec_suite::hetsim::{cluster_scenario, ClusterSim, Scenario};
+
+    let cost = LinearCost {
+        label: "heavy".into(),
+        flops_per_item: 1e5,
+        in_bytes_per_item: 64.0,
+        out_bytes_per_item: 64.0,
+        threads_per_item: 64.0,
+    };
+    let run = || {
+        let mut cluster = ClusterSim::build(
+            &cluster_scenario(Scenario::Two, false),
+            &ClusterOptions {
+                noise_sigma: 0.01,
+                ..Default::default()
+            },
+        );
+        let cfg = PolicyConfig::default()
+            .with_initial_block(1_000)
+            .with_round_fraction(0.25);
+        let mut policy = PlbHecPolicy::new(&cfg);
+        // Unit 1 fails every attempt from its very first probe: it is
+        // quarantined during modeling and the models are fitted from
+        // the healthy unit alone.
+        let mut engine =
+            SimEngine::new(&mut cluster, &cost).with_faults(FaultPlan::new(vec![Fault {
+                pu: 1,
+                kind: FaultKind::FlakyUntil { attempts: u64::MAX },
+            }]));
+        let report = engine
+            .run(&mut policy, 2_000_000)
+            .expect("survivors complete the run");
+        assert_eq!(report.total_items, 2_000_000);
+        assert_eq!(report.pus[1].items, 0);
+        assert_eq!(report.events.quarantines, 1);
+        (report.makespan, report.events.task_failures)
+    };
+    // Deterministic end to end.
+    assert_eq!(run(), run());
+}
