@@ -7,7 +7,7 @@
 //! European call and put prices.
 
 use plb_hetsim::CostModel;
-use plb_runtime::{Codelet, PuResources};
+use plb_runtime::{Codelet, DisjointOutput, PuResources};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::ops::Range;
@@ -200,31 +200,21 @@ pub fn greeks(o: &OptionSpec) -> Greeks {
 /// The real CPU codelet: prices its option range.
 pub struct BsCodelet {
     data: Arc<BsData>,
-    prices: Arc<Vec<PriceCell>>,
+    /// Output (call, put) per option; each task claims its option
+    /// range as a [`DisjointOutput`] view.
+    prices: Arc<DisjointOutput<(f64, f64)>>,
 }
-
-#[repr(transparent)]
-struct PriceCell(std::cell::UnsafeCell<(f64, f64)>);
-
-// SAFETY: each option index is written by exactly one task.
-unsafe impl Sync for PriceCell {}
-unsafe impl Send for PriceCell {}
 
 impl BsCodelet {
     /// Wrap host data.
     pub fn new(data: Arc<BsData>) -> BsCodelet {
-        let prices = (0..data.options.len())
-            .map(|_| PriceCell(std::cell::UnsafeCell::new((0.0, 0.0))))
-            .collect();
-        BsCodelet {
-            data,
-            prices: Arc::new(prices),
-        }
+        let prices = Arc::new(DisjointOutput::new((0.0, 0.0), data.options.len()));
+        BsCodelet { data, prices }
     }
 
     /// The computed (call, put) prices.
     pub fn results(&self) -> Vec<(f64, f64)> {
-        self.prices.iter().map(|c| unsafe { *c.0.get() }).collect()
+        self.prices.snapshot()
     }
 }
 
@@ -235,19 +225,19 @@ impl Codelet for BsCodelet {
 
     fn execute(&self, range: Range<u64>, res: &PuResources) {
         use rayon::prelude::*;
-        let work = |i: u64| {
-            let i = i as usize;
-            let p = price(&self.data.options[i]);
-            // SAFETY: index i belongs exclusively to this task's range.
-            unsafe {
-                *self.prices[i].0.get() = p;
-            }
-        };
+        let lo = range.start as usize;
+        let hi = range.end as usize;
         if res.threads > 1 {
-            (range.start..range.end).into_par_iter().for_each(work);
+            // One claim per option so rayon threads write independently.
+            (lo..hi).into_par_iter().for_each(|i| {
+                let mut out = self.prices.writer(i..i + 1);
+                out[0] = price(&self.data.options[i]);
+            });
         } else {
-            for i in range {
-                work(i);
+            // One claim for the whole contiguous block.
+            let mut out = self.prices.writer(lo..hi);
+            for i in lo..hi {
+                out[i - lo] = price(&self.data.options[i]);
             }
         }
     }

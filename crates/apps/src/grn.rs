@@ -12,7 +12,7 @@
 //! (one target gene) costs `O(n²)` and the whole run `O(n³)`.
 
 use plb_hetsim::CostModel;
-use plb_runtime::{Codelet, PuResources};
+use plb_runtime::{Codelet, DisjointOutput, PuResources};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::ops::Range;
@@ -288,31 +288,21 @@ pub struct GrnResult {
 /// The real CPU codelet: exhaustive pair search per target gene.
 pub struct GrnCodelet {
     data: Arc<GrnData>,
-    results: Arc<Vec<ResultCell>>,
+    /// Best pair per target; each task claims its target index as a
+    /// [`DisjointOutput`] view.
+    results: Arc<DisjointOutput<Option<GrnResult>>>,
 }
-
-#[repr(transparent)]
-struct ResultCell(std::cell::UnsafeCell<Option<GrnResult>>);
-
-// SAFETY: each target index is written by exactly one task.
-unsafe impl Sync for ResultCell {}
-unsafe impl Send for ResultCell {}
 
 impl GrnCodelet {
     /// Wrap host data.
     pub fn new(data: Arc<GrnData>) -> GrnCodelet {
-        let results = (0..data.genes)
-            .map(|_| ResultCell(std::cell::UnsafeCell::new(None)))
-            .collect();
-        GrnCodelet {
-            data,
-            results: Arc::new(results),
-        }
+        let results = Arc::new(DisjointOutput::new(None, data.genes));
+        GrnCodelet { data, results }
     }
 
     /// The per-target inference results (None for unprocessed targets).
     pub fn results(&self) -> Vec<Option<GrnResult>> {
-        self.results.iter().map(|c| unsafe { *c.0.get() }).collect()
+        self.results.snapshot()
     }
 
     fn infer_target(&self, target: usize) {
@@ -338,10 +328,8 @@ impl GrnCodelet {
                 }
             }
         }
-        // SAFETY: target index owned exclusively by this task.
-        unsafe {
-            *self.results[target].0.get() = Some(best);
-        }
+        let mut out = self.results.writer(target..target + 1);
+        out[0] = Some(best);
     }
 }
 

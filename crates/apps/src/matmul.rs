@@ -8,7 +8,7 @@
 //! (single-precision input columns and result columns).
 
 use plb_hetsim::CostModel;
-use plb_runtime::{Codelet, PuResources};
+use plb_runtime::{Codelet, DisjointOutput, PuResources};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::ops::Range;
@@ -111,51 +111,36 @@ impl MatMulData {
 /// The real CPU codelet: computes the C columns of its item range.
 pub struct MatMulCodelet {
     data: Arc<MatMulData>,
-    /// Output C, column-major; written disjointly per item.
-    c: Arc<Vec<SyncCell>>,
+    /// Output C, column-major; each work item (column `j`) owns the
+    /// contiguous element range `j·n .. (j+1)·n`, claimed as a
+    /// [`DisjointOutput`] view for the duration of the column kernel.
+    c: Arc<DisjointOutput<f32>>,
 }
-
-/// A single f32 cell written by exactly one task (items are disjoint),
-/// so the unsynchronized write is race-free by construction.
-#[repr(transparent)]
-struct SyncCell(std::cell::UnsafeCell<f32>);
-
-// SAFETY: disjoint item ranges mean no two threads ever touch the same
-// cell; reads happen only after the run completes.
-unsafe impl Sync for SyncCell {}
-unsafe impl Send for SyncCell {}
 
 impl MatMulCodelet {
     /// Wrap host data for execution.
     pub fn new(data: Arc<MatMulData>) -> MatMulCodelet {
-        let cells = (0..data.n * data.n)
-            .map(|_| SyncCell(std::cell::UnsafeCell::new(0.0)))
-            .collect();
-        MatMulCodelet {
-            data,
-            c: Arc::new(cells),
-        }
+        let c = Arc::new(DisjointOutput::new(0.0f32, data.n * data.n));
+        MatMulCodelet { data, c }
     }
 
     /// Copy the result matrix out (column-major).
     pub fn result(&self) -> Vec<f32> {
-        self.c.iter().map(|cell| unsafe { *cell.0.get() }).collect()
+        self.c.snapshot()
     }
 
     fn compute_column(&self, j: usize) {
         let n = self.data.n;
         let a = &self.data.a;
         let bcol = &self.data.b[j * n..(j + 1) * n];
+        let mut col = self.c.writer(j * n..(j + 1) * n);
         for i in 0..n {
             let arow = &a[i * n..(i + 1) * n];
             let mut acc = 0.0f32;
             for k in 0..n {
                 acc += arow[k] * bcol[k];
             }
-            // SAFETY: item j is owned exclusively by this task.
-            unsafe {
-                *self.c[j * n + i].0.get() = acc;
-            }
+            col[i] = acc;
         }
     }
 }

@@ -13,7 +13,7 @@
 //! paper's MM at 65536.
 
 use plb_hetsim::CostModel;
-use plb_runtime::{Codelet, PuResources};
+use plb_runtime::{Codelet, DisjointOutput, PuResources};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::ops::Range;
@@ -155,50 +155,37 @@ impl NnLayerData {
 /// The real CPU codelet: forward pass over its sample range.
 pub struct NnLayerCodelet {
     data: Arc<NnLayerData>,
-    activations: Arc<Vec<ActCell>>,
+    /// Activations, sample-major `samples × outputs`; each work item
+    /// (sample) owns the contiguous row `sample·outputs ..
+    /// (sample+1)·outputs`, claimed as a [`DisjointOutput`] view.
+    activations: Arc<DisjointOutput<f32>>,
 }
-
-#[repr(transparent)]
-struct ActCell(std::cell::UnsafeCell<f32>);
-
-// SAFETY: sample ranges are disjoint; each activation cell is written by
-// exactly one task.
-unsafe impl Sync for ActCell {}
-unsafe impl Send for ActCell {}
 
 impl NnLayerCodelet {
     /// Wrap host data.
     pub fn new(data: Arc<NnLayerData>) -> NnLayerCodelet {
-        let activations = (0..data.samples * data.outputs)
-            .map(|_| ActCell(std::cell::UnsafeCell::new(0.0)))
-            .collect();
-        NnLayerCodelet {
-            data,
-            activations: Arc::new(activations),
-        }
+        let activations = Arc::new(DisjointOutput::new(0.0f32, data.samples * data.outputs));
+        NnLayerCodelet { data, activations }
     }
 
     /// The computed activations, sample-major `samples × outputs`.
     pub fn activations(&self) -> Vec<f32> {
-        self.activations
-            .iter()
-            .map(|c| unsafe { *c.0.get() })
-            .collect()
+        self.activations.snapshot()
     }
 
     fn forward(&self, sample: usize) {
         let d = &self.data;
         let x = &d.batch[sample * d.inputs..(sample + 1) * d.inputs];
+        let mut row = self
+            .activations
+            .writer(sample * d.outputs..(sample + 1) * d.outputs);
         for o in 0..d.outputs {
             let w = &d.weights[o * d.inputs..(o + 1) * d.inputs];
             let mut z = d.biases[o];
             for (a, b) in w.iter().zip(x) {
                 z += a * b;
             }
-            // SAFETY: this sample's activation row is owned by this task.
-            unsafe {
-                *self.activations[sample * d.outputs + o].0.get() = z.max(0.0);
-            }
+            row[o] = z.max(0.0);
         }
     }
 }

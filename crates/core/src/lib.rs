@@ -1,4 +1,9 @@
 #![warn(missing_docs)]
+// Scheduling decisions must degrade, not abort: a panic in the policy
+// would take down a whole run the fault-tolerant host could otherwise
+// finish. Tests are exempt (assertions are their job).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 //! PLB-HeC: the Profile-based Load-Balancing algorithm for Heterogeneous
 //! CPU-GPU Clusters (Sant'Ana, Camargo & Cordeiro, IEEE CLUSTER 2015),

@@ -232,7 +232,11 @@ impl ModelingController {
                     };
                     let line: Vec<(f64, f64)> =
                         [1.0, 2.0, 4.0].iter().map(|&x| (x, x / rate)).collect();
-                    let f = plb_numerics::fit_linear(&line).expect("exact affine data always fits");
+                    // Exact affine data always fits; if the solve ever
+                    // degenerates anyway, degrade to a constant
+                    // one-item-time model instead of panicking.
+                    let f = plb_numerics::fit_linear(&line)
+                        .unwrap_or_else(|_| plb_numerics::FittedCurve::constant(1.0 / rate));
                     UnitModel {
                         f,
                         g: plb_numerics::FittedCurve::constant(0.0),

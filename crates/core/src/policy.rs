@@ -109,10 +109,10 @@ impl PlbHecPolicy {
     }
 
     fn assign_initial_probes(&mut self, ctx: &mut dyn SchedulerCtx) {
-        let ctrl = self
-            .ctrl
-            .as_mut()
-            .expect("controller exists in modeling phase");
+        let Some(ctrl) = self.ctrl.as_mut() else {
+            debug_assert!(false, "controller exists in modeling phase");
+            return;
+        };
         let blocks = ctrl.initial_probes();
         let mut dead = Vec::new();
         for (i, &b) in blocks.iter().enumerate() {
@@ -128,9 +128,10 @@ impl PlbHecPolicy {
             }
         }
         if !dead.is_empty() {
-            let ctrl = self.ctrl.as_mut().expect("still modeling");
-            for (i, b) in dead {
-                ctrl.cancel_probe(i, b);
+            if let Some(ctrl) = self.ctrl.as_mut() {
+                for (i, b) in dead {
+                    ctrl.cancel_probe(i, b);
+                }
             }
         }
     }
@@ -368,7 +369,10 @@ impl Policy for PlbHecPolicy {
     fn on_task_finished(&mut self, ctx: &mut dyn SchedulerCtx, done: &TaskInfo) {
         match self.phase {
             Phase::Modeling => {
-                let ctrl = self.ctrl.as_mut().expect("controller in modeling phase");
+                let Some(ctrl) = self.ctrl.as_mut() else {
+                    debug_assert!(false, "controller exists in modeling phase");
+                    return;
+                };
                 let next = ctrl.on_task_done(done.pu.0, done.items, done.proc_time, done.xfer_time);
                 let round = ctrl.probes_done(done.pu.0) + 1;
                 if let Some(block) = next {
@@ -385,12 +389,14 @@ impl Policy for PlbHecPolicy {
                         );
                         return;
                     }
-                    self.ctrl
-                        .as_mut()
-                        .expect("still modeling")
-                        .cancel_probe(done.pu.0, block);
+                    if let Some(ctrl) = self.ctrl.as_mut() {
+                        ctrl.cancel_probe(done.pu.0, block);
+                    }
                 }
-                let ctrl = self.ctrl.as_mut().expect("still modeling");
+                let Some(ctrl) = self.ctrl.as_mut() else {
+                    debug_assert!(false, "controller exists in modeling phase");
+                    return;
+                };
                 match ctrl.status() {
                     ModelingStatus::Done(models) => self.finish_modeling(ctx, models),
                     ModelingStatus::Probing => {
@@ -482,7 +488,10 @@ impl Policy for PlbHecPolicy {
         self.last_finish[pu.0] = None;
         match self.phase {
             Phase::Modeling => {
-                let ctrl = self.ctrl.as_mut().expect("controller in modeling phase");
+                let Some(ctrl) = self.ctrl.as_mut() else {
+                    debug_assert!(false, "controller exists in modeling phase");
+                    return;
+                };
                 ctrl.deactivate(pu.0);
                 // The unit's in-flight probe (if any) will never land.
                 if !ctx.is_busy(pu) && ctrl.outstanding() > 0 {
@@ -785,7 +794,7 @@ mod tests {
             .with_round_fraction(0.25);
         let mut policy = PlbHecPolicy::new(&cfg);
         let mut engine = SimEngine::new(&mut cluster, &cost);
-        engine.run(&mut policy, 2_000_000).unwrap();
+        let _ = engine.run(&mut policy, 2_000_000).unwrap();
 
         let sink = engine.last_events().expect("engine keeps the event sink");
         let counters = sink.counters();
@@ -844,7 +853,7 @@ mod tests {
                 at: 0.1,
                 kind: PerturbationKind::SetSlowdown(plb_hetsim::PuId(1), 6.0),
             }]);
-        engine.run(&mut policy, 8_000_000).unwrap();
+        let _ = engine.run(&mut policy, 8_000_000).unwrap();
 
         let sink = engine.last_events().expect("engine keeps the event sink");
         let trigger = sink.events().iter().find_map(|e| match e.kind {

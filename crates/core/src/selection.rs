@@ -42,6 +42,7 @@ impl SelectionMethod {
 
 /// The outcome of one block-size selection.
 #[derive(Debug, Clone)]
+#[must_use = "a SelectionResult holds the solved block split; apply or record it"]
 pub struct SelectionResult {
     /// Per-unit fraction of the window (0 for inactive units).
     pub fractions: Vec<f64>,
@@ -448,14 +449,14 @@ mod tests {
     #[should_panic(expected = "no active")]
     fn all_inactive_panics() {
         let models = vec![linear_model(1e5, 0.0)];
-        select_block_sizes(&models, &[false], 100, 1);
+        let _ = select_block_sizes(&models, &[false], 100, 1);
     }
 
     #[test]
     #[should_panic(expected = "empty selection")]
     fn zero_window_panics() {
         let models = vec![linear_model(1e5, 0.0)];
-        select_block_sizes(&models, &[true], 0, 1);
+        let _ = select_block_sizes(&models, &[true], 0, 1);
     }
 
     #[test]

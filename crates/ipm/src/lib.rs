@@ -2,6 +2,11 @@
 // Indexed loops mirror the textbook linear-algebra formulations and
 // keep row/column index symmetry visible; iterator rewrites obscure it.
 #![allow(clippy::needless_range_loop)]
+// Solver failures surface as `IpmError`/`IpmStatus`, never as panics:
+// the balancer falls back to proportional selection when a solve goes
+// bad. Tests are exempt (assertions are their job).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 //! Interior-point NLP solver — the workspace's IPOPT substitute.
 //!

@@ -101,6 +101,7 @@ pub struct IterationRecord {
 
 /// A solver result.
 #[derive(Debug, Clone)]
+#[must_use = "a Solution must be checked (`is_usable`/`status`) before its point is trusted"]
 pub struct Solution {
     /// Final primal point.
     pub x: Vec<f64>,
@@ -408,7 +409,10 @@ pub fn solve(problem: &dyn NlpProblem, opts: &IpmOptions) -> Result<Solution, Ip
         ls_failures = 0;
 
         x.copy_from_slice(&x_trial);
-        ev = ev_trial.expect("accepted step always has an evaluation");
+        // An accepted step always carries its trial evaluation;
+        // re-evaluate defensively instead of panicking if that
+        // invariant ever breaks.
+        ev = ev_trial.unwrap_or_else(|| evaluate(problem, &x));
         for j in 0..m {
             lambda[j] += alpha * step.dlambda[j];
         }

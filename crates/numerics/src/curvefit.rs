@@ -52,6 +52,7 @@ impl std::error::Error for FitError {}
 /// A fitted performance curve: model form, coefficients, fit quality, and
 /// the normalization used during fitting.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[must_use = "a FittedCurve encodes a fitted model; evaluate or store it"]
 pub struct FittedCurve {
     basis: BasisSet,
     coeffs: Vec<f64>,

@@ -18,12 +18,14 @@
 //! without pulling a full BLAS into the workspace.
 
 pub mod basis;
+pub mod cast;
 pub mod curvefit;
 pub mod matrix;
 pub mod solve;
 pub mod stats;
 
 pub use basis::{BasisFn, BasisSet};
+pub use cast::{ceil_usize, floor_usize};
 pub use curvefit::{fit_basis, fit_best_model, fit_linear, FitError, FittedCurve};
 pub use matrix::Mat;
 pub use solve::{cholesky_solve, lstsq, lu_solve, qr_solve, Cholesky, LinAlgError, Lu, Qr};

@@ -104,9 +104,14 @@ pub fn quantile(v: &[f64], p: f64) -> f64 {
     }
     let mut sorted = v.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let pos = p * (sorted.len() - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
+    let last = sorted.len() - 1;
+    let pos = p * last as f64;
+    let (lo, hi) = match (crate::cast::floor_usize(pos), crate::cast::ceil_usize(pos)) {
+        (Some(lo), Some(hi)) => (lo.min(last), hi.min(last)),
+        // Unreachable for p in [0, 1] and a non-empty sample, but keep
+        // a well-defined fallback rather than a panic path.
+        _ => (last, last),
+    };
     if lo == hi {
         sorted[lo]
     } else {

@@ -38,6 +38,12 @@
 //! Deterministic faults are injected with a [`FaultPlan`] shared with
 //! the simulator; re-dispatch after a lost unit assumes idempotent
 //! codelets, exactly like [`HostPerturbation`] re-execution does.
+//!
+//! The racy decisions above — result-arrival vs. watchdog-deadline,
+//! quarantine/restore vs. permanent loss, failed-block re-credit vs.
+//! run completion — are implemented on the explicit state machines in
+//! [`crate::protocol`] and model-checked under loom (see
+//! `docs/SOUNDNESS.md`).
 
 use crate::codelet::{Codelet, PuResources};
 use crate::engine::RunError;
@@ -45,11 +51,12 @@ use crate::events::{EventKind, EventSink};
 use crate::fault::{FaultAction, FaultPlan, FaultToleranceConfig};
 use crate::metrics::RunReport;
 use crate::policy::{Policy, PuHandle, SchedulerCtx};
+use crate::protocol::{AttemptSlot, CompletionLatch, UnitGate};
+use crate::sync::Arc;
 use crate::task::{FailureReason, TaskFailure, TaskId, TaskInfo};
 use crate::trace::Trace;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use plb_hetsim::{PuId, PuKind};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of one host processing unit.
@@ -94,6 +101,11 @@ struct Assignment {
     backoff_s: f64,
     /// Injected fault for this attempt, if any.
     inject: Option<FaultAction>,
+    /// The attempt's claim word, shared with the engine's watchdog: the
+    /// worker must win it (`try_complete` / `try_fail`) before
+    /// reporting, so a deadline-claimed attempt reports nothing. See
+    /// [`crate::protocol::AttemptSlot`].
+    slot: Arc<AttemptSlot>,
 }
 
 struct Completion {
@@ -115,7 +127,7 @@ enum WorkerMsg {
 }
 
 /// Engine-side record of an in-flight attempt.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct HostPending {
     task: TaskId,
     offset: u64,
@@ -123,13 +135,19 @@ struct HostPending {
     attempt: u32,
     /// Absolute watchdog deadline (engine clock), when one applies.
     deadline_at: Option<f64>,
+    /// The attempt's claim word (shared with the worker); the watchdog
+    /// must win `try_timeout` on it before declaring the attempt dead.
+    slot: Arc<AttemptSlot>,
 }
 
 struct HostState {
     handles: Vec<PuHandle>,
     senders: Vec<Option<Sender<Assignment>>>,
     inflight: Vec<Option<HostPending>>,
-    remaining: u64,
+    /// Undistributed-item pool + run-completion latch: `take` on
+    /// dispatch, `recredit` on reclaim, closed exactly once when the
+    /// run drains. See [`crate::protocol::CompletionLatch`].
+    latch: CompletionLatch,
     total: u64,
     cursor: u64,
     /// Ranges of failed blocks returned to the pool; served before fresh
@@ -152,9 +170,10 @@ struct HostState {
     rate_ewma: Vec<Option<f64>>,
     /// Probation expiry for quarantined units (engine clock).
     quarantined_until: Vec<Option<f64>>,
-    /// Permanently lost units (deadline blowout / dead worker). Their
-    /// threads may be wedged and are never joined.
-    lost: Vec<bool>,
+    /// Per-unit availability lattice (`Active ⇄ Quarantined`, `Lost`
+    /// absorbing): a probation restore can never resurrect a unit whose
+    /// worker is wedged. See [`crate::protocol::UnitGate`].
+    gates: Vec<UnitGate>,
     /// Units whose loss was detected inside `assign` (policy callback
     /// re-entrancy guard): the engine loop delivers `on_device_lost`.
     pending_lost: Vec<PuId>,
@@ -181,7 +200,11 @@ impl HostState {
 
     /// Return a failed block's range to the pool.
     fn reclaim(&mut self, offset: u64, items: u64) {
-        self.remaining += items;
+        // The engine only reclaims while work is in flight, and the
+        // latch closes only when nothing is — so the re-credit cannot
+        // race a close (the interleaving the loom model rules out).
+        let credited = self.latch.recredit(items);
+        debug_assert!(credited, "re-credit refused: run already closed");
         self.reclaimed.push((offset, items));
     }
 
@@ -207,12 +230,14 @@ impl HostState {
             .ft
             .deadline_for(rate, items)
             .map(|d| now + backoff_s + d);
+        let slot = Arc::new(AttemptSlot::new());
         self.inflight[pu] = Some(HostPending {
             task,
             offset,
             items,
             attempt,
             deadline_at,
+            slot: Arc::clone(&slot),
         });
         let sent = match self.senders[pu].as_ref() {
             Some(tx) => tx
@@ -223,6 +248,7 @@ impl HostState {
                     attempt,
                     backoff_s,
                     inject,
+                    slot,
                 })
                 .is_ok(),
             None => false,
@@ -238,10 +264,12 @@ impl HostState {
     /// the engine loop (never calls the policy directly — this can run
     /// inside a policy's own `assign` call).
     fn mark_lost(&mut self, pu: usize) {
-        if self.lost[pu] {
+        // The gate's swap makes loss idempotent and absorbing: exactly
+        // one caller performs the teardown, and a pending probation
+        // restore can no longer succeed.
+        if !self.gates[pu].mark_lost() {
             return;
         }
-        self.lost[pu] = true;
         self.handles[pu].available = false;
         self.senders[pu] = None;
         self.quarantined_until[pu] = None;
@@ -273,7 +301,7 @@ impl SchedulerCtx for HostState {
     }
 
     fn remaining_items(&self) -> u64 {
-        self.remaining
+        self.latch.remaining()
     }
 
     fn total_items(&self) -> u64 {
@@ -281,7 +309,7 @@ impl SchedulerCtx for HostState {
     }
 
     fn assign(&mut self, pu: PuId, items: u64) -> u64 {
-        if items == 0 || self.remaining == 0 {
+        if items == 0 || self.latch.remaining() == 0 {
             return 0;
         }
         if !self.handles[pu.0].available
@@ -290,13 +318,14 @@ impl SchedulerCtx for HostState {
         {
             return 0;
         }
-        let want = items.min(self.remaining);
+        let want = items.min(self.latch.remaining());
         // Re-credited ranges are served first so failed blocks re-run;
         // a reclaimed fragment may be smaller than the request, in which
         // case fewer items are assigned (policies must tolerate any
         // return value).
         let (offset, got) = self.take_range(want);
-        self.remaining -= got;
+        let debited = self.latch.take(got);
+        debug_assert_eq!(debited, got, "latch and range pool out of sync");
         let task = TaskId(self.next_task);
         self.next_task += 1;
         let now = self.now();
@@ -371,6 +400,10 @@ fn notify_lost(st: &mut HostState, policy: &mut dyn Policy) {
 /// use std::sync::Arc;
 /// use std::sync::atomic::{AtomicU64, Ordering};
 ///
+/// // Relaxed is sufficient for this counter: it publishes no other
+/// // memory, fetch_add is atomic under any ordering, and the final
+/// // load below happens-after every increment because `run` joins its
+/// // worker threads before returning.
 /// let counter = Arc::new(AtomicU64::new(0));
 /// let c2 = Arc::clone(&counter);
 /// let codelet = Arc::new(FnCodelet::new("count", move |range, _res| {
@@ -507,19 +540,35 @@ impl HostEngine {
                             }));
                         let proc_time = t0.elapsed().as_secs_f64();
                         attempts_run += 1;
+                        // Win the attempt's claim word before reporting:
+                        // if the watchdog claimed the deadline first,
+                        // the block was already re-dispatched and this
+                        // outcome is stale — report nothing. Exactly
+                        // one side of the race acts (see
+                        // `protocol::AttemptSlot` and its loom model).
                         let msg = match outcome {
-                            Ok(()) => WorkerMsg::Done(Completion {
-                                pu: PuId(i),
-                                task: a.task,
-                                items: a.items,
-                                proc_time,
-                                started_at,
-                            }),
-                            Err(_) => WorkerMsg::Failed {
-                                pu: PuId(i),
-                                task: a.task,
-                                attempt: a.attempt,
-                            },
+                            Ok(()) => {
+                                if !a.slot.try_complete() {
+                                    continue;
+                                }
+                                WorkerMsg::Done(Completion {
+                                    pu: PuId(i),
+                                    task: a.task,
+                                    items: a.items,
+                                    proc_time,
+                                    started_at,
+                                })
+                            }
+                            Err(_) => {
+                                if !a.slot.try_fail() {
+                                    continue;
+                                }
+                                WorkerMsg::Failed {
+                                    pu: PuId(i),
+                                    task: a.task,
+                                    attempt: a.attempt,
+                                }
+                            }
                         };
                         if done.send(msg).is_err() {
                             break;
@@ -562,7 +611,7 @@ impl HostEngine {
             handles,
             senders: senders.into_iter().map(Some).collect(),
             inflight: vec![None; n],
-            remaining: total_items,
+            latch: CompletionLatch::new(total_items),
             total: total_items,
             cursor: 0,
             reclaimed: Vec::new(),
@@ -576,7 +625,7 @@ impl HostEngine {
             deadline_hint: vec![None; n],
             rate_ewma: vec![None; n],
             quarantined_until: vec![None; n],
-            lost: vec![false; n],
+            gates: (0..n).map(|_| UnitGate::new()).collect(),
             pending_lost: Vec::new(),
         };
         let mut trace = Trace::new(n);
@@ -594,16 +643,23 @@ impl HostEngine {
         notify_lost(&mut st, policy);
 
         let result = loop {
-            if st.remaining == 0 && !st.any_busy() {
+            if st.latch.remaining() == 0 && !st.any_busy() {
+                let closed = st.latch.try_close();
+                debug_assert!(closed, "run closed twice");
                 break Ok(());
             }
 
             // End probation windows that have elapsed: the unit rejoins
-            // the active set and the policy can fold it back in.
+            // the active set and the policy can fold it back in. The
+            // gate arbitrates against loss: a unit marked lost after
+            // its quarantine fails `try_restore` and stays gone.
             for i in 0..n {
                 let due = st.quarantined_until[i].is_some_and(|t| st.now() >= t);
                 if due {
                     st.quarantined_until[i] = None;
+                    if !st.gates[i].try_restore() {
+                        continue;
+                    }
                     st.consec_failures[i] = 0;
                     st.handles[i].available = true;
                     let now = st.now();
@@ -612,7 +668,9 @@ impl HostEngine {
                     notify_lost(&mut st, policy);
                 }
             }
-            if st.remaining == 0 && !st.any_busy() {
+            if st.latch.remaining() == 0 && !st.any_busy() {
+                let closed = st.latch.try_close();
+                debug_assert!(closed, "run closed twice");
                 break Ok(());
             }
 
@@ -630,17 +688,10 @@ impl HostEngine {
                     continue;
                 }
                 let at = st.now();
-                st.events.record(
-                    at,
-                    None,
-                    EventKind::Stalled {
-                        remaining: st.remaining,
-                    },
-                );
-                break Err(RunError::Stalled {
-                    remaining: st.remaining,
-                    at,
-                });
+                let remaining = st.latch.remaining();
+                st.events
+                    .record(at, None, EventKind::Stalled { remaining });
+                break Err(RunError::Stalled { remaining, at });
             }
 
             // Watchdog-aware wait: wake at the earliest task deadline or
@@ -674,12 +725,17 @@ impl HostEngine {
                 // Their threads may be wedged mid-kernel, so they are
                 // detached, never joined, and never restored; the lost
                 // block re-runs on a survivor (idempotent codelets).
+                // The watchdog must *win the attempt's claim word*
+                // first: if the worker's result beat the deadline and
+                // is already in the channel, `try_timeout` fails and
+                // the unit is left alone — the completion is handled
+                // on the next loop iteration instead of being thrown
+                // away with the unit.
                 let now = st.now();
                 for i in 0..n {
-                    let blown = st.inflight[i]
-                        .as_ref()
-                        .and_then(|p| p.deadline_at)
-                        .is_some_and(|d| now >= d);
+                    let blown = st.inflight[i].as_ref().is_some_and(|p| {
+                        p.deadline_at.is_some_and(|d| now >= d) && p.slot.try_timeout()
+                    });
                     if !blown {
                         continue;
                     }
@@ -786,6 +842,8 @@ impl HostEngine {
                         // worker itself is healthy (the panic was
                         // caught), so with a probation window it can
                         // come back.
+                        let gated = st.gates[pu.0].try_quarantine();
+                        debug_assert!(gated, "quarantining a non-active unit");
                         st.handles[pu.0].available = false;
                         st.quarantined_until[pu.0] = st.ft.probation_s.map(|p| now + p);
                         st.reclaim(pend.offset, pend.items);
@@ -856,7 +914,7 @@ impl HostEngine {
         st.senders.clear();
         let mut join_failed = false;
         for (i, j) in joins.into_iter().enumerate() {
-            if st.lost[i] {
+            if st.gates[i].is_lost() {
                 continue;
             }
             if j.join().is_err() {
@@ -1038,7 +1096,7 @@ mod tests {
             repeat: 4,
         }]);
         let mut policy = FixedBlockPolicy { block: 20_000 };
-        engine.run(&mut policy, codelet, 80_000).unwrap();
+        let _ = engine.run(&mut policy, codelet, 80_000).unwrap();
         let trace = engine.last_trace().unwrap();
         let durations: Vec<f64> = trace.segments().iter().map(|s| s.end - s.start).collect();
         assert_eq!(durations.len(), 4);

@@ -36,6 +36,11 @@
 //!   simulator crate) and the fault-tolerance response knobs
 //!   ([`FaultToleranceConfig`]: retries, backoff, quarantine, host
 //!   watchdog deadlines); see `docs/FAULT_TOLERANCE.md`.
+//! * [`protocol`] — the host engine's racy decisions (result vs.
+//!   deadline, quarantine vs. loss, re-credit vs. completion) as
+//!   explicit state machines, model-checked under loom; [`sync`] is
+//!   the primitive shim that swaps in loom's twins under `--cfg loom`.
+//!   See `docs/SOUNDNESS.md`.
 
 pub mod codelet;
 pub mod data;
@@ -45,11 +50,16 @@ pub mod fault;
 pub mod host;
 pub mod metrics;
 pub mod policy;
+pub mod protocol;
+pub mod sync;
 pub mod task;
 pub mod trace;
 
 pub use codelet::{Codelet, FnCodelet, PuResources};
-pub use data::{DataHandle, DataRegistry, MemNode, TransferRecord};
+pub use data::{
+    DataHandle, DataRegistry, DisjointError, DisjointOutput, DisjointWriter, MemNode,
+    TransferRecord,
+};
 pub use engine::{Perturbation, PerturbationKind, RunError, SimEngine};
 pub use events::{
     write_jsonl, Event, EventCounters, EventKind, EventSink, TraceData, TraceHeader,
@@ -58,6 +68,7 @@ pub use events::{
 pub use fault::{Fault, FaultAction, FaultKind, FaultPlan, FaultToleranceConfig};
 pub use host::{HostEngine, HostPerturbation, HostPu};
 pub use metrics::{PuReport, RunReport};
+pub use protocol::{AttemptOutcome, AttemptSlot, CompletionLatch, UnitGate};
 pub use policy::{FixedBlockPolicy, Policy, PuHandle, SchedulerCtx};
 pub use task::{FailureReason, TaskFailure, TaskId, TaskInfo};
 pub use trace::{Segment, SegmentKind, Trace};

@@ -7,6 +7,7 @@ use serde::Serialize;
 
 /// Per-unit summary.
 #[derive(Debug, Clone, Serialize)]
+#[must_use = "a PuReport summarizes measured work; dropping it loses the run's evidence"]
 pub struct PuReport {
     /// Unit display name.
     pub name: String,
@@ -26,6 +27,7 @@ pub struct PuReport {
 
 /// Summary of one complete run.
 #[derive(Debug, Clone, Serialize)]
+#[must_use = "a RunReport is the product of an entire run; inspect or export it"]
 pub struct RunReport {
     /// Policy that produced the run.
     pub policy: String,

@@ -9,6 +9,7 @@ use proptest::prelude::*;
 
 // FixedBlockPolicy lives behind the policy module; re-exported for tests.
 use plb_runtime::policy::FixedBlockPolicy as Fixed;
+use plb_runtime::{DisjointError, DisjointOutput};
 
 fn cost() -> LinearCost {
     LinearCost {
@@ -134,5 +135,75 @@ proptest! {
             "expected ~{overhead_s}s delay, got {}",
             delayed.makespan - base.makespan
         );
+    }
+}
+
+// Properties of the safe disjoint-output abstraction the app kernels
+// write through (see `docs/SOUNDNESS.md`).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A second claim is accepted exactly when it does not overlap a
+    /// live one, and a dropped claim is always reclaimable.
+    #[test]
+    fn disjoint_output_rejects_exactly_the_overlapping_claims(
+        len in 16usize..256,
+        s1 in 0usize..255,
+        l1 in 1usize..64,
+        s2 in 0usize..255,
+        l2 in 1usize..64,
+    ) {
+        prop_assume!(s1 < len && s2 < len);
+        let e1 = (s1 + l1).min(len);
+        let e2 = (s2 + l2).min(len);
+        let out = DisjointOutput::new(0u32, len);
+        let w1 = out.try_writer(s1..e1);
+        prop_assert!(w1.is_ok(), "first claim on a fresh output must succeed");
+        let overlaps = s2 < e1 && s1 < e2;
+        match out.try_writer(s2..e2) {
+            Ok(_) => prop_assert!(!overlaps, "overlapping claim was admitted"),
+            Err(DisjointError::Overlap { .. }) => {
+                prop_assert!(overlaps, "disjoint claim was rejected")
+            }
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+        drop(w1);
+        prop_assert!(
+            out.try_writer(s1..e1).is_ok(),
+            "a dropped claim must be released"
+        );
+    }
+
+    /// Writing the blocks in an arbitrary order through disjoint
+    /// writers produces bit-identical contents to a sequential fill.
+    #[test]
+    fn permuted_disjoint_writes_match_sequential_fill(
+        blocks in 1usize..24,
+        width in 1usize..16,
+        perm_seed in 0u64..1_000,
+    ) {
+        let len = blocks * width;
+        let expect: Vec<u64> = (0..len as u64).map(|i| i * 31 + 7).collect();
+
+        // Deterministic Fisher-Yates permutation of the block order.
+        let mut order: Vec<usize> = (0..blocks).collect();
+        let mut state = perm_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for i in (1..order.len()).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (state % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+
+        let out = DisjointOutput::new(0u64, len);
+        for &blk in &order {
+            let lo = blk * width;
+            let mut w = out.writer(lo..lo + width);
+            for (k, slot) in w.iter_mut().enumerate() {
+                *slot = (lo + k) as u64 * 31 + 7;
+            }
+        }
+        prop_assert_eq!(out.into_vec(), expect);
     }
 }

@@ -1,0 +1,745 @@
+//! Workspace static-analysis tasks.
+//!
+//! `cargo xtask lint` runs five soundness passes over the workspace
+//! sources (policy rationale in `docs/SOUNDNESS.md`):
+//!
+//! 1. **unsafe-allowlist** — `unsafe` may appear only in the audited
+//!    files listed in [`UNSAFE_ALLOWLIST`]; everything else, app
+//!    kernels in particular, must stay safe Rust.
+//! 2. **sync-shim** — inside `crates/runtime/src`, concurrency
+//!    primitives must come from `crate::sync` (the loom-swappable
+//!    shim), never directly from `std::sync` or `parking_lot`.
+//! 3. **event-coverage** — every `EventKind` variant is constructed
+//!    somewhere outside `events.rs`, is matched explicitly in
+//!    `EventCounters::from_events`, and that match has no `_ =>`
+//!    wildcard (adding a variant must force a counters decision).
+//! 4. **lossy-cast** — no `as` casts to narrower numeric types in
+//!    `plb-numerics`/`plb-ipm` outside the audited `cast` module.
+//! 5. **must-use** — result-carrying types stay `#[must_use]`.
+//!
+//! The scanner is deliberately token-level rather than a real parser:
+//! it blanks comments, string/char literals, and `#[cfg(test)]`
+//! modules in place (preserving byte offsets, so reported line numbers
+//! match the file on disk), then matches words. That keeps this binary
+//! dependency-free, which is what lets it build and run as a blocking
+//! CI step without registry access.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Files allowed to contain `unsafe`. Each entry carries SAFETY
+/// comments on every block and is exercised under Miri in CI.
+const UNSAFE_ALLOWLIST: &[&str] = &["crates/runtime/src/data.rs"];
+
+/// The one runtime module allowed to name `std::sync` / `parking_lot`.
+const SYNC_SHIM: &str = "crates/runtime/src/sync.rs";
+
+/// Checked-conversion module exempt from the lossy-cast pass (its
+/// whole point is to fence the raw casts behind guarded APIs).
+const CAST_MODULE: &str = "crates/numerics/src/cast.rs";
+
+/// Where the event schema lives.
+const EVENTS_MODULE: &str = "crates/runtime/src/events.rs";
+
+/// Result-carrying types that must stay `#[must_use]`.
+const MUST_USE_TYPES: &[(&str, &str)] = &[
+    ("crates/runtime/src/metrics.rs", "RunReport"),
+    ("crates/runtime/src/metrics.rs", "PuReport"),
+    ("crates/core/src/selection.rs", "SelectionResult"),
+    ("crates/ipm/src/solver.rs", "Solution"),
+    ("crates/numerics/src/curvefit.rs", "FittedCurve"),
+];
+
+/// Cast targets that can drop bits or change sign coming from the
+/// `f64`/`u64` domains the numeric crates work in.
+const NARROWING: &[&str] = &[
+    "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128", "f32",
+];
+
+fn main() -> ExitCode {
+    let cmd = std::env::args().nth(1);
+    match cmd.as_deref() {
+        Some("lint") | None => lint(),
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}` (supported: lint)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Violation {
+    file: String,
+    line: usize,
+    pass: &'static str,
+    msg: String,
+}
+
+struct Source {
+    /// Workspace-relative path with `/` separators.
+    rel: String,
+    /// Comment-, literal-, and test-module-stripped text; byte offsets
+    /// (and therefore line numbers) match the file on disk.
+    code: String,
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let sources = load_sources(&root);
+    if sources.is_empty() {
+        eprintln!("xtask lint: no Rust sources under {}", root.display());
+        return ExitCode::FAILURE;
+    }
+    let mut violations = Vec::new();
+    pass_unsafe_allowlist(&sources, &mut violations);
+    pass_sync_shim(&sources, &mut violations);
+    pass_event_coverage(&sources, &mut violations);
+    pass_lossy_casts(&sources, &mut violations);
+    pass_must_use(&sources, &mut violations);
+    if violations.is_empty() {
+        println!("xtask lint: OK ({} files, 5 passes)", sources.len());
+        ExitCode::SUCCESS
+    } else {
+        violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        for v in &violations {
+            eprintln!("{}:{}: [{}] {}", v.file, v.line, v.pass, v.msg);
+        }
+        eprintln!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask -> crates -> workspace root.
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest.ancestors().nth(2).unwrap_or(manifest).to_path_buf()
+}
+
+fn load_sources(root: &Path) -> Vec<Source> {
+    let mut dirs = Vec::new();
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                dirs.push(src);
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        dirs.push(root_src);
+    }
+    let mut files = Vec::new();
+    for dir in &dirs {
+        collect_rs(dir, &mut files);
+    }
+    files.sort();
+    files
+        .into_iter()
+        .filter_map(|path| {
+            let raw = fs::read_to_string(&path).ok()?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            Some(Source {
+                rel,
+                code: strip_test_modules(&strip_noncode(&raw)),
+            })
+        })
+        .collect()
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Passes
+// ---------------------------------------------------------------------------
+
+fn pass_unsafe_allowlist(sources: &[Source], out: &mut Vec<Violation>) {
+    for s in sources {
+        if UNSAFE_ALLOWLIST.contains(&s.rel.as_str()) {
+            continue;
+        }
+        for pos in word_occurrences(&s.code, "unsafe") {
+            out.push(Violation {
+                file: s.rel.clone(),
+                line: line_of(&s.code, pos),
+                pass: "unsafe-allowlist",
+                msg: format!(
+                    "`unsafe` outside the audited allowlist ({}); express this \
+                     through a safe abstraction such as `plb_runtime::DisjointOutput`",
+                    UNSAFE_ALLOWLIST.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+fn pass_sync_shim(sources: &[Source], out: &mut Vec<Violation>) {
+    for s in sources {
+        if !s.rel.starts_with("crates/runtime/src/") || s.rel == SYNC_SHIM {
+            continue;
+        }
+        for banned in ["std::sync", "parking_lot"] {
+            for pos in word_occurrences(&s.code, banned) {
+                out.push(Violation {
+                    file: s.rel.clone(),
+                    line: line_of(&s.code, pos),
+                    pass: "sync-shim",
+                    msg: format!(
+                        "direct `{banned}` use in plb-runtime; import the primitive \
+                         from `crate::sync` so the loom models stay faithful"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn pass_event_coverage(sources: &[Source], out: &mut Vec<Violation>) {
+    let Some(events) = sources.iter().find(|s| s.rel == EVENTS_MODULE) else {
+        out.push(Violation {
+            file: EVENTS_MODULE.to_string(),
+            line: 1,
+            pass: "event-coverage",
+            msg: "events module not found".to_string(),
+        });
+        return;
+    };
+    let Some(variants) = enum_variants(&events.code, "pub enum EventKind") else {
+        out.push(Violation {
+            file: events.rel.clone(),
+            line: 1,
+            pass: "event-coverage",
+            msg: "could not locate `pub enum EventKind`".to_string(),
+        });
+        return;
+    };
+    let from_events = fn_body(&events.code, "fn from_events");
+    if from_events.is_none() {
+        out.push(Violation {
+            file: events.rel.clone(),
+            line: 1,
+            pass: "event-coverage",
+            msg: "could not locate `EventCounters::from_events`".to_string(),
+        });
+    }
+    for (name, line) in &variants {
+        let needle = format!("EventKind::{name}");
+        let constructed = sources
+            .iter()
+            .any(|s| s.rel != EVENTS_MODULE && !word_occurrences(&s.code, &needle).is_empty());
+        if !constructed {
+            out.push(Violation {
+                file: events.rel.clone(),
+                line: *line,
+                pass: "event-coverage",
+                msg: format!(
+                    "variant `{name}` is never constructed outside events.rs — \
+                     dead schema entry or missing emission site"
+                ),
+            });
+        }
+        if let Some((body, _)) = from_events {
+            if !body.contains(&needle) {
+                out.push(Violation {
+                    file: events.rel.clone(),
+                    line: *line,
+                    pass: "event-coverage",
+                    msg: format!(
+                        "`EventCounters::from_events` does not match \
+                         `EventKind::{name}` explicitly"
+                    ),
+                });
+            }
+        }
+    }
+    if let Some((body, body_pos)) = from_events {
+        if let Some(off) = wildcard_arm(body) {
+            out.push(Violation {
+                file: events.rel.clone(),
+                line: line_of(&events.code, body_pos + off),
+                pass: "event-coverage",
+                msg: "wildcard `_ =>` arm in `EventCounters::from_events`; every \
+                      variant must make an explicit counting decision"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn pass_lossy_casts(sources: &[Source], out: &mut Vec<Violation>) {
+    for s in sources {
+        let scoped =
+            s.rel.starts_with("crates/numerics/src/") || s.rel.starts_with("crates/ipm/src/");
+        if !scoped || s.rel == CAST_MODULE {
+            continue;
+        }
+        let b = s.code.as_bytes();
+        for pos in word_occurrences(&s.code, "as") {
+            let mut j = pos + 2;
+            while j < b.len() && b[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            let start = j;
+            while j < b.len() && is_word_byte(b[j]) {
+                j += 1;
+            }
+            let target = &s.code[start..j];
+            if NARROWING.contains(&target) {
+                out.push(Violation {
+                    file: s.rel.clone(),
+                    line: line_of(&s.code, pos),
+                    pass: "lossy-cast",
+                    msg: format!(
+                        "`as {target}` can silently truncate, wrap, or change sign; \
+                         use the checked `plb_numerics::cast` helpers or `TryFrom`"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn pass_must_use(sources: &[Source], out: &mut Vec<Violation>) {
+    for (file, ty) in MUST_USE_TYPES {
+        let Some(s) = sources.iter().find(|s| s.rel == *file) else {
+            out.push(Violation {
+                file: (*file).to_string(),
+                line: 1,
+                pass: "must-use",
+                msg: format!("expected `{ty}` to be declared here, but the file is missing"),
+            });
+            continue;
+        };
+        let decl = format!("pub struct {ty}");
+        let Some(pos) = word_occurrences(&s.code, &decl).into_iter().next() else {
+            out.push(Violation {
+                file: s.rel.clone(),
+                line: 1,
+                pass: "must-use",
+                msg: format!("declaration `{decl}` not found"),
+            });
+            continue;
+        };
+        // The attribute must sit between the end of the previous item
+        // and the declaration itself.
+        let window_start = s.code[..pos]
+            .rfind(|c| c == '}' || c == ';')
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        if !s.code[window_start..pos].contains("#[must_use") {
+            out.push(Violation {
+                file: s.rel.clone(),
+                line: line_of(&s.code, pos),
+                pass: "must-use",
+                msg: format!(
+                    "`{ty}` carries run results; annotate it `#[must_use]` so \
+                     silently dropping one is a compile-time warning"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-level scanner
+// ---------------------------------------------------------------------------
+
+fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn prev_is_word(b: &[u8], i: usize) -> bool {
+    i > 0 && (is_word_byte(b[i - 1]) || b[i - 1] >= 0x80)
+}
+
+/// Overwrite `[from, to)` with spaces, keeping newlines so line
+/// numbering is unaffected.
+fn blank(out: &mut [u8], from: usize, to: usize) {
+    let to = to.min(out.len());
+    for slot in &mut out[from..to] {
+        if *slot != b'\n' {
+            *slot = b' ';
+        }
+    }
+}
+
+/// Blank comments and string/char literals. Lifetimes and loop labels
+/// are preserved; raw and byte strings are handled.
+fn strip_noncode(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = b.to_vec();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                blank(&mut out, start, i);
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut out, start, i);
+            }
+            b'r' | b'b' if !prev_is_word(b, i) => {
+                if let Some(end) = raw_string_end(b, i) {
+                    blank(&mut out, i, end);
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                blank(&mut out, start, i);
+            }
+            b'\'' => {
+                if b.get(i + 1) == Some(&b'\\') {
+                    // Escaped char literal: '\n', '\'', '\u{1F4A9}'.
+                    let start = i;
+                    i += 3;
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    if i < b.len() {
+                        i += 1;
+                    }
+                    blank(&mut out, start, i);
+                } else {
+                    let mut j = i + 1;
+                    while j < b.len() && (is_word_byte(b[j]) || b[j] >= 0x80) {
+                        j += 1;
+                    }
+                    if j > i + 1 && b.get(j) == Some(&b'\'') {
+                        // Char literal such as 'a' (possibly multibyte).
+                        blank(&mut out, i, j + 1);
+                        i = j + 1;
+                    } else if j == i + 1 && b.get(i + 2) == Some(&b'\'') {
+                        // Punctuation char literal such as '(' or '"'.
+                        blank(&mut out, i, i + 3);
+                        i += 3;
+                    } else {
+                        // A lifetime ('a, 'static, '_) or loop label.
+                        i = j.max(i + 1);
+                    }
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    String::from_utf8(out).unwrap_or_default()
+}
+
+/// If `pos` starts a raw string literal (`r"…"`, `r#"…"#`, `br#"…"#`),
+/// return the offset one past its closing delimiter.
+fn raw_string_end(b: &[u8], pos: usize) -> Option<usize> {
+    let mut i = pos;
+    if b[i] == b'b' {
+        i += 1;
+    }
+    if b.get(i) != Some(&b'r') {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if b.get(i) != Some(&b'"') {
+        return None;
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == b'"' {
+            let tail = &b[i + 1..];
+            if tail.len() >= hashes && tail[..hashes].iter().all(|&c| c == b'#') {
+                return Some(i + 1 + hashes);
+            }
+        }
+        i += 1;
+    }
+    Some(b.len())
+}
+
+/// Blank every `#[cfg(test)] mod … { … }` item (tests are exempt from
+/// the passes; `#[cfg(test)]` on non-module items is left alone).
+fn strip_test_modules(code: &str) -> String {
+    let b = code.as_bytes();
+    let mut out = b.to_vec();
+    let mut from = 0;
+    while let Some(off) = code[from..].find("#[cfg(test)]") {
+        let start = from + off;
+        let mut j = start + "#[cfg(test)]".len();
+        // Skip whitespace and any further attributes between the cfg
+        // gate and the item it applies to.
+        loop {
+            while j < b.len() && b[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if b.get(j) == Some(&b'#') && b.get(j + 1) == Some(&b'[') {
+                match match_delim(b, j + 1, b'[', b']') {
+                    Some(past) => j = past,
+                    None => break,
+                }
+            } else {
+                break;
+            }
+        }
+        let gated_mod = code[j..].starts_with("mod ") || code[j..].starts_with("pub mod ");
+        if gated_mod {
+            if let Some(open_off) = code[j..].find('{') {
+                let open = j + open_off;
+                if let Some(close) = match_delim(b, open, b'{', b'}') {
+                    blank(&mut out, start, close);
+                    from = close;
+                    continue;
+                }
+            }
+        }
+        from = start + 1;
+    }
+    String::from_utf8(out).unwrap_or_default()
+}
+
+/// Offset one past the delimiter matching the opener at `open`.
+fn match_delim(b: &[u8], open: usize, open_c: u8, close_c: u8) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < b.len() {
+        if b[i] == open_c {
+            depth += 1;
+        } else if b[i] == close_c {
+            depth = depth.checked_sub(1)?;
+            if depth == 0 {
+                return Some(i + 1);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Byte offsets of standalone occurrences of `needle` — occurrences
+/// not embedded in a larger identifier on either side.
+fn word_occurrences(code: &str, needle: &str) -> Vec<usize> {
+    let b = code.as_bytes();
+    let mut hits = Vec::new();
+    let mut from = 0;
+    while let Some(off) = code[from..].find(needle) {
+        let pos = from + off;
+        let end = pos + needle.len();
+        let before_ok = pos == 0 || !is_word_byte(b[pos - 1]);
+        let after_ok = end >= b.len() || !is_word_byte(b[end]);
+        if before_ok && after_ok {
+            hits.push(pos);
+        }
+        from = pos + 1;
+    }
+    hits
+}
+
+/// 1-based line number of byte offset `pos`.
+fn line_of(code: &str, pos: usize) -> usize {
+    code.as_bytes()[..pos].iter().filter(|&&c| c == b'\n').count() + 1
+}
+
+/// Variant names (with their lines) of the enum introduced by `decl`.
+fn enum_variants(code: &str, decl: &str) -> Option<Vec<(String, usize)>> {
+    let at = code.find(decl)?;
+    let open = at + code[at..].find('{')?;
+    let end = match_delim(code.as_bytes(), open, b'{', b'}')?;
+    let b = code.as_bytes();
+    let mut variants = Vec::new();
+    let mut depth = 0usize;
+    let mut i = open + 1;
+    while i < end - 1 {
+        match b[i] {
+            b'{' | b'(' | b'[' => {
+                depth += 1;
+                i += 1;
+            }
+            b'}' | b')' | b']' => {
+                depth = depth.saturating_sub(1);
+                i += 1;
+            }
+            b'#' if depth == 0 => {
+                // Skip a variant attribute such as `#[serde(rename = …)]`.
+                i += 1;
+                if b.get(i) == Some(&b'[') {
+                    match match_delim(b, i, b'[', b']') {
+                        Some(past) => i = past,
+                        None => i += 1,
+                    }
+                }
+            }
+            c if depth == 0 && c.is_ascii_uppercase() => {
+                let start = i;
+                while i < end && is_word_byte(b[i]) {
+                    i += 1;
+                }
+                variants.push((code[start..i].to_string(), line_of(code, start)));
+            }
+            _ => i += 1,
+        }
+    }
+    Some(variants)
+}
+
+/// The brace-delimited body of the first function whose text contains
+/// `sig`, plus the body's byte offset in `code`.
+fn fn_body<'a>(code: &'a str, sig: &str) -> Option<(&'a str, usize)> {
+    let at = code.find(sig)?;
+    let open = at + code[at..].find('{')?;
+    let end = match_delim(code.as_bytes(), open, b'{', b'}')?;
+    Some((&code[open..end], open))
+}
+
+/// Byte offset (within `body`) of a wildcard `_ =>` match arm, if any.
+fn wildcard_arm(body: &str) -> Option<usize> {
+    let b = body.as_bytes();
+    let mut from = 0;
+    while let Some(off) = body[from..].find("=>") {
+        let pos = from + off;
+        let mut k = pos;
+        while k > 0 && b[k - 1].is_ascii_whitespace() {
+            k -= 1;
+        }
+        if k > 0 && b[k - 1] == b'_' && (k == 1 || !is_word_byte(b[k - 2])) {
+            return Some(k - 1);
+        }
+        from = pos + 2;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let code = "let x = 1; // unsafe here\n/* parking_lot */ let y = 2;";
+        let s = strip_noncode(code);
+        assert!(!s.contains("unsafe"));
+        assert!(!s.contains("parking_lot"));
+        assert!(s.contains("let y = 2;"));
+        assert_eq!(s.len(), code.len());
+    }
+
+    #[test]
+    fn strips_literals_but_keeps_lifetimes() {
+        let code =
+            r##"fn f<'a>(s: &'a str) { let c = '"'; let t = "unsafe"; let r = r#"std::sync"#; }"##;
+        let s = strip_noncode(code);
+        assert!(!s.contains("unsafe"));
+        assert!(!s.contains("std::sync"));
+        assert!(s.contains("fn f<'a>(s: &'a str)"));
+    }
+
+    #[test]
+    fn escaped_char_literals_do_not_derail_the_scanner() {
+        let code = "let q = '\\''; let n = '\\n'; unsafe {}";
+        let s = strip_noncode(code);
+        let hits = word_occurrences(&s, "unsafe");
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn blanks_test_modules_only() {
+        let code =
+            "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn inner() { unsafe {} }\n}\nfn after() {}\n";
+        let s = strip_test_modules(code);
+        assert!(!s.contains("unsafe"));
+        assert!(s.contains("fn real()"));
+        assert!(s.contains("fn after()"));
+        let after = s.find("fn after").expect("kept");
+        assert_eq!(line_of(&s, after), 6, "blanking must preserve line numbers");
+    }
+
+    #[test]
+    fn word_occurrences_respects_identifier_boundaries() {
+        let code = "fn pass_unsafe() {} unsafe fn g() {}";
+        let hits = word_occurrences(code, "unsafe");
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn finds_enum_variants_and_wildcard_arms() {
+        let code = "pub enum EventKind { A { x: usize }, B(Option<u8>), LongName }\n\
+                    fn from_events() { match k { EventKind::A { .. } => {} _ => {} } }";
+        let variants = enum_variants(code, "pub enum EventKind").expect("enum");
+        let names: Vec<&str> = variants.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["A", "B", "LongName"]);
+        let (body, _) = fn_body(code, "fn from_events").expect("body");
+        assert!(wildcard_arm(body).is_some());
+        assert!(wildcard_arm("match k { EventKind::A { .. } => {} }").is_none());
+    }
+
+    #[test]
+    fn lossy_cast_target_detection() {
+        let code = "let lo = pos.floor() as usize; let f = n as f64;";
+        let hits = word_occurrences(code, "as");
+        assert_eq!(hits.len(), 2);
+        // Only the first cast targets a narrowing type.
+        let b = code.as_bytes();
+        let mut narrow = 0;
+        for pos in hits {
+            let mut j = pos + 2;
+            while j < b.len() && b[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            let start = j;
+            while j < b.len() && is_word_byte(b[j]) {
+                j += 1;
+            }
+            if NARROWING.contains(&&code[start..j]) {
+                narrow += 1;
+            }
+        }
+        assert_eq!(narrow, 1);
+    }
+}

@@ -104,7 +104,7 @@ fn host_grn_recovers_planted_pairs() {
     let codelet = Arc::new(GrnCodelet::new(Arc::clone(&data)));
     let mut engine = HostEngine::new(pus());
     let mut policy = PlbHecPolicy::new(&cfg);
-    engine
+    let _ = engine
         .run(
             &mut policy,
             Arc::clone(&codelet) as Arc<dyn Codelet>,
