@@ -8,6 +8,7 @@
 //! plb compare --app bs --size 250000 --machines 4 [--seeds N]
 //! plb cluster [--machines 1..4]
 //! plb trace   --input FILE.jsonl
+//! plb diag    [--app mm --size 65536 --machines 4 --seed 0]
 //! ```
 //!
 //! `run` executes one simulated run and prints the report (optionally a
@@ -16,9 +17,12 @@
 //! speedups; `cluster` shows the Table I machine presets; `trace` loads
 //! a JSONL trace written by `run --events` and prints per-PU Gantt
 //! summaries, idle-time breakdowns, fit-quality timelines, and the
-//! rebalance history (see docs/OBSERVABILITY.md for the file format).
+//! rebalance history (see docs/OBSERVABILITY.md for the file format);
+//! `diag` runs every policy once on the same workload and prints a
+//! compact side-by-side diagnostic (shares, distributions, solve times)
+//! plus a PLB-HeC deep dive into its block-size selection.
 
-use plb_bench::harness::{default_initial_block, App, PolicyKind};
+use plb_bench::harness::{default_initial_block, run_once, App, PolicyKind};
 use plb_bench::viz::gantt_svg;
 use plb_hec::{
     AcostaPolicy, GreedyPolicy, HdssPolicy, PerfProfile, PlbHecPolicy, PolicyConfig,
@@ -26,7 +30,9 @@ use plb_hec::{
 };
 use plb_hetsim::cluster::ClusterOptions;
 use plb_hetsim::{cluster_scenario, ClusterSim, Scenario};
-use plb_runtime::{write_jsonl, FaultPlan, Policy, RunReport, SimEngine, TraceData, TraceHeader};
+use plb_runtime::{
+    write_jsonl, FaultPlan, Policy, RunReport, SegmentKind, SimEngine, TraceData, TraceHeader,
+};
 
 struct Args {
     cmd: String,
@@ -77,7 +83,7 @@ fn parse_args() -> Args {
                 .clone()
         };
         match arg.as_str() {
-            "run" | "compare" | "cluster" | "profile" | "trace" => a.cmd = arg.clone(),
+            "run" | "compare" | "cluster" | "profile" | "trace" | "diag" => a.cmd = arg.clone(),
             "--app" => a.app = next("--app"),
             "--size" => {
                 a.size = next("--size")
@@ -136,7 +142,8 @@ fn usage(err: &str) -> ! {
          mm|grn|bs --size N --machines 1-4 [--seeds N] [--single-gpu]\n  plb cluster \
          [--machines 1-4] [--cluster FILE.json]\n  plb profile --app mm|grn|bs|nn --size N \
          [--machines 1-4|--cluster FILE.json] --profiles OUT.json\n  plb trace   --input \
-         FILE.jsonl\n\nA --cluster file is a \
+         FILE.jsonl\n  plb diag    [--app mm|grn|bs|nn] [--size N] [--machines 1-4] [--seed N] \
+         [--single-gpu]\n\nA --cluster file is a \
          JSON array of machine specs (see docs/cluster.example.json); it replaces the Table I \
          presets. `plb profile` probes each unit offline and saves its fitted models; \
          `plb run --policy static --profiles FILE` reuses them without any online probing. \
@@ -410,6 +417,105 @@ fn main() {
             );
             for (label, mean, std) in rows {
                 println!("{label:<10} {mean:>12.6}s {std:>9.6} {:>8.2}x", g / mean);
+            }
+        }
+        "diag" => {
+            let app = app_of(&a.app, a.size);
+            let scenario = scenario_of(a.machines);
+            println!(
+                "diagnostics: {} on {} machine(s), seed {}",
+                app.label(),
+                a.machines,
+                a.seed
+            );
+            for kind in PolicyKind::ALL {
+                let o = run_once(app, scenario, a.single_gpu, kind, a.seed, vec![]);
+                println!(
+                    "== {:<10} makespan={:.6}s tasks={} rebalances={}",
+                    o.report.policy, o.report.makespan, o.report.tasks, o.rebalances
+                );
+                for pu in &o.report.pus {
+                    println!(
+                        "   {:10} items={:>9} share={:>6.2}% busy={:>10.4}s idle={:>5.1}%",
+                        pu.name,
+                        pu.items,
+                        pu.item_share * 100.0,
+                        pu.busy_s,
+                        pu.idle_fraction * 100.0
+                    );
+                }
+                if let Some(d) = &o.report.block_distribution {
+                    let pretty: Vec<String> = d.iter().map(|f| format!("{f:.3}")).collect();
+                    println!("   distribution: [{}]", pretty.join(", "));
+                }
+                if !o.solve_times.is_empty() {
+                    let pretty: Vec<String> = o
+                        .solve_times
+                        .iter()
+                        .map(|s| format!("{:.2}ms", s * 1e3))
+                        .collect();
+                    println!("   solve times: [{}]", pretty.join(", "));
+                }
+            }
+            // PLB-HeC deep dive: how the block-size selection came out and
+            // whether any compute segment dominates the run (the two things
+            // the old ad-hoc debug binaries existed to show).
+            let machines = machines_of(&a);
+            let opts = ClusterOptions {
+                seed: a.seed,
+                noise_sigma: a.noise,
+                ..Default::default()
+            };
+            let mut cluster = ClusterSim::build(&machines, &opts);
+            let cost = app.cost();
+            let cfg = PolicyConfig {
+                initial_block: default_initial_block(app.total_items(), cost.as_ref()),
+                seed: a.seed,
+                ..Default::default()
+            };
+            println!(
+                "-- plb-hec deep dive (initial_block = {})",
+                cfg.initial_block
+            );
+            let mut policy = PlbHecPolicy::new(&cfg);
+            let mut engine = SimEngine::new(&mut cluster, cost.as_ref());
+            let report = engine
+                .run(&mut policy, app.total_items())
+                .unwrap_or_else(|e| {
+                    eprintln!("plb-hec deep-dive run failed: {e}");
+                    std::process::exit(1)
+                });
+            if let Some(sel) = policy.selections().first() {
+                println!(
+                    "   selection: method {:?}, predicted makespan {:.6}s",
+                    sel.method, sel.predicted_time
+                );
+                for ((pu, frac), block) in report.pus.iter().zip(&sel.fractions).zip(&sel.blocks) {
+                    println!("   {:10} fraction={:.4} block={:>8}", pu.name, frac, block);
+                }
+            } else {
+                println!("   no block-size selection recorded (run too small?)");
+            }
+            if let Some(trace) = engine.last_trace() {
+                let threshold = report.makespan * 0.1;
+                let mut shown = 0usize;
+                for seg in trace.segments() {
+                    if seg.kind == SegmentKind::Compute && seg.end - seg.start > threshold {
+                        println!(
+                            "   long compute: pu{} task{} items={} {:.1}..{:.1} ({:.1}s)",
+                            seg.pu,
+                            seg.task,
+                            seg.items,
+                            seg.start,
+                            seg.end,
+                            seg.end - seg.start
+                        );
+                        shown += 1;
+                    }
+                }
+                if shown == 0 {
+                    println!("   no compute segment exceeds 10% of the makespan");
+                }
             }
         }
         _ => usage("unknown command"),

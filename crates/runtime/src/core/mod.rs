@@ -1,0 +1,734 @@
+//! The backend-agnostic scheduling core.
+//!
+//! Both execution engines — the discrete-event [`SimEngine`] and the
+//! real-thread [`HostEngine`] — are thin [`Backend`]s behind this one
+//! driver. The core owns every scheduling *decision* and all shared
+//! bookkeeping:
+//!
+//! * the driver loop (completion detection, stall detection, watchdog
+//!   wake-ups),
+//! * assignment bookkeeping and the disjoint-range cover of
+//!   `0..total_items` ([`WorkPool`]),
+//! * the entire fault-response state machine — bounded in-place retry
+//!   with exponential backoff, quarantine after consecutive failures,
+//!   probation restore, item re-credit, permanent unit loss — exactly
+//!   once, for every backend (`cargo xtask lint` guards against the
+//!   logic leaking back into the engines),
+//! * deadline hints and the observed-rate fallback feeding the
+//!   watchdog,
+//! * structured event emission and [`RunReport`] accounting.
+//!
+//! Backends supply only mechanics: how an attempt is launched, how the
+//! next observation is surfaced, and what the clock means
+//! ([`ClockKind`]). The two clock semantics differ in exactly three
+//! places, all conditioned explicitly here: virtual clocks know task
+//! start times at launch (so `task_start` is emitted at dispatch),
+//! wall clocks learn them at completion (so it is emitted
+//! retroactively); watchdog deadlines and probation timers are armed
+//! only under wall clocks (virtual time cannot be "late"); and
+//! scheduler overhead only delays virtual launches (wall time already
+//! passed).
+//!
+//! [`SimEngine`]: crate::engine::SimEngine
+//! [`HostEngine`]: crate::host::HostEngine
+
+mod backend;
+mod pool;
+
+pub use backend::{Backend, ClockKind, Launch, LaunchSpec, Polled};
+pub use pool::WorkPool;
+
+use crate::engine::RunError;
+use crate::events::{EventKind, EventSink};
+use crate::fault::{FaultPlan, FaultToleranceConfig};
+use crate::metrics::RunReport;
+use crate::policy::{Policy, PuHandle, SchedulerCtx};
+use crate::protocol::UnitGate;
+use crate::task::{FailureReason, TaskFailure, TaskId, TaskInfo};
+use crate::trace::Trace;
+use plb_hetsim::PuId;
+
+/// Everything a finished drive hands back to its engine: the result
+/// (with the report already built on success), plus the trace and the
+/// event stream — preserved on errors too, for post-mortems.
+#[derive(Debug)]
+pub struct CoreOutcome {
+    /// The run's outcome: a full [`RunReport`] or the typed error.
+    pub result: Result<RunReport, RunError>,
+    /// Gantt trace of every successful task.
+    pub trace: Trace,
+    /// The structured event stream (see [`crate::events`]).
+    pub events: EventSink,
+    /// Per-unit permanent-loss flags: `lost[i]` is true when unit `i`
+    /// was written off (dead or wedged executor). The host engine skips
+    /// joining those workers.
+    pub lost: Vec<bool>,
+}
+
+/// Engine-side record of one in-flight attempt.
+#[derive(Debug, Clone)]
+struct Pending {
+    task: TaskId,
+    offset: u64,
+    items: u64,
+    /// 0-based attempt number of this block (0 = first dispatch).
+    attempt: u32,
+    /// Absolute watchdog deadline, when one applies (wall clocks only).
+    deadline_at: Option<f64>,
+}
+
+/// The driver's working state: shared bookkeeping plus the backend.
+struct Driver<'b> {
+    backend: &'b mut dyn Backend,
+    handles: Vec<PuHandle>,
+    inflight: Vec<Option<Pending>>,
+    pool: WorkPool,
+    /// Per-unit availability lattice (`Active ⇄ Quarantined`, `Lost`
+    /// absorbing): a probation restore can never resurrect a unit
+    /// whose executor is gone. See [`crate::protocol::UnitGate`].
+    gates: Vec<UnitGate>,
+    total: u64,
+    next_task: u64,
+    trace: Trace,
+    events: EventSink,
+    /// Fault injection + response (see [`crate::fault`]).
+    faults: FaultPlan,
+    ft: FaultToleranceConfig,
+    /// Per-unit dispatch counter (including retries) — the fault
+    /// plan's attempt index.
+    attempts: Vec<u64>,
+    /// Per-unit consecutive-failure counter; reset by any success.
+    consec_failures: Vec<u32>,
+    /// Policy-provided seconds-per-item prediction (deadline hint).
+    deadline_hint: Vec<Option<f64>>,
+    /// Observed seconds-per-item EWMA (deadline fallback).
+    rate_ewma: Vec<Option<f64>>,
+    /// Probation expiry for quarantined units (wall clocks only).
+    quarantined_until: Vec<Option<f64>>,
+    /// Units whose loss was detected inside `assign` (policy callback
+    /// re-entrancy guard): the driver loop delivers `on_device_lost`.
+    pending_lost: Vec<PuId>,
+}
+
+impl SchedulerCtx for Driver<'_> {
+    fn now(&self) -> f64 {
+        self.backend.now()
+    }
+
+    fn pus(&self) -> &[PuHandle] {
+        &self.handles
+    }
+
+    fn remaining_items(&self) -> u64 {
+        self.pool.remaining()
+    }
+
+    fn total_items(&self) -> u64 {
+        self.total
+    }
+
+    fn assign(&mut self, pu: PuId, items: u64) -> u64 {
+        if items == 0 || self.pool.remaining() == 0 {
+            return 0;
+        }
+        if !self.handles[pu.0].available
+            || self.inflight[pu.0].is_some()
+            || !self.backend.unit_ready(pu.0)
+        {
+            return 0;
+        }
+        // Re-credited ranges are served first so failed blocks re-run;
+        // a reclaimed fragment may be smaller than the request, in
+        // which case fewer items are assigned (policies must tolerate
+        // any return value).
+        let Some((offset, got)) = self.pool.take(items) else {
+            return 0;
+        };
+        let task = TaskId(self.next_task);
+        self.next_task += 1;
+        let now = self.backend.now();
+        self.events.record(
+            now,
+            Some(pu.0),
+            EventKind::TaskSubmit {
+                task: task.0,
+                items: got,
+            },
+        );
+        if !self.launch(pu.0, task, offset, got, 0, 0.0) {
+            // The executor died out from under us: the block returns
+            // to the pool and the unit is lost; the driver loop
+            // delivers the policy notification.
+            self.pool.reclaim(offset, got);
+            self.release_unit(pu.0);
+            return 0;
+        }
+        got
+    }
+
+    fn is_busy(&self, pu: PuId) -> bool {
+        self.inflight[pu.0].is_some()
+    }
+
+    fn any_busy(&self) -> bool {
+        self.inflight.iter().any(Option::is_some)
+    }
+
+    fn charge_overhead(&mut self, seconds: f64) {
+        if seconds.is_finite() && seconds > 0.0 {
+            self.backend.charge_overhead(seconds);
+        }
+    }
+
+    fn emit_event(&mut self, pu: Option<usize>, kind: EventKind) {
+        let now = self.backend.now();
+        self.events.record(now, pu, kind);
+    }
+
+    fn set_deadline_hint(&mut self, pu: PuId, seconds_per_item: f64) {
+        self.deadline_hint[pu.0] = if seconds_per_item.is_finite() && seconds_per_item > 0.0 {
+            Some(seconds_per_item)
+        } else {
+            None
+        };
+    }
+}
+
+impl Driver<'_> {
+    /// Launch one attempt: resolve the fault plan, arm the watchdog
+    /// deadline (wall clocks), record the in-flight entry, and hand the
+    /// spec to the backend. Returns `false` when the unit's executor is
+    /// gone — the caller reclaims the block and writes the unit off.
+    fn launch(
+        &mut self,
+        pu: usize,
+        task: TaskId,
+        offset: u64,
+        items: u64,
+        attempt: u32,
+        backoff_s: f64,
+    ) -> bool {
+        let fault_attempt = self.attempts[pu];
+        self.attempts[pu] += 1;
+        let inject = self.faults.action(pu, fault_attempt);
+        let deadline_at = if self.backend.clock_kind() == ClockKind::Wall {
+            let rate = self.deadline_hint[pu].or(self.rate_ewma[pu]);
+            let now = self.backend.now();
+            self.ft
+                .deadline_for(rate, items)
+                .map(|d| now + backoff_s + d)
+        } else {
+            None
+        };
+        self.inflight[pu] = Some(Pending {
+            task,
+            offset,
+            items,
+            attempt,
+            deadline_at,
+        });
+        match self.backend.launch(&LaunchSpec {
+            pu,
+            task,
+            offset,
+            items,
+            attempt,
+            backoff_s,
+            inject,
+        }) {
+            Launch::Started { start } => {
+                // Virtual clocks know the start time at dispatch; it is
+                // recorded for first attempts only (retries of the same
+                // block keep the original submit/start pair).
+                if attempt == 0 {
+                    if let Some(s) = start {
+                        self.events.record(
+                            s,
+                            Some(pu),
+                            EventKind::TaskStart {
+                                task: task.0,
+                                items,
+                            },
+                        );
+                    }
+                }
+                true
+            }
+            Launch::UnitGone => {
+                self.inflight[pu] = None;
+                false
+            }
+        }
+    }
+
+    /// Permanently remove a unit whose executor is gone or wedged.
+    /// Emits `device_failed` and queues the `on_device_lost`
+    /// notification for the driver loop (never calls the policy
+    /// directly — this can run inside a policy's own `assign` call).
+    fn release_unit(&mut self, pu: usize) {
+        // The gate's swap makes loss idempotent and absorbing: exactly
+        // one caller performs the teardown, and a pending probation
+        // restore can no longer succeed.
+        if !self.gates[pu].mark_lost() {
+            return;
+        }
+        self.handles[pu].available = false;
+        self.backend.forget_unit(pu);
+        self.quarantined_until[pu] = None;
+        let now = self.backend.now();
+        self.events.record(now, Some(pu), EventKind::DeviceFailed);
+        self.pending_lost.push(PuId(pu));
+    }
+
+    /// Deliver queued `on_device_lost` notifications (losses detected
+    /// inside `assign`, where calling back into the policy would
+    /// re-enter it).
+    fn notify_lost(&mut self, policy: &mut dyn Policy) {
+        while let Some(pu) = self.pending_lost.pop() {
+            policy.on_device_lost(self, pu);
+        }
+    }
+
+    /// Fold an observed per-item rate into the unit's EWMA estimate.
+    fn observe_rate(&mut self, pu: usize, proc_time: f64, items: u64) {
+        if items == 0 || !(proc_time.is_finite() && proc_time >= 0.0) {
+            return;
+        }
+        let rate = proc_time / items as f64;
+        self.rate_ewma[pu] = Some(match self.rate_ewma[pu] {
+            Some(prev) => 0.5 * prev + 0.5 * rate,
+            None => rate,
+        });
+    }
+
+    /// Record the stall in the event stream and build the error.
+    fn stall(&mut self) -> RunError {
+        let at = self.backend.now();
+        let remaining = self.pool.remaining();
+        self.events
+            .record(at, None, EventKind::Stalled { remaining });
+        RunError::Stalled { remaining, at }
+    }
+
+    /// After a unit loss: when every unit is gone, nothing is in
+    /// flight, and nothing (probation, pending external restore) can
+    /// bring one back, the run is dead — stall immediately rather than
+    /// replaying a drained queue.
+    fn all_dead_stall(&mut self) -> Option<RunError> {
+        if self.pool.remaining() == 0
+            || self.handles.iter().any(|h| h.available)
+            || self.any_busy()
+            || self.quarantined_until.iter().any(Option::is_some)
+            || self.backend.external_restore_possible()
+        {
+            return None;
+        }
+        Some(self.stall())
+    }
+
+    /// The fault-response state machine for one failed attempt:
+    /// quarantine after `quarantine_after` consecutive failures, else
+    /// bounded in-place retry with exponential backoff, else re-credit
+    /// the block to the pool. Returns an error when the failure killed
+    /// the run (every unit gone).
+    fn handle_failure(
+        &mut self,
+        policy: &mut dyn Policy,
+        pu: usize,
+        task: TaskId,
+        reason: FailureReason,
+    ) -> Option<RunError> {
+        // Stale failures (from units already written off) are ignored:
+        // the block was re-dispatched elsewhere.
+        let current = self.inflight[pu].as_ref().is_some_and(|p| p.task == task);
+        if !current {
+            return None;
+        }
+        let Some(pend) = self.inflight[pu].take() else {
+            return None;
+        };
+        self.consec_failures[pu] += 1;
+        let failures = self.consec_failures[pu];
+        let now = self.backend.now();
+        self.events.record(
+            now,
+            Some(pu),
+            EventKind::TaskFailed {
+                task: pend.task.0,
+                items: pend.items,
+                attempt: pend.attempt,
+                reason: reason.name().to_string(),
+            },
+        );
+        if failures >= self.ft.quarantine_after {
+            // Quarantine: the unit leaves the active set, its block
+            // returns to the pool, and the policy re-solves the split
+            // over the survivors. Under a wall clock with a probation
+            // window the unit can come back; virtual clocks model
+            // restores as external perturbations instead.
+            let gated = self.gates[pu].try_quarantine();
+            debug_assert!(gated, "quarantining a non-active unit");
+            self.backend.on_unit_quarantined(pu);
+            self.handles[pu].available = false;
+            if self.backend.clock_kind() == ClockKind::Wall {
+                self.quarantined_until[pu] = self.ft.probation_s.map(|p| now + p);
+            }
+            self.pool.reclaim(pend.offset, pend.items);
+            self.events
+                .record(now, Some(pu), EventKind::PuQuarantined { failures });
+            self.events.record(now, Some(pu), EventKind::DeviceFailed);
+            policy.on_device_lost(self, PuId(pu));
+            self.notify_lost(policy);
+            let failure = TaskFailure {
+                task_id: pend.task,
+                pu: PuId(pu),
+                items: pend.items,
+                attempt: pend.attempt,
+                at: now,
+                reason,
+            };
+            policy.on_task_failed(self, &failure);
+            self.notify_lost(policy);
+            return self.all_dead_stall();
+        }
+        if pend.attempt < self.ft.max_retries {
+            // Bounded in-place retry with exponential backoff; the
+            // fault plan sees a fresh per-unit attempt index.
+            let retry_attempt = pend.attempt + 1;
+            let backoff = self.ft.backoff_for(retry_attempt);
+            self.events.record(
+                now,
+                Some(pu),
+                EventKind::TaskRetry {
+                    task: pend.task.0,
+                    items: pend.items,
+                    attempt: retry_attempt,
+                    backoff_s: backoff,
+                },
+            );
+            if !self.launch(
+                pu,
+                pend.task,
+                pend.offset,
+                pend.items,
+                retry_attempt,
+                backoff,
+            ) {
+                self.pool.reclaim(pend.offset, pend.items);
+                self.release_unit(pu);
+                self.notify_lost(policy);
+            }
+            return None;
+        }
+        // Retries exhausted without hitting the quarantine bar: the
+        // block's items return to the pool for the other units.
+        self.pool.reclaim(pend.offset, pend.items);
+        let failure = TaskFailure {
+            task_id: pend.task,
+            pu: PuId(pu),
+            items: pend.items,
+            attempt: pend.attempt,
+            at: now,
+            reason,
+        };
+        policy.on_task_failed(self, &failure);
+        self.notify_lost(policy);
+        None
+    }
+
+    /// The unified driver loop.
+    fn run_loop(&mut self, policy: &mut dyn Policy) -> Result<(), RunError> {
+        let n = self.handles.len();
+        loop {
+            // Completion check.
+            if self.pool.remaining() == 0 && !self.any_busy() {
+                let closed = self.pool.try_close();
+                debug_assert!(closed, "run closed twice");
+                return Ok(());
+            }
+
+            // End probation windows that have elapsed (wall clocks
+            // only — virtual clocks never arm them): the unit rejoins
+            // the active set and the policy can fold it back in. The
+            // gate arbitrates against loss: a unit marked lost after
+            // its quarantine fails `try_restore` and stays gone.
+            for i in 0..n {
+                let due = self.quarantined_until[i].is_some_and(|t| self.backend.now() >= t);
+                if !due {
+                    continue;
+                }
+                self.quarantined_until[i] = None;
+                if !self.gates[i].try_restore() {
+                    continue;
+                }
+                self.consec_failures[i] = 0;
+                self.handles[i].available = true;
+                let now = self.backend.now();
+                self.events.record(now, Some(i), EventKind::DeviceRestored);
+                policy.on_device_restored(self, PuId(i));
+                self.notify_lost(policy);
+            }
+            if self.pool.remaining() == 0 && !self.any_busy() {
+                let closed = self.pool.try_close();
+                debug_assert!(closed, "run closed twice");
+                return Ok(());
+            }
+
+            if !self.any_busy() {
+                // Idle with work left: unless a probation expiry or the
+                // backend itself (queued completions, a pending
+                // external restore) can still make progress, the
+                // policy deadlocked the run — stall now rather than
+                // waiting forever.
+                let probation_pending = self.quarantined_until.iter().any(Option::is_some);
+                if !probation_pending && !self.backend.idle_progress_possible() {
+                    return Err(self.stall());
+                }
+            }
+
+            // Watchdog-aware wait: wake at the earliest task deadline
+            // or probation expiry, whichever comes first.
+            let mut wake = f64::INFINITY;
+            for p in self.inflight.iter().flatten() {
+                if let Some(d) = p.deadline_at {
+                    wake = wake.min(d);
+                }
+            }
+            for t in self.quarantined_until.iter().flatten() {
+                wake = wake.min(*t);
+            }
+            let wake = wake.is_finite().then_some(wake);
+
+            match self.backend.poll(wake, &mut self.events) {
+                Polled::Completed {
+                    pu,
+                    task,
+                    start,
+                    xfer_s,
+                    proc_s,
+                    finish,
+                } => {
+                    // Stale completions (from units already written
+                    // off, whose wedged worker eventually finished) are
+                    // ignored: the block was re-dispatched elsewhere.
+                    let current = self.inflight[pu].as_ref().is_some_and(|p| p.task == task);
+                    if !current {
+                        continue;
+                    }
+                    let Some(pend) = self.inflight[pu].take() else {
+                        continue;
+                    };
+                    self.consec_failures[pu] = 0;
+                    self.observe_rate(pu, proc_s, pend.items);
+                    self.trace
+                        .record_task(PuId(pu), task, pend.items, start, xfer_s, proc_s);
+                    if self.backend.clock_kind() == ClockKind::Wall {
+                        // Wall clocks learn the start time only now:
+                        // record it retroactively (virtual clocks
+                        // already did at dispatch).
+                        self.events.record(
+                            start,
+                            Some(pu),
+                            EventKind::TaskStart {
+                                task: task.0,
+                                items: pend.items,
+                            },
+                        );
+                    }
+                    self.events.record(
+                        finish,
+                        Some(pu),
+                        EventKind::TaskFinish {
+                            task: task.0,
+                            items: pend.items,
+                            xfer_s,
+                            proc_s,
+                        },
+                    );
+                    let info = TaskInfo {
+                        task_id: task,
+                        pu: PuId(pu),
+                        items: pend.items,
+                        xfer_time: xfer_s,
+                        proc_time: proc_s,
+                        start,
+                        finish,
+                    };
+                    policy.on_task_finished(self, &info);
+                    self.notify_lost(policy);
+                }
+                Polled::AttemptFailed { pu, task, reason } => {
+                    if let Some(err) = self.handle_failure(policy, pu, task, reason) {
+                        return Err(err);
+                    }
+                }
+                Polled::UnitDown { pu } => {
+                    // Backend-external loss (a simulated machine
+                    // failure): cancel the in-flight block and
+                    // re-credit its items. The gate records it as a
+                    // quarantine so a later external restore succeeds.
+                    self.handles[pu].available = false;
+                    let _ = self.gates[pu].try_quarantine();
+                    let now = self.backend.now();
+                    if let Some(pend) = self.inflight[pu].take() {
+                        self.pool.reclaim(pend.offset, pend.items);
+                        self.events.record(
+                            now,
+                            Some(pu),
+                            EventKind::TaskFailed {
+                                task: pend.task.0,
+                                items: pend.items,
+                                attempt: pend.attempt,
+                                reason: FailureReason::WorkerLost.name().to_string(),
+                            },
+                        );
+                    }
+                    self.events.record(now, Some(pu), EventKind::DeviceFailed);
+                    policy.on_device_lost(self, PuId(pu));
+                    self.notify_lost(policy);
+                    if let Some(err) = self.all_dead_stall() {
+                        return Err(err);
+                    }
+                }
+                Polled::UnitRestored { pu } => {
+                    // Backend-external restore. `try_restore` is a
+                    // no-op for a unit that never failed — the event
+                    // and callback still fire, matching the
+                    // perturbation's contract.
+                    let _ = self.gates[pu].try_restore();
+                    self.handles[pu].available = true;
+                    self.consec_failures[pu] = 0;
+                    let now = self.backend.now();
+                    self.events.record(now, Some(pu), EventKind::DeviceRestored);
+                    policy.on_device_restored(self, PuId(pu));
+                    self.notify_lost(policy);
+                }
+                Polled::Nothing => {}
+                Polled::Timeout => {
+                    // Declare units with blown deadlines lost. Their
+                    // executors may be wedged mid-kernel; the lost
+                    // block re-runs on a survivor (idempotent
+                    // codelets). The watchdog must win the attempt's
+                    // claim word first: if the real outcome beat the
+                    // deadline and is already queued, the claim fails
+                    // and the unit is left alone.
+                    let now = self.backend.now();
+                    for i in 0..n {
+                        let blown = self.inflight[i]
+                            .as_ref()
+                            .is_some_and(|p| p.deadline_at.is_some_and(|d| now >= d))
+                            && self.backend.try_claim_timeout(i);
+                        if !blown {
+                            continue;
+                        }
+                        let Some(pend) = self.inflight[i].take() else {
+                            continue;
+                        };
+                        self.events.record(
+                            now,
+                            Some(i),
+                            EventKind::TaskFailed {
+                                task: pend.task.0,
+                                items: pend.items,
+                                attempt: pend.attempt,
+                                reason: FailureReason::DeadlineExceeded.name().to_string(),
+                            },
+                        );
+                        self.pool.reclaim(pend.offset, pend.items);
+                        self.release_unit(i);
+                        self.notify_lost(policy);
+                        let failure = TaskFailure {
+                            task_id: pend.task,
+                            pu: PuId(i),
+                            items: pend.items,
+                            attempt: pend.attempt,
+                            at: now,
+                            reason: FailureReason::DeadlineExceeded,
+                        };
+                        policy.on_task_failed(self, &failure);
+                        self.notify_lost(policy);
+                    }
+                }
+                Polled::Drained => {
+                    // The backend can never produce another event while
+                    // work is outstanding: a policy bug (or every
+                    // device failed).
+                    return Err(self.stall());
+                }
+                Polled::Infrastructure { detail } => {
+                    return Err(RunError::Infrastructure { detail });
+                }
+            }
+        }
+    }
+}
+
+/// Run `total_items` under `policy` on `backend`: the single driver
+/// both engines delegate to. `handles` is the backend's unit roster
+/// (with initial availability); `faults` injects deterministic
+/// failures and `ft` tunes the response (see [`crate::fault`]).
+pub fn drive(
+    backend: &mut dyn Backend,
+    handles: Vec<PuHandle>,
+    policy: &mut dyn Policy,
+    total_items: u64,
+    faults: FaultPlan,
+    ft: FaultToleranceConfig,
+) -> CoreOutcome {
+    let n = handles.len();
+    let mut d = Driver {
+        backend,
+        handles,
+        inflight: vec![None; n],
+        pool: WorkPool::new(total_items),
+        gates: (0..n).map(|_| UnitGate::new()).collect(),
+        total: total_items,
+        next_task: 0,
+        trace: Trace::new(n),
+        events: EventSink::default(),
+        faults,
+        ft,
+        attempts: vec![0; n],
+        consec_failures: vec![0; n],
+        deadline_hint: vec![None; n],
+        rate_ewma: vec![None; n],
+        quarantined_until: vec![None; n],
+        pending_lost: Vec::new(),
+    };
+    d.events.record(
+        0.0,
+        None,
+        EventKind::RunStart {
+            policy: policy.name().to_string(),
+            total_items,
+            n_pus: n,
+        },
+    );
+    policy.on_start(&mut d);
+    d.notify_lost(policy);
+    let result = d.run_loop(policy).map(|()| {
+        d.events.record(
+            d.backend.now(),
+            None,
+            EventKind::RunEnd {
+                makespan_s: d.trace.makespan(),
+                total_items,
+            },
+        );
+        let names: Vec<String> = d.handles.iter().map(|h| h.name.clone()).collect();
+        let mut report =
+            RunReport::from_trace(policy.name(), &d.trace, &names, policy.block_distribution());
+        for (i, pu) in report.pus.iter_mut().enumerate() {
+            pu.bytes_in = d.backend.bytes_into(i);
+        }
+        report.events = d.events.counters();
+        report.rebalances = report.events.rebalances as usize;
+        report
+    });
+    CoreOutcome {
+        result,
+        trace: d.trace,
+        events: d.events,
+        lost: d.gates.iter().map(UnitGate::is_lost).collect(),
+    }
+}

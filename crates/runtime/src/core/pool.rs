@@ -1,0 +1,145 @@
+//! Disjoint-range bookkeeping over the application's item space.
+//!
+//! Both engines dispatch blocks as half-open ranges of `0..total_items`
+//! and must preserve the disjoint-cover invariant: every item is
+//! processed by exactly one *successful* attempt, even when failed
+//! blocks are re-credited and re-dispatched to other units. The pool
+//! pairs a fresh-range cursor with a reclaimed-range free list on top
+//! of the loom-checked [`CompletionLatch`] (the item count and the
+//! run-closed bit share one atomic word, so a re-credit can never race
+//! a run completion — see `docs/SOUNDNESS.md`).
+
+use crate::protocol::CompletionLatch;
+
+/// The undistributed-item pool: a cursor over fresh ranges plus a free
+/// list of reclaimed (failed-block) ranges, with the item count and the
+/// run-completion latch backed by [`CompletionLatch`].
+#[derive(Debug)]
+pub struct WorkPool {
+    latch: CompletionLatch,
+    cursor: u64,
+    /// Ranges of failed blocks returned to the pool; served before
+    /// fresh cursor ranges so the disjoint-cover invariant holds under
+    /// re-dispatch.
+    reclaimed: Vec<(u64, u64)>,
+}
+
+impl WorkPool {
+    /// A pool holding the full `0..total` item space.
+    pub fn new(total: u64) -> WorkPool {
+        WorkPool {
+            latch: CompletionLatch::new(total),
+            cursor: 0,
+            reclaimed: Vec::new(),
+        }
+    }
+
+    /// Items not yet distributed (0 after a close).
+    pub fn remaining(&self) -> u64 {
+        self.latch.remaining()
+    }
+
+    /// Take a contiguous range of up to `want` items: reclaimed ranges
+    /// first (splitting when larger than the request), then fresh items
+    /// from the cursor. Returns `(offset, items)`; `None` when the pool
+    /// is empty or the run already closed. A reclaimed fragment may be
+    /// smaller than the request, in which case fewer items are handed
+    /// out — callers (and policies) must tolerate any return value.
+    pub fn take(&mut self, want: u64) -> Option<(u64, u64)> {
+        let want = want.min(self.latch.remaining());
+        if want == 0 {
+            return None;
+        }
+        let (offset, got) = if let Some((off, len)) = self.reclaimed.pop() {
+            if len > want {
+                self.reclaimed.push((off + want, len - want));
+                (off, want)
+            } else {
+                (off, len)
+            }
+        } else {
+            let off = self.cursor;
+            self.cursor += want;
+            (off, want)
+        };
+        let debited = self.latch.take(got);
+        debug_assert_eq!(debited, got, "latch and range pool out of sync");
+        Some((offset, got))
+    }
+
+    /// Return a failed block's range to the pool.
+    pub fn reclaim(&mut self, offset: u64, items: u64) {
+        // The driver only reclaims while work is in flight, and the
+        // latch closes only when nothing is — so the re-credit cannot
+        // race a close (the interleaving the loom model rules out).
+        let credited = self.latch.recredit(items);
+        debug_assert!(credited, "re-credit refused: run already closed");
+        self.reclaimed.push((offset, items));
+    }
+
+    /// Close out the run. Succeeds exactly once, and only with an empty
+    /// pool.
+    pub fn try_close(&self) -> bool {
+        self.latch.try_close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ranges_advance_the_cursor() {
+        let mut p = WorkPool::new(100);
+        assert_eq!(p.take(40), Some((0, 40)));
+        assert_eq!(p.take(100), Some((40, 60)), "clamped to the pool");
+        assert_eq!(p.take(1), None);
+        assert_eq!(p.remaining(), 0);
+        assert!(p.try_close());
+    }
+
+    #[test]
+    fn reclaimed_ranges_are_served_first_and_split() {
+        let mut p = WorkPool::new(100);
+        let (off, got) = p.take(50).unwrap();
+        p.reclaim(off, got);
+        assert_eq!(p.remaining(), 100);
+        // The reclaimed range is re-served, splitting on demand.
+        assert_eq!(p.take(20), Some((0, 20)));
+        assert_eq!(p.take(100), Some((20, 30)), "fragment caps the grant");
+        assert_eq!(p.take(100), Some((50, 50)), "then back to the cursor");
+        assert!(p.try_close());
+    }
+
+    #[test]
+    fn zero_want_takes_nothing() {
+        let mut p = WorkPool::new(10);
+        assert_eq!(p.take(0), None);
+        assert_eq!(p.remaining(), 10);
+    }
+
+    #[test]
+    fn disjoint_cover_holds_under_reclaim() {
+        let mut p = WorkPool::new(1000);
+        let mut done: Vec<(u64, u64)> = Vec::new();
+        let mut flaky = 0;
+        while let Some((off, got)) = p.take(97) {
+            // Fail every third block once.
+            flaky += 1;
+            if flaky % 3 == 0 {
+                p.reclaim(off, got);
+                flaky += 1; // don't re-fail the same fragment forever
+            } else {
+                done.push((off, got));
+            }
+        }
+        done.sort_unstable();
+        let mut expect = 0;
+        for (off, len) in done {
+            assert_eq!(off, expect, "gap or overlap in completed ranges");
+            expect = off + len;
+        }
+        assert_eq!(expect, 1000);
+        assert!(p.try_close());
+    }
+}

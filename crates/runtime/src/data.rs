@@ -290,7 +290,9 @@ impl<T> DisjointOutput<T> {
         }
         let mut claims = self.claims.lock();
         if !range.is_empty() {
-            if let Some(&(s, e)) = claims.iter().find(|&&(s, e)| s < range.end && range.start < e)
+            if let Some(&(s, e)) = claims
+                .iter()
+                .find(|&&(s, e)| s < range.end && range.start < e)
             {
                 return Err(DisjointError::Overlap {
                     start: range.start,
@@ -523,7 +525,11 @@ mod tests {
         let w = out.try_writer(2..6).unwrap();
         assert!(matches!(
             out.try_writer(5..8),
-            Err(DisjointError::Overlap { held_start: 2, held_end: 6, .. })
+            Err(DisjointError::Overlap {
+                held_start: 2,
+                held_end: 6,
+                ..
+            })
         ));
         assert!(matches!(
             out.try_writer(0..3),

@@ -7,16 +7,24 @@
 //! engine enforces StarPU's worker discipline: one in-flight task per
 //! processing unit.
 //!
+//! All scheduling decisions — assignment bookkeeping, retry, quarantine,
+//! re-credit, stall detection, event emission — live in the shared
+//! scheduling core ([`crate::core`]); this module is only the
+//! virtual-clock [`Backend`]: an event heap over the simulated cluster's
+//! device models, plus the StarPU-style data registry feeding the
+//! report's byte accounting.
+//!
 //! Perturbations (slowdowns, failures, restorations) can be scheduled at
 //! absolute virtual times to reproduce the paper's future-work scenarios
 //! (cloud QoS drift, machine loss).
 
+use crate::core::{self, Backend, ClockKind, Launch, LaunchSpec, Polled};
 use crate::data::{DataHandle, DataRegistry, MemNode};
 use crate::events::{EventKind, EventSink};
 use crate::fault::{FaultAction, FaultPlan, FaultToleranceConfig};
 use crate::metrics::RunReport;
-use crate::policy::{Policy, PuHandle, SchedulerCtx};
-use crate::task::{FailureReason, TaskFailure, TaskId, TaskInfo};
+use crate::policy::{Policy, PuHandle};
+use crate::task::{FailureReason, TaskId};
 use crate::trace::Trace;
 use plb_hetsim::{ClusterSim, CostModel, PuId};
 use std::cmp::Reverse;
@@ -118,49 +126,38 @@ impl PartialOrd for Event {
     }
 }
 
+/// Backend-side record of the attempt currently occupying a unit: the
+/// device-model timings the completion event will report, and whether
+/// the fault plan doomed this attempt to panic at "completion" time.
 #[derive(Debug, Clone)]
-struct Pending {
+struct SimAttempt {
     task: TaskId,
-    items: u64,
     start: f64,
     xfer: f64,
     proc: f64,
-    /// 0-based attempt number of this block (0 = first try).
-    attempt: u32,
-    /// The fault plan decided this attempt panics at "completion" time.
     doomed: bool,
 }
 
-struct EngineState<'a> {
+/// The virtual-clock backend: a binary-heap event queue over the
+/// simulated cluster's device models. Mechanics only — every decision
+/// is the scheduling core's.
+struct SimBackend<'a> {
     cluster: &'a mut ClusterSim,
     cost: &'a dyn CostModel,
-    handles: Vec<PuHandle>,
-    inflight: Vec<Option<Pending>>,
-    remaining: u64,
-    total: u64,
+    perturbations: Vec<Perturbation>,
     clock: f64,
     heap: BinaryHeap<Reverse<Event>>,
     seq: u64,
-    next_task: u64,
-    trace: Trace,
-    events: EventSink,
     overhead_until: f64,
     /// StarPU-style data management: per-task block buffers and the
     /// application's broadcast set, with a transfer ledger per memory
     /// node feeding the run report's byte accounting.
     registry: DataRegistry,
     broadcast: Option<DataHandle>,
-    /// Fault injection + response (see [`crate::fault`]).
-    faults: FaultPlan,
-    ft: FaultToleranceConfig,
-    /// Per-unit dispatch counter (including retries) — the fault plan's
-    /// attempt index.
-    attempts: Vec<u64>,
-    /// Per-unit consecutive-failure counter; reset by any success.
-    consec_failures: Vec<u32>,
+    attempt_of: Vec<Option<SimAttempt>>,
 }
 
-impl<'a> EngineState<'a> {
+impl SimBackend<'_> {
     fn push_event(&mut self, time: f64, payload: EventPayload) {
         self.seq += 1;
         self.heap.push(Reverse(Event {
@@ -169,59 +166,49 @@ impl<'a> EngineState<'a> {
             payload,
         }));
     }
+
+    /// Is a `Restore` perturbation still waiting in the event queue?
+    /// (Only pending restores can bring a dead cluster back; already-
+    /// fired ones must not defer a stall.)
+    fn restore_pending(&self) -> bool {
+        self.heap.iter().any(|Reverse(e)| {
+            matches!(e.payload, EventPayload::Perturb(i)
+                if matches!(self.perturbations[i].kind, PerturbationKind::Restore(_)))
+        })
+    }
 }
 
-impl SchedulerCtx for EngineState<'_> {
+impl Backend for SimBackend<'_> {
+    fn clock_kind(&self) -> ClockKind {
+        ClockKind::Virtual
+    }
+
     fn now(&self) -> f64 {
         self.clock
     }
 
-    fn pus(&self) -> &[PuHandle] {
-        &self.handles
-    }
-
-    fn remaining_items(&self) -> u64 {
-        self.remaining
-    }
-
-    fn total_items(&self) -> u64 {
-        self.total
-    }
-
-    fn assign(&mut self, pu: PuId, items: u64) -> u64 {
-        if items == 0 || self.remaining == 0 {
-            return 0;
+    fn launch(&mut self, spec: &LaunchSpec) -> Launch {
+        let pu = PuId(spec.pu);
+        if spec.attempt == 0 {
+            // Data management: the block's input buffer moves host ->
+            // unit; the broadcast set is staged once per unit (cache
+            // hit after). Retries reuse the already-staged block.
+            let node = MemNode::of_pu(spec.pu);
+            let block_bytes = self.cost.bytes_in(spec.items).max(0.0) as u64;
+            if block_bytes > 0 {
+                let h = self.registry.register(block_bytes, MemNode::HOST);
+                self.registry.acquire(h, node, MemNode::HOST);
+            }
+            if let Some(b) = self.broadcast {
+                self.registry.acquire(b, node, MemNode::HOST);
+            }
         }
-        let h = &self.handles[pu.0];
-        if !h.available || self.inflight[pu.0].is_some() {
-            return 0;
-        }
-        let items = items.min(self.remaining);
-        self.remaining -= items;
-
-        // Data management: the block's input buffer moves host -> unit;
-        // the broadcast set is staged once per unit (cache hit after).
-        let node = MemNode::of_pu(pu.0);
-        let block_bytes = self.cost.bytes_in(items).max(0.0) as u64;
-        if block_bytes > 0 {
-            let h = self.registry.register(block_bytes, MemNode::HOST);
-            self.registry.acquire(h, node, MemNode::HOST);
-        }
-        if let Some(b) = self.broadcast {
-            self.registry.acquire(b, node, MemNode::HOST);
-        }
-
         let dev = self.cluster.device_mut(pu);
-        let xfer = dev.transfer_time(self.cost, items);
-        let mut proc = dev.proc_time(self.cost, items);
-        let task = TaskId(self.next_task);
-        self.next_task += 1;
-        // Consult the fault plan for this dispatch: injected delays
-        // stretch the kernel, injected panics surface when the
-        // "completion" event fires.
-        let fault_attempt = self.attempts[pu.0];
-        self.attempts[pu.0] += 1;
-        let doomed = match self.faults.action(pu.0, fault_attempt) {
+        let xfer = dev.transfer_time(self.cost, spec.items);
+        let mut proc = dev.proc_time(self.cost, spec.items);
+        // Injected delays stretch the kernel; injected panics surface
+        // when the "completion" event fires.
+        let doomed = match spec.inject {
             Some(FaultAction::Panic) => true,
             Some(FaultAction::Delay(s)) => {
                 proc += s;
@@ -229,54 +216,116 @@ impl SchedulerCtx for EngineState<'_> {
             }
             None => false,
         };
-        // Assignments issued while scheduler overhead is outstanding
-        // begin only after the overhead window closes.
-        let start = self.clock.max(self.overhead_until);
-        self.inflight[pu.0] = Some(Pending {
-            task,
-            items,
+        // First attempts issued while scheduler overhead is outstanding
+        // begin only after the overhead window closes; retries begin
+        // after their backoff.
+        let start = if spec.attempt == 0 {
+            self.clock.max(self.overhead_until)
+        } else {
+            self.clock + spec.backoff_s
+        };
+        self.attempt_of[spec.pu] = Some(SimAttempt {
+            task: spec.task,
             start,
             xfer,
             proc,
-            attempt: 0,
             doomed,
         });
-        self.events.record(
-            self.clock,
-            Some(pu.0),
-            EventKind::TaskSubmit {
-                task: task.0,
-                items,
+        self.push_event(
+            start + xfer + proc,
+            EventPayload::Completion {
+                pu,
+                task: spec.task,
             },
         );
-        self.events.record(
-            start,
-            Some(pu.0),
-            EventKind::TaskStart {
-                task: task.0,
-                items,
-            },
-        );
-        self.push_event(start + xfer + proc, EventPayload::Completion { pu, task });
-        items
+        Launch::Started { start: Some(start) }
     }
 
-    fn is_busy(&self, pu: PuId) -> bool {
-        self.inflight[pu.0].is_some()
-    }
+    fn poll(&mut self, _wake: Option<f64>, events: &mut EventSink) -> Polled {
+        loop {
+            let Some(Reverse(ev)) = self.heap.pop() else {
+                return Polled::Drained;
+            };
+            debug_assert!(ev.time + 1e-12 >= self.clock, "time went backwards");
+            self.clock = ev.time.max(self.clock);
 
-    fn any_busy(&self) -> bool {
-        self.inflight.iter().any(Option::is_some)
-    }
-
-    fn charge_overhead(&mut self, seconds: f64) {
-        if seconds.is_finite() && seconds > 0.0 {
-            self.overhead_until = self.overhead_until.max(self.clock) + seconds;
+            match ev.payload {
+                EventPayload::Completion { pu, task } => {
+                    // Completions of cancelled attempts (unit failed
+                    // while the task was in flight) are stale: skip to
+                    // the next event.
+                    let current = self.attempt_of[pu.0]
+                        .as_ref()
+                        .is_some_and(|a| a.task == task);
+                    if !current {
+                        continue;
+                    }
+                    let Some(a) = self.attempt_of[pu.0].take() else {
+                        continue;
+                    };
+                    if a.doomed {
+                        return Polled::AttemptFailed {
+                            pu: pu.0,
+                            task,
+                            reason: FailureReason::Panicked,
+                        };
+                    }
+                    return Polled::Completed {
+                        pu: pu.0,
+                        task,
+                        start: a.start,
+                        xfer_s: a.xfer,
+                        proc_s: a.proc,
+                        finish: self.clock,
+                    };
+                }
+                EventPayload::Perturb(idx) => match self.perturbations[idx].kind {
+                    PerturbationKind::SetSlowdown(pu, f) => {
+                        self.cluster.device_mut(pu).set_slowdown(f);
+                        events.record(self.clock, Some(pu.0), EventKind::SlowdownSet { factor: f });
+                        // In-flight tasks keep their original times:
+                        // the slowdown applies from the next kernel,
+                        // like a contended cloud node would behave
+                        // between scheduling rounds.
+                        return Polled::Nothing;
+                    }
+                    PerturbationKind::Fail(pu) => {
+                        self.cluster.device_mut(pu).fail();
+                        // The in-flight attempt (if any) is cancelled;
+                        // its queued completion event becomes stale.
+                        self.attempt_of[pu.0] = None;
+                        return Polled::UnitDown { pu: pu.0 };
+                    }
+                    PerturbationKind::Restore(pu) => {
+                        self.cluster.device_mut(pu).restore();
+                        return Polled::UnitRestored { pu: pu.0 };
+                    }
+                },
+            }
         }
     }
 
-    fn emit_event(&mut self, pu: Option<usize>, kind: EventKind) {
-        self.events.record(self.clock, pu, kind);
+    fn charge_overhead(&mut self, seconds: f64) {
+        self.overhead_until = self.overhead_until.max(self.clock) + seconds;
+    }
+
+    fn on_unit_quarantined(&mut self, pu: usize) {
+        self.cluster.device_mut(PuId(pu)).fail();
+    }
+
+    fn idle_progress_possible(&self) -> bool {
+        self.heap
+            .iter()
+            .any(|Reverse(e)| matches!(e.payload, EventPayload::Completion { .. }))
+            || self.restore_pending()
+    }
+
+    fn external_restore_possible(&self) -> bool {
+        self.restore_pending()
+    }
+
+    fn bytes_into(&self, pu: usize) -> u64 {
+        self.registry.bytes_into(MemNode::of_pu(pu))
     }
 }
 
@@ -343,40 +392,9 @@ impl<'a> SimEngine<'a> {
         self
     }
 
-    /// Is a `Restore` perturbation still waiting in the event queue?
-    /// (Only pending restores can bring a dead cluster back; already-
-    /// fired ones must not defer a stall.)
-    fn restore_pending(st: &EngineState<'_>, perturbations: &[Perturbation]) -> bool {
-        st.heap.iter().any(|Reverse(e)| {
-            matches!(e.payload, EventPayload::Perturb(i)
-                if matches!(perturbations[i].kind, PerturbationKind::Restore(_)))
-        })
-    }
-
-    /// Record the stall, preserve the partial trace/event stream for
-    /// post-mortem inspection, and build the error.
-    fn stall(
-        st: &mut EngineState<'_>,
-        last_trace: &mut Option<Trace>,
-        last_events: &mut Option<EventSink>,
-    ) -> RunError {
-        st.events.record(
-            st.clock,
-            None,
-            EventKind::Stalled {
-                remaining: st.remaining,
-            },
-        );
-        *last_trace = Some(std::mem::take(&mut st.trace));
-        *last_events = Some(std::mem::take(&mut st.events));
-        RunError::Stalled {
-            remaining: st.remaining,
-            at: st.clock,
-        }
-    }
-
     /// Run `total_items` under `policy`. Returns the run report, or an
-    /// error when the policy deadlocks the run.
+    /// error when the policy deadlocks the run. Delegates to the shared
+    /// scheduling core ([`crate::core`]) over a virtual-clock backend.
     pub fn run(
         &mut self,
         policy: &mut dyn Policy,
@@ -406,317 +424,33 @@ impl<'a> SimEngine<'a> {
         } else {
             None
         };
-        let mut st = EngineState {
+        let mut backend = SimBackend {
             cluster: &mut *self.cluster,
             cost: self.cost,
-            handles,
-            inflight: vec![None; n],
-            remaining: total_items,
-            total: total_items,
+            perturbations: self.perturbations.clone(),
             clock: 0.0,
             heap: BinaryHeap::new(),
             seq: 0,
-            next_task: 0,
-            trace: Trace::new(n),
-            events: EventSink::default(),
             overhead_until: 0.0,
             registry,
             broadcast,
-            faults: self.faults.clone(),
-            ft: self.ft.clone(),
-            attempts: vec![0; n],
-            consec_failures: vec![0; n],
+            attempt_of: vec![None; n],
         };
-        for (i, p) in self.perturbations.iter().enumerate() {
-            st.push_event(p.at.max(0.0), EventPayload::Perturb(i));
+        for i in 0..backend.perturbations.len() {
+            let at = backend.perturbations[i].at.max(0.0);
+            backend.push_event(at, EventPayload::Perturb(i));
         }
-        st.events.record(
-            0.0,
-            None,
-            EventKind::RunStart {
-                policy: policy.name().to_string(),
-                total_items,
-                n_pus: n,
-            },
+        let outcome = core::drive(
+            &mut backend,
+            handles,
+            policy,
+            total_items,
+            self.faults.clone(),
+            self.ft.clone(),
         );
-
-        policy.on_start(&mut st);
-
-        loop {
-            // Completion / stall checks.
-            let busy = st.any_busy();
-            let events_pending = !st.heap.is_empty();
-            if st.remaining == 0 && !busy {
-                break;
-            }
-            if !events_pending {
-                return Err(Self::stall(
-                    &mut st,
-                    &mut self.last_trace,
-                    &mut self.last_events,
-                ));
-            }
-            if !busy && st.remaining > 0 {
-                // Only perturbation events can remain; unless one of the
-                // *pending* ones is a restore, no future event can make
-                // progress — stall now rather than replaying the queue.
-                let only_perturb = st
-                    .heap
-                    .iter()
-                    .all(|Reverse(e)| matches!(e.payload, EventPayload::Perturb(_)));
-                if only_perturb && !Self::restore_pending(&st, &self.perturbations) {
-                    return Err(Self::stall(
-                        &mut st,
-                        &mut self.last_trace,
-                        &mut self.last_events,
-                    ));
-                }
-            }
-
-            let Some(Reverse(ev)) = st.heap.pop() else {
-                // Unreachable: the events_pending check above guarantees
-                // a non-empty heap. Treat defensively as a stall.
-                return Err(Self::stall(
-                    &mut st,
-                    &mut self.last_trace,
-                    &mut self.last_events,
-                ));
-            };
-            debug_assert!(ev.time + 1e-12 >= st.clock, "time went backwards");
-            st.clock = ev.time.max(st.clock);
-
-            match ev.payload {
-                EventPayload::Completion { pu, task } => {
-                    // Ignore completions of tasks cancelled by a failure.
-                    let matches_current =
-                        st.inflight[pu.0].as_ref().is_some_and(|p| p.task == task);
-                    if !matches_current {
-                        continue;
-                    }
-                    let Some(pend) = st.inflight[pu.0].take() else {
-                        continue;
-                    };
-                    if pend.doomed {
-                        // The injected fault fires: this attempt panicked
-                        // instead of completing.
-                        st.consec_failures[pu.0] += 1;
-                        let failures = st.consec_failures[pu.0];
-                        st.events.record(
-                            st.clock,
-                            Some(pu.0),
-                            EventKind::TaskFailed {
-                                task: pend.task.0,
-                                items: pend.items,
-                                attempt: pend.attempt,
-                                reason: FailureReason::Panicked.name().to_string(),
-                            },
-                        );
-                        if failures >= st.ft.quarantine_after {
-                            // Quarantine: the unit leaves the active set,
-                            // its block returns to the pool, and the
-                            // policy re-solves over the survivors.
-                            st.cluster.device_mut(pu).fail();
-                            st.handles[pu.0].available = false;
-                            st.remaining += pend.items;
-                            st.events.record(
-                                st.clock,
-                                Some(pu.0),
-                                EventKind::PuQuarantined { failures },
-                            );
-                            st.events
-                                .record(st.clock, Some(pu.0), EventKind::DeviceFailed);
-                            policy.on_device_lost(&mut st, pu);
-                            let failure = TaskFailure {
-                                task_id: pend.task,
-                                pu,
-                                items: pend.items,
-                                attempt: pend.attempt,
-                                at: st.clock,
-                                reason: FailureReason::Panicked,
-                            };
-                            policy.on_task_failed(&mut st, &failure);
-                            if !st.handles.iter().any(|h| h.available)
-                                && !Self::restore_pending(&st, &self.perturbations)
-                            {
-                                // Every unit is gone and nothing can
-                                // bring one back: stall immediately.
-                                return Err(Self::stall(
-                                    &mut st,
-                                    &mut self.last_trace,
-                                    &mut self.last_events,
-                                ));
-                            }
-                        } else if pend.attempt < st.ft.max_retries {
-                            // Bounded in-place retry with exponential
-                            // backoff; the fault plan sees a fresh
-                            // per-unit attempt index.
-                            let retry_attempt = pend.attempt + 1;
-                            let backoff = st.ft.backoff_for(retry_attempt);
-                            st.events.record(
-                                st.clock,
-                                Some(pu.0),
-                                EventKind::TaskRetry {
-                                    task: pend.task.0,
-                                    items: pend.items,
-                                    attempt: retry_attempt,
-                                    backoff_s: backoff,
-                                },
-                            );
-                            let fault_attempt = st.attempts[pu.0];
-                            st.attempts[pu.0] += 1;
-                            let dev = st.cluster.device_mut(pu);
-                            let xfer = dev.transfer_time(st.cost, pend.items);
-                            let mut proc = dev.proc_time(st.cost, pend.items);
-                            let doomed = match st.faults.action(pu.0, fault_attempt) {
-                                Some(FaultAction::Panic) => true,
-                                Some(FaultAction::Delay(s)) => {
-                                    proc += s;
-                                    false
-                                }
-                                None => false,
-                            };
-                            let start = st.clock + backoff;
-                            st.inflight[pu.0] = Some(Pending {
-                                task: pend.task,
-                                items: pend.items,
-                                start,
-                                xfer,
-                                proc,
-                                attempt: retry_attempt,
-                                doomed,
-                            });
-                            st.push_event(
-                                start + xfer + proc,
-                                EventPayload::Completion {
-                                    pu,
-                                    task: pend.task,
-                                },
-                            );
-                        } else {
-                            // Retries exhausted without hitting the
-                            // quarantine bar: the block's items return
-                            // to the pool for the other units.
-                            st.remaining += pend.items;
-                            let failure = TaskFailure {
-                                task_id: pend.task,
-                                pu,
-                                items: pend.items,
-                                attempt: pend.attempt,
-                                at: st.clock,
-                                reason: FailureReason::Panicked,
-                            };
-                            policy.on_task_failed(&mut st, &failure);
-                        }
-                        continue;
-                    }
-                    st.consec_failures[pu.0] = 0;
-                    st.trace
-                        .record_task(pu, pend.task, pend.items, pend.start, pend.xfer, pend.proc);
-                    st.events.record(
-                        st.clock,
-                        Some(pu.0),
-                        EventKind::TaskFinish {
-                            task: pend.task.0,
-                            items: pend.items,
-                            xfer_s: pend.xfer,
-                            proc_s: pend.proc,
-                        },
-                    );
-                    let info = TaskInfo {
-                        task_id: pend.task,
-                        pu,
-                        items: pend.items,
-                        xfer_time: pend.xfer,
-                        proc_time: pend.proc,
-                        start: pend.start,
-                        finish: st.clock,
-                    };
-                    policy.on_task_finished(&mut st, &info);
-                }
-                EventPayload::Perturb(idx) => {
-                    match self.perturbations[idx].kind {
-                        PerturbationKind::SetSlowdown(pu, f) => {
-                            st.cluster.device_mut(pu).set_slowdown(f);
-                            st.events.record(
-                                st.clock,
-                                Some(pu.0),
-                                EventKind::SlowdownSet { factor: f },
-                            );
-                            // In-flight tasks keep their original times:
-                            // the slowdown applies from the next kernel,
-                            // like a contended cloud node would behave
-                            // between scheduling rounds.
-                        }
-                        PerturbationKind::Fail(pu) => {
-                            st.cluster.device_mut(pu).fail();
-                            st.handles[pu.0].available = false;
-                            if let Some(pend) = st.inflight[pu.0].take() {
-                                // The lost task's items return to the pool.
-                                st.remaining += pend.items;
-                                st.events.record(
-                                    st.clock,
-                                    Some(pu.0),
-                                    EventKind::TaskFailed {
-                                        task: pend.task.0,
-                                        items: pend.items,
-                                        attempt: pend.attempt,
-                                        reason: FailureReason::WorkerLost.name().to_string(),
-                                    },
-                                );
-                            }
-                            st.events
-                                .record(st.clock, Some(pu.0), EventKind::DeviceFailed);
-                            policy.on_device_lost(&mut st, pu);
-                            if st.remaining > 0
-                                && !st.handles.iter().any(|h| h.available)
-                                && !Self::restore_pending(&st, &self.perturbations)
-                            {
-                                // The last unit just died with no restore
-                                // scheduled: report the stall immediately
-                                // with the partial event stream attached.
-                                return Err(Self::stall(
-                                    &mut st,
-                                    &mut self.last_trace,
-                                    &mut self.last_events,
-                                ));
-                            }
-                        }
-                        PerturbationKind::Restore(pu) => {
-                            st.cluster.device_mut(pu).restore();
-                            st.handles[pu.0].available = true;
-                            st.consec_failures[pu.0] = 0;
-                            st.events
-                                .record(st.clock, Some(pu.0), EventKind::DeviceRestored);
-                            policy.on_device_restored(&mut st, pu);
-                        }
-                    }
-                }
-            }
-        }
-
-        st.events.record(
-            st.clock,
-            None,
-            EventKind::RunEnd {
-                makespan_s: st.trace.makespan(),
-                total_items,
-            },
-        );
-        let names: Vec<String> = st.handles.iter().map(|h| h.name.clone()).collect();
-        let mut report = RunReport::from_trace(
-            policy.name(),
-            &st.trace,
-            &names,
-            policy.block_distribution(),
-        );
-        for (i, pu) in report.pus.iter_mut().enumerate() {
-            pu.bytes_in = st.registry.bytes_into(MemNode::of_pu(i));
-        }
-        report.events = st.events.counters();
-        report.rebalances = report.events.rebalances as usize;
-        self.last_trace = Some(st.trace);
-        self.last_events = Some(st.events);
-        Ok(report)
+        self.last_trace = Some(outcome.trace);
+        self.last_events = Some(outcome.events);
+        outcome.result
     }
 
     /// The full trace of the most recent successful `run` (for Gantt
@@ -736,7 +470,8 @@ impl<'a> SimEngine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::FixedBlockPolicy;
+    use crate::policy::{FixedBlockPolicy, SchedulerCtx};
+    use crate::task::TaskInfo;
     use plb_hetsim::cluster::ClusterOptions;
     use plb_hetsim::workload::LinearCost;
     use plb_hetsim::{cluster_scenario, Scenario};

@@ -8,10 +8,17 @@
 //! speed differences on one machine, which is what the examples
 //! demonstrate.
 //!
+//! All scheduling decisions — assignment bookkeeping, retry, quarantine,
+//! re-credit, deadlines, stall detection, event emission — live in the
+//! shared scheduling core ([`crate::core`]); this module is only the
+//! wall-clock [`Backend`]: per-unit worker threads fed by channels, a
+//! completion channel back, and the loom-checked attempt claim words
+//! that arbitrate worker results against the core's watchdog.
+//!
 //! # Fault tolerance
 //!
-//! The host path mirrors the simulator's failure semantics on real
-//! threads (see `docs/FAULT_TOLERANCE.md` for the full model):
+//! The host path realizes the core's failure semantics on real threads
+//! (see `docs/FAULT_TOLERANCE.md` for the full model):
 //!
 //! * **Panic isolation** — each kernel invocation runs under
 //!   [`std::panic::catch_unwind`], so a panicking codelet marks its task
@@ -19,10 +26,11 @@
 //! * **Deadlines** — every dispatched task gets a watchdog deadline of
 //!   `deadline_factor × E_p(x)`, where `E_p(x)` is the policy's
 //!   model-predicted block time (via
-//!   [`SchedulerCtx::set_deadline_hint`]) or, absent a hint, the
-//!   engine's running per-item rate estimate. A blown deadline declares
-//!   the unit lost: its worker may be wedged inside the kernel, so the
-//!   thread is detached rather than joined and the unit never returns.
+//!   [`crate::policy::SchedulerCtx::set_deadline_hint`]) or, absent a
+//!   hint, the core's
+//!   running per-item rate estimate. A blown deadline declares the unit
+//!   lost: its worker may be wedged inside the kernel, so the thread is
+//!   detached rather than joined and the unit never returns.
 //! * **Retry / re-dispatch** — a failed block is retried in place with
 //!   exponential backoff up to `max_retries` times; past that its items
 //!   are re-credited to the shared pool and flow to the surviving units
@@ -46,14 +54,15 @@
 //! `docs/SOUNDNESS.md`).
 
 use crate::codelet::{Codelet, PuResources};
+use crate::core::{self, Backend, ClockKind, Launch, LaunchSpec, Polled};
 use crate::engine::RunError;
-use crate::events::{EventKind, EventSink};
+use crate::events::EventSink;
 use crate::fault::{FaultAction, FaultPlan, FaultToleranceConfig};
 use crate::metrics::RunReport;
-use crate::policy::{Policy, PuHandle, SchedulerCtx};
-use crate::protocol::{AttemptSlot, CompletionLatch, UnitGate};
+use crate::policy::{Policy, PuHandle};
+use crate::protocol::AttemptSlot;
 use crate::sync::Arc;
-use crate::task::{FailureReason, TaskFailure, TaskId, TaskInfo};
+use crate::task::{FailureReason, TaskId};
 use crate::trace::Trace;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use plb_hetsim::{PuId, PuKind};
@@ -88,8 +97,8 @@ pub struct HostPerturbation {
     pub repeat: u32,
 }
 
-/// One dispatch of a block to a worker. The engine resolves the fault
-/// plan at dispatch time (it owns the per-unit attempt counters), so the
+/// One dispatch of a block to a worker. The core resolves the fault
+/// plan at launch time (it owns the per-unit attempt counters), so the
 /// worker just obeys `inject`.
 struct Assignment {
     task: TaskId,
@@ -101,7 +110,7 @@ struct Assignment {
     backoff_s: f64,
     /// Injected fault for this attempt, if any.
     inject: Option<FaultAction>,
-    /// The attempt's claim word, shared with the engine's watchdog: the
+    /// The attempt's claim word, shared with the core's watchdog: the
     /// worker must win it (`try_complete` / `try_fail`) before
     /// reporting, so a deadline-claimed attempt reports nothing. See
     /// [`crate::protocol::AttemptSlot`].
@@ -111,7 +120,6 @@ struct Assignment {
 struct Completion {
     pu: PuId,
     task: TaskId,
-    items: u64,
     proc_time: f64,
     started_at: f64,
 }
@@ -119,258 +127,91 @@ struct Completion {
 /// What a worker reports back: a completed attempt or a caught panic.
 enum WorkerMsg {
     Done(Completion),
-    Failed {
-        pu: PuId,
-        task: TaskId,
-        attempt: u32,
-    },
+    Failed { pu: PuId, task: TaskId },
 }
 
-/// Engine-side record of an in-flight attempt.
-#[derive(Debug, Clone)]
-struct HostPending {
-    task: TaskId,
-    offset: u64,
-    items: u64,
-    attempt: u32,
-    /// Absolute watchdog deadline (engine clock), when one applies.
-    deadline_at: Option<f64>,
-    /// The attempt's claim word (shared with the worker); the watchdog
-    /// must win `try_timeout` on it before declaring the attempt dead.
-    slot: Arc<AttemptSlot>,
-}
-
-struct HostState {
-    handles: Vec<PuHandle>,
+/// The wall-clock backend: worker channels out, a completion channel
+/// back, and the current attempt's claim word per unit. Mechanics only —
+/// every decision is the scheduling core's.
+struct HostBackend {
     senders: Vec<Option<Sender<Assignment>>>,
-    inflight: Vec<Option<HostPending>>,
-    /// Undistributed-item pool + run-completion latch: `take` on
-    /// dispatch, `recredit` on reclaim, closed exactly once when the
-    /// run drains. See [`crate::protocol::CompletionLatch`].
-    latch: CompletionLatch,
-    total: u64,
-    cursor: u64,
-    /// Ranges of failed blocks returned to the pool; served before fresh
-    /// cursor ranges so the disjoint-cover invariant holds under
-    /// re-dispatch.
-    reclaimed: Vec<(u64, u64)>,
-    next_task: u64,
+    /// The in-flight attempt's claim word per unit, shared with its
+    /// worker; the core's watchdog arbitrates through it.
+    slots: Vec<Option<Arc<AttemptSlot>>>,
+    done_rx: Receiver<WorkerMsg>,
     epoch: Instant,
-    events: EventSink,
-    faults: FaultPlan,
-    ft: FaultToleranceConfig,
-    /// Per-unit dispatch counter (including retries) — the fault plan's
-    /// attempt index.
-    attempts: Vec<u64>,
-    /// Per-unit consecutive-failure counter; reset by any success.
-    consec_failures: Vec<u32>,
-    /// Policy-provided seconds-per-item prediction (deadline hint).
-    deadline_hint: Vec<Option<f64>>,
-    /// Observed seconds-per-item EWMA (deadline fallback).
-    rate_ewma: Vec<Option<f64>>,
-    /// Probation expiry for quarantined units (engine clock).
-    quarantined_until: Vec<Option<f64>>,
-    /// Per-unit availability lattice (`Active ⇄ Quarantined`, `Lost`
-    /// absorbing): a probation restore can never resurrect a unit whose
-    /// worker is wedged. See [`crate::protocol::UnitGate`].
-    gates: Vec<UnitGate>,
-    /// Units whose loss was detected inside `assign` (policy callback
-    /// re-entrancy guard): the engine loop delivers `on_device_lost`.
-    pending_lost: Vec<PuId>,
 }
 
-impl HostState {
-    /// Take a contiguous range of up to `want` items: reclaimed ranges
-    /// first (splitting when larger than the request), then fresh items
-    /// from the cursor. Returns `(offset, items)`.
-    fn take_range(&mut self, want: u64) -> (u64, u64) {
-        if let Some((off, len)) = self.reclaimed.pop() {
-            if len > want {
-                self.reclaimed.push((off + want, len - want));
-                (off, want)
-            } else {
-                (off, len)
-            }
-        } else {
-            let off = self.cursor;
-            self.cursor += want;
-            (off, want)
-        }
+impl Backend for HostBackend {
+    fn clock_kind(&self) -> ClockKind {
+        ClockKind::Wall
     }
 
-    /// Return a failed block's range to the pool.
-    fn reclaim(&mut self, offset: u64, items: u64) {
-        // The engine only reclaims while work is in flight, and the
-        // latch closes only when nothing is — so the re-credit cannot
-        // race a close (the interleaving the loom model rules out).
-        let credited = self.latch.recredit(items);
-        debug_assert!(credited, "re-credit refused: run already closed");
-        self.reclaimed.push((offset, items));
+    fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
     }
 
-    /// Send one attempt of a block to its unit's worker. Resolves the
-    /// fault plan, computes the watchdog deadline, and records the
-    /// in-flight entry. Returns `false` when the worker is gone (the
-    /// caller handles the loss).
-    fn dispatch(
-        &mut self,
-        pu: usize,
-        task: TaskId,
-        offset: u64,
-        items: u64,
-        attempt: u32,
-        backoff_s: f64,
-    ) -> bool {
-        let fault_attempt = self.attempts[pu];
-        self.attempts[pu] += 1;
-        let inject = self.faults.action(pu, fault_attempt);
-        let rate = self.deadline_hint[pu].or(self.rate_ewma[pu]);
-        let now = self.now();
-        let deadline_at = self
-            .ft
-            .deadline_for(rate, items)
-            .map(|d| now + backoff_s + d);
+    fn unit_ready(&self, pu: usize) -> bool {
+        self.senders[pu].is_some()
+    }
+
+    fn launch(&mut self, spec: &LaunchSpec) -> Launch {
         let slot = Arc::new(AttemptSlot::new());
-        self.inflight[pu] = Some(HostPending {
-            task,
-            offset,
-            items,
-            attempt,
-            deadline_at,
-            slot: Arc::clone(&slot),
-        });
-        let sent = match self.senders[pu].as_ref() {
+        let sent = match self.senders[spec.pu].as_ref() {
             Some(tx) => tx
                 .send(Assignment {
-                    task,
-                    offset,
-                    items,
-                    attempt,
-                    backoff_s,
-                    inject,
-                    slot,
+                    task: spec.task,
+                    offset: spec.offset,
+                    items: spec.items,
+                    attempt: spec.attempt,
+                    backoff_s: spec.backoff_s,
+                    inject: spec.inject,
+                    slot: Arc::clone(&slot),
                 })
                 .is_ok(),
             None => false,
         };
         if !sent {
-            self.inflight[pu] = None;
+            return Launch::UnitGone;
         }
-        sent
+        self.slots[spec.pu] = Some(slot);
+        // Real start time is only known when the completion reports it.
+        Launch::Started { start: None }
     }
 
-    /// Permanently remove a unit whose worker is gone or wedged. Emits
-    /// `device_failed` and queues the `on_device_lost` notification for
-    /// the engine loop (never calls the policy directly — this can run
-    /// inside a policy's own `assign` call).
-    fn mark_lost(&mut self, pu: usize) {
-        // The gate's swap makes loss idempotent and absorbing: exactly
-        // one caller performs the teardown, and a pending probation
-        // restore can no longer succeed.
-        if !self.gates[pu].mark_lost() {
-            return;
-        }
-        self.handles[pu].available = false;
-        self.senders[pu] = None;
-        self.quarantined_until[pu] = None;
-        let now = self.now();
-        self.events.record(now, Some(pu), EventKind::DeviceFailed);
-        self.pending_lost.push(PuId(pu));
-    }
-
-    /// Fold an observed per-item rate into the unit's EWMA estimate.
-    fn observe_rate(&mut self, pu: usize, proc_time: f64, items: u64) {
-        if items == 0 || !(proc_time.is_finite() && proc_time >= 0.0) {
-            return;
-        }
-        let rate = proc_time / items as f64;
-        self.rate_ewma[pu] = Some(match self.rate_ewma[pu] {
-            Some(prev) => 0.5 * prev + 0.5 * rate,
-            None => rate,
-        });
-    }
-}
-
-impl SchedulerCtx for HostState {
-    fn now(&self) -> f64 {
-        self.epoch.elapsed().as_secs_f64()
-    }
-
-    fn pus(&self) -> &[PuHandle] {
-        &self.handles
-    }
-
-    fn remaining_items(&self) -> u64 {
-        self.latch.remaining()
-    }
-
-    fn total_items(&self) -> u64 {
-        self.total
-    }
-
-    fn assign(&mut self, pu: PuId, items: u64) -> u64 {
-        if items == 0 || self.latch.remaining() == 0 {
-            return 0;
-        }
-        if !self.handles[pu.0].available
-            || self.inflight[pu.0].is_some()
-            || self.senders[pu.0].is_none()
-        {
-            return 0;
-        }
-        let want = items.min(self.latch.remaining());
-        // Re-credited ranges are served first so failed blocks re-run;
-        // a reclaimed fragment may be smaller than the request, in which
-        // case fewer items are assigned (policies must tolerate any
-        // return value).
-        let (offset, got) = self.take_range(want);
-        let debited = self.latch.take(got);
-        debug_assert_eq!(debited, got, "latch and range pool out of sync");
-        let task = TaskId(self.next_task);
-        self.next_task += 1;
-        let now = self.now();
-        self.events.record(
-            now,
-            Some(pu.0),
-            EventKind::TaskSubmit {
-                task: task.0,
-                items: got,
-            },
-        );
-        if !self.dispatch(pu.0, task, offset, got, 0, 0.0) {
-            // The worker died out from under us: the block returns to
-            // the pool and the unit is lost; the engine loop delivers
-            // the policy notification.
-            self.reclaim(offset, got);
-            self.mark_lost(pu.0);
-            return 0;
-        }
-        got
-    }
-
-    fn is_busy(&self, pu: PuId) -> bool {
-        self.inflight[pu.0].is_some()
-    }
-
-    fn any_busy(&self) -> bool {
-        self.inflight.iter().any(Option::is_some)
-    }
-
-    fn charge_overhead(&mut self, _seconds: f64) {
-        // Wall-clock already elapsed while the scheduler computed.
-    }
-
-    fn emit_event(&mut self, pu: Option<usize>, kind: EventKind) {
-        let now = self.epoch.elapsed().as_secs_f64();
-        self.events.record(now, pu, kind);
-    }
-
-    fn set_deadline_hint(&mut self, pu: PuId, seconds_per_item: f64) {
-        self.deadline_hint[pu.0] = if seconds_per_item.is_finite() && seconds_per_item > 0.0 {
-            Some(seconds_per_item)
-        } else {
-            None
+    fn poll(&mut self, wake: Option<f64>, _events: &mut EventSink) -> Polled {
+        let timeout = match wake {
+            Some(w) => (w - self.now()).max(0.0).min(60.0),
+            None => 60.0,
         };
+        match self.done_rx.recv_timeout(Duration::from_secs_f64(timeout)) {
+            Ok(WorkerMsg::Done(c)) => Polled::Completed {
+                pu: c.pu.0,
+                task: c.task,
+                start: c.started_at,
+                xfer_s: 0.0,
+                proc_s: c.proc_time,
+                finish: c.started_at + c.proc_time,
+            },
+            Ok(WorkerMsg::Failed { pu, task }) => Polled::AttemptFailed {
+                pu: pu.0,
+                task,
+                reason: FailureReason::Panicked,
+            },
+            Err(RecvTimeoutError::Timeout) => Polled::Timeout,
+            Err(RecvTimeoutError::Disconnected) => Polled::Infrastructure {
+                detail: "all worker threads exited while tasks were in flight".into(),
+            },
+        }
+    }
+
+    fn try_claim_timeout(&mut self, pu: usize) -> bool {
+        self.slots[pu].as_ref().is_some_and(|s| s.try_timeout())
+    }
+
+    fn forget_unit(&mut self, pu: usize) {
+        self.senders[pu] = None;
+        self.slots[pu] = None;
     }
 }
 
@@ -382,14 +223,6 @@ fn repeat_for(perturbations: &[HostPerturbation], pu: usize, done: u64) -> u32 {
         .map(|p| p.repeat.max(1))
         .max()
         .unwrap_or(1)
-}
-
-/// Deliver queued `on_device_lost` notifications (losses detected inside
-/// `assign`, where calling back into the policy would re-enter it).
-fn notify_lost(st: &mut HostState, policy: &mut dyn Policy) {
-    while let Some(pu) = st.pending_lost.pop() {
-        policy.on_device_lost(st, pu);
-    }
 }
 
 /// The host engine: a set of unit configurations.
@@ -466,7 +299,8 @@ impl HostEngine {
     }
 
     /// Run `total_items` of `codelet` under `policy`, with real
-    /// execution and wall-clock timing.
+    /// execution and wall-clock timing. Delegates to the shared
+    /// scheduling core ([`crate::core`]) over a wall-clock backend.
     pub fn run(
         &mut self,
         policy: &mut dyn Policy,
@@ -554,7 +388,6 @@ impl HostEngine {
                                 WorkerMsg::Done(Completion {
                                     pu: PuId(i),
                                     task: a.task,
-                                    items: a.items,
                                     proc_time,
                                     started_at,
                                 })
@@ -566,7 +399,6 @@ impl HostEngine {
                                 WorkerMsg::Failed {
                                     pu: PuId(i),
                                     task: a.task,
-                                    attempt: a.attempt,
                                 }
                             }
                         };
@@ -607,334 +439,36 @@ impl HostEngine {
                 available: true,
             })
             .collect();
-        let mut st = HostState {
-            handles,
+        let mut backend = HostBackend {
             senders: senders.into_iter().map(Some).collect(),
-            inflight: vec![None; n],
-            latch: CompletionLatch::new(total_items),
-            total: total_items,
-            cursor: 0,
-            reclaimed: Vec::new(),
-            next_task: 0,
+            slots: vec![None; n],
+            done_rx,
             epoch,
-            events: EventSink::default(),
-            faults: self.faults.clone(),
-            ft: self.ft.clone(),
-            attempts: vec![0; n],
-            consec_failures: vec![0; n],
-            deadline_hint: vec![None; n],
-            rate_ewma: vec![None; n],
-            quarantined_until: vec![None; n],
-            gates: (0..n).map(|_| UnitGate::new()).collect(),
-            pending_lost: Vec::new(),
         };
-        let mut trace = Trace::new(n);
-        st.events.record(
-            0.0,
-            None,
-            EventKind::RunStart {
-                policy: policy.name().to_string(),
-                total_items,
-                n_pus: n,
-            },
+        let outcome = core::drive(
+            &mut backend,
+            handles,
+            policy,
+            total_items,
+            self.faults.clone(),
+            self.ft.clone(),
         );
-
-        policy.on_start(&mut st);
-        notify_lost(&mut st, policy);
-
-        let result = loop {
-            if st.latch.remaining() == 0 && !st.any_busy() {
-                let closed = st.latch.try_close();
-                debug_assert!(closed, "run closed twice");
-                break Ok(());
-            }
-
-            // End probation windows that have elapsed: the unit rejoins
-            // the active set and the policy can fold it back in. The
-            // gate arbitrates against loss: a unit marked lost after
-            // its quarantine fails `try_restore` and stays gone.
-            for i in 0..n {
-                let due = st.quarantined_until[i].is_some_and(|t| st.now() >= t);
-                if due {
-                    st.quarantined_until[i] = None;
-                    if !st.gates[i].try_restore() {
-                        continue;
-                    }
-                    st.consec_failures[i] = 0;
-                    st.handles[i].available = true;
-                    let now = st.now();
-                    st.events.record(now, Some(i), EventKind::DeviceRestored);
-                    policy.on_device_restored(&mut st, PuId(i));
-                    notify_lost(&mut st, policy);
-                }
-            }
-            if st.latch.remaining() == 0 && !st.any_busy() {
-                let closed = st.latch.try_close();
-                debug_assert!(closed, "run closed twice");
-                break Ok(());
-            }
-
-            if !st.any_busy() {
-                // Idle with work left: wait out a pending probation, or
-                // report the stall (policy silent / every unit gone).
-                let next_probation = st
-                    .quarantined_until
-                    .iter()
-                    .flatten()
-                    .fold(f64::INFINITY, |a, &t| a.min(t));
-                if next_probation.is_finite() {
-                    let wait = (next_probation - st.now()).max(0.0);
-                    std::thread::sleep(Duration::from_secs_f64(wait.min(0.05) + 1e-4));
-                    continue;
-                }
-                let at = st.now();
-                let remaining = st.latch.remaining();
-                st.events
-                    .record(at, None, EventKind::Stalled { remaining });
-                break Err(RunError::Stalled { remaining, at });
-            }
-
-            // Watchdog-aware wait: wake at the earliest task deadline or
-            // probation expiry, whichever comes first.
-            let mut wake = f64::INFINITY;
-            for p in st.inflight.iter().flatten() {
-                if let Some(d) = p.deadline_at {
-                    wake = wake.min(d);
-                }
-            }
-            for t in st.quarantined_until.iter().flatten() {
-                wake = wake.min(*t);
-            }
-            let timeout = if wake.is_finite() {
-                (wake - st.now()).max(0.0).min(60.0)
-            } else {
-                60.0
-            };
-            let msg = match done_rx.recv_timeout(Duration::from_secs_f64(timeout)) {
-                Ok(m) => Some(m),
-                Err(RecvTimeoutError::Timeout) => None,
-                Err(RecvTimeoutError::Disconnected) => {
-                    break Err(RunError::Infrastructure {
-                        detail: "all worker threads exited while tasks were in flight".into(),
-                    });
-                }
-            };
-
-            let Some(msg) = msg else {
-                // Timed out: declare units with blown deadlines lost.
-                // Their threads may be wedged mid-kernel, so they are
-                // detached, never joined, and never restored; the lost
-                // block re-runs on a survivor (idempotent codelets).
-                // The watchdog must *win the attempt's claim word*
-                // first: if the worker's result beat the deadline and
-                // is already in the channel, `try_timeout` fails and
-                // the unit is left alone — the completion is handled
-                // on the next loop iteration instead of being thrown
-                // away with the unit.
-                let now = st.now();
-                for i in 0..n {
-                    let blown = st.inflight[i].as_ref().is_some_and(|p| {
-                        p.deadline_at.is_some_and(|d| now >= d) && p.slot.try_timeout()
-                    });
-                    if !blown {
-                        continue;
-                    }
-                    let Some(pend) = st.inflight[i].take() else {
-                        continue;
-                    };
-                    st.events.record(
-                        now,
-                        Some(i),
-                        EventKind::TaskFailed {
-                            task: pend.task.0,
-                            items: pend.items,
-                            attempt: pend.attempt,
-                            reason: FailureReason::DeadlineExceeded.name().to_string(),
-                        },
-                    );
-                    st.reclaim(pend.offset, pend.items);
-                    st.mark_lost(i);
-                    notify_lost(&mut st, policy);
-                    let failure = TaskFailure {
-                        task_id: pend.task,
-                        pu: PuId(i),
-                        items: pend.items,
-                        attempt: pend.attempt,
-                        at: now,
-                        reason: FailureReason::DeadlineExceeded,
-                    };
-                    policy.on_task_failed(&mut st, &failure);
-                    notify_lost(&mut st, policy);
-                }
-                continue;
-            };
-
-            match msg {
-                WorkerMsg::Done(c) => {
-                    // Stale completions (from units already declared
-                    // lost, whose wedged worker eventually finished) are
-                    // ignored: the block was re-dispatched elsewhere.
-                    let current = st.inflight[c.pu.0]
-                        .as_ref()
-                        .is_some_and(|p| p.task == c.task);
-                    if !current {
-                        continue;
-                    }
-                    st.inflight[c.pu.0] = None;
-                    st.consec_failures[c.pu.0] = 0;
-                    st.observe_rate(c.pu.0, c.proc_time, c.items);
-                    trace.record_task(c.pu, c.task, c.items, c.started_at, 0.0, c.proc_time);
-                    st.events.record(
-                        c.started_at,
-                        Some(c.pu.0),
-                        EventKind::TaskStart {
-                            task: c.task.0,
-                            items: c.items,
-                        },
-                    );
-                    st.events.record(
-                        c.started_at + c.proc_time,
-                        Some(c.pu.0),
-                        EventKind::TaskFinish {
-                            task: c.task.0,
-                            items: c.items,
-                            xfer_s: 0.0,
-                            proc_s: c.proc_time,
-                        },
-                    );
-                    let info = TaskInfo {
-                        task_id: c.task,
-                        pu: c.pu,
-                        items: c.items,
-                        xfer_time: 0.0,
-                        proc_time: c.proc_time,
-                        start: c.started_at,
-                        finish: c.started_at + c.proc_time,
-                    };
-                    policy.on_task_finished(&mut st, &info);
-                    notify_lost(&mut st, policy);
-                }
-                WorkerMsg::Failed { pu, task, .. } => {
-                    let current = st.inflight[pu.0].as_ref().is_some_and(|p| p.task == task);
-                    if !current {
-                        continue;
-                    }
-                    let Some(pend) = st.inflight[pu.0].take() else {
-                        continue;
-                    };
-                    st.consec_failures[pu.0] += 1;
-                    let failures = st.consec_failures[pu.0];
-                    let now = st.now();
-                    st.events.record(
-                        now,
-                        Some(pu.0),
-                        EventKind::TaskFailed {
-                            task: pend.task.0,
-                            items: pend.items,
-                            attempt: pend.attempt,
-                            reason: FailureReason::Panicked.name().to_string(),
-                        },
-                    );
-                    if failures >= st.ft.quarantine_after {
-                        // Quarantine: the unit leaves the active set,
-                        // its block returns to the pool, and the policy
-                        // re-solves the split over the survivors. The
-                        // worker itself is healthy (the panic was
-                        // caught), so with a probation window it can
-                        // come back.
-                        let gated = st.gates[pu.0].try_quarantine();
-                        debug_assert!(gated, "quarantining a non-active unit");
-                        st.handles[pu.0].available = false;
-                        st.quarantined_until[pu.0] = st.ft.probation_s.map(|p| now + p);
-                        st.reclaim(pend.offset, pend.items);
-                        st.events
-                            .record(now, Some(pu.0), EventKind::PuQuarantined { failures });
-                        st.events.record(now, Some(pu.0), EventKind::DeviceFailed);
-                        policy.on_device_lost(&mut st, pu);
-                        notify_lost(&mut st, policy);
-                        let failure = TaskFailure {
-                            task_id: pend.task,
-                            pu,
-                            items: pend.items,
-                            attempt: pend.attempt,
-                            at: now,
-                            reason: FailureReason::Panicked,
-                        };
-                        policy.on_task_failed(&mut st, &failure);
-                        notify_lost(&mut st, policy);
-                    } else if pend.attempt < st.ft.max_retries {
-                        // Bounded in-place retry with exponential
-                        // backoff.
-                        let retry_attempt = pend.attempt + 1;
-                        let backoff = st.ft.backoff_for(retry_attempt);
-                        st.events.record(
-                            now,
-                            Some(pu.0),
-                            EventKind::TaskRetry {
-                                task: pend.task.0,
-                                items: pend.items,
-                                attempt: retry_attempt,
-                                backoff_s: backoff,
-                            },
-                        );
-                        if !st.dispatch(
-                            pu.0,
-                            pend.task,
-                            pend.offset,
-                            pend.items,
-                            retry_attempt,
-                            backoff,
-                        ) {
-                            st.reclaim(pend.offset, pend.items);
-                            st.mark_lost(pu.0);
-                            notify_lost(&mut st, policy);
-                        }
-                    } else {
-                        // Retries exhausted without hitting the
-                        // quarantine bar: the block's items return to
-                        // the pool for the other units.
-                        st.reclaim(pend.offset, pend.items);
-                        let failure = TaskFailure {
-                            task_id: pend.task,
-                            pu,
-                            items: pend.items,
-                            attempt: pend.attempt,
-                            at: now,
-                            reason: FailureReason::Panicked,
-                        };
-                        policy.on_task_failed(&mut st, &failure);
-                        notify_lost(&mut st, policy);
-                    }
-                }
-            }
-        };
 
         // Shut healthy workers down; threads of lost units may be wedged
         // inside a kernel and are detached instead of joined.
-        st.senders.clear();
+        drop(backend);
         let mut join_failed = false;
         for (i, j) in joins.into_iter().enumerate() {
-            if st.gates[i].is_lost() {
+            if outcome.lost[i] {
                 continue;
             }
             if j.join().is_err() {
                 join_failed = true;
             }
         }
-        if result.is_ok() {
-            st.events.record(
-                st.epoch.elapsed().as_secs_f64(),
-                None,
-                EventKind::RunEnd {
-                    makespan_s: trace.makespan(),
-                    total_items,
-                },
-            );
-        }
-        let counters = st.events.counters();
-        self.last_events = Some(std::mem::take(&mut st.events));
-        self.last_trace = Some(trace);
-        result?;
+        self.last_events = Some(outcome.events);
+        self.last_trace = Some(outcome.trace);
+        let report = outcome.result?;
         if join_failed {
             // The codelet guard catches kernel panics, so a panicking
             // worker thread means engine infrastructure broke.
@@ -942,17 +476,6 @@ impl HostEngine {
                 detail: "a worker thread panicked outside the codelet guard".into(),
             });
         }
-
-        let names: Vec<String> = self.pus.iter().map(|p| p.name.clone()).collect();
-        let Some(trace) = self.last_trace.as_ref() else {
-            return Err(RunError::Infrastructure {
-                detail: "run trace missing after a successful run".into(),
-            });
-        };
-        let mut report =
-            RunReport::from_trace(policy.name(), trace, &names, policy.block_distribution());
-        report.rebalances = counters.rebalances as usize;
-        report.events = counters;
         Ok(report)
     }
 
@@ -972,7 +495,9 @@ impl HostEngine {
 mod tests {
     use super::*;
     use crate::codelet::FnCodelet;
-    use crate::policy::FixedBlockPolicy;
+    use crate::events::EventKind;
+    use crate::policy::{FixedBlockPolicy, SchedulerCtx};
+    use crate::task::TaskInfo;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn two_unequal_pus() -> Vec<HostPu> {

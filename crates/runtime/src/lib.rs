@@ -36,13 +36,19 @@
 //!   simulator crate) and the fault-tolerance response knobs
 //!   ([`FaultToleranceConfig`]: retries, backoff, quarantine, host
 //!   watchdog deadlines); see `docs/FAULT_TOLERANCE.md`.
-//! * [`protocol`] — the host engine's racy decisions (result vs.
-//!   deadline, quarantine vs. loss, re-credit vs. completion) as
-//!   explicit state machines, model-checked under loom; [`sync`] is
-//!   the primitive shim that swaps in loom's twins under `--cfg loom`.
-//!   See `docs/SOUNDNESS.md`.
+//! * [`core`] — the backend-agnostic scheduling core: one driver loop
+//!   (assignment bookkeeping, disjoint-range cover, retry/backoff,
+//!   quarantine/probation, re-credit, deadlines, stall detection, event
+//!   emission, report accounting) parameterized over a [`core::Backend`]
+//!   that supplies execution mechanics. Both engines above are thin
+//!   backends of this core; see `docs/ARCHITECTURE.md`.
+//! * [`protocol`] — the racy decisions (result vs. deadline, quarantine
+//!   vs. loss, re-credit vs. completion) as explicit state machines,
+//!   model-checked under loom; [`sync`] is the primitive shim that
+//!   swaps in loom's twins under `--cfg loom`. See `docs/SOUNDNESS.md`.
 
 pub mod codelet;
+pub mod core;
 pub mod data;
 pub mod engine;
 pub mod events;
@@ -55,6 +61,7 @@ pub mod sync;
 pub mod task;
 pub mod trace;
 
+pub use crate::core::{Backend, ClockKind, CoreOutcome, Launch, LaunchSpec, Polled, WorkPool};
 pub use codelet::{Codelet, FnCodelet, PuResources};
 pub use data::{
     DataHandle, DataRegistry, DisjointError, DisjointOutput, DisjointWriter, MemNode,
@@ -68,7 +75,7 @@ pub use events::{
 pub use fault::{Fault, FaultAction, FaultKind, FaultPlan, FaultToleranceConfig};
 pub use host::{HostEngine, HostPerturbation, HostPu};
 pub use metrics::{PuReport, RunReport};
-pub use protocol::{AttemptOutcome, AttemptSlot, CompletionLatch, UnitGate};
 pub use policy::{FixedBlockPolicy, Policy, PuHandle, SchedulerCtx};
+pub use protocol::{AttemptOutcome, AttemptSlot, CompletionLatch, UnitGate};
 pub use task::{FailureReason, TaskFailure, TaskId, TaskInfo};
 pub use trace::{Segment, SegmentKind, Trace};

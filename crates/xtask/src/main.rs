@@ -1,6 +1,6 @@
 //! Workspace static-analysis tasks.
 //!
-//! `cargo xtask lint` runs five soundness passes over the workspace
+//! `cargo xtask lint` runs six soundness passes over the workspace
 //! sources (policy rationale in `docs/SOUNDNESS.md`):
 //!
 //! 1. **unsafe-allowlist** — `unsafe` may appear only in the audited
@@ -16,6 +16,10 @@
 //! 4. **lossy-cast** — no `as` casts to narrower numeric types in
 //!    `plb-numerics`/`plb-ipm` outside the audited `cast` module.
 //! 5. **must-use** — result-carrying types stay `#[must_use]`.
+//! 6. **fault-divergence** — fault-response decision logic (retry,
+//!    backoff, quarantine, probation, re-credit) lives only in the
+//!    scheduling core and the state machines it drives; engine backends
+//!    must not grow their own copies (`docs/ARCHITECTURE.md`).
 //!
 //! The scanner is deliberately token-level rather than a real parser:
 //! it blanks comments, string/char literals, and `#[cfg(test)]`
@@ -34,6 +38,36 @@ const UNSAFE_ALLOWLIST: &[&str] = &["crates/runtime/src/data.rs"];
 
 /// The one runtime module allowed to name `std::sync` / `parking_lot`.
 const SYNC_SHIM: &str = "crates/runtime/src/sync.rs";
+
+/// The vocabulary of fault-response decisions: config knobs, driver
+/// state, and state-machine transitions. Any of these appearing in a
+/// runtime file outside [`fault_response_home`] means a backend is
+/// re-implementing core policy.
+const FAULT_RESPONSE_TOKENS: &[&str] = &[
+    "max_retries",
+    "backoff_for",
+    "quarantine_after",
+    "consec_failures",
+    "recredit",
+    "reclaim",
+    "take_range",
+    "probation_s",
+    "quarantined_until",
+    "pending_lost",
+    "try_quarantine",
+    "try_restore",
+    "mark_lost",
+];
+
+/// Files where fault-response logic legitimately lives: the scheduling
+/// core (decisions), the fault config (knobs), the protocol state
+/// machines (transitions), and the sync shim they are built on.
+fn fault_response_home(rel: &str) -> bool {
+    rel.starts_with("crates/runtime/src/core/")
+        || rel == "crates/runtime/src/fault.rs"
+        || rel == "crates/runtime/src/protocol.rs"
+        || rel == SYNC_SHIM
+}
 
 /// Checked-conversion module exempt from the lossy-cast pass (its
 /// whole point is to fence the raw casts behind guarded APIs).
@@ -96,8 +130,9 @@ fn lint() -> ExitCode {
     pass_event_coverage(&sources, &mut violations);
     pass_lossy_casts(&sources, &mut violations);
     pass_must_use(&sources, &mut violations);
+    pass_fault_divergence(&sources, &mut violations);
     if violations.is_empty() {
-        println!("xtask lint: OK ({} files, 5 passes)", sources.len());
+        println!("xtask lint: OK ({} files, 6 passes)", sources.len());
         ExitCode::SUCCESS
     } else {
         violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
@@ -112,7 +147,11 @@ fn lint() -> ExitCode {
 fn workspace_root() -> PathBuf {
     // crates/xtask -> crates -> workspace root.
     let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
-    manifest.ancestors().nth(2).unwrap_or(manifest).to_path_buf()
+    manifest
+        .ancestors()
+        .nth(2)
+        .unwrap_or(manifest)
+        .to_path_buf()
 }
 
 fn load_sources(root: &Path) -> Vec<Source> {
@@ -358,6 +397,29 @@ fn pass_must_use(sources: &[Source], out: &mut Vec<Violation>) {
     }
 }
 
+fn pass_fault_divergence(sources: &[Source], out: &mut Vec<Violation>) {
+    for s in sources {
+        if !s.rel.starts_with("crates/runtime/src/") || fault_response_home(&s.rel) {
+            continue;
+        }
+        for token in FAULT_RESPONSE_TOKENS {
+            for pos in word_occurrences(&s.code, token) {
+                out.push(Violation {
+                    file: s.rel.clone(),
+                    line: line_of(&s.code, pos),
+                    pass: "fault-divergence",
+                    msg: format!(
+                        "fault-response token `{token}` outside the scheduling core; \
+                         retry/backoff/quarantine/re-credit decisions belong to \
+                         `crates/runtime/src/core` (docs/ARCHITECTURE.md), not to \
+                         engine backends"
+                    ),
+                });
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Token-level scanner
 // ---------------------------------------------------------------------------
@@ -584,7 +646,11 @@ fn word_occurrences(code: &str, needle: &str) -> Vec<usize> {
 
 /// 1-based line number of byte offset `pos`.
 fn line_of(code: &str, pos: usize) -> usize {
-    code.as_bytes()[..pos].iter().filter(|&&c| c == b'\n').count() + 1
+    code.as_bytes()[..pos]
+        .iter()
+        .filter(|&&c| c == b'\n')
+        .count()
+        + 1
 }
 
 /// Variant names (with their lines) of the enum introduced by `decl`.
@@ -717,6 +783,33 @@ mod tests {
         let (body, _) = fn_body(code, "fn from_events").expect("body");
         assert!(wildcard_arm(body).is_some());
         assert!(wildcard_arm("match k { EventKind::A { .. } => {} }").is_none());
+    }
+
+    #[test]
+    fn fault_divergence_flags_backends_but_not_the_core() {
+        let leaky = Source {
+            rel: "crates/runtime/src/engine.rs".into(),
+            code: "if self.consec_failures >= ft.quarantine_after { gate.try_quarantine(); }"
+                .into(),
+        };
+        let home = Source {
+            rel: "crates/runtime/src/core/mod.rs".into(),
+            code: leaky.code.clone(),
+        };
+        let elsewhere = Source {
+            rel: "crates/bench/src/harness.rs".into(),
+            code: leaky.code.clone(),
+        };
+        let mut v = Vec::new();
+        pass_fault_divergence(&[home, elsewhere], &mut v);
+        assert!(v.is_empty(), "core and non-runtime files are exempt");
+        pass_fault_divergence(&[leaky], &mut v);
+        assert_eq!(
+            v.len(),
+            3,
+            "each leaked fault-response token is its own violation"
+        );
+        assert!(v.iter().all(|x| x.pass == "fault-divergence"));
     }
 
     #[test]
