@@ -31,7 +31,8 @@ use plb_hec::{
 use plb_hetsim::cluster::ClusterOptions;
 use plb_hetsim::{cluster_scenario, ClusterSim, Scenario};
 use plb_runtime::{
-    write_jsonl, FaultPlan, Policy, RunReport, SegmentKind, SimEngine, TraceData, TraceHeader,
+    write_jsonl, CheckpointConfig, CheckpointError, FaultPlan, Policy, RunReport, SegmentKind,
+    SimEngine, TraceData, TraceHeader,
 };
 
 struct Args {
@@ -52,6 +53,10 @@ struct Args {
     events: Option<String>,
     input: Option<String>,
     faults: Option<String>,
+    chaos: Option<u64>,
+    checkpoint: Option<String>,
+    checkpoint_interval: Option<u64>,
+    resume: bool,
 }
 
 fn parse_args() -> Args {
@@ -73,6 +78,10 @@ fn parse_args() -> Args {
         events: None,
         input: None,
         faults: None,
+        chaos: None,
+        checkpoint: None,
+        checkpoint_interval: None,
+        resume: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -120,6 +129,22 @@ fn parse_args() -> Args {
             "--events" => a.events = Some(next("--events")),
             "--input" => a.input = Some(next("--input")),
             "--faults" => a.faults = Some(next("--faults")),
+            "--chaos" => {
+                a.chaos = Some(
+                    next("--chaos")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --chaos seed")),
+                )
+            }
+            "--checkpoint" => a.checkpoint = Some(next("--checkpoint")),
+            "--checkpoint-interval" => {
+                a.checkpoint_interval = Some(
+                    next("--checkpoint-interval")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --checkpoint-interval")),
+                )
+            }
+            "--resume" => a.resume = true,
             "-h" | "--help" => usage(""),
             other => usage(&format!("unknown argument {other}")),
         }
@@ -138,7 +163,8 @@ fn usage(err: &str) -> ! {
         "usage:\n  plb run     --app mm|grn|bs|nn --size N --machines 1-4 --policy \
          plb-hec|greedy|acosta|hdss\n              [--seed N] [--single-gpu] [--noise SIGMA] \
          [--json FILE] [--gantt FILE.svg] [--trace FILE.json]\n              [--events \
-         FILE.jsonl] [--cluster FILE.json] [--faults SPEC]\n  plb compare --app \
+         FILE.jsonl] [--cluster FILE.json] [--faults SPEC] [--chaos SEED]\n              \
+         [--checkpoint FILE [--checkpoint-interval N] [--resume]]\n  plb compare --app \
          mm|grn|bs --size N --machines 1-4 [--seeds N] [--single-gpu]\n  plb cluster \
          [--machines 1-4] [--cluster FILE.json]\n  plb profile --app mm|grn|bs|nn --size N \
          [--machines 1-4|--cluster FILE.json] --profiles OUT.json\n  plb trace   --input \
@@ -150,7 +176,10 @@ fn usage(err: &str) -> ! {
          `plb run --events` captures the structured decision-event trace \
          (docs/OBSERVABILITY.md) that `plb trace` summarizes offline. \
          `plb run --faults` injects deterministic faults, e.g. \
-         'panic:pu=1,nth=3; flaky:pu=2,n=4; delay:pu=0,from=2,n=5,s=0.1' \
+         'panic:pu=1,nth=3; flaky:pu=2,n=4; delay:pu=0,from=2,n=5,s=0.1', and \
+         `--chaos SEED` adds a seeded random fault plan on top. \
+         `--checkpoint FILE` snapshots run state every N completed tasks \
+         (default 32) so `--resume` can continue a killed run \
          (docs/FAULT_TOLERANCE.md)."
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
@@ -271,6 +300,7 @@ fn main() {
                 ..Default::default()
             };
             let mut cluster = ClusterSim::build(&machines, &opts);
+            let n_units = cluster.ids().count();
             let cost = app.cost();
             let cfg = PolicyConfig {
                 initial_block: default_initial_block(app.total_items(), cost.as_ref()),
@@ -279,10 +309,48 @@ fn main() {
             };
             let mut policy = policy_of(&a.policy, &cfg, &a.profiles);
             let mut engine = SimEngine::new(&mut cluster, cost.as_ref());
-            if let Some(spec) = &a.faults {
-                let plan = FaultPlan::parse(spec)
-                    .unwrap_or_else(|e| usage(&format!("bad --faults spec: {e}")));
+            let mut plan = match &a.faults {
+                Some(spec) => FaultPlan::parse(spec, n_units)
+                    .unwrap_or_else(|e| usage(&format!("bad --faults spec: {e}"))),
+                None => FaultPlan::none(),
+            };
+            if let Some(seed) = a.chaos {
+                let chaos = FaultPlan::chaos(seed, n_units, 2 * n_units);
+                println!("chaos seed {seed}: injecting {} faults", chaos.faults.len());
+                plan.faults.extend(chaos.faults);
+            }
+            if !plan.is_empty() {
                 engine = engine.with_faults(plan);
+            }
+            if a.resume && a.checkpoint.is_none() {
+                usage("--resume requires --checkpoint FILE");
+            }
+            if let Some(path) = &a.checkpoint {
+                let mut ckpt_cfg = CheckpointConfig::new(path);
+                if let Some(n) = a.checkpoint_interval {
+                    ckpt_cfg = ckpt_cfg.with_interval(n);
+                }
+                engine = engine.with_checkpoint(ckpt_cfg);
+                if a.resume {
+                    match plb_runtime::checkpoint::load(std::path::Path::new(path)) {
+                        Ok(ckpt) => {
+                            println!(
+                                "resuming from {path}: snapshot #{}, {} of {} items already done",
+                                ckpt.seq,
+                                ckpt.completed_items(),
+                                ckpt.workload.total_items,
+                            );
+                            engine = engine.resume_from(ckpt);
+                        }
+                        // A missing file is the normal cold-start case
+                        // for idempotent invocations; anything else
+                        // (corruption, wrong workload) is a hard error.
+                        Err(CheckpointError::Io(_)) => {
+                            println!("no checkpoint at {path}; starting fresh");
+                        }
+                        Err(e) => usage(&format!("cannot resume from {path}: {e}")),
+                    }
+                }
             }
             let report = engine
                 .run(policy.as_mut(), app.total_items())

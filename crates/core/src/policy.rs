@@ -33,6 +33,17 @@ enum Phase {
     Executing,
 }
 
+/// What a run checkpoint carries for PLB-HeC: the raw per-unit
+/// measurements (always) and the fitted models (once the execution
+/// phase has begun). On resume the profiles are authoritative — models
+/// are re-fit from them, falling back to the persisted models only when
+/// a re-fit fails (e.g. too few samples for the configured basis).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct PolicySeed {
+    profiles: Vec<PerfProfile>,
+    models: Vec<UnitModel>,
+}
+
 /// The PLB-HeC policy.
 ///
 /// ```
@@ -72,6 +83,9 @@ pub struct PlbHecPolicy {
     extra_granted: Vec<bool>,
     selections: Vec<SelectionResult>,
     rebalances: usize,
+    /// Checkpointed learning delivered via [`Policy::restore`], consumed
+    /// by the first `on_start` to skip the modeling phase.
+    seed: Option<PolicySeed>,
 }
 
 impl PlbHecPolicy {
@@ -92,6 +106,7 @@ impl PlbHecPolicy {
             extra_granted: Vec::new(),
             selections: Vec::new(),
             rebalances: 0,
+            seed: None,
         }
     }
 
@@ -231,6 +246,66 @@ impl PlbHecPolicy {
         }
     }
 
+    /// Try to enter the execution phase directly from checkpointed
+    /// learning (paper resume semantics: re-fit + re-solve, never
+    /// re-probe). Succeeds only when every *active* unit ends up with a
+    /// model — either freshly re-fit from the persisted profile or
+    /// carried over verbatim. On any shortfall the seed is dropped and
+    /// the caller falls back to ordinary modeling.
+    fn try_resume(&mut self, ctx: &mut dyn SchedulerCtx) -> bool {
+        let n = ctx.pus().len();
+        let Some(seed) = self.seed.take() else {
+            return false;
+        };
+        if seed.profiles.len() != n || (!seed.models.is_empty() && seed.models.len() != n) {
+            return false;
+        }
+        let mut fitted: Vec<Option<UnitModel>> = Vec::with_capacity(n);
+        for (i, p) in seed.profiles.iter().enumerate() {
+            if !self.active[i] {
+                fitted.push(None);
+                continue;
+            }
+            match p
+                .fit_with(self.cfg.fit_mode)
+                .ok()
+                .or_else(|| seed.models.get(i).cloned())
+            {
+                Some(m) => fitted.push(Some(m)),
+                None => return false,
+            }
+        }
+        // Inactive units still need a slot in the model vector; the
+        // selection skips them, so any valid curve serves as filler.
+        let Some(filler) = fitted.iter().flatten().next().cloned() else {
+            return false; // no active unit at all
+        };
+        self.models = fitted
+            .into_iter()
+            .map(|m| m.unwrap_or_else(|| filler.clone()))
+            .collect();
+        self.profiles = seed.profiles;
+        for (i, m) in self.models.iter().enumerate() {
+            if !self.active[i] {
+                continue;
+            }
+            ctx.emit_event(
+                Some(i),
+                EventKind::CurveFit {
+                    r2_f: m.f_quality,
+                    r2_g: m.g_quality,
+                    basis_f: m.f.basis().describe(),
+                    samples: self.profiles[i].len(),
+                    accepted: m.min_r2() >= self.cfg.r2_threshold,
+                },
+            );
+        }
+        self.phase = Phase::Executing;
+        self.ctrl = None;
+        self.reselect_and_dispatch(ctx);
+        true
+    }
+
     fn finish_modeling(&mut self, ctx: &mut dyn SchedulerCtx, models: Vec<UnitModel>) {
         // Keep the accumulated probe measurements: rebalancing refits
         // extend them with execution-phase samples.
@@ -343,11 +418,16 @@ impl Policy for PlbHecPolicy {
     fn on_start(&mut self, ctx: &mut dyn SchedulerCtx) {
         let n = ctx.pus().len();
         self.active = ctx.pus().iter().map(|p| p.available).collect();
-        self.profiles = vec![PerfProfile::new(); n];
         self.last_finish = vec![None; n];
         self.extra_granted = vec![false; n];
         self.blocks = vec![0; n];
         self.fractions = vec![0.0; n];
+        if self.try_resume(ctx) {
+            // Checkpointed profiles re-fit cleanly: straight to the
+            // execution phase, zero probes re-issued.
+            return;
+        }
+        self.profiles = vec![PerfProfile::new(); n];
         let budget = (ctx.total_items() as f64 * self.cfg.modeling_cap_fraction).ceil() as u64;
         let mut ctrl = ModelingController::new(
             n,
@@ -618,6 +698,31 @@ impl Policy for PlbHecPolicy {
             None
         }
     }
+
+    fn snapshot(&self) -> Option<serde_json::Value> {
+        let seed = PolicySeed {
+            profiles: match (&self.phase, &self.ctrl) {
+                // Mid-modeling the controller owns the live profiles.
+                (Phase::Modeling, Some(ctrl)) => ctrl.profiles().to_vec(),
+                _ => self.profiles.clone(),
+            },
+            models: match self.phase {
+                Phase::Modeling => Vec::new(),
+                Phase::Executing => self.models.clone(),
+            },
+        };
+        serde_json::to_value(&seed).ok()
+    }
+
+    fn restore(&mut self, state: &serde_json::Value) -> bool {
+        match serde_json::from_value::<PolicySeed>(state.clone()) {
+            Ok(seed) => {
+                self.seed = Some(seed);
+                true
+            }
+            Err(_) => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -875,6 +980,71 @@ mod tests {
         // event count can exceed the performed count).
         assert!(policy.rebalances() >= 1);
         assert!(sink.counters().rebalances as usize >= policy.rebalances());
+    }
+
+    #[test]
+    fn snapshot_restore_skips_modeling() {
+        let machines = cluster_scenario(Scenario::Two, false);
+        let opts = ClusterOptions {
+            noise_sigma: 0.01,
+            ..Default::default()
+        };
+        let cost = LinearCost::generic();
+        let cfg = PolicyConfig::default()
+            .with_initial_block(1000)
+            .with_round_fraction(0.25);
+
+        let mut cluster = ClusterSim::build(&machines, &opts);
+        let mut policy = PlbHecPolicy::new(&cfg);
+        let _ = SimEngine::new(&mut cluster, &cost)
+            .run(&mut policy, 2_000_000)
+            .unwrap();
+        let state = policy.snapshot().expect("plb-hec snapshots its learning");
+
+        let mut cluster2 = ClusterSim::build(&machines, &opts);
+        let mut resumed = PlbHecPolicy::new(&cfg);
+        assert!(resumed.restore(&state), "own snapshot must restore");
+        let mut engine = SimEngine::new(&mut cluster2, &cost);
+        let r = engine.run(&mut resumed, 1_000_000).unwrap();
+        assert_eq!(r.total_items, 1_000_000);
+
+        let sink = engine.last_events().expect("engine keeps the event sink");
+        assert_eq!(sink.counters().probes, 0, "resume must not re-probe");
+        assert!(
+            sink.counters().curve_fits > 0,
+            "resume re-fits from the persisted profiles"
+        );
+        assert!(!resumed.selections().is_empty(), "resume re-solves");
+    }
+
+    #[test]
+    fn restore_rejects_garbage_and_falls_back_to_modeling() {
+        let mut policy = PlbHecPolicy::new(&PolicyConfig::default());
+        assert!(!policy.restore(&serde_json::json!({"bogus": 1})));
+
+        // A seed sized for the wrong cluster is dropped at on_start:
+        // the run still completes, via ordinary modeling.
+        let mut donor = PlbHecPolicy::new(&PolicyConfig::default());
+        donor.profiles = vec![PerfProfile::new(); 7];
+        let state = donor.snapshot().expect("snapshot always serializes");
+        let mut cluster = ClusterSim::build(
+            &cluster_scenario(Scenario::Two, false),
+            &ClusterOptions {
+                noise_sigma: 0.01,
+                ..Default::default()
+            },
+        );
+        let cfg = PolicyConfig::default().with_initial_block(1000);
+        let mut policy = PlbHecPolicy::new(&cfg);
+        assert!(policy.restore(&state), "shape is valid, content mismatched");
+        let mut engine = SimEngine::new(&mut cluster, &LinearCost::generic());
+        let r = engine.run(&mut policy, 500_000).unwrap();
+        assert_eq!(r.total_items, 500_000);
+        let sink = engine.last_events().expect("engine keeps the event sink");
+        assert!(
+            sink.counters().probes > 0,
+            "mismatched seed falls back to probing"
+        );
     }
 
     #[test]

@@ -7,7 +7,10 @@ use plb_numerics::{
 };
 
 /// Measurements accumulated for one processing unit.
-#[derive(Debug, Clone, Default)]
+///
+/// Serializable so a run checkpoint can carry the raw samples across a
+/// crash: a resumed run re-fits from these instead of re-probing.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct PerfProfile {
     proc_samples: Vec<(f64, f64)>,
     xfer_samples: Vec<(f64, f64)>,

@@ -167,7 +167,8 @@ impl FaultPlan {
     }
 
     /// Parse the CLI syntax used by `plb run --faults`: a
-    /// semicolon-separated list of faults, each `kind:key=value,...`.
+    /// semicolon-separated list of faults, each `kind:key=value,...`,
+    /// validated against a cluster of `n_pus` units.
     ///
     /// ```text
     /// panic:pu=1,nth=3             panic on unit 1's 4th attempt
@@ -175,8 +176,21 @@ impl FaultPlan {
     /// delay:pu=0,from=2,n=5,s=0.1  +0.1s on unit 0 attempts 2..7
     /// rdelay:pu=0,from=0,n=9,max=0.2,seed=7
     /// ```
-    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
-        let mut faults = Vec::new();
+    ///
+    /// Beyond the syntax, the plan itself must be well-formed — each
+    /// violation is rejected with a message naming the offending fault:
+    ///
+    /// * `pu` must be `< n_pus`;
+    /// * no fault may be listed twice;
+    /// * a unit's faults must be listed in non-decreasing trigger order
+    ///   (the attempt a fault first fires on: `nth` for `panic`, 0 for
+    ///   `flaky`, `from` for the delays);
+    /// * attempt windows need `n ≥ 1` and `from + n` must not overflow;
+    /// * injected durations (`s`, `max`) must be finite and positive.
+    pub fn parse(spec: &str, n_pus: usize) -> Result<FaultPlan, String> {
+        let mut faults: Vec<Fault> = Vec::new();
+        let mut last_trigger: std::collections::HashMap<usize, u64> =
+            std::collections::HashMap::new();
         for part in spec.split(';').filter(|p| !p.trim().is_empty()) {
             let part = part.trim();
             let (kind, rest) = part
@@ -202,36 +216,143 @@ impl FaultPlan {
                     .map_err(|_| format!("fault `{part}`: `{k}` must be a number"))
             };
             let pu = get_u64("pu")? as usize;
+            if pu >= n_pus {
+                return Err(format!(
+                    "fault `{part}`: pu {pu} out of range for a {n_pus}-unit cluster"
+                ));
+            }
+            let window = |from: u64, n: u64| -> Result<(u64, u64), String> {
+                if n == 0 {
+                    return Err(format!("fault `{part}`: `n` must be at least 1"));
+                }
+                from.checked_add(n)
+                    .ok_or_else(|| format!("fault `{part}`: attempt window `from + n` overflows"))?;
+                Ok((from, n))
+            };
+            let duration = |key: &str, s: f64| -> Result<f64, String> {
+                if s.is_finite() && s > 0.0 {
+                    Ok(s)
+                } else {
+                    Err(format!(
+                        "fault `{part}`: `{key}` must be a finite positive duration, got {s}"
+                    ))
+                }
+            };
             let kind = match kind.trim() {
                 "panic" => FaultKind::PanicOnAttempt {
                     nth: get_u64("nth")?,
                 },
-                "flaky" => FaultKind::FlakyUntil {
-                    attempts: get_u64("n")?,
-                },
-                "delay" => FaultKind::Delay {
-                    from: get_u64("from")?,
-                    attempts: get_u64("n")?,
-                    seconds: get_f64("s")?,
-                },
-                "rdelay" => FaultKind::RandomDelay {
-                    from: get_u64("from")?,
-                    attempts: get_u64("n")?,
-                    max_seconds: get_f64("max")?,
-                    seed: get_u64("seed").unwrap_or(0),
-                },
+                "flaky" => {
+                    let (_, attempts) = window(0, get_u64("n")?)?;
+                    FaultKind::FlakyUntil { attempts }
+                }
+                "delay" => {
+                    let (from, attempts) = window(get_u64("from")?, get_u64("n")?)?;
+                    FaultKind::Delay {
+                        from,
+                        attempts,
+                        seconds: duration("s", get_f64("s")?)?,
+                    }
+                }
+                "rdelay" => {
+                    let (from, attempts) = window(get_u64("from")?, get_u64("n")?)?;
+                    FaultKind::RandomDelay {
+                        from,
+                        attempts,
+                        max_seconds: duration("max", get_f64("max")?)?,
+                        seed: get_u64("seed").unwrap_or(0),
+                    }
+                }
                 other => {
                     return Err(format!(
                         "unknown fault kind `{other}` (panic, flaky, delay, rdelay)"
                     ))
                 }
             };
-            faults.push(Fault { pu, kind });
+            let fault = Fault { pu, kind };
+            if faults.iter().any(|f| *f == fault) {
+                return Err(format!("fault `{part}`: duplicate of an earlier fault"));
+            }
+            let trigger = fault.kind.trigger();
+            if let Some(&prev) = last_trigger.get(&pu) {
+                if trigger < prev {
+                    return Err(format!(
+                        "fault `{part}`: fires at attempt {trigger}, before the \
+                         previous fault on pu {pu} (attempt {prev}); list each \
+                         unit's faults in attempt order"
+                    ));
+                }
+            }
+            last_trigger.insert(pu, trigger);
+            faults.push(fault);
         }
         if faults.is_empty() {
             return Err("empty fault spec".into());
         }
         Ok(FaultPlan { faults })
+    }
+
+    /// A seeded pseudo-random plan for chaos testing: roughly
+    /// `intensity` faults drawn deterministically from `seed` over units
+    /// `1..n_pus`. Unit 0 is always left healthy, so a run under any
+    /// chaos plan can still make progress; per-unit triggers are
+    /// non-decreasing and injected delays stay in the low-millisecond
+    /// range. The same `(seed, n_pus, intensity)` always yields the
+    /// same plan. A cluster with fewer than two units gets an empty
+    /// plan (there is no unit to break without stalling the run).
+    pub fn chaos(seed: u64, n_pus: usize, intensity: usize) -> FaultPlan {
+        let mut faults: Vec<Fault> = Vec::new();
+        if n_pus < 2 {
+            return FaultPlan { faults };
+        }
+        let mut x = splitmix64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut next = move || {
+            x = splitmix64(x);
+            x
+        };
+        let mut next_at: Vec<u64> = vec![0; n_pus];
+        for _ in 0..intensity {
+            let pu = 1 + (next() as usize % (n_pus - 1));
+            let at = next_at[pu];
+            let kind = match next() % 4 {
+                // A flaky spell only works as a unit's first fault: it
+                // fires from attempt 0, so anything already scheduled
+                // earlier would break the trigger ordering.
+                0 if at == 0 => FaultKind::FlakyUntil {
+                    attempts: 1 + next() % 3,
+                },
+                0 | 1 => FaultKind::PanicOnAttempt { nth: at },
+                2 => FaultKind::Delay {
+                    from: at,
+                    attempts: 1 + next() % 4,
+                    seconds: 1e-4 * (1 + next() % 20) as f64,
+                },
+                _ => FaultKind::RandomDelay {
+                    from: at,
+                    attempts: 1 + next() % 4,
+                    max_seconds: 2e-3,
+                    seed: next(),
+                },
+            };
+            next_at[pu] = at + 1 + next() % 5;
+            let fault = Fault { pu, kind };
+            if !faults.iter().any(|f| *f == fault) {
+                faults.push(fault);
+            }
+        }
+        FaultPlan { faults }
+    }
+}
+
+impl FaultKind {
+    /// The first attempt index this fault can fire on — the ordering
+    /// key [`FaultPlan::parse`] enforces per unit.
+    fn trigger(&self) -> u64 {
+        match *self {
+            FaultKind::PanicOnAttempt { nth } => nth,
+            FaultKind::FlakyUntil { .. } => 0,
+            FaultKind::Delay { from, .. } | FaultKind::RandomDelay { from, .. } => from,
+        }
     }
 }
 
@@ -320,8 +441,11 @@ mod tests {
 
     #[test]
     fn parse_round_trips_the_cli_syntax() {
-        let plan = FaultPlan::parse("panic:pu=1,nth=3; flaky:pu=2,n=4;delay:pu=0,from=2,n=5,s=0.1")
-            .unwrap();
+        let plan = FaultPlan::parse(
+            "panic:pu=1,nth=3; flaky:pu=2,n=4;delay:pu=0,from=2,n=5,s=0.1",
+            4,
+        )
+        .unwrap();
         assert_eq!(plan.faults.len(), 3);
         assert_eq!(
             plan.faults[0],
@@ -341,17 +465,97 @@ mod tests {
                 },
             }
         );
-        assert!(FaultPlan::parse("").is_err());
-        assert!(FaultPlan::parse("explode:pu=0").is_err());
-        assert!(FaultPlan::parse("panic:pu=0").is_err(), "missing nth");
-        assert!(FaultPlan::parse("panic:nth=0").is_err(), "missing pu");
+        assert!(FaultPlan::parse("", 4).is_err());
+        assert!(FaultPlan::parse("explode:pu=0", 4).is_err());
+        assert!(FaultPlan::parse("panic:pu=0", 4).is_err(), "missing nth");
+        assert!(FaultPlan::parse("panic:nth=0", 4).is_err(), "missing pu");
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range_pu() {
+        let err = FaultPlan::parse("panic:pu=4,nth=0", 4).unwrap_err();
+        assert!(err.contains("pu 4 out of range"), "{err}");
+        assert!(err.contains("4-unit cluster"), "{err}");
+        assert!(FaultPlan::parse("panic:pu=3,nth=0", 4).is_ok(), "boundary");
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_faults() {
+        let err = FaultPlan::parse("panic:pu=1,nth=3;panic:pu=1,nth=3", 4).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+        // Same kind, different parameters: not a duplicate.
+        assert!(FaultPlan::parse("panic:pu=1,nth=3;panic:pu=1,nth=5", 4).is_ok());
+        // Same parameters, different unit: not a duplicate.
+        assert!(FaultPlan::parse("panic:pu=1,nth=3;panic:pu=2,nth=3", 4).is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_non_monotonic_triggers() {
+        let err = FaultPlan::parse("panic:pu=1,nth=5;panic:pu=1,nth=2", 4).unwrap_err();
+        assert!(err.contains("attempt order"), "{err}");
+        // A flaky spell fires from attempt 0, so it can only come first.
+        let err = FaultPlan::parse("panic:pu=1,nth=5;flaky:pu=1,n=2", 4).unwrap_err();
+        assert!(err.contains("attempt order"), "{err}");
+        // Ordering is per unit: interleaving units is fine.
+        assert!(FaultPlan::parse("panic:pu=1,nth=5;panic:pu=2,nth=2;panic:pu=1,nth=6", 4).is_ok());
+        // Equal triggers on one unit are fine (e.g. panic + delay at 2).
+        assert!(FaultPlan::parse("delay:pu=1,from=2,n=3,s=0.1;panic:pu=1,nth=2", 4).is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_degenerate_windows_and_durations() {
+        let err = FaultPlan::parse("flaky:pu=1,n=0", 4).unwrap_err();
+        assert!(err.contains("`n` must be at least 1"), "{err}");
+        let err = FaultPlan::parse("delay:pu=1,from=2,n=0,s=0.1", 4).unwrap_err();
+        assert!(err.contains("`n` must be at least 1"), "{err}");
+        let err =
+            FaultPlan::parse("delay:pu=1,from=18446744073709551615,n=1,s=0.1", 4).unwrap_err();
+        assert!(err.contains("overflows"), "{err}");
+        let err = FaultPlan::parse("delay:pu=1,from=0,n=1,s=0", 4).unwrap_err();
+        assert!(err.contains("finite positive duration"), "{err}");
+        let err = FaultPlan::parse("delay:pu=1,from=0,n=1,s=-1", 4).unwrap_err();
+        assert!(err.contains("finite positive duration"), "{err}");
+        let err = FaultPlan::parse("rdelay:pu=1,from=0,n=1,max=inf", 4).unwrap_err();
+        assert!(err.contains("finite positive duration"), "{err}");
     }
 
     #[test]
     fn serde_round_trip() {
-        let plan = FaultPlan::parse("rdelay:pu=0,from=0,n=2,max=0.5,seed=9").unwrap();
+        let plan = FaultPlan::parse("rdelay:pu=0,from=0,n=2,max=0.5,seed=9", 4).unwrap();
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn chaos_is_deterministic_and_well_formed() {
+        let a = FaultPlan::chaos(42, 4, 12);
+        let b = FaultPlan::chaos(42, 4, 12);
+        assert_eq!(a, b, "same seed, same plan");
+        assert_ne!(a, FaultPlan::chaos(43, 4, 12), "seed changes the plan");
+        assert!(!a.is_empty());
+
+        for seed in 0..32u64 {
+            let plan = FaultPlan::chaos(seed, 5, 10);
+            let mut last: std::collections::HashMap<usize, u64> = Default::default();
+            for (i, f) in plan.faults.iter().enumerate() {
+                assert!(f.pu >= 1 && f.pu < 5, "unit 0 stays healthy: {f:?}");
+                assert!(
+                    !plan.faults[..i].contains(f),
+                    "duplicate fault in chaos plan: {f:?}"
+                );
+                let t = match f.kind {
+                    FaultKind::PanicOnAttempt { nth } => nth,
+                    FaultKind::FlakyUntil { .. } => 0,
+                    FaultKind::Delay { from, .. } | FaultKind::RandomDelay { from, .. } => from,
+                };
+                if let Some(&prev) = last.get(&f.pu) {
+                    assert!(t >= prev, "non-monotonic triggers on pu {}: {plan:?}", f.pu);
+                }
+                last.insert(f.pu, t);
+            }
+        }
+        assert!(FaultPlan::chaos(7, 1, 10).is_empty(), "nothing safe to break");
+        assert!(FaultPlan::chaos(7, 4, 0).is_empty());
     }
 }

@@ -38,8 +38,11 @@ mod pool;
 pub use backend::{Backend, ClockKind, Launch, LaunchSpec, Polled};
 pub use pool::WorkPool;
 
+use crate::checkpoint::{
+    Checkpoint, CheckpointWriter, PuState, WorkloadId, CHECKPOINT_FORMAT_VERSION,
+};
 use crate::engine::RunError;
-use crate::events::{EventKind, EventSink};
+use crate::events::{EventCounters, EventKind, EventSink};
 use crate::fault::{FaultPlan, FaultToleranceConfig};
 use crate::metrics::RunReport;
 use crate::policy::{Policy, PuHandle, SchedulerCtx};
@@ -47,6 +50,22 @@ use crate::protocol::UnitGate;
 use crate::task::{FailureReason, TaskFailure, TaskId, TaskInfo};
 use crate::trace::Trace;
 use plb_hetsim::PuId;
+
+/// Run-level durability knobs handed to [`drive`]: an optional
+/// periodic-snapshot writer and an optional snapshot to resume from.
+/// Both default to off; see [`crate::checkpoint`] and
+/// `docs/FAULT_TOLERANCE.md`.
+#[derive(Debug, Default)]
+pub struct Durability {
+    /// Write periodic snapshots (plus one on clean shutdown) through
+    /// this writer.
+    pub checkpoint: Option<CheckpointWriter>,
+    /// Restore this snapshot instead of starting fresh: the work pool
+    /// resumes on the uncovered items, per-unit driver state is
+    /// restored, and the policy is re-seeded via
+    /// [`Policy::restore`](crate::Policy::restore).
+    pub resume: Option<Checkpoint>,
+}
 
 /// Everything a finished drive hands back to its engine: the result
 /// (with the report already built on success), plus the trace and the
@@ -108,6 +127,17 @@ struct Driver<'b> {
     /// Units whose loss was detected inside `assign` (policy callback
     /// re-entrancy guard): the driver loop delivers `on_device_lost`.
     pending_lost: Vec<PuId>,
+    /// Completed ranges accumulated this process (sorted + coalesced
+    /// lazily) — the disjoint cover a checkpoint persists.
+    completed: Vec<(u64, u64)>,
+    /// Completed tasks, lifetime (restored across a resume).
+    tasks_done: u64,
+    /// Periodic-snapshot writer, when checkpointing is on.
+    ckpt_writer: Option<CheckpointWriter>,
+    /// Event counters carried over from the resumed snapshot; merged
+    /// into every new snapshot and the final report so lifetime totals
+    /// survive the process boundary.
+    carried: EventCounters,
 }
 
 impl SchedulerCtx for Driver<'_> {
@@ -299,6 +329,87 @@ impl Driver<'_> {
             Some(prev) => 0.5 * prev + 0.5 * rate,
             None => rate,
         });
+    }
+
+    /// Sort the completed ranges and merge adjacent ones in place. The
+    /// ranges are disjoint by construction (every item completes under
+    /// exactly one attempt), so adjacency is the only merge case.
+    fn coalesce_completed(&mut self) {
+        self.completed.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.completed.len());
+        for &(off, len) in &self.completed {
+            match merged.last_mut() {
+                Some((m_off, m_len)) if *m_off + *m_len == off => *m_len += len,
+                _ => merged.push((off, len)),
+            }
+        }
+        self.completed = merged;
+    }
+
+    /// Snapshot the driver state (see [`crate::checkpoint`]). The
+    /// sequence number is stamped by the writer.
+    fn build_checkpoint(&mut self, policy: &dyn Policy) -> Checkpoint {
+        self.coalesce_completed();
+        let mut counters = self.events.counters();
+        counters.merge(&self.carried);
+        let units = (0..self.handles.len())
+            .map(|i| PuState {
+                name: self.handles[i].name.clone(),
+                dispatches: self.attempts[i],
+                consecutive_failures: self.consec_failures[i],
+                rate_ewma: self.rate_ewma[i],
+                quarantined: !self.gates[i].is_lost() && !self.handles[i].available,
+                lost: self.gates[i].is_lost(),
+            })
+            .collect();
+        Checkpoint {
+            version: CHECKPOINT_FORMAT_VERSION,
+            workload: WorkloadId {
+                policy: policy.name().to_string(),
+                total_items: self.total,
+                n_pus: self.handles.len(),
+            },
+            seq: 0,
+            at: self.backend.now(),
+            tasks_done: self.tasks_done,
+            next_task: self.next_task,
+            completed: self.completed.clone(),
+            units,
+            counters,
+            policy_state: policy.snapshot(),
+        }
+    }
+
+    /// Write a snapshot when one is due (or `force`d, on clean
+    /// shutdown). A failed write is a run error: silently continuing
+    /// without the durability the caller asked for would let a later
+    /// crash lose work the caller believed was persisted.
+    fn maybe_checkpoint(&mut self, policy: &dyn Policy, force: bool) -> Result<(), RunError> {
+        let due = match &self.ckpt_writer {
+            Some(w) => force || w.due(self.tasks_done),
+            None => false,
+        };
+        if !due {
+            return Ok(());
+        }
+        let mut ckpt = self.build_checkpoint(policy);
+        let Some(w) = self.ckpt_writer.as_mut() else {
+            return Ok(());
+        };
+        let seq = w.write(&mut ckpt).map_err(|e| RunError::Checkpoint {
+            detail: e.to_string(),
+        })?;
+        let now = self.backend.now();
+        self.events.record(
+            now,
+            None,
+            EventKind::CheckpointWritten {
+                seq,
+                tasks_done: self.tasks_done,
+                completed_items: ckpt.completed_items(),
+            },
+        );
+        Ok(())
     }
 
     /// Record the stall in the event stream and build the error.
@@ -520,6 +631,8 @@ impl Driver<'_> {
                     };
                     self.consec_failures[pu] = 0;
                     self.observe_rate(pu, proc_s, pend.items);
+                    self.completed.push((pend.offset, pend.items));
+                    self.tasks_done += 1;
                     self.trace
                         .record_task(PuId(pu), task, pend.items, start, xfer_s, proc_s);
                     if self.backend.clock_kind() == ClockKind::Wall {
@@ -556,6 +669,7 @@ impl Driver<'_> {
                     };
                     policy.on_task_finished(self, &info);
                     self.notify_lost(policy);
+                    self.maybe_checkpoint(&*policy, false)?;
                 }
                 Polled::AttemptFailed { pu, task, reason } => {
                     if let Some(err) = self.handle_failure(policy, pu, task, reason) {
@@ -666,7 +780,9 @@ impl Driver<'_> {
 /// Run `total_items` under `policy` on `backend`: the single driver
 /// both engines delegate to. `handles` is the backend's unit roster
 /// (with initial availability); `faults` injects deterministic
-/// failures and `ft` tunes the response (see [`crate::fault`]).
+/// failures and `ft` tunes the response (see [`crate::fault`]);
+/// `durability` turns on periodic checkpointing and/or resume (see
+/// [`crate::checkpoint`]).
 pub fn drive(
     backend: &mut dyn Backend,
     handles: Vec<PuHandle>,
@@ -674,13 +790,48 @@ pub fn drive(
     total_items: u64,
     faults: FaultPlan,
     ft: FaultToleranceConfig,
+    durability: Durability,
 ) -> CoreOutcome {
     let n = handles.len();
+    let Durability { checkpoint, resume } = durability;
+
+    // Validate the resume snapshot before building any state: a
+    // rejected snapshot must fail the run loudly, never silently start
+    // a fresh one over the remains of another.
+    let mut restored: Option<Checkpoint> = None;
+    let mut pool = WorkPool::new(total_items);
+    if let Some(ckpt) = resume {
+        let workload = WorkloadId {
+            policy: policy.name().to_string(),
+            total_items,
+            n_pus: n,
+        };
+        let prepared = ckpt
+            .validate()
+            .and_then(|()| ckpt.matches(&workload))
+            .map_err(|e| e.to_string())
+            .and_then(|()| WorkPool::resume(total_items, &ckpt.completed));
+        match prepared {
+            Ok(p) => {
+                pool = p;
+                restored = Some(ckpt);
+            }
+            Err(detail) => {
+                return CoreOutcome {
+                    result: Err(RunError::Checkpoint { detail }),
+                    trace: Trace::new(n),
+                    events: EventSink::default(),
+                    lost: vec![false; n],
+                };
+            }
+        }
+    }
+
     let mut d = Driver {
         backend,
         handles,
         inflight: vec![None; n],
-        pool: WorkPool::new(total_items),
+        pool,
         gates: (0..n).map(|_| UnitGate::new()).collect(),
         total: total_items,
         next_task: 0,
@@ -694,6 +845,10 @@ pub fn drive(
         rate_ewma: vec![None; n],
         quarantined_until: vec![None; n],
         pending_lost: Vec::new(),
+        completed: Vec::new(),
+        tasks_done: 0,
+        ckpt_writer: checkpoint,
+        carried: EventCounters::default(),
     };
     d.events.record(
         0.0,
@@ -704,9 +859,63 @@ pub fn drive(
             n_pus: n,
         },
     );
+    if let Some(ckpt) = &restored {
+        // Restore the driver's bookkeeping: the task-id sequence, the
+        // completed cover, lifetime counters, and per-unit fault state.
+        // Restoring `attempts` keeps injected fault plans deterministic
+        // across the process boundary.
+        d.next_task = ckpt.next_task;
+        d.tasks_done = ckpt.tasks_done;
+        d.completed = ckpt.completed.clone();
+        d.carried = ckpt.counters.clone();
+        for (i, u) in ckpt.units.iter().enumerate() {
+            d.attempts[i] = u.dispatches;
+            d.consec_failures[i] = u.consecutive_failures;
+            d.rate_ewma[i] = u.rate_ewma;
+            if u.lost {
+                // The executor died with the previous process: written
+                // off before the policy ever sees the unit.
+                if d.gates[i].mark_lost() {
+                    d.handles[i].available = false;
+                    d.backend.forget_unit(i);
+                }
+            } else if u.quarantined && d.handles[i].available && d.gates[i].try_quarantine() {
+                d.backend.on_unit_quarantined(i);
+                d.handles[i].available = false;
+                if d.backend.clock_kind() == ClockKind::Wall {
+                    let now = d.backend.now();
+                    d.quarantined_until[i] = d.ft.probation_s.map(|p| now + p);
+                }
+            }
+        }
+        if let Some(w) = d.ckpt_writer.as_mut() {
+            w.continue_from(ckpt.seq + 1, ckpt.tasks_done);
+        }
+        // Re-seed the policy with its persisted state (for PLB-HeC, the
+        // accumulated profiles and fitted models — re-fit + re-solve
+        // instead of re-probing). A policy that declines restores
+        // simply starts fresh on the remaining items.
+        if let Some(state) = &ckpt.policy_state {
+            let _ = policy.restore(state);
+        }
+        d.events.record(
+            d.backend.now(),
+            None,
+            EventKind::RunResumed {
+                seq: ckpt.seq,
+                completed_items: ckpt.completed_items(),
+            },
+        );
+    }
     policy.on_start(&mut d);
     d.notify_lost(policy);
-    let result = d.run_loop(policy).map(|()| {
+    let mut outcome = d.run_loop(policy);
+    if outcome.is_ok() {
+        // One forced snapshot on clean shutdown, so the file on disk
+        // always ends covering the full item space.
+        outcome = d.maybe_checkpoint(&*policy, true);
+    }
+    let result = outcome.map(|()| {
         d.events.record(
             d.backend.now(),
             None,
@@ -722,6 +931,9 @@ pub fn drive(
             pu.bytes_in = d.backend.bytes_into(i);
         }
         report.events = d.events.counters();
+        // Lifetime totals: fold in the counters carried over from the
+        // resumed snapshot.
+        report.events.merge(&d.carried);
         report.rebalances = report.events.rebalances as usize;
         report
     });

@@ -34,6 +34,56 @@ impl WorkPool {
         }
     }
 
+    /// A pool holding only the complement of `completed` within
+    /// `0..total` — the resume path: the uncovered holes become
+    /// reclaimed-style ranges (served lowest offset first) and the
+    /// cursor starts exhausted, so a resumed run dispatches exactly the
+    /// items the checkpointed run never finished.
+    ///
+    /// `completed` must be sorted by offset, non-empty per range,
+    /// disjoint and within `0..total` (what
+    /// [`Checkpoint::validate`](crate::checkpoint::Checkpoint::validate)
+    /// guarantees); otherwise an error describes the first violation.
+    pub fn resume(total: u64, completed: &[(u64, u64)]) -> Result<WorkPool, String> {
+        let mut holes: Vec<(u64, u64)> = Vec::new();
+        let mut covered = 0u64;
+        let mut prev_end = 0u64;
+        for (i, &(off, len)) in completed.iter().enumerate() {
+            if len == 0 {
+                return Err(format!("completed range #{i} is empty"));
+            }
+            if off < prev_end {
+                return Err(format!(
+                    "completed range #{i} at {off} overlaps or precedes the range ending at {prev_end}"
+                ));
+            }
+            let end = off
+                .checked_add(len)
+                .ok_or_else(|| format!("completed range #{i} overflows"))?;
+            if end > total {
+                return Err(format!(
+                    "completed range #{i} ends at {end}, past total {total}"
+                ));
+            }
+            if off > prev_end {
+                holes.push((prev_end, off - prev_end));
+            }
+            covered += len;
+            prev_end = end;
+        }
+        if prev_end < total {
+            holes.push((prev_end, total - prev_end));
+        }
+        // `take` pops from the back, so store holes high-to-low to
+        // serve them in ascending offset order.
+        holes.reverse();
+        Ok(WorkPool {
+            latch: CompletionLatch::new(total - covered),
+            cursor: total,
+            reclaimed: holes,
+        })
+    }
+
     /// Items not yet distributed (0 after a close).
     pub fn remaining(&self) -> u64 {
         self.latch.remaining()
@@ -116,6 +166,58 @@ mod tests {
         let mut p = WorkPool::new(10);
         assert_eq!(p.take(0), None);
         assert_eq!(p.remaining(), 10);
+    }
+
+    #[test]
+    fn resume_serves_exactly_the_holes_in_order() {
+        // Completed: [10,30) and [50,90) of 0..100 — holes are [0,10),
+        // [30,50), [90,100).
+        let mut p = WorkPool::resume(100, &[(10, 20), (50, 40)]).unwrap();
+        assert_eq!(p.remaining(), 40);
+        assert_eq!(p.take(1000), Some((0, 10)));
+        assert_eq!(p.take(5), Some((30, 5)), "holes split on demand");
+        assert_eq!(p.take(1000), Some((35, 15)));
+        assert_eq!(p.take(1000), Some((90, 10)));
+        assert_eq!(p.take(1), None);
+        assert!(p.try_close());
+    }
+
+    #[test]
+    fn resume_with_full_or_empty_cover() {
+        let mut full = WorkPool::resume(50, &[(0, 50)]).unwrap();
+        assert_eq!(full.remaining(), 0);
+        assert_eq!(full.take(1), None);
+        assert!(full.try_close());
+
+        let mut empty = WorkPool::resume(50, &[]).unwrap();
+        assert_eq!(empty.remaining(), 50);
+        assert_eq!(empty.take(1000), Some((0, 50)));
+    }
+
+    #[test]
+    fn resume_rejects_malformed_covers() {
+        assert!(WorkPool::resume(100, &[(0, 0)]).is_err(), "empty range");
+        assert!(
+            WorkPool::resume(100, &[(0, 50), (40, 10)]).is_err(),
+            "overlap"
+        );
+        assert!(
+            WorkPool::resume(100, &[(50, 10), (0, 10)]).is_err(),
+            "unsorted"
+        );
+        assert!(WorkPool::resume(100, &[(90, 20)]).is_err(), "out of bounds");
+    }
+
+    #[test]
+    fn resumed_pool_still_supports_reclaim() {
+        let mut p = WorkPool::resume(100, &[(0, 60)]).unwrap();
+        let (off, got) = p.take(25).unwrap();
+        assert_eq!((off, got), (60, 25));
+        p.reclaim(off, got);
+        assert_eq!(p.remaining(), 40);
+        assert_eq!(p.take(1000), Some((60, 25)), "re-credited hole reissued");
+        assert_eq!(p.take(1000), Some((85, 15)));
+        assert!(p.try_close());
     }
 
     #[test]

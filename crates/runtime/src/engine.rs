@@ -18,7 +18,8 @@
 //! absolute virtual times to reproduce the paper's future-work scenarios
 //! (cloud QoS drift, machine loss).
 
-use crate::core::{self, Backend, ClockKind, Launch, LaunchSpec, Polled};
+use crate::checkpoint::{Checkpoint, CheckpointConfig, CheckpointWriter};
+use crate::core::{self, Backend, ClockKind, Durability, Launch, LaunchSpec, Polled};
 use crate::data::{DataHandle, DataRegistry, MemNode};
 use crate::events::{EventKind, EventSink};
 use crate::fault::{FaultAction, FaultPlan, FaultToleranceConfig};
@@ -71,6 +72,14 @@ pub enum RunError {
         /// Human-readable cause.
         detail: String,
     },
+    /// Run-level durability failed: a periodic snapshot could not be
+    /// written, or the snapshot offered for resume was rejected
+    /// (corrupt, truncated, or from a different workload). See
+    /// [`crate::checkpoint`].
+    Checkpoint {
+        /// Human-readable cause.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -85,6 +94,9 @@ impl std::fmt::Display for RunError {
             RunError::NoUnits => write!(f, "no processing units available"),
             RunError::Infrastructure { detail } => {
                 write!(f, "engine infrastructure failure: {detail}")
+            }
+            RunError::Checkpoint { detail } => {
+                write!(f, "checkpoint failure: {detail}")
             }
         }
     }
@@ -354,6 +366,8 @@ pub struct SimEngine<'a> {
     perturbations: Vec<Perturbation>,
     faults: FaultPlan,
     ft: FaultToleranceConfig,
+    checkpoint: Option<CheckpointConfig>,
+    resume: Option<Checkpoint>,
     last_trace: Option<Trace>,
     last_events: Option<EventSink>,
 }
@@ -367,6 +381,8 @@ impl<'a> SimEngine<'a> {
             perturbations: Vec::new(),
             faults: FaultPlan::none(),
             ft: FaultToleranceConfig::default(),
+            checkpoint: None,
+            resume: None,
             last_trace: None,
             last_events: None,
         }
@@ -389,6 +405,24 @@ impl<'a> SimEngine<'a> {
     /// quarantine threshold). Deadlines don't apply to virtual time.
     pub fn with_fault_tolerance(mut self, ft: FaultToleranceConfig) -> SimEngine<'a> {
         self.ft = ft;
+        self
+    }
+
+    /// Write periodic, atomically-replaced durability snapshots of the
+    /// driver state during `run` (plus one on clean shutdown). See
+    /// [`crate::checkpoint`].
+    pub fn with_checkpoint(mut self, cfg: CheckpointConfig) -> SimEngine<'a> {
+        self.checkpoint = Some(cfg);
+        self
+    }
+
+    /// Resume the next `run` from `ckpt` instead of starting fresh.
+    /// Consumed by that run: a second `run` on the same engine starts
+    /// fresh again. The snapshot must match the run's workload (policy
+    /// name, item count, unit count) or `run` fails with
+    /// [`RunError::Checkpoint`].
+    pub fn resume_from(mut self, ckpt: Checkpoint) -> SimEngine<'a> {
+        self.resume = Some(ckpt);
         self
     }
 
@@ -440,6 +474,10 @@ impl<'a> SimEngine<'a> {
             let at = backend.perturbations[i].at.max(0.0);
             backend.push_event(at, EventPayload::Perturb(i));
         }
+        let durability = Durability {
+            checkpoint: self.checkpoint.clone().map(CheckpointWriter::new),
+            resume: self.resume.take(),
+        };
         let outcome = core::drive(
             &mut backend,
             handles,
@@ -447,6 +485,7 @@ impl<'a> SimEngine<'a> {
             total_items,
             self.faults.clone(),
             self.ft.clone(),
+            durability,
         );
         self.last_trace = Some(outcome.trace);
         self.last_events = Some(outcome.events);

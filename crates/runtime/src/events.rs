@@ -35,8 +35,9 @@ use serde::{Deserialize, Serialize};
 
 /// Schema version stamped into every exported trace header.
 /// Version history: 1 = PR 1 baseline; 2 adds the fault-tolerance kinds
-/// (`task_failed`, `task_retry`, `pu_quarantined`).
-pub const TRACE_FORMAT_VERSION: u32 = 2;
+/// (`task_failed`, `task_retry`, `pu_quarantined`); 3 adds the run-level
+/// durability kinds (`checkpoint_written`, `run_resumed`).
+pub const TRACE_FORMAT_VERSION: u32 = 3;
 
 /// Default ring-buffer capacity (events).
 pub const DEFAULT_SINK_CAPACITY: usize = 1 << 16;
@@ -133,6 +134,27 @@ pub enum EventKind {
         makespan_s: f64,
         /// Items processed.
         total_items: u64,
+    },
+    /// A durability snapshot of the driver state was atomically written
+    /// to disk (`pu` is `None`). See `docs/FAULT_TOLERANCE.md`.
+    CheckpointWritten {
+        /// 0-based snapshot sequence number within the checkpoint file's
+        /// lifetime (monotone across a resume).
+        seq: u64,
+        /// Completed tasks at snapshot time (lifetime total, including
+        /// tasks finished before a resume).
+        tasks_done: u64,
+        /// Items covered by the snapshot's completed ranges.
+        completed_items: u64,
+    },
+    /// The run was restored from a checkpoint instead of starting fresh
+    /// (`pu` is `None`): the work pool resumes on the uncovered items
+    /// and the policy is re-seeded with the persisted measurements.
+    RunResumed {
+        /// Sequence number of the snapshot the run resumed from.
+        seq: u64,
+        /// Items already covered when the run resumed.
+        completed_items: u64,
     },
 
     /// PLB-HeC issued a modeling-phase probe block to `pu`.
@@ -232,6 +254,8 @@ impl EventKind {
             EventKind::DeviceRestored => "device_restored",
             EventKind::Stalled { .. } => "stalled",
             EventKind::RunEnd { .. } => "run_end",
+            EventKind::CheckpointWritten { .. } => "checkpoint_written",
+            EventKind::RunResumed { .. } => "run_resumed",
             EventKind::ProbeIssued { .. } => "probe_issued",
             EventKind::CurveFit { .. } => "curve_fit",
             EventKind::ModelingDone { .. } => "modeling_done",
@@ -399,6 +423,12 @@ pub struct EventCounters {
     /// threshold.
     #[serde(default)]
     pub quarantines: u64,
+    /// Durability snapshots written (`checkpoint_written`).
+    #[serde(default)]
+    pub checkpoints: u64,
+    /// Resumes from a checkpoint (`run_resumed`; 0 or 1 per process).
+    #[serde(default)]
+    pub resumes: u64,
     /// Stall errors.
     pub stalls: u64,
     /// Events lost to ring-buffer overwrite (counts may undercount when
@@ -437,6 +467,8 @@ impl EventCounters {
                 EventKind::TaskFailed { .. } => c.task_failures += 1,
                 EventKind::TaskRetry { .. } => c.task_retries += 1,
                 EventKind::PuQuarantined { .. } => c.quarantines += 1,
+                EventKind::CheckpointWritten { .. } => c.checkpoints += 1,
+                EventKind::RunResumed { .. } => c.resumes += 1,
                 EventKind::Stalled { .. } => c.stalls += 1,
                 EventKind::RunStart { .. }
                 | EventKind::TaskStart { .. }
@@ -446,6 +478,31 @@ impl EventCounters {
             }
         }
         c
+    }
+
+    /// Accumulate another set of counters into this one, field by field.
+    /// A resumed run carries the pre-crash totals from its checkpoint
+    /// and merges them into the final report, so lifetime counts survive
+    /// the process boundary.
+    pub fn merge(&mut self, other: &EventCounters) {
+        self.tasks_submitted += other.tasks_submitted;
+        self.tasks_finished += other.tasks_finished;
+        self.probes += other.probes;
+        self.curve_fits += other.curve_fits;
+        self.fit_rejections += other.fit_rejections;
+        self.solves += other.solves;
+        self.rebalances += other.rebalances;
+        self.ipm_iterations += other.ipm_iterations;
+        self.ipm_backtracks += other.ipm_backtracks;
+        self.perturbations += other.perturbations;
+        self.device_failures += other.device_failures;
+        self.task_failures += other.task_failures;
+        self.task_retries += other.task_retries;
+        self.quarantines += other.quarantines;
+        self.checkpoints += other.checkpoints;
+        self.resumes += other.resumes;
+        self.stalls += other.stalls;
+        self.dropped += other.dropped;
     }
 }
 
@@ -757,6 +814,11 @@ impl TraceData {
             "  faults: {} task failures, {} retries, {} quarantines, {} device failures",
             c.task_failures, c.task_retries, c.quarantines, c.device_failures
         );
+        let _ = writeln!(
+            out,
+            "  durability: {} checkpoints written, {} resumes",
+            c.checkpoints, c.resumes
+        );
         out
     }
 }
@@ -980,6 +1042,46 @@ mod tests {
         assert!(s.contains("rebalances: 0"));
         assert!(s.contains("makespan"));
         assert!(s.contains("event counters"));
+    }
+
+    #[test]
+    fn durability_events_counted_and_merged() {
+        let mut sink = EventSink::new(16);
+        sink.record(
+            0.5,
+            None,
+            EventKind::CheckpointWritten {
+                seq: 0,
+                tasks_done: 3,
+                completed_items: 300,
+            },
+        );
+        sink.record(
+            0.0,
+            None,
+            EventKind::RunResumed {
+                seq: 0,
+                completed_items: 300,
+            },
+        );
+        let mut c = sink.counters();
+        assert_eq!(c.checkpoints, 1);
+        assert_eq!(c.resumes, 1);
+        let carried = EventCounters {
+            checkpoints: 4,
+            tasks_finished: 10,
+            probes: 8,
+            ..EventCounters::default()
+        };
+        c.merge(&carried);
+        assert_eq!(c.checkpoints, 5);
+        assert_eq!(c.tasks_finished, 10);
+        assert_eq!(c.probes, 8);
+        assert_eq!(c.resumes, 1);
+        // The summary surfaces the durability line.
+        let mut data = sample_trace_data();
+        data.events.extend(sink.events());
+        assert!(data.summarize().contains("durability: 1 checkpoints"));
     }
 
     #[test]

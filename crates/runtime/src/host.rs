@@ -53,8 +53,9 @@
 //! [`crate::protocol`] and model-checked under loom (see
 //! `docs/SOUNDNESS.md`).
 
+use crate::checkpoint::{Checkpoint, CheckpointConfig, CheckpointWriter};
 use crate::codelet::{Codelet, PuResources};
-use crate::core::{self, Backend, ClockKind, Launch, LaunchSpec, Polled};
+use crate::core::{self, Backend, ClockKind, Durability, Launch, LaunchSpec, Polled};
 use crate::engine::RunError;
 use crate::events::EventSink;
 use crate::fault::{FaultAction, FaultPlan, FaultToleranceConfig};
@@ -257,6 +258,8 @@ pub struct HostEngine {
     perturbations: Vec<HostPerturbation>,
     faults: FaultPlan,
     ft: FaultToleranceConfig,
+    checkpoint: Option<CheckpointConfig>,
+    resume: Option<Checkpoint>,
     last_trace: Option<Trace>,
     last_events: Option<EventSink>,
 }
@@ -271,6 +274,8 @@ impl HostEngine {
             perturbations: Vec::new(),
             faults: FaultPlan::none(),
             ft: FaultToleranceConfig::default(),
+            checkpoint: None,
+            resume: None,
             last_trace: None,
             last_events: None,
         }
@@ -295,6 +300,26 @@ impl HostEngine {
     /// quarantine threshold, deadline factor, probation window.
     pub fn with_fault_tolerance(mut self, ft: FaultToleranceConfig) -> HostEngine {
         self.ft = ft;
+        self
+    }
+
+    /// Write periodic, atomically-replaced durability snapshots of the
+    /// driver state during `run` (plus one on clean shutdown), so a
+    /// SIGKILLed run can be resumed. See [`crate::checkpoint`].
+    pub fn with_checkpoint(mut self, cfg: CheckpointConfig) -> HostEngine {
+        self.checkpoint = Some(cfg);
+        self
+    }
+
+    /// Resume the next `run` from `ckpt` instead of starting fresh.
+    /// Consumed by that run: a second `run` on the same engine starts
+    /// fresh again. The snapshot must match the run's workload (policy
+    /// name, item count, unit count) or `run` fails with
+    /// [`RunError::Checkpoint`]. Codelets must be idempotent over a
+    /// possibly re-executed tail block (the same contract re-dispatch
+    /// after a loss already requires).
+    pub fn resume_from(mut self, ckpt: Checkpoint) -> HostEngine {
+        self.resume = Some(ckpt);
         self
     }
 
@@ -445,6 +470,10 @@ impl HostEngine {
             done_rx,
             epoch,
         };
+        let durability = Durability {
+            checkpoint: self.checkpoint.clone().map(CheckpointWriter::new),
+            resume: self.resume.take(),
+        };
         let outcome = core::drive(
             &mut backend,
             handles,
@@ -452,6 +481,7 @@ impl HostEngine {
             total_items,
             self.faults.clone(),
             self.ft.clone(),
+            durability,
         );
 
         // Shut healthy workers down; threads of lost units may be wedged

@@ -36,6 +36,11 @@
 //!   simulator crate) and the fault-tolerance response knobs
 //!   ([`FaultToleranceConfig`]: retries, backoff, quarantine, host
 //!   watchdog deadlines); see `docs/FAULT_TOLERANCE.md`.
+//! * [`checkpoint`] — run-level durability: periodic, atomically
+//!   written (tmp + rename + checksum) snapshots of the driver state
+//!   ([`Checkpoint`]) and the resume path that restores them, so a
+//!   crashed run continues on the uncovered items with its profiles
+//!   and fitted models intact; see `docs/FAULT_TOLERANCE.md`.
 //! * [`core`] — the backend-agnostic scheduling core: one driver loop
 //!   (assignment bookkeeping, disjoint-range cover, retry/backoff,
 //!   quarantine/probation, re-credit, deadlines, stall detection, event
@@ -47,6 +52,7 @@
 //!   model-checked under loom; [`sync`] is the primitive shim that
 //!   swaps in loom's twins under `--cfg loom`. See `docs/SOUNDNESS.md`.
 
+pub mod checkpoint;
 pub mod codelet;
 pub mod core;
 pub mod data;
@@ -61,7 +67,13 @@ pub mod sync;
 pub mod task;
 pub mod trace;
 
-pub use crate::core::{Backend, ClockKind, CoreOutcome, Launch, LaunchSpec, Polled, WorkPool};
+pub use crate::core::{
+    Backend, ClockKind, CoreOutcome, Durability, Launch, LaunchSpec, Polled, WorkPool,
+};
+pub use checkpoint::{
+    Checkpoint, CheckpointConfig, CheckpointError, CheckpointWriter, PuState, WorkloadId,
+    CHECKPOINT_FORMAT_VERSION,
+};
 pub use codelet::{Codelet, FnCodelet, PuResources};
 pub use data::{
     DataHandle, DataRegistry, DisjointError, DisjointOutput, DisjointWriter, MemNode,

@@ -123,6 +123,25 @@ pub trait Policy: Send {
     fn block_distribution(&self) -> Option<Vec<f64>> {
         None
     }
+
+    /// Serialize the policy's accumulated learning (for PLB-HeC: the
+    /// per-unit performance profiles and fitted models) into an opaque
+    /// value persisted in run checkpoints. `None` — the default — means
+    /// the policy has nothing worth carrying across a crash; a resumed
+    /// run then starts the policy fresh on the remaining items. See
+    /// `docs/FAULT_TOLERANCE.md`.
+    fn snapshot(&self) -> Option<serde_json::Value> {
+        None
+    }
+
+    /// Restore state produced by [`Policy::snapshot`] before
+    /// [`Policy::on_start`] runs on a resumed run. Returns `true` when
+    /// the state was understood and adopted (PLB-HeC then re-fits and
+    /// re-solves instead of re-probing); `false` — the default — falls
+    /// back to a fresh start.
+    fn restore(&mut self, _state: &serde_json::Value) -> bool {
+        false
+    }
 }
 
 /// A trivial policy for runtime tests: single fixed-size blocks handed

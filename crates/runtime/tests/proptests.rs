@@ -9,7 +9,7 @@ use proptest::prelude::*;
 
 // FixedBlockPolicy lives behind the policy module; re-exported for tests.
 use plb_runtime::policy::FixedBlockPolicy as Fixed;
-use plb_runtime::{DisjointError, DisjointOutput};
+use plb_runtime::{DisjointError, DisjointOutput, WorkPool};
 
 fn cost() -> LinearCost {
     LinearCost {
@@ -205,5 +205,108 @@ proptest! {
             }
         }
         prop_assert_eq!(out.into_vec(), expect);
+    }
+}
+
+// Properties of the undistributed-item pool both engines dispatch from:
+// the disjoint-cover invariant must survive any interleaving of claims,
+// completions, and failure re-credits (the checkpoint/resume layer
+// additionally snapshots and rebuilds these covers).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Under an arbitrary claim/complete/fail schedule no item is ever
+    /// in two live assignments, and the final completed cover is exactly
+    /// `0..total` with no gaps and no overlaps.
+    #[test]
+    fn workpool_cover_is_disjoint_under_arbitrary_interleavings(
+        total in 1u64..5_000,
+        ops in proptest::collection::vec((0u8..4, 1u64..997), 1..200),
+    ) {
+        let mut pool = WorkPool::new(total);
+        let mut inflight: Vec<(u64, u64)> = Vec::new();
+        let mut done: Vec<(u64, u64)> = Vec::new();
+        for (op, arg) in ops {
+            match op {
+                // Claim a block (two arms: claims should dominate the
+                // schedule or nothing ever gets in flight).
+                0 | 1 => {
+                    if let Some((off, got)) = pool.take(arg) {
+                        prop_assert!(got >= 1 && got <= arg);
+                        for &(o, l) in inflight.iter().chain(done.iter()) {
+                            prop_assert!(
+                                off + got <= o || o + l <= off,
+                                "claim [{off},{}) overlaps live/completed [{o},{})",
+                                off + got, o + l
+                            );
+                        }
+                        inflight.push((off, got));
+                    }
+                }
+                // Complete an arbitrary in-flight block.
+                2 => {
+                    if !inflight.is_empty() {
+                        let i = (arg as usize) % inflight.len();
+                        done.push(inflight.swap_remove(i));
+                    }
+                }
+                // Fail an arbitrary in-flight block: re-credit.
+                _ => {
+                    if !inflight.is_empty() {
+                        let i = (arg as usize) % inflight.len();
+                        let (off, len) = inflight.swap_remove(i);
+                        pool.reclaim(off, len);
+                    }
+                }
+            }
+        }
+        // Drain: everything still in the pool completes, as does
+        // everything left in flight.
+        while let Some(r) = pool.take(1009) {
+            done.push(r);
+        }
+        done.append(&mut inflight);
+        done.sort_unstable();
+        let mut expect = 0u64;
+        for (off, len) in done {
+            prop_assert_eq!(off, expect, "gap or overlap in the final cover");
+            expect = off + len;
+        }
+        prop_assert_eq!(expect, total);
+        prop_assert!(pool.try_close());
+    }
+
+    /// A resumed pool hands out exactly the complement of the
+    /// checkpointed cover: completed ∪ resumed-claims == `0..total`,
+    /// disjointly.
+    #[test]
+    fn workpool_resume_serves_exactly_the_complement(
+        total in 1u64..5_000,
+        cuts in proptest::collection::vec((0u64..200, 1u64..200), 0..20),
+        want in 1u64..997,
+    ) {
+        let mut completed: Vec<(u64, u64)> = Vec::new();
+        let mut cursor = 0u64;
+        for (skip, len) in cuts {
+            let off = cursor + skip;
+            if off + len > total {
+                break;
+            }
+            completed.push((off, len));
+            cursor = off + len;
+        }
+        let mut pool = WorkPool::resume(total, &completed).unwrap();
+        let mut cover = completed.clone();
+        while let Some(r) = pool.take(want) {
+            cover.push(r);
+        }
+        cover.sort_unstable();
+        let mut expect = 0u64;
+        for (off, len) in cover {
+            prop_assert_eq!(off, expect, "gap or overlap after resume");
+            expect = off + len;
+        }
+        prop_assert_eq!(expect, total);
+        prop_assert!(pool.try_close());
     }
 }

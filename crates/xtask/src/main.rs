@@ -1,6 +1,6 @@
 //! Workspace static-analysis tasks.
 //!
-//! `cargo xtask lint` runs six soundness passes over the workspace
+//! `cargo xtask lint` runs seven soundness passes over the workspace
 //! sources (policy rationale in `docs/SOUNDNESS.md`):
 //!
 //! 1. **unsafe-allowlist** — `unsafe` may appear only in the audited
@@ -20,6 +20,10 @@
 //!    backoff, quarantine, probation, re-credit) lives only in the
 //!    scheduling core and the state machines it drives; engine backends
 //!    must not grow their own copies (`docs/ARCHITECTURE.md`).
+//! 7. **fs-confinement** — filesystem I/O in `plb-runtime` lives only
+//!    in the checkpoint module ([`FS_IO_HOME`]), whose atomic-write
+//!    protocol is what makes snapshots crash-safe; an engine or policy
+//!    opening files on its own would bypass those guarantees.
 //!
 //! The scanner is deliberately token-level rather than a real parser:
 //! it blanks comments, string/char literals, and `#[cfg(test)]`
@@ -68,6 +72,14 @@ fn fault_response_home(rel: &str) -> bool {
         || rel == "crates/runtime/src/protocol.rs"
         || rel == SYNC_SHIM
 }
+
+/// The one runtime module allowed to perform filesystem I/O: the
+/// durability layer, whose tmp-write + fsync + rename protocol is
+/// audited for crash atomicity (`docs/FAULT_TOLERANCE.md`).
+const FS_IO_HOME: &str = "crates/runtime/src/checkpoint.rs";
+
+/// Tokens that betray direct filesystem access.
+const FS_IO_TOKENS: &[&str] = &["std::fs", "File", "OpenOptions"];
 
 /// Checked-conversion module exempt from the lossy-cast pass (its
 /// whole point is to fence the raw casts behind guarded APIs).
@@ -131,8 +143,9 @@ fn lint() -> ExitCode {
     pass_lossy_casts(&sources, &mut violations);
     pass_must_use(&sources, &mut violations);
     pass_fault_divergence(&sources, &mut violations);
+    pass_fs_confinement(&sources, &mut violations);
     if violations.is_empty() {
-        println!("xtask lint: OK ({} files, 6 passes)", sources.len());
+        println!("xtask lint: OK ({} files, 7 passes)", sources.len());
         ExitCode::SUCCESS
     } else {
         violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
@@ -413,6 +426,28 @@ fn pass_fault_divergence(sources: &[Source], out: &mut Vec<Violation>) {
                          retry/backoff/quarantine/re-credit decisions belong to \
                          `crates/runtime/src/core` (docs/ARCHITECTURE.md), not to \
                          engine backends"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn pass_fs_confinement(sources: &[Source], out: &mut Vec<Violation>) {
+    for s in sources {
+        if !s.rel.starts_with("crates/runtime/src/") || s.rel == FS_IO_HOME {
+            continue;
+        }
+        for token in FS_IO_TOKENS {
+            for pos in word_occurrences(&s.code, token) {
+                out.push(Violation {
+                    file: s.rel.clone(),
+                    line: line_of(&s.code, pos),
+                    pass: "fs-confinement",
+                    msg: format!(
+                        "filesystem access `{token}` outside `{FS_IO_HOME}`; durability \
+                         I/O must go through the checkpoint module's atomic-write \
+                         protocol (docs/FAULT_TOLERANCE.md)"
                     ),
                 });
             }
@@ -810,6 +845,40 @@ mod tests {
             "each leaked fault-response token is its own violation"
         );
         assert!(v.iter().all(|x| x.pass == "fault-divergence"));
+    }
+
+    #[test]
+    fn fs_confinement_flags_engines_but_not_the_checkpoint_module() {
+        let code = "let f = std::fs::File::create(&tmp)?; \
+                    let o = OpenOptions::new().append(true);";
+        let leaky = Source {
+            rel: "crates/runtime/src/engine.rs".into(),
+            code: code.into(),
+        };
+        let home = Source {
+            rel: FS_IO_HOME.into(),
+            code: code.into(),
+        };
+        let elsewhere = Source {
+            rel: "crates/bench/src/harness.rs".into(),
+            code: code.into(),
+        };
+        let mut v = Vec::new();
+        pass_fs_confinement(&[home, elsewhere], &mut v);
+        assert!(v.is_empty(), "the checkpoint module and non-runtime crates are exempt");
+        pass_fs_confinement(&[leaky], &mut v);
+        // `std::fs`, the standalone `File` inside the path, and
+        // `OpenOptions` each count.
+        assert_eq!(v.len(), 3);
+        assert!(v.iter().all(|x| x.pass == "fs-confinement"));
+        // `FileHeader`-style identifiers must not trip the `File` token.
+        let fine = Source {
+            rel: "crates/runtime/src/events.rs".into(),
+            code: "struct FileHeader; let p: PathBuf = base.join(name);".into(),
+        };
+        v.clear();
+        pass_fs_confinement(&[fine], &mut v);
+        assert!(v.is_empty());
     }
 
     #[test]

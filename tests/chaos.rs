@@ -1,0 +1,118 @@
+//! The seeded chaos harness end-to-end: generated fault plans are
+//! deterministic and structurally valid, simulator runs survive them
+//! across many seeds under both a trivial policy and full PLB-HeC, and
+//! chaos composes with the durability layer (the CI smoke scenario).
+
+use plb_hec_suite::hetsim::cluster::ClusterOptions;
+use plb_hec_suite::hetsim::workload::LinearCost;
+use plb_hec_suite::hetsim::{cluster_scenario, ClusterSim, Scenario};
+use plb_hec_suite::plb::{PlbHecPolicy, PolicyConfig};
+use plb_hec_suite::runtime::checkpoint::load;
+use plb_hec_suite::runtime::policy::FixedBlockPolicy;
+use plb_hec_suite::runtime::{CheckpointConfig, FaultPlan, SimEngine};
+use std::path::PathBuf;
+
+fn cost() -> LinearCost {
+    LinearCost {
+        label: "chaos".into(),
+        flops_per_item: 1e5,
+        in_bytes_per_item: 64.0,
+        out_bytes_per_item: 64.0,
+        threads_per_item: 64.0,
+    }
+}
+
+fn cluster() -> ClusterSim {
+    ClusterSim::build(
+        &cluster_scenario(Scenario::Two, false),
+        &ClusterOptions {
+            noise_sigma: 0.01,
+            ..Default::default()
+        },
+    )
+}
+
+fn tmp_file(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("plb-chaos-{}-{name}", std::process::id()));
+    p
+}
+
+/// One seed, one plan: re-generating must be bit-identical (the whole
+/// point of a *seeded* harness is a reproducible failure).
+#[test]
+fn chaos_plans_are_reproducible() {
+    for seed in 0..64u64 {
+        let a = FaultPlan::chaos(seed, 4, 8);
+        let b = FaultPlan::chaos(seed, 4, 8);
+        assert_eq!(a.faults, b.faults, "seed {seed} not reproducible");
+    }
+}
+
+/// A trivial policy completes the full workload under chaos for every
+/// seed: unit 0 is always kept healthy, so progress is guaranteed no
+/// matter what the plan throws at the rest of the cluster.
+#[test]
+fn sim_completes_under_chaos_for_many_seeds() {
+    let total = 200_000u64;
+    let c = cost();
+    for seed in [3u64, 17, 42, 99, 1234] {
+        let mut cl = cluster();
+        let n_units = cl.ids().count();
+        let plan = FaultPlan::chaos(seed, n_units, 2 * n_units);
+        let mut policy = FixedBlockPolicy { block: 4_000 };
+        let report = SimEngine::new(&mut cl, &c)
+            .with_faults(plan)
+            .run(&mut policy, total)
+            .unwrap_or_else(|e| panic!("seed {seed}: run failed: {e}"));
+        assert_eq!(report.total_items, total, "seed {seed}");
+        let per_pu: u64 = report.pus.iter().map(|p| p.items).sum();
+        assert_eq!(per_pu, total, "seed {seed}: items lost or duplicated");
+    }
+}
+
+/// The full PLB-HeC pipeline (probing, fitting, solving, rebalancing)
+/// survives a chaos plan and still accounts for every item.
+#[test]
+fn plb_hec_completes_under_chaos() {
+    let total = 2_000_000u64;
+    let c = cost();
+    let mut cl = cluster();
+    let n_units = cl.ids().count();
+    let plan = FaultPlan::chaos(42, n_units, 2 * n_units);
+    let cfg = PolicyConfig::default()
+        .with_initial_block(1_000)
+        .with_round_fraction(0.25);
+    let mut policy = PlbHecPolicy::new(&cfg);
+    let report = SimEngine::new(&mut cl, &c)
+        .with_faults(plan)
+        .run(&mut policy, total)
+        .expect("PLB-HeC completes under chaos");
+    assert_eq!(report.total_items, total);
+    let per_pu: u64 = report.pus.iter().map(|p| p.items).sum();
+    assert_eq!(per_pu, total);
+}
+
+/// Chaos composes with checkpointing — the combination CI smokes with a
+/// fixed seed: despite injected failures, the final snapshot's cover is
+/// the entire workload.
+#[test]
+fn chaos_run_still_checkpoints_a_complete_cover() {
+    let path = tmp_file("cover");
+    let total = 200_000u64;
+    let c = cost();
+    let mut cl = cluster();
+    let n_units = cl.ids().count();
+    let plan = FaultPlan::chaos(7, n_units, 2 * n_units);
+    let mut policy = FixedBlockPolicy { block: 4_000 };
+    let report = SimEngine::new(&mut cl, &c)
+        .with_faults(plan)
+        .with_checkpoint(CheckpointConfig::new(&path).with_interval(4))
+        .run(&mut policy, total)
+        .expect("chaos run with checkpointing completes");
+    assert_eq!(report.total_items, total);
+    assert!(report.events.checkpoints >= 1);
+    let ckpt = load(&path).expect("final snapshot loadable");
+    assert_eq!(ckpt.completed, vec![(0, total)]);
+    std::fs::remove_file(&path).unwrap();
+}
