@@ -1,0 +1,127 @@
+//! Regenerate the committed performance snapshots.
+//!
+//! ```text
+//! cargo run -p plb-bench --bin perfbench --release -- [OPTIONS]
+//!
+//!   --sizes N,N,...   cluster sizes to measure   (default 10,100,1000,10000)
+//!   --repeats N       structured-path samples    (default 5)
+//!   --dense-max N     largest dense-oracle size  (default 1000)
+//!   --out DIR         output directory           (default .)
+//!   --solver-only     skip the driver measurements
+//! ```
+//!
+//! Writes `BENCH_solver.json` and `BENCH_driver.json` into `--out`.
+//! Always run `--release`; debug-mode numbers are meaningless. See
+//! `docs/PERFORMANCE.md` for the methodology and the update protocol.
+
+use plb_bench::perf::{driver_bench, solver_bench};
+use std::path::PathBuf;
+
+struct Args {
+    sizes: Vec<usize>,
+    repeats: usize,
+    dense_max: usize,
+    out: PathBuf,
+    solver_only: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        sizes: vec![10, 100, 1000, 10000],
+        repeats: 5,
+        dense_max: 1000,
+        out: PathBuf::from("."),
+        solver_only: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--sizes" => {
+                args.sizes = value("--sizes")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>().map_err(|e| format!("bad size: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--repeats" => {
+                args.repeats = value("--repeats")?
+                    .parse()
+                    .map_err(|e| format!("bad --repeats: {e}"))?;
+            }
+            "--dense-max" => {
+                args.dense_max = value("--dense-max")?
+                    .parse()
+                    .map_err(|e| format!("bad --dense-max: {e}"))?;
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--solver-only" => args.solver_only = true,
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if args.sizes.is_empty() {
+        return Err("--sizes must name at least one size".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("perfbench: {e}");
+            std::process::exit(2);
+        }
+    };
+    if cfg!(debug_assertions) {
+        eprintln!("perfbench: warning: debug build — numbers will not be representative");
+    }
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("perfbench: creating {}: {e}", args.out.display());
+        std::process::exit(1);
+    }
+
+    println!("measuring solver trajectory at sizes {:?} ...", args.sizes);
+    let solver = solver_bench(&args.sizes, args.repeats, args.dense_max);
+    println!(
+        "{:>8} {:>15} {:>15} {:>11} {:>11}",
+        "n_pus", "structured_us", "dense_us", "cold_iters", "warm_iters"
+    );
+    for e in &solver.entries {
+        let dense = e
+            .dense_us
+            .map(|d| format!("{d:.1}"))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:>8} {:>15.1} {:>15} {:>11} {:>11}",
+            e.n_pus, e.structured_us, dense, e.cold_iters, e.warm_iters
+        );
+    }
+    let solver_path = args.out.join("BENCH_solver.json");
+    if let Err(e) = std::fs::write(&solver_path, solver.to_json()) {
+        eprintln!("perfbench: writing {}: {e}", solver_path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", solver_path.display());
+
+    if !args.solver_only {
+        println!("measuring driver hot path ...");
+        let driver = driver_bench();
+        println!(
+            "  scheduler overhead: {:.2} us/task over {} tasks",
+            driver.sched_overhead_us_per_task, driver.tasks_measured
+        );
+        println!(
+            "  event sink: {:.2e} events/s over {} events",
+            driver.events_per_sec, driver.events_measured
+        );
+        let driver_path = args.out.join("BENCH_driver.json");
+        if let Err(e) = std::fs::write(&driver_path, driver.to_json()) {
+            eprintln!("perfbench: writing {}: {e}", driver_path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", driver_path.display());
+    }
+}

@@ -1,0 +1,346 @@
+//! The performance-trajectory harness behind `BENCH_solver.json` and
+//! `BENCH_driver.json`.
+//!
+//! Unlike the Criterion benches under `benches/` (interactive,
+//! statistics-heavy, never committed), this module produces the small
+//! committed snapshots that `cargo xtask bench-check` regression-gates:
+//!
+//! * [`solver_bench`] — interior-point solve latency as the number of
+//!   processing units grows, on both KKT paths (the O(n)
+//!   arrow-structured Schur elimination and the dense LU oracle), plus
+//!   cold- vs warm-start iteration counts on a drifted re-solve;
+//! * [`driver_bench`] — scheduler overhead per task through the real
+//!   `core::drive()` loop, and raw event-sink throughput.
+//!
+//! The JSON is emitted by hand ([`SolverReport::to_json`],
+//! [`DriverReport::to_json`]) so the snapshots are byte-stable and the
+//! harness has no serializer dependency on its measurement path. The
+//! schema, the methodology, and how to refresh the committed files are
+//! documented in `docs/PERFORMANCE.md`.
+
+use plb_ipm::nlp::FnCurve;
+use plb_ipm::{solve, solve_warm, BlockPartitionNlp, BoxedCurve, IpmOptions, WarmStart};
+use std::time::Instant;
+
+/// Schema version stamped into both snapshot files.
+pub const PERF_SCHEMA_VERSION: u32 = 1;
+
+/// One row of the solver trajectory: latency and iteration counts at a
+/// given cluster size.
+#[derive(Debug, Clone)]
+pub struct SolverEntry {
+    /// Processing units in the synthetic selection problem.
+    pub n_pus: usize,
+    /// Median wall-clock of a cold solve on the arrow-structured KKT
+    /// path, microseconds.
+    pub structured_us: f64,
+    /// Median wall-clock of the same solve forced onto the dense LU
+    /// path, microseconds. `None` when the dense system was too large
+    /// to build (the n = 10000 KKT matrix alone is ~3.2 GB).
+    pub dense_us: Option<f64>,
+    /// Interior-point iterations of a cold solve on a drifted re-fit of
+    /// the problem (the rebalance scenario, solved from scratch).
+    pub cold_iters: usize,
+    /// Iterations of the same drifted re-solve warm-started from the
+    /// previous optimum.
+    pub warm_iters: usize,
+}
+
+/// The committed `BENCH_solver.json` payload.
+#[derive(Debug, Clone)]
+pub struct SolverReport {
+    /// One entry per measured cluster size, ascending.
+    pub entries: Vec<SolverEntry>,
+}
+
+/// The committed `BENCH_driver.json` payload.
+#[derive(Debug, Clone)]
+pub struct DriverReport {
+    /// Wall-clock scheduler cost per completed task through the full
+    /// `core::drive()` loop (simulator backend, so virtual task time is
+    /// free and the measurement is pure scheduling), microseconds.
+    pub sched_overhead_us_per_task: f64,
+    /// Tasks the overhead measurement completed.
+    pub tasks_measured: u64,
+    /// Sustained `EventSink::record` throughput, events per second.
+    pub events_per_sec: f64,
+    /// Events the throughput measurement recorded.
+    pub events_measured: u64,
+}
+
+/// The synthetic selection problem at a given size: a heterogeneous
+/// roster cycling through 64 distinct unit speed grades, each with a
+/// mildly convex per-unit finish-time curve (fixed overhead + linear
+/// rate + quadratic contention term) — the same shape
+/// `BlockPartitionNlp` sees from fitted `F_p`/`G_p` models.
+///
+/// The curves are expressed in the *normalized share* `s = x·n` (a
+/// unit's fraction relative to the uniform 1/n split), so a unit's
+/// predicted time stays O(1 second) at every roster size. That is how
+/// real fitted curves behave — per-unit work shrinks as the roster
+/// grows — and it keeps the equal-finish-time system feasible: with
+/// times in raw fractions, a fixed per-unit overhead would exceed the
+/// common finish time at large n and no equal-time split would exist.
+pub fn synthetic_curves(n: usize, drift: f64) -> Vec<BoxedCurve> {
+    let k = n as f64;
+    (0..n)
+        .map(|i| {
+            let rate = (1.0 + (i % 64) as f64 * 0.25) * drift;
+            let overhead = 0.01 * (1 + i % 3) as f64;
+            let quad = 0.05;
+            Box::new(FnCurve::new(
+                move |x: f64| overhead + x * k / rate + quad * (x * k) * (x * k),
+                move |x: f64| k / rate + 2.0 * quad * k * (x * k),
+                move |_x: f64| 2.0 * quad * k * k,
+            )) as BoxedCurve
+        })
+        .collect()
+}
+
+fn median_us(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    samples[samples.len() / 2]
+}
+
+/// Measure one cluster size. `repeats` controls the structured-path
+/// sample count (the dense path at n ≥ 1000 is measured once — a single
+/// LU factorization there already dominates the whole budget);
+/// `dense_max` caps the size at which the dense oracle is attempted.
+pub fn solver_entry(n: usize, repeats: usize, dense_max: usize) -> SolverEntry {
+    let opts = IpmOptions::default();
+
+    // Structured path, cold.
+    let mut samples = Vec::with_capacity(repeats.max(1));
+    let mut cold_sol = None;
+    for _ in 0..repeats.max(1) {
+        let nlp = BlockPartitionNlp::new(synthetic_curves(n, 1.0));
+        let t0 = Instant::now();
+        let sol = solve(&nlp, &opts);
+        samples.push(t0.elapsed().as_secs_f64() * 1e6);
+        if let Ok(s) = sol {
+            cold_sol = Some(s);
+        }
+    }
+    let structured_us = median_us(&mut samples);
+
+    // Dense oracle (same problem, arrow path disabled).
+    let dense_us = (n <= dense_max).then(|| {
+        let dense_opts = IpmOptions {
+            force_dense_kkt: true,
+            ..Default::default()
+        };
+        let dense_repeats = if n >= 1000 { 1 } else { repeats.max(1) };
+        let mut samples = Vec::with_capacity(dense_repeats);
+        for _ in 0..dense_repeats {
+            let nlp = BlockPartitionNlp::new(synthetic_curves(n, 1.0));
+            let t0 = Instant::now();
+            let _ = solve(&nlp, &dense_opts);
+            samples.push(t0.elapsed().as_secs_f64() * 1e6);
+        }
+        median_us(&mut samples)
+    });
+
+    // The rebalance scenario: the models drift 3%, the selection is
+    // re-solved — once cold, once warm-started from the stale optimum.
+    let drifted = BlockPartitionNlp::new(synthetic_curves(n, 1.03));
+    let cold_iters = solve(&drifted, &opts).map(|s| s.iterations).unwrap_or(0);
+    let warm_iters = cold_sol
+        .as_ref()
+        .map(WarmStart::from_solution)
+        .and_then(|w| solve_warm(&drifted, &opts, Some(&w)).ok())
+        .map(|s| s.iterations)
+        .unwrap_or(cold_iters);
+
+    SolverEntry {
+        n_pus: n,
+        structured_us,
+        dense_us,
+        cold_iters,
+        warm_iters,
+    }
+}
+
+/// Run the solver trajectory over `sizes`.
+pub fn solver_bench(sizes: &[usize], repeats: usize, dense_max: usize) -> SolverReport {
+    SolverReport {
+        entries: sizes
+            .iter()
+            .map(|&n| solver_entry(n, repeats, dense_max))
+            .collect(),
+    }
+}
+
+/// Measure the driver hot path: a full simulated run under the greedy
+/// policy (maximum task churn — every completion triggers a fresh
+/// claim), wall time divided by tasks completed; then raw event-sink
+/// recording throughput.
+pub fn driver_bench() -> DriverReport {
+    use crate::harness::{run_once, App, PolicyKind};
+    use plb_hetsim::Scenario;
+    use plb_runtime::{EventKind, EventSink};
+
+    // Warm-up run (page in code, allocate cluster state), then measure.
+    let _ = run_once(
+        App::BlackScholes(50_000),
+        Scenario::Two,
+        false,
+        PolicyKind::Greedy,
+        0,
+        Vec::new(),
+    );
+    let t0 = Instant::now();
+    let outcome = run_once(
+        App::BlackScholes(400_000),
+        Scenario::Two,
+        false,
+        PolicyKind::Greedy,
+        0,
+        Vec::new(),
+    );
+    let wall = t0.elapsed().as_secs_f64();
+    let tasks = outcome.report.tasks as u64;
+    let sched_overhead_us_per_task = if tasks > 0 {
+        wall * 1e6 / tasks as f64
+    } else {
+        0.0
+    };
+
+    // Event-sink throughput: the record path the driver hits for every
+    // submit/start/finish triple.
+    let events_measured: u64 = 1_000_000;
+    let mut sink = EventSink::default();
+    let t0 = Instant::now();
+    for i in 0..events_measured {
+        sink.record(
+            i as f64 * 1e-6,
+            Some((i % 16) as usize),
+            EventKind::TaskSubmit { task: i, items: 64 },
+        );
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let events_per_sec = if secs > 0.0 {
+        events_measured as f64 / secs
+    } else {
+        0.0
+    };
+
+    DriverReport {
+        sched_overhead_us_per_task,
+        tasks_measured: tasks,
+        events_per_sec,
+        events_measured,
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl SolverReport {
+    /// Serialize to the committed `BENCH_solver.json` shape.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": {PERF_SCHEMA_VERSION},\n"));
+        out.push_str(
+            "  \"note\": \"IPM solve latency vs cluster size; see docs/PERFORMANCE.md\",\n",
+        );
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let dense = e
+                .dense_us
+                .map(fmt_f64)
+                .unwrap_or_else(|| "null".to_string());
+            out.push_str(&format!(
+                "    {{\"n_pus\": {}, \"structured_us\": {}, \"dense_us\": {}, \"cold_iters\": {}, \"warm_iters\": {}}}{}\n",
+                e.n_pus,
+                fmt_f64(e.structured_us),
+                dense,
+                e.cold_iters,
+                e.warm_iters,
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+impl DriverReport {
+    /// Serialize to the committed `BENCH_driver.json` shape.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": {PERF_SCHEMA_VERSION},\n  \"note\": \"core::drive() hot-path costs; see docs/PERFORMANCE.md\",\n  \"sched_overhead_us_per_task\": {},\n  \"tasks_measured\": {},\n  \"events_per_sec\": {},\n  \"events_measured\": {}\n}}\n",
+            fmt_f64(self.sched_overhead_us_per_task),
+            self.tasks_measured,
+            fmt_f64(self.events_per_sec),
+            self.events_measured
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solver_entry_small_is_sane() {
+        let e = solver_entry(4, 1, 100);
+        assert_eq!(e.n_pus, 4);
+        assert!(e.structured_us > 0.0);
+        assert!(e.dense_us.unwrap() > 0.0);
+        assert!(e.cold_iters > 0);
+        assert!(e.warm_iters <= e.cold_iters);
+    }
+
+    #[test]
+    fn dense_is_skipped_past_the_cap() {
+        let e = solver_entry(12, 1, 10);
+        assert!(e.dense_us.is_none());
+        assert!(e.structured_us > 0.0);
+    }
+
+    #[test]
+    fn solver_json_has_all_rows_and_null_dense() {
+        let report = SolverReport {
+            entries: vec![
+                SolverEntry {
+                    n_pus: 10,
+                    structured_us: 50.0,
+                    dense_us: Some(80.0),
+                    cold_iters: 20,
+                    warm_iters: 4,
+                },
+                SolverEntry {
+                    n_pus: 10000,
+                    structured_us: 9000.0,
+                    dense_us: None,
+                    cold_iters: 25,
+                    warm_iters: 5,
+                },
+            ],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"n_pus\": 10,"));
+        assert!(json.contains("\"n_pus\": 10000,"));
+        assert!(json.contains("\"dense_us\": null"));
+        assert!(json.contains("\"schema\": 1"));
+    }
+
+    #[test]
+    fn driver_json_shape() {
+        let report = DriverReport {
+            sched_overhead_us_per_task: 1.5,
+            tasks_measured: 1000,
+            events_per_sec: 2e7,
+            events_measured: 1_000_000,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"sched_overhead_us_per_task\": 1.500"));
+        assert!(json.contains("\"events_measured\": 1000000"));
+    }
+}

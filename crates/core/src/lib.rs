@@ -48,5 +48,6 @@ pub use modeling::{ModelingController, ModelingStatus};
 pub use policy::PlbHecPolicy;
 pub use profile::{PerfProfile, UnitModel};
 pub use selection::{
-    select_block_sizes, select_block_sizes_with, SelectionMethod, SelectionResult,
+    select_block_sizes, select_block_sizes_cached, select_block_sizes_with, SelectionMethod,
+    SelectionResult, SelectionWarmCache,
 };

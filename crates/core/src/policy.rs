@@ -24,7 +24,7 @@
 use crate::config::PolicyConfig;
 use crate::modeling::{ModelingController, ModelingStatus};
 use crate::profile::{PerfProfile, UnitModel};
-use crate::selection::{select_block_sizes_with, SelectionResult};
+use crate::selection::{select_block_sizes_cached, SelectionResult, SelectionWarmCache};
 use plb_hetsim::PuId;
 use plb_runtime::{EventKind, Policy, SchedulerCtx, TaskFailure, TaskInfo};
 
@@ -86,6 +86,10 @@ pub struct PlbHecPolicy {
     /// Checkpointed learning delivered via [`Policy::restore`], consumed
     /// by the first `on_start` to skip the modeling phase.
     seed: Option<PolicySeed>,
+    /// Previous interior-point optimum, reused to warm-start rebalance
+    /// re-solves. Optimization only — never checkpointed; a restore
+    /// simply solves cold once.
+    warm_cache: Option<SelectionWarmCache>,
 }
 
 impl PlbHecPolicy {
@@ -107,6 +111,7 @@ impl PlbHecPolicy {
             selections: Vec::new(),
             rebalances: 0,
             seed: None,
+            warm_cache: None,
         }
     }
 
@@ -164,12 +169,13 @@ impl PlbHecPolicy {
             return;
         }
         let window = self.execution_window(ctx);
-        let sel = select_block_sizes_with(
+        let sel = select_block_sizes_cached(
             &self.models,
             &self.active,
             window,
             self.cfg.granularity,
             self.cfg.solver,
+            &mut self.warm_cache,
         );
         self.fractions = sel.fractions.clone();
         self.blocks = sel.blocks.clone();
@@ -1037,7 +1043,8 @@ mod tests {
         let cfg = PolicyConfig::default().with_initial_block(1000);
         let mut policy = PlbHecPolicy::new(&cfg);
         assert!(policy.restore(&state), "shape is valid, content mismatched");
-        let mut engine = SimEngine::new(&mut cluster, &LinearCost::generic());
+        let cost = LinearCost::generic();
+        let mut engine = SimEngine::new(&mut cluster, &cost);
         let r = engine.run(&mut policy, 500_000).unwrap();
         assert_eq!(r.total_items, 500_000);
         let sink = engine.last_events().expect("engine keeps the event sink");

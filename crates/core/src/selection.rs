@@ -15,7 +15,9 @@
 use crate::config::SolverChoice;
 use crate::profile::UnitModel;
 use plb_ipm::nlp::Curve;
-use plb_ipm::{solve, BlockPartitionNlp, BoxedCurve, IpmOptions, IpmStatus, IterationRecord};
+use plb_ipm::{
+    solve_warm, BlockPartitionNlp, BoxedCurve, IpmOptions, IpmStatus, IterationRecord, WarmStart,
+};
 use std::time::Instant;
 
 /// Which solver produced the selection.
@@ -84,6 +86,23 @@ impl Curve for FracCurve {
     }
 }
 
+/// Warm-start state carried between successive selections.
+///
+/// A rebalance re-solves the same NLP with slightly drifted curves, so
+/// the previous interior-point optimum is an excellent starting point —
+/// typically cutting the re-solve to a handful of iterations. The cache
+/// is an optimization only: it is consulted solely when the live-unit
+/// set is identical to the one it was captured on, and a stale or
+/// missing cache just means a cold solve. Losing it (checkpoint
+/// restore, unit failure) is always safe.
+#[derive(Debug, Clone)]
+pub struct SelectionWarmCache {
+    /// Indices of the live units the warm start was captured for.
+    live: Vec<usize>,
+    /// The previous interior-point optimum.
+    warm: WarmStart,
+}
+
 /// Select the per-unit block sizes for a round of `window_items`.
 ///
 /// `active[i]` masks failed units: they receive fraction 0 and no items.
@@ -113,6 +132,28 @@ pub fn select_block_sizes_with(
     window_items: u64,
     granularity: u64,
     solver: SolverChoice,
+) -> SelectionResult {
+    let mut no_cache = None;
+    select_block_sizes_cached(
+        models,
+        active,
+        window_items,
+        granularity,
+        solver,
+        &mut no_cache,
+    )
+}
+
+/// [`select_block_sizes_with`] that additionally consumes and refreshes
+/// a [`SelectionWarmCache`] — the entry point the balancer's rebalance
+/// path uses so repeat solves start from the previous optimum.
+pub fn select_block_sizes_cached(
+    models: &[UnitModel],
+    active: &[bool],
+    window_items: u64,
+    granularity: u64,
+    solver: SolverChoice,
+    cache: &mut Option<SelectionWarmCache>,
 ) -> SelectionResult {
     assert_eq!(models.len(), active.len(), "models/active length mismatch");
     assert!(window_items > 0, "empty selection window");
@@ -168,24 +209,47 @@ pub fn select_block_sizes_with(
             0,
         ),
         SolverChoice::FixedPointOnly => fallback(&nlp),
-        SolverChoice::Auto => match solve(&nlp, &IpmOptions::default()) {
-            Ok(sol) => {
-                // The solve happened: keep its trajectory and status for
-                // observability regardless of whether we accept the point.
-                ipm_status = Some(sol.status);
-                ipm_log = sol.iteration_log;
-                let usable = matches!(sol.status, IpmStatus::Optimal)
-                    || sol.is_usable(1e-4) && fractions_sane(&sol.x[..live.len()]);
-                if usable {
-                    let mut f: Vec<f64> = sol.x[..live.len()].to_vec();
-                    sanitize(&mut f);
-                    (f, SelectionMethod::InteriorPoint, sol.iterations)
-                } else {
+        SolverChoice::Auto => {
+            // Reuse the previous optimum only when it was captured on
+            // exactly this live-unit set; anything else solves cold.
+            let warm = cache
+                .as_ref()
+                .filter(|c| c.live == live)
+                .map(|c| c.warm.clone());
+            match solve_warm(&nlp, &IpmOptions::default(), warm.as_ref()) {
+                Ok(sol) => {
+                    // The solve happened: keep its trajectory and status
+                    // for observability regardless of whether we accept
+                    // the point.
+                    ipm_status = Some(sol.status);
+                    let usable = matches!(sol.status, IpmStatus::Optimal)
+                        || sol.is_usable(1e-4) && fractions_sane(&sol.x[..live.len()]);
+                    if usable {
+                        *cache = Some(SelectionWarmCache {
+                            live: live.clone(),
+                            warm: WarmStart::from_solution(&sol),
+                        });
+                    } else {
+                        // A failed solve's point would poison the next
+                        // warm start; drop it.
+                        *cache = None;
+                    }
+                    let picked = usable.then(|| (sol.x[..live.len()].to_vec(), sol.iterations));
+                    ipm_log = sol.iteration_log;
+                    match picked {
+                        Some((mut f, iters)) => {
+                            sanitize(&mut f);
+                            (f, SelectionMethod::InteriorPoint, iters)
+                        }
+                        None => fallback(&nlp),
+                    }
+                }
+                Err(_) => {
+                    *cache = None;
                     fallback(&nlp)
                 }
             }
-            Err(_) => fallback(&nlp),
-        },
+        }
     };
 
     // Predicted common time: max over units (they should be nearly
@@ -457,6 +521,92 @@ mod tests {
     fn zero_window_panics() {
         let models = vec![linear_model(1e5, 0.0)];
         let _ = select_block_sizes(&models, &[true], 0, 1);
+    }
+
+    #[test]
+    fn warm_cache_speeds_up_rebalance_resolve() {
+        let models = vec![
+            linear_model(5e4, 0.01),
+            linear_model(2e5, 0.002),
+            linear_model(8e5, 0.001),
+        ];
+        let active = [true; 3];
+        let mut cache = None;
+        let first =
+            select_block_sizes_cached(&models, &active, 1_000_000, 1, SolverChoice::Auto, &mut cache);
+        assert_eq!(first.method, SelectionMethod::InteriorPoint);
+        assert!(cache.is_some(), "usable solve must refresh the cache");
+
+        // Re-fit with slightly drifted rates, as a rebalance would.
+        let drifted = vec![
+            linear_model(5.2e4, 0.011),
+            linear_model(1.9e5, 0.002),
+            linear_model(8.3e5, 0.001),
+        ];
+        let mut no_cache = None;
+        let cold = select_block_sizes_cached(
+            &drifted,
+            &active,
+            1_000_000,
+            1,
+            SolverChoice::Auto,
+            &mut no_cache,
+        );
+        let warm = select_block_sizes_cached(
+            &drifted,
+            &active,
+            1_000_000,
+            1,
+            SolverChoice::Auto,
+            &mut cache,
+        );
+        assert_eq!(cold.method, SelectionMethod::InteriorPoint);
+        assert_eq!(warm.method, SelectionMethod::InteriorPoint);
+        assert!(
+            warm.ipm_iterations < cold.ipm_iterations,
+            "warm {} !< cold {}",
+            warm.ipm_iterations,
+            cold.ipm_iterations
+        );
+        // Same selection either way: identical blocks, matching fractions.
+        assert_eq!(warm.blocks, cold.blocks);
+        for (w, c) in warm.fractions.iter().zip(&cold.fractions) {
+            assert!((w - c).abs() < 1e-6, "{:?} vs {:?}", warm.fractions, cold.fractions);
+        }
+    }
+
+    #[test]
+    fn warm_cache_ignored_when_live_set_changes() {
+        let models = vec![
+            linear_model(1e5, 0.0),
+            linear_model(2e5, 0.0),
+            linear_model(4e5, 0.0),
+        ];
+        let mut cache = None;
+        let _ = select_block_sizes_cached(
+            &models,
+            &[true; 3],
+            100_000,
+            1,
+            SolverChoice::Auto,
+            &mut cache,
+        );
+        assert!(cache.is_some());
+        // A unit dies: the cached 3-unit optimum no longer matches; the
+        // 2-unit solve must still be correct (and refresh the cache).
+        let r = select_block_sizes_cached(
+            &models,
+            &[true, false, true],
+            100_000,
+            1,
+            SolverChoice::Auto,
+            &mut cache,
+        );
+        assert_eq!(r.blocks[1], 0);
+        assert_eq!(r.blocks.iter().sum::<u64>(), 100_000);
+        assert!((r.blocks[0] as f64 / 100_000.0 - 0.2).abs() < 0.02, "{:?}", r.blocks);
+        let c = cache.as_ref().unwrap();
+        assert_eq!(c.live, vec![0, 2]);
     }
 
     #[test]

@@ -14,16 +14,23 @@
 //! IPOPT's interior-point line-search filter method (reference \[25\],
 //! Nocedal, Wächter & Waltz, "Adaptive barrier update strategies for
 //! nonlinear interior methods"). This crate implements that algorithm
-//! family from scratch for the small dense problems PLB-HeC produces:
+//! family from scratch:
 //!
 //! * primal-dual log-barrier formulation of
 //!   `min f(x)  s.t.  c(x) = 0,  x ≥ lb`;
 //! * Newton steps on the perturbed KKT system with inertia-correcting
-//!   diagonal regularization;
+//!   diagonal regularization — via a dense LU factorization for general
+//!   problems, or an O(n) arrow-structured Schur elimination
+//!   ([`kkt::solve_kkt_arrow`]) for problems that declare the
+//!   selection shape through [`NlpProblem::arrow_k`], which is what
+//!   lets a solve over thousands of processing units finish in
+//!   microseconds (see `docs/PERFORMANCE.md`);
 //! * a Wächter–Biegler-style filter line search with a
 //!   fraction-to-boundary rule;
 //! * both a monotone (Fiacco–McCormick) and an adaptive (Mehrotra-style,
-//!   per the paper's reference) barrier-update strategy.
+//!   per the paper's reference) barrier-update strategy;
+//! * warm starting ([`solve_warm`]) of rebalance re-solves from the
+//!   previous optimum, cutting repeat solves to a few iterations.
 //!
 //! The crate also ships [`problem::BlockPartitionNlp`], the exact NLP of
 //! Equations (3)–(5): minimize the common finish time `T` subject to
@@ -38,5 +45,6 @@ pub mod solver;
 pub use nlp::{BoxedCurve, NlpProblem};
 pub use problem::BlockPartitionNlp;
 pub use solver::{
-    solve, BarrierStrategy, IpmError, IpmOptions, IpmStatus, IterationRecord, Solution,
+    solve, solve_warm, BarrierStrategy, IpmError, IpmOptions, IpmStatus, IterationRecord, Solution,
+    WarmStart,
 };

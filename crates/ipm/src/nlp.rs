@@ -47,6 +47,44 @@ pub trait NlpProblem {
 
     /// A strictly feasible-with-respect-to-bounds starting point.
     fn initial_point(&self) -> Vec<f64>;
+
+    /// Declare *arrow* structure, the shape every PLB-HeC selection
+    /// problem has: `k` scalar blocks coupled only through one shared
+    /// variable and one coupling row.
+    ///
+    /// Returning `Some(k)` asserts that, with `n = k + 1` variables
+    /// `[x_0, …, x_{k-1}, T]` and `m = k + 1` constraints:
+    ///
+    /// * the Lagrangian Hessian is diagonal,
+    /// * constraint `g < k` touches only `x_g` (entry `∂c_g/∂x_g`) and
+    ///   `T` (constant entry `-1`),
+    /// * the last constraint is the coupling row `Σ x_g + const`, i.e.
+    ///   all-ones over the blocks and `0` over `T`.
+    ///
+    /// The solver then replaces the dense `(n+m)²` factorization with an
+    /// O(n) block elimination (see [`crate::kkt::solve_kkt_arrow`]).
+    /// The default — `None` — keeps the dense path.
+    fn arrow_k(&self) -> Option<usize> {
+        None
+    }
+
+    /// Fill the arrow coefficients at `(x, lambda)`:
+    /// `jac_diag[g] = ∂c_g/∂x_g` (length `k`) and `hess_diag[i] = ∂²L/∂x_i²`
+    /// (length `n = k + 1`, last entry for `T`). Returns `true` on
+    /// success; the default returns `false`, which makes the solver fall
+    /// back to the dense assembly for that iteration.
+    ///
+    /// Only called when [`NlpProblem::arrow_k`] returns `Some`.
+    fn arrow_coeffs(
+        &self,
+        x: &[f64],
+        lambda: &[f64],
+        jac_diag: &mut [f64],
+        hess_diag: &mut [f64],
+    ) -> bool {
+        let _ = (x, lambda, jac_diag, hess_diag);
+        false
+    }
 }
 
 /// A differentiable scalar curve `t(x)` with first and second

@@ -159,9 +159,52 @@ impl NlpProblem for BlockPartitionNlp {
     }
 
     fn initial_point(&self) -> Vec<f64> {
-        let fractions = self.warm_start_fractions();
-        // Start T at the max predicted time of the warm start so the
-        // equal-time constraints begin nearly feasible.
+        let mut fractions = self.warm_start_fractions();
+        let k = self.curves.len();
+        // Equalize the predicted times before handing the point to the
+        // interior-point solver. The inverse-rate guess alone leaves
+        // the equal-time constraints violated by the overhead spread —
+        // an infeasibility that grows *linearly* with k and stalls the
+        // filter line search on large rosters. A few Newton steps on
+        // the feasibility system (linearized E_g(x_g) = T plus the
+        // simplex row, solved in closed form through the same arrow
+        // structure the KKT path uses) start the solve nearly feasible
+        // at any scale.
+        for _ in 0..8 {
+            let mut sum_inv_d = 0.0; // Σ 1/E'_g
+            let mut sum_e_over_d = 0.0; // Σ E_g/E'_g
+            let mut sum_x = 0.0;
+            let mut ok = true;
+            for (g, curve) in self.curves.iter().enumerate() {
+                let e = curve.value(fractions[g]);
+                let d = curve.deriv1(fractions[g]);
+                if !(e.is_finite() && d.is_finite()) || d <= 0.0 {
+                    ok = false;
+                    break;
+                }
+                sum_inv_d += 1.0 / d;
+                sum_e_over_d += e / d;
+                sum_x += fractions[g];
+            }
+            if !ok || sum_inv_d <= 0.0 {
+                break;
+            }
+            // From E_g + E'_g·Δx_g = T and Σ(x_g + Δx_g) = 1:
+            let t = (1.0 - sum_x + sum_e_over_d) / sum_inv_d;
+            let mut moved = 0.0f64;
+            for (g, curve) in self.curves.iter().enumerate() {
+                let e = curve.value(fractions[g]);
+                let d = curve.deriv1(fractions[g]);
+                let next = (fractions[g] + (t - e) / d).max(X_MIN * 2.0);
+                moved = moved.max((next - fractions[g]).abs());
+                fractions[g] = next;
+            }
+            if moved < 1e-12 {
+                break;
+            }
+        }
+        // Start T at the max predicted time so every equal-time
+        // residual begins ≤ 0 (tiny, after the equalization above).
         let t0 = fractions
             .iter()
             .enumerate()
@@ -169,8 +212,38 @@ impl NlpProblem for BlockPartitionNlp {
             .fold(0.0f64, |a, v| a.max(if v.is_finite() { v } else { 0.0 }))
             .max(1e-6);
         let mut x = fractions;
+        debug_assert_eq!(x.len(), k);
         x.push(t0);
         x
+    }
+
+    // The block-partition problem is exactly the arrow shape the O(n)
+    // KKT elimination wants: each E_g couples x_g only to the shared T,
+    // and the simplex row is the all-ones coupling row. Declaring it
+    // here is what lets `solve` scale to thousands of units.
+    fn arrow_k(&self) -> Option<usize> {
+        Some(self.curves.len())
+    }
+
+    fn arrow_coeffs(
+        &self,
+        x: &[f64],
+        lambda: &[f64],
+        jac_diag: &mut [f64],
+        hess_diag: &mut [f64],
+    ) -> bool {
+        let k = self.curves.len();
+        for (g, curve) in self.curves.iter().enumerate() {
+            let d1 = curve.deriv1(x[g]);
+            let d2 = curve.deriv2(x[g]);
+            if !d1.is_finite() || !d2.is_finite() {
+                return false; // let the solver fall back to dense + LU
+            }
+            jac_diag[g] = d1;
+            hess_diag[g] = lambda[g] * d2;
+        }
+        hess_diag[k] = 0.0; // T is linear in objective and constraints
+        true
     }
 }
 
@@ -274,6 +347,41 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn empty_units_panics() {
         BlockPartitionNlp::new(vec![]);
+    }
+
+    /// The arrow path makes a 500-unit selection tractable in a unit
+    /// test; the split must still be rate-proportional.
+    #[test]
+    fn five_hundred_units_solve_via_arrow_path() {
+        let rates: Vec<f64> = (0..500).map(|g| 1.0 + (g % 17) as f64 * 0.5).collect();
+        let nlp = BlockPartitionNlp::new(rates.iter().map(|&r| linear_curve(r)).collect());
+        assert_eq!(nlp.arrow_k(), Some(500));
+        let sol = solve(&nlp, &IpmOptions::default()).unwrap();
+        assert!(sol.is_usable(1e-6), "{:?}", sol.status);
+        let total: f64 = rates.iter().sum();
+        for (g, &r) in rates.iter().enumerate().step_by(97) {
+            assert!(
+                (sol.x[g] - r / total).abs() < 1e-5,
+                "unit {g}: {} vs {}",
+                sol.x[g],
+                r / total
+            );
+        }
+    }
+
+    /// A curve that goes non-finite makes `arrow_coeffs` decline, which
+    /// must fall back to the dense path rather than poison the solve.
+    #[test]
+    fn non_finite_coeffs_fall_back_to_dense() {
+        let weird: BoxedCurve = Box::new(FnCurve::new(
+            |x: f64| x * 2.0,
+            |_| f64::NAN,
+            |_| 0.0,
+        ));
+        let nlp = BlockPartitionNlp::new(vec![weird, linear_curve(1.0)]);
+        let mut jd = vec![0.0; 2];
+        let mut hd = vec![0.0; 3];
+        assert!(!nlp.arrow_coeffs(&[0.5, 0.5, 1.0], &[0.0, 0.0, 0.0], &mut jd, &mut hd));
     }
 
     #[test]

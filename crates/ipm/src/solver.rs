@@ -3,7 +3,9 @@
 //! of the paper's reference \[25\].
 
 use crate::filter::Filter;
-use crate::kkt::{solve_kkt, KktInputs};
+use crate::kkt::{
+    solve_kkt, solve_kkt_arrow_into, ArrowKktInputs, ArrowWorkspace, KktInputs, KktStep,
+};
 use crate::nlp::NlpProblem;
 use plb_numerics::Mat;
 
@@ -38,6 +40,10 @@ pub struct IpmOptions {
     /// [`Solution`]. Cheap (a few floats per iteration, iteration counts
     /// are capped), so on by default; disable for bulk embedded solves.
     pub record_iterations: bool,
+    /// Ignore [`NlpProblem::arrow_k`] and always use the dense `(n+m)²`
+    /// KKT factorization. Off by default; exists for A/B benchmarking
+    /// and as the oracle switch in structured-vs-dense agreement tests.
+    pub force_dense_kkt: bool,
 }
 
 impl Default for IpmOptions {
@@ -50,6 +56,7 @@ impl Default for IpmOptions {
             tau: 0.995,
             max_backtracks: 30,
             record_iterations: true,
+            force_dense_kkt: false,
         }
     }
 }
@@ -157,21 +164,83 @@ const THETA_MU: f64 = 1.5;
 const KAPPA_SIGMA: f64 = 1e10;
 const ALPHA_MIN: f64 = 1e-12;
 
+/// How an iterate's constraint Jacobian is held: a dense `m x n` matrix,
+/// or just the `k` per-block diagonal entries of an arrow problem (the
+/// `-1` column on `T` and the all-ones coupling row are implied by the
+/// structure, so they are never materialized).
+enum JacRep {
+    Dense(Mat),
+    Arrow(Vec<f64>),
+}
+
 struct Eval {
     f: f64,
     grad: Vec<f64>,
     c: Vec<f64>,
-    jac: Mat,
+    jac: JacRep,
 }
 
-fn evaluate(p: &dyn NlpProblem, x: &[f64]) -> Eval {
+/// `Jᵀλ` for either Jacobian representation — O(mn) dense, O(n) arrow.
+fn jt_lambda(jac: &JacRep, lambda: &[f64], n: usize) -> Vec<f64> {
+    match jac {
+        JacRep::Dense(m) => m.tr_matvec(lambda),
+        JacRep::Arrow(jd) => {
+            let k = jd.len();
+            let mut out = vec![0.0; n];
+            let nu = lambda[k];
+            let mut sum = 0.0;
+            for g in 0..k {
+                out[g] = jd[g] * lambda[g] + nu;
+                sum += lambda[g];
+            }
+            out[k] = -sum;
+            out
+        }
+    }
+}
+
+/// Materialize the dense Jacobian of an arrow problem — only needed on
+/// the rare fallback path when `arrow_coeffs` declines an iterate.
+fn arrow_dense_jac(jd: &[f64]) -> Mat {
+    let k = jd.len();
+    let mut j = Mat::zeros(k + 1, k + 1);
+    for g in 0..k {
+        j[(g, g)] = jd[g];
+        j[(g, k)] = -1.0;
+        j[(k, g)] = 1.0;
+    }
+    j
+}
+
+fn evaluate(p: &dyn NlpProblem, x: &[f64], arrow: Option<usize>) -> Eval {
     let (n, m) = (p.n(), p.m());
     let mut grad = vec![0.0; n];
     p.gradient(x, &mut grad);
     let mut c = vec![0.0; m];
     p.constraints(x, &mut c);
-    let mut jac = Mat::zeros(m, n);
-    p.jacobian(x, &mut jac);
+    let jac = match arrow {
+        Some(k) => {
+            // The Jacobian diagonal is λ-independent, so zeros are a
+            // valid multiplier vector here; the Hessian output is
+            // scratch and recomputed with live multipliers before each
+            // KKT solve.
+            let mut jd = vec![0.0; k];
+            let mut hd_scratch = vec![0.0; n];
+            let zeros = vec![0.0; m];
+            if p.arrow_coeffs(x, &zeros, &mut jd, &mut hd_scratch) {
+                JacRep::Arrow(jd)
+            } else {
+                let mut jac = Mat::zeros(m, n);
+                p.jacobian(x, &mut jac);
+                JacRep::Dense(jac)
+            }
+        }
+        None => {
+            let mut jac = Mat::zeros(m, n);
+            p.jacobian(x, &mut jac);
+            JacRep::Dense(jac)
+        }
+    };
     Eval {
         f: p.objective(x),
         grad,
@@ -200,7 +269,7 @@ fn barrier_phi(f: f64, x: &[f64], lb: &[f64], mu: f64) -> f64 {
 /// complementarity.
 fn kkt_error(ev: &Eval, x: &[f64], lb: &[f64], z: &[f64], lambda: &[f64], mu: f64) -> f64 {
     let n = x.len();
-    let jt_lambda = ev.jac.tr_matvec(lambda);
+    let jt_lambda = jt_lambda(&ev.jac, lambda, n);
     let mut stat = 0.0f64;
     for i in 0..n {
         stat = stat.max((ev.grad[i] + jt_lambda[i] - z[i]).abs());
@@ -232,8 +301,62 @@ fn max_step(v: &[f64], lb: &[f64], dv: &[f64], tau: f64) -> f64 {
     alpha.clamp(0.0, 1.0)
 }
 
+/// A previous optimum used to seed a re-solve of the same-shaped
+/// problem, as happens on every PLB-HeC rebalance: the live-unit set is
+/// unchanged, the fitted curves drifted slightly, so the old primal and
+/// dual point is an excellent start. Built with
+/// [`WarmStart::from_solution`]; consumed by [`solve_warm`].
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    /// Previous primal point, length `n`.
+    pub x: Vec<f64>,
+    /// Previous equality multipliers, length `m`.
+    pub lambda: Vec<f64>,
+    /// Previous bound multipliers, length `n`.
+    pub z: Vec<f64>,
+}
+
+impl WarmStart {
+    /// Capture the warm-start state of a finished solve.
+    pub fn from_solution(sol: &Solution) -> Self {
+        WarmStart {
+            x: sol.x.clone(),
+            lambda: sol.lambda.clone(),
+            z: sol.z.clone(),
+        }
+    }
+
+    fn usable_for(&self, n: usize, m: usize) -> bool {
+        self.x.len() == n
+            && self.lambda.len() == m
+            && self.z.len() == n
+            && self.x.iter().all(|v| v.is_finite())
+            && self.lambda.iter().all(|v| v.is_finite())
+            && self.z.iter().all(|v| v.is_finite())
+    }
+}
+
 /// Solve an [`NlpProblem`] with the interior-point filter method.
 pub fn solve(problem: &dyn NlpProblem, opts: &IpmOptions) -> Result<Solution, IpmError> {
+    solve_warm(problem, opts, None)
+}
+
+/// [`solve`], optionally seeded with the previous optimum.
+///
+/// A usable warm start replaces the problem's `initial_point` with the
+/// previous primal point (pushed strictly inside the bounds), keeps the
+/// previous multipliers, and starts the barrier parameter from the
+/// carried complementarity instead of `mu_init` — so a re-solve after a
+/// small model drift converges in a handful of iterations. A warm start
+/// whose dimensions do not match the problem (the live-unit set
+/// changed) or that contains non-finite values is silently ignored and
+/// the solve proceeds cold; warm starting is an optimization, never a
+/// correctness requirement.
+pub fn solve_warm(
+    problem: &dyn NlpProblem,
+    opts: &IpmOptions,
+    warm: Option<&WarmStart>,
+) -> Result<Solution, IpmError> {
     let n = problem.n();
     let m = problem.m();
     if n == 0 {
@@ -248,8 +371,21 @@ pub fn solve(problem: &dyn NlpProblem, opts: &IpmOptions) -> Result<Solution, Ip
         )));
     }
 
+    // Structured path: honour the problem's declared arrow shape unless
+    // the caller forces the dense oracle or the declaration is
+    // inconsistent with the dimensions.
+    let arrow = match problem.arrow_k() {
+        Some(k) if !opts.force_dense_kkt && n == k + 1 && m == k + 1 => Some(k),
+        _ => None,
+    };
+
+    let warm = warm.filter(|w| w.usable_for(n, m));
+
     // Push the start strictly inside the bounds.
-    let mut x = problem.initial_point();
+    let mut x = match warm {
+        Some(w) => w.x.clone(),
+        None => problem.initial_point(),
+    };
     if x.len() != n {
         return Err(IpmError::BadProblem(format!(
             "initial_point length {} != n {}",
@@ -264,13 +400,37 @@ pub fn solve(problem: &dyn NlpProblem, opts: &IpmOptions) -> Result<Solution, Ip
         }
     }
 
-    let mut mu = opts.mu_init;
-    let mut z: Vec<f64> = (0..n).map(|i| mu / (x[i] - lb[i])).collect();
-    let mut lambda = vec![0.0; m];
+    let (mut mu, mut z, mut lambda) = match warm {
+        Some(w) => {
+            let z: Vec<f64> = w.z.iter().map(|&v| v.max(1e-8)).collect();
+            // Resume the barrier from the carried complementarity, not
+            // from mu_init: near an old optimum this starts μ small and
+            // skips the whole early barrier schedule.
+            let avg = (0..n).map(|i| (x[i] - lb[i]) * z[i]).sum::<f64>() / n as f64;
+            let mu = avg.clamp(opts.tol / 10.0, opts.mu_init);
+            (mu, z, w.lambda.clone())
+        }
+        None => {
+            let mu = opts.mu_init;
+            let z = (0..n).map(|i| mu / (x[i] - lb[i])).collect();
+            (mu, z, vec![0.0; m])
+        }
+    };
 
-    let mut ev = evaluate(problem, &x);
+    let mut ev = evaluate(problem, &x, arrow);
     let mut filter = Filter::new((theta(&ev.c) * 1e4).max(1.0));
-    let mut hess = Mat::zeros(n, n);
+    // The dense n×n Hessian is only materialized if the dense KKT path
+    // is ever taken — at n = 10⁴ the arrow path never pays for it.
+    let mut hess: Option<Mat> = None;
+    let mut jd_buf = vec![0.0; arrow.unwrap_or(0)];
+    let mut hd_buf = vec![0.0; if arrow.is_some() { n } else { 0 }];
+    let mut arrow_ws = ArrowWorkspace::new();
+    let mut kstep = KktStep {
+        dx: Vec::new(),
+        dlambda: Vec::new(),
+        dz: Vec::new(),
+        delta: 0.0,
+    };
     let mut ls_failures = 0usize;
     let mut log: Vec<IterationRecord> = Vec::new();
 
@@ -315,19 +475,55 @@ pub fn solve(problem: &dyn NlpProblem, opts: &IpmOptions) -> Result<Solution, Ip
             }
         }
 
-        problem.lagrangian_hessian(&x, &lambda, &mut hess);
-        let step = solve_kkt(&KktInputs {
-            hess: &hess,
-            jac: &ev.jac,
-            grad: &ev.grad,
-            c: &ev.c,
-            x: &x,
-            lb: &lb,
-            z: &z,
-            lambda: &lambda,
-            mu,
-        })
-        .map_err(|e| IpmError::NumericalBreakdown(e.to_string()))?;
+        // KKT step: O(n) arrow elimination when the problem declared the
+        // structure and can produce coefficients at this iterate; dense
+        // LU otherwise.
+        let arrow_ready = match &ev.jac {
+            JacRep::Arrow(_) => problem.arrow_coeffs(&x, &lambda, &mut jd_buf, &mut hd_buf),
+            JacRep::Dense(_) => false,
+        };
+        if arrow_ready {
+            solve_kkt_arrow_into(
+                &ArrowKktInputs {
+                    hess_diag: &hd_buf,
+                    jac_diag: &jd_buf,
+                    grad: &ev.grad,
+                    c: &ev.c,
+                    x: &x,
+                    lb: &lb,
+                    z: &z,
+                    lambda: &lambda,
+                    mu,
+                },
+                &mut arrow_ws,
+                &mut kstep,
+            )
+            .map_err(|e| IpmError::NumericalBreakdown(e.to_string()))?;
+        } else {
+            let jac_owned;
+            let jac: &Mat = match &ev.jac {
+                JacRep::Dense(j) => j,
+                JacRep::Arrow(jd) => {
+                    jac_owned = arrow_dense_jac(jd);
+                    &jac_owned
+                }
+            };
+            let hess = hess.get_or_insert_with(|| Mat::zeros(n, n));
+            problem.lagrangian_hessian(&x, &lambda, hess);
+            kstep = solve_kkt(&KktInputs {
+                hess,
+                jac,
+                grad: &ev.grad,
+                c: &ev.c,
+                x: &x,
+                lb: &lb,
+                z: &z,
+                lambda: &lambda,
+                mu,
+            })
+            .map_err(|e| IpmError::NumericalBreakdown(e.to_string()))?;
+        }
+        let step = &kstep;
 
         let alpha_pri_max = max_step(&x, &lb, &step.dx, opts.tau);
         let zeros = vec![0.0; n];
@@ -348,7 +544,7 @@ pub fn solve(problem: &dyn NlpProblem, opts: &IpmOptions) -> Result<Solution, Ip
             for i in 0..n {
                 x_trial[i] = x[i] + alpha * step.dx[i];
             }
-            let et = evaluate(problem, &x_trial);
+            let et = evaluate(problem, &x_trial, arrow);
             let theta_t = theta(&et.c);
             let phi_t = barrier_phi(et.f, &x_trial, &lb, mu);
             let improves = theta_t < (1.0 - 1e-5) * theta_cur
@@ -366,6 +562,33 @@ pub fn solve(problem: &dyn NlpProblem, opts: &IpmOptions) -> Result<Solution, Ip
             }
             alpha *= 0.5;
             backtracks += 1;
+        }
+
+        // Near-optimal rescue: once θ sits at machine level the filter's
+        // relative improvement margins can exceed the attainable merit
+        // decrease, stalling one small step short of tolerance. In that
+        // regime the unperturbed KKT error is the right merit: accept
+        // the full fraction-to-boundary step if it cuts the error by at
+        // least 10% (geometric decrease, so this terminates).
+        if !accepted && theta_cur <= 1e-8 {
+            alpha = alpha_pri_max;
+            for i in 0..n {
+                x_trial[i] = x[i] + alpha * step.dx[i];
+            }
+            let et = evaluate(problem, &x_trial, arrow);
+            let mut lambda_t = lambda.clone();
+            for j in 0..m {
+                lambda_t[j] += alpha * step.dlambda[j];
+            }
+            let mut z_t = z.clone();
+            for i in 0..n {
+                z_t[i] = (z_t[i] + alpha_dual_max * step.dz[i]).max(1e-300);
+            }
+            let err_t = kkt_error(&et, &x_trial, &lb, &z_t, &lambda_t, 0.0);
+            if err_t < 0.9 * err0 {
+                ev_trial = Some(et);
+                accepted = true;
+            }
         }
 
         if opts.record_iterations {
@@ -403,7 +626,7 @@ pub fn solve(problem: &dyn NlpProblem, opts: &IpmOptions) -> Result<Solution, Ip
             for i in 0..n {
                 x[i] += (alpha_pri_max * 1e-3) * step.dx[i];
             }
-            ev = evaluate(problem, &x);
+            ev = evaluate(problem, &x, arrow);
             continue;
         }
         ls_failures = 0;
@@ -412,7 +635,7 @@ pub fn solve(problem: &dyn NlpProblem, opts: &IpmOptions) -> Result<Solution, Ip
         // An accepted step always carries its trial evaluation;
         // re-evaluate defensively instead of panicking if that
         // invariant ever breaks.
-        ev = ev_trial.unwrap_or_else(|| evaluate(problem, &x));
+        ev = ev_trial.unwrap_or_else(|| evaluate(problem, &x, arrow));
         for j in 0..m {
             lambda[j] += alpha * step.dlambda[j];
         }
@@ -702,6 +925,200 @@ mod tests {
         assert_eq!(IpmStatus::Optimal.name(), "optimal");
         assert_eq!(IpmStatus::MaxIterations.name(), "max_iterations");
         assert_eq!(IpmStatus::LineSearchFailure.name(), "line_search_failure");
+    }
+
+    /// A selection-shaped arrow problem: minimize T subject to
+    /// `a_g·x_g + b_g·x_g² = T` and `Σ x_g = 1`, implementing both the
+    /// dense trait methods and the arrow fast path.
+    struct ArrowSel {
+        a: Vec<f64>,
+        b: Vec<f64>,
+    }
+
+    impl ArrowSel {
+        fn k(&self) -> usize {
+            self.a.len()
+        }
+    }
+
+    impl NlpProblem for ArrowSel {
+        fn n(&self) -> usize {
+            self.k() + 1
+        }
+        fn m(&self) -> usize {
+            self.k() + 1
+        }
+        fn objective(&self, x: &[f64]) -> f64 {
+            x[self.k()]
+        }
+        fn gradient(&self, _x: &[f64], g: &mut [f64]) {
+            g.fill(0.0);
+            g[self.k()] = 1.0;
+        }
+        fn constraints(&self, x: &[f64], c: &mut [f64]) {
+            let k = self.k();
+            let t = x[k];
+            for g in 0..k {
+                c[g] = self.a[g] * x[g] + self.b[g] * x[g] * x[g] - t;
+            }
+            c[k] = x[..k].iter().sum::<f64>() - 1.0;
+        }
+        fn jacobian(&self, x: &[f64], j: &mut Mat) {
+            let k = self.k();
+            *j = Mat::zeros(k + 1, k + 1);
+            for g in 0..k {
+                j[(g, g)] = self.a[g] + 2.0 * self.b[g] * x[g];
+                j[(g, k)] = -1.0;
+                j[(k, g)] = 1.0;
+            }
+        }
+        fn lagrangian_hessian(&self, _x: &[f64], l: &[f64], h: &mut Mat) {
+            let k = self.k();
+            *h = Mat::zeros(k + 1, k + 1);
+            for g in 0..k {
+                h[(g, g)] = l[g] * 2.0 * self.b[g];
+            }
+        }
+        fn lower_bounds(&self) -> Vec<f64> {
+            let mut lb = vec![1e-9; self.k()];
+            lb.push(0.0);
+            lb
+        }
+        fn initial_point(&self) -> Vec<f64> {
+            let k = self.k();
+            let frac = 1.0 / k as f64;
+            let t = (0..k)
+                .map(|g| self.a[g] * frac + self.b[g] * frac * frac)
+                .fold(0.0f64, f64::max);
+            let mut x = vec![frac; k];
+            x.push(t.max(1e-6));
+            x
+        }
+        fn arrow_k(&self) -> Option<usize> {
+            Some(self.k())
+        }
+        fn arrow_coeffs(
+            &self,
+            x: &[f64],
+            lambda: &[f64],
+            jac_diag: &mut [f64],
+            hess_diag: &mut [f64],
+        ) -> bool {
+            let k = self.k();
+            for g in 0..k {
+                jac_diag[g] = self.a[g] + 2.0 * self.b[g] * x[g];
+                hess_diag[g] = lambda[g] * 2.0 * self.b[g];
+            }
+            hess_diag[k] = 0.0;
+            true
+        }
+    }
+
+    fn sel_problem() -> ArrowSel {
+        ArrowSel {
+            a: vec![1.0, 2.5, 0.7, 1.8],
+            b: vec![0.3, 0.1, 0.6, 0.2],
+        }
+    }
+
+    /// The arrow fast path and the dense oracle must agree on the final
+    /// point, not just per-step.
+    #[test]
+    fn arrow_path_matches_dense_solution() {
+        let p = sel_problem();
+        let arrow = solve(&p, &IpmOptions::default()).unwrap();
+        let dense = solve(
+            &p,
+            &IpmOptions {
+                force_dense_kkt: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(arrow.status, IpmStatus::Optimal);
+        assert_eq!(dense.status, IpmStatus::Optimal);
+        for i in 0..p.n() {
+            assert!(
+                (arrow.x[i] - dense.x[i]).abs() < 1e-6,
+                "x[{i}]: {} vs {}",
+                arrow.x[i],
+                dense.x[i]
+            );
+        }
+        // Equal-time property holds: all block times match T.
+        let t = arrow.x[p.k()];
+        for g in 0..p.k() {
+            let tg = p.a[g] * arrow.x[g] + p.b[g] * arrow.x[g] * arrow.x[g];
+            assert!((tg - t).abs() < 1e-6, "block {g}: {tg} vs T={t}");
+        }
+    }
+
+    /// Re-solving a slightly drifted problem from the previous optimum
+    /// must converge in no more iterations than a cold solve, to the
+    /// same point.
+    #[test]
+    fn warm_start_resolves_faster_than_cold() {
+        let p = sel_problem();
+        let first = solve(&p, &IpmOptions::default()).unwrap();
+        assert_eq!(first.status, IpmStatus::Optimal);
+        let warm = WarmStart::from_solution(&first);
+
+        // Drift the curves a little, as a rebalance re-fit would.
+        let drifted = ArrowSel {
+            a: p.a.iter().map(|v| v * 1.05).collect(),
+            b: p.b.iter().map(|v| v * 0.97).collect(),
+        };
+        let cold = solve(&drifted, &IpmOptions::default()).unwrap();
+        let rewarmed = solve_warm(&drifted, &IpmOptions::default(), Some(&warm)).unwrap();
+        assert_eq!(cold.status, IpmStatus::Optimal);
+        assert_eq!(rewarmed.status, IpmStatus::Optimal);
+        assert!(
+            rewarmed.iterations <= cold.iterations,
+            "warm {} > cold {}",
+            rewarmed.iterations,
+            cold.iterations
+        );
+        for i in 0..drifted.n() {
+            assert!(
+                (rewarmed.x[i] - cold.x[i]).abs() < 1e-6,
+                "x[{i}]: {} vs {}",
+                rewarmed.x[i],
+                cold.x[i]
+            );
+        }
+    }
+
+    /// Warm start at the unchanged optimum terminates immediately.
+    #[test]
+    fn warm_start_at_optimum_is_instant() {
+        let p = sel_problem();
+        let first = solve(&p, &IpmOptions::default()).unwrap();
+        let warm = WarmStart::from_solution(&first);
+        let again = solve_warm(&p, &IpmOptions::default(), Some(&warm)).unwrap();
+        assert_eq!(again.status, IpmStatus::Optimal);
+        assert_eq!(again.iterations, 0, "expected instant re-convergence");
+    }
+
+    /// A dimension-mismatched or non-finite warm start is ignored, not
+    /// an error.
+    #[test]
+    fn bad_warm_start_is_ignored() {
+        let p = sel_problem();
+        let wrong_dims = WarmStart {
+            x: vec![0.5; 2],
+            lambda: vec![0.0; 2],
+            z: vec![0.1; 2],
+        };
+        let sol = solve_warm(&p, &IpmOptions::default(), Some(&wrong_dims)).unwrap();
+        assert_eq!(sol.status, IpmStatus::Optimal);
+
+        let non_finite = WarmStart {
+            x: vec![f64::NAN; p.n()],
+            lambda: vec![0.0; p.m()],
+            z: vec![0.1; p.n()],
+        };
+        let sol2 = solve_warm(&p, &IpmOptions::default(), Some(&non_finite)).unwrap();
+        assert_eq!(sol2.status, IpmStatus::Optimal);
     }
 
     #[test]

@@ -2,8 +2,10 @@
 //! generated block-partition problems the returned point must always be
 //! a valid, equalizing partition.
 
+use plb_ipm::kkt::{solve_kkt, solve_kkt_arrow, ArrowKktInputs, KktInputs};
 use plb_ipm::nlp::FnCurve;
 use plb_ipm::{solve, BlockPartitionNlp, BoxedCurve, IpmOptions};
+use plb_numerics::Mat;
 use proptest::prelude::*;
 
 /// Random affine device: time = overhead + x / rate.
@@ -97,6 +99,125 @@ proptest! {
         // Affine with zero overhead: exactly rate-proportional.
         let expect = r2 / (r1 + r2);
         prop_assert!((sol.x[1] - expect).abs() < 1e-3, "{} vs {expect}", sol.x[1]);
+    }
+
+    #[test]
+    fn arrow_kkt_step_matches_dense_oracle(
+        (hess_diag_k, jac_diag, xs, zs, lambdas, cs) in (2usize..12).prop_flat_map(|k| (
+            proptest::collection::vec(0.01f64..5.0, k),
+            proptest::collection::vec(0.1f64..5.0, k),
+            proptest::collection::vec(0.01f64..1.0, k),
+            proptest::collection::vec(0.001f64..1.0, k + 1),
+            proptest::collection::vec(-1.0f64..1.0, k + 1),
+            proptest::collection::vec(-0.1f64..0.1, k + 1),
+        )),
+        t in 0.1f64..2.0,
+        mu in 1e-6f64..0.1,
+    ) {
+        // A random convex selection-shaped KKT system: diagonal Hessian
+        // over [x_0..x_{k-1}, T], block rows (jd_g on x_g, -1 on T), an
+        // all-ones simplex row. The arrow elimination must reproduce
+        // the dense factorization to oracle tolerance.
+        let k = hess_diag_k.len();
+        let n = k + 1;
+        let mut hess_diag = hess_diag_k.clone();
+        hess_diag.push(0.0); // T is linear in the objective
+        let mut grad = vec![0.0; n];
+        grad[k] = 1.0; // min T
+        let mut x = xs.clone();
+        x.push(t);
+        let mut lb = vec![1e-9; k];
+        lb.push(0.0);
+
+        let inp = ArrowKktInputs {
+            hess_diag: &hess_diag,
+            jac_diag: &jac_diag,
+            grad: &grad,
+            c: &cs,
+            x: &x,
+            lb: &lb,
+            z: &zs,
+            lambda: &lambdas,
+            mu,
+        };
+        let arrow = solve_kkt_arrow(&inp).unwrap();
+
+        // Dense oracle: materialize the same system as full matrices.
+        let mut hess = Mat::zeros(n, n);
+        for i in 0..n {
+            hess[(i, i)] = hess_diag[i];
+        }
+        let mut jac = Mat::zeros(n, n);
+        for g in 0..k {
+            jac[(g, g)] = jac_diag[g];
+            jac[(g, k)] = -1.0;
+            jac[(k, g)] = 1.0;
+        }
+        let dense = solve_kkt(&KktInputs {
+            hess: &hess,
+            jac: &jac,
+            grad: &grad,
+            c: &cs,
+            x: &x,
+            lb: &lb,
+            z: &zs,
+            lambda: &lambdas,
+            mu,
+        })
+        .unwrap();
+
+        for i in 0..n {
+            prop_assert!(
+                (arrow.dx[i] - dense.dx[i]).abs() < 1e-9,
+                "dx[{i}]: arrow {} vs dense {}",
+                arrow.dx[i],
+                dense.dx[i]
+            );
+            prop_assert!(
+                (arrow.dlambda[i] - dense.dlambda[i]).abs() < 1e-9,
+                "dlambda[{i}]: arrow {} vs dense {}",
+                arrow.dlambda[i],
+                dense.dlambda[i]
+            );
+            prop_assert!(
+                (arrow.dz[i] - dense.dz[i]).abs() < 1e-9,
+                "dz[{i}]: arrow {} vs dense {}",
+                arrow.dz[i],
+                dense.dz[i]
+            );
+        }
+    }
+
+    #[test]
+    fn structured_solver_agrees_with_dense_solver(
+        params in proptest::collection::vec((0.0f64..0.05, 0.1f64..10.0, 0.0f64..2.0), 2..8),
+    ) {
+        // End-to-end: the full solve over the arrow path and over the
+        // dense path (force_dense_kkt) must land on the same partition.
+        let mk = |params: &[(f64, f64, f64)]| -> BlockPartitionNlp {
+            BlockPartitionNlp::new(
+                params.iter().map(|&(o, a, b)| quad_curve(o, a, b)).collect(),
+            )
+        };
+        let n = params.len();
+        let structured = solve(&mk(&params), &IpmOptions::default()).unwrap();
+        let dense_opts = IpmOptions {
+            force_dense_kkt: true,
+            ..Default::default()
+        };
+        let dense = solve(&mk(&params), &dense_opts).unwrap();
+        if structured.status == plb_ipm::IpmStatus::Optimal
+            && dense.status == plb_ipm::IpmStatus::Optimal
+        {
+            for g in 0..=n {
+                prop_assert!(
+                    (structured.x[g] - dense.x[g]).abs() < 1e-6,
+                    "x[{g}]: structured {} vs dense {}",
+                    structured.x[g],
+                    dense.x[g]
+                );
+            }
+        }
     }
 
     #[test]

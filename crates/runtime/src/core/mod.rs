@@ -563,8 +563,9 @@ impl Driver<'_> {
             // the active set and the policy can fold it back in. The
             // gate arbitrates against loss: a unit marked lost after
             // its quarantine fails `try_restore` and stays gone.
+            let now = self.backend.now();
             for i in 0..n {
-                let due = self.quarantined_until[i].is_some_and(|t| self.backend.now() >= t);
+                let due = self.quarantined_until[i].is_some_and(|t| now >= t);
                 if !due {
                     continue;
                 }
