@@ -54,6 +54,7 @@ struct Args {
     input: Option<String>,
     faults: Option<String>,
     chaos: Option<u64>,
+    chaos_elastic: usize,
     checkpoint: Option<String>,
     checkpoint_interval: Option<u64>,
     resume: bool,
@@ -79,6 +80,7 @@ fn parse_args() -> Args {
         input: None,
         faults: None,
         chaos: None,
+        chaos_elastic: 0,
         checkpoint: None,
         checkpoint_interval: None,
         resume: false,
@@ -136,6 +138,11 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|_| usage("bad --chaos seed")),
                 )
             }
+            "--chaos-elastic" => {
+                a.chaos_elastic = next("--chaos-elastic")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --chaos-elastic intensity"))
+            }
             "--checkpoint" => a.checkpoint = Some(next("--checkpoint")),
             "--checkpoint-interval" => {
                 a.checkpoint_interval = Some(
@@ -163,8 +170,8 @@ fn usage(err: &str) -> ! {
         "usage:\n  plb run     --app mm|grn|bs|nn --size N --machines 1-4 --policy \
          plb-hec|greedy|acosta|hdss\n              [--seed N] [--single-gpu] [--noise SIGMA] \
          [--json FILE] [--gantt FILE.svg] [--trace FILE.json]\n              [--events \
-         FILE.jsonl] [--cluster FILE.json] [--faults SPEC] [--chaos SEED]\n              \
-         [--checkpoint FILE [--checkpoint-interval N] [--resume]]\n  plb compare --app \
+         FILE.jsonl] [--cluster FILE.json] [--faults SPEC] [--chaos SEED] [--chaos-elastic N]\n\
+              [--checkpoint FILE [--checkpoint-interval N] [--resume]]\n  plb compare --app \
          mm|grn|bs --size N --machines 1-4 [--seeds N] [--single-gpu]\n  plb cluster \
          [--machines 1-4] [--cluster FILE.json]\n  plb profile --app mm|grn|bs|nn --size N \
          [--machines 1-4|--cluster FILE.json] --profiles OUT.json\n  plb trace   --input \
@@ -176,8 +183,11 @@ fn usage(err: &str) -> ! {
          `plb run --events` captures the structured decision-event trace \
          (docs/OBSERVABILITY.md) that `plb trace` summarizes offline. \
          `plb run --faults` injects deterministic faults, e.g. \
-         'panic:pu=1,nth=3; flaky:pu=2,n=4; delay:pu=0,from=2,n=5,s=0.1', and \
-         `--chaos SEED` adds a seeded random fault plan on top. \
+         'panic:pu=1,nth=3; flaky:pu=2,n=4; delay:pu=0,from=2,n=5,s=0.1; \
+         join:pu=3,after=40; drift:pu=1,kind=sin,from=0,period=16,amp=0.5', and \
+         `--chaos SEED` adds a seeded random fault plan on top; \
+         `--chaos-elastic N` extends it with N seeded hot-joins and \
+         drift schedules (docs/FAULT_TOLERANCE.md, Elastic capacity). \
          `--checkpoint FILE` snapshots run state every N completed tasks \
          (default 32) so `--resume` can continue a killed run \
          (docs/FAULT_TOLERANCE.md)."
@@ -314,9 +324,17 @@ fn main() {
                     .unwrap_or_else(|e| usage(&format!("bad --faults spec: {e}"))),
                 None => FaultPlan::none(),
             };
-            if let Some(seed) = a.chaos {
-                let chaos = FaultPlan::chaos(seed, n_units, 2 * n_units);
-                println!("chaos seed {seed}: injecting {} faults", chaos.faults.len());
+            if a.chaos.is_some() || a.chaos_elastic > 0 {
+                // `--chaos-elastic N` grows the seeded plan with N
+                // join/drift faults per unit dimension; without an
+                // explicit `--chaos` seed it reuses the run seed.
+                let seed = a.chaos.unwrap_or(a.seed);
+                let chaos = FaultPlan::chaos_elastic(seed, n_units, 2 * n_units, a.chaos_elastic);
+                println!(
+                    "chaos seed {seed}: injecting {} faults (elastic intensity {})",
+                    chaos.faults.len(),
+                    a.chaos_elastic
+                );
                 plan.faults.extend(chaos.faults);
             }
             if !plan.is_empty() {

@@ -114,6 +114,22 @@ impl ModelingController {
         self.active[unit] = false;
     }
 
+    /// Admit a unit that joined (or re-joined) mid-phase: reactivate it
+    /// and issue its initial probe, which re-enters the pipelined
+    /// schedule exactly like a startup probe — the caller assigns the
+    /// returned block and routes its completion to
+    /// [`on_task_done`](Self::on_task_done). The unit's earlier samples
+    /// (if any) are kept; its probe count restarts so it walks the full
+    /// multiplier ladder again.
+    pub fn admit(&mut self, unit: usize) -> u64 {
+        self.active[unit] = true;
+        self.probes_done[unit] = 0;
+        let block = round_to_granularity(self.initial_block as f64, self.granularity);
+        self.outstanding += 1;
+        self.items_used += block;
+        block
+    }
+
     /// The first probes: `initialBlockSize` for every active unit.
     /// Records the issued probes as outstanding; the caller assigns them
     /// and routes completions to [`on_task_done`](Self::on_task_done).
@@ -415,6 +431,37 @@ mod tests {
         // The flying probe lands: now the phase can complete.
         let next1 = feed(&mut c, 1, pending1, 1e5);
         assert!(next1.is_none(), "gate passed; no more probes");
+        assert!(matches!(c.status(), ModelingStatus::Done(_)));
+    }
+
+    #[test]
+    fn admitted_unit_rejoins_the_probe_pipeline() {
+        let mut c = ModelingController::new(2, 1000, 1, 0.7, u64::MAX);
+        let b = c.initial_probes();
+        // Unit 0 never starts (latent join target).
+        c.deactivate(0);
+        c.cancel_probe(0, b[0]);
+        let mut next = Some(b[1]);
+        for _ in 0..10 {
+            match next {
+                Some(blk) => next = feed(&mut c, 1, blk, 1e5),
+                None => break,
+            }
+        }
+        assert!(matches!(c.status(), ModelingStatus::Done(_)));
+        // The unit joins mid-run: it gets a fresh initial probe, the
+        // phase re-opens, and driving it to quota closes the gate again.
+        let probe = c.admit(0);
+        assert_eq!(probe, 1000);
+        assert!(matches!(c.status(), ModelingStatus::Probing));
+        let mut next = Some(probe);
+        for _ in 0..10 {
+            match next {
+                Some(blk) => next = feed(&mut c, 0, blk, 2e5),
+                None => break,
+            }
+        }
+        assert!(c.probes_done(0) >= 4);
         assert!(matches!(c.status(), ModelingStatus::Done(_)));
     }
 

@@ -22,7 +22,7 @@
 //! threshold.
 
 use crate::config::PolicyConfig;
-use crate::modeling::{ModelingController, ModelingStatus};
+use crate::modeling::{round_to_granularity, ModelingController, ModelingStatus};
 use crate::profile::{PerfProfile, UnitModel};
 use crate::selection::{select_block_sizes_cached, SelectionResult, SelectionWarmCache};
 use plb_hetsim::PuId;
@@ -31,6 +31,27 @@ use plb_runtime::{EventKind, Policy, SchedulerCtx, TaskFailure, TaskInfo};
 enum Phase {
     Modeling,
     Executing,
+}
+
+/// Probes a unit joining mid-execution must complete before it is
+/// folded into the split: the modeling phase's minimum quota, walked
+/// on the ×1, ×2, ×4, ×8 mini schedule.
+const JOIN_PROBE_ROUNDS: u32 = 4;
+
+/// A joined unit that cannot land a block inside the divergence
+/// envelope within this many post-fold blocks is declared restabilized
+/// anyway — continuously drifting incumbents can keep the envelope out
+/// of reach through no fault of the newcomer.
+const JOIN_SETTLE_BLOCKS: u32 = 5;
+
+/// Armed when a joined unit is folded into the split; cleared (with a
+/// `restabilized` event) once the unit settles.
+struct JoinWatch {
+    /// `rebalances` counter at fold time: the difference at settle time
+    /// is how many extra re-solves the admission cost.
+    rebalances_at_join: usize,
+    /// Post-fold blocks completed by the unit so far.
+    post_blocks: u32,
 }
 
 /// What a run checkpoint carries for PLB-HeC: the raw per-unit
@@ -83,6 +104,14 @@ pub struct PlbHecPolicy {
     extra_granted: Vec<bool>,
     selections: Vec<SelectionResult>,
     rebalances: usize,
+    /// Remaining mini-schedule probes per unit joining mid-execution
+    /// (0 for everyone else).
+    join_probing: Vec<u32>,
+    /// Restabilization watches for freshly folded joiners.
+    restabilize: Vec<Option<JoinWatch>>,
+    /// When the last block-size selection ran; divergence triggers
+    /// within `rebalance_cooldown_s` of it are suppressed.
+    last_rebalance_t: f64,
     /// Checkpointed learning delivered via [`Policy::restore`], consumed
     /// by the first `on_start` to skip the modeling phase.
     seed: Option<PolicySeed>,
@@ -110,6 +139,9 @@ impl PlbHecPolicy {
             extra_granted: Vec::new(),
             selections: Vec::new(),
             rebalances: 0,
+            join_probing: Vec::new(),
+            restabilize: Vec::new(),
+            last_rebalance_t: f64::NEG_INFINITY,
             seed: None,
             warm_cache: None,
         }
@@ -168,6 +200,9 @@ impl PlbHecPolicy {
         if ctx.remaining_items() == 0 {
             return;
         }
+        // Every selection (initial, divergence, loss, restore, join)
+        // opens a fresh cooldown window.
+        self.last_rebalance_t = ctx.now();
         let window = self.execution_window(ctx);
         let sel = select_block_sizes_cached(
             &self.models,
@@ -414,6 +449,141 @@ impl PlbHecPolicy {
         self.refit_models(ctx);
         self.reselect_and_dispatch(ctx);
     }
+
+    /// The acquisition gate: admit a mid-execution joiner only when the
+    /// modeled makespan payoff on the remaining items exceeds the
+    /// probing cost the newcomer must sink before it can contribute.
+    ///
+    /// The payoff is priced optimistically — the newcomer is assumed as
+    /// fast as the fastest incumbent (its actual speed is unknown, that
+    /// is what the probes are for). Even under that best case, a join
+    /// near the end of the run costs more probe items than the extra
+    /// rate can recover; declining keeps the tail undisturbed.
+    fn join_payoff_beats_cost(&self, remaining: u64) -> bool {
+        // The mini schedule ×1+×2+×4+×8 consumes 15 initial blocks
+        // before the newcomer's curve exists.
+        let probe_items = self.cfg.initial_block.saturating_mul(15);
+        if remaining <= probe_items.saturating_mul(2) {
+            return false;
+        }
+        let mut total_rate = 0.0f64;
+        let mut max_rate = 0.0f64;
+        for i in 0..self.models.len() {
+            if !self.active[i] {
+                continue;
+            }
+            let x = match self.blocks.get(i) {
+                Some(&b) if b > 0 => b as f64,
+                _ => self.cfg.initial_block as f64,
+            };
+            let t = self.models[i].total_time(x);
+            if t.is_finite() && t > 0.0 {
+                let r = x / t;
+                total_rate += r;
+                max_rate = max_rate.max(r);
+            }
+        }
+        if total_rate <= 0.0 || max_rate <= 0.0 {
+            // No usable incumbent model to price the decision: admit —
+            // extra hands cannot make a blind split worse.
+            return true;
+        }
+        let payoff = remaining as f64 / total_rate - remaining as f64 / (total_rate + max_rate);
+        let cost = probe_items as f64 / max_rate;
+        payoff > cost
+    }
+
+    /// A joining unit finished one of its mini-schedule probes: record
+    /// the sample, issue the next probe, or — once the schedule (or the
+    /// data) runs out — fold the unit into the split.
+    fn on_join_probe_done(&mut self, ctx: &mut dyn SchedulerCtx, done: &TaskInfo) {
+        let pu = done.pu;
+        self.profiles[pu.0].record(done.items, done.proc_time, done.xfer_time);
+        self.join_probing[pu.0] -= 1;
+        if self.join_probing[pu.0] > 0 && ctx.remaining_items() > 0 {
+            let round = JOIN_PROBE_ROUNDS - self.join_probing[pu.0] + 1;
+            let raw = (1u64 << (round - 1).min(3)) as f64 * self.cfg.initial_block as f64;
+            let block = round_to_granularity(raw, self.cfg.granularity);
+            if ctx.assign(pu, block) > 0 {
+                ctx.emit_event(
+                    Some(pu.0),
+                    EventKind::ProbeIssued {
+                        items: block,
+                        round,
+                    },
+                );
+                return;
+            }
+            // Pool raced to empty mid-schedule: fold with what we have.
+        }
+        self.join_probing[pu.0] = 0;
+        self.fold_joined_unit(ctx, pu);
+    }
+
+    /// Fit the joined unit's probe samples and fold it into the split:
+    /// re-solve over the full active set (warm-started like any other
+    /// rebalance) and arm the restabilization watch.
+    fn fold_joined_unit(&mut self, ctx: &mut dyn SchedulerCtx, pu: PuId) {
+        let fitted = self.profiles[pu.0].fit_with(self.cfg.fit_mode).ok();
+        let accepted = fitted.is_some();
+        let model = fitted.or_else(|| {
+            // Too few samples for a curve (the pool dried up during the
+            // mini schedule): borrow the fastest incumbent's curve as a
+            // stand-in; the next refit replaces it with the unit's own.
+            self.fastest_incumbent_model(pu.0)
+        });
+        let Some(model) = model else {
+            // No samples and no incumbent to borrow from: nothing to
+            // solve against, the unit sits back out.
+            ctx.emit_event(Some(pu.0), EventKind::DeviceRestoredIgnored);
+            return;
+        };
+        self.active[pu.0] = true;
+        ctx.emit_event(
+            Some(pu.0),
+            EventKind::CurveFit {
+                r2_f: model.f_quality,
+                r2_g: model.g_quality,
+                basis_f: model.f.basis().describe(),
+                samples: self.profiles[pu.0].len(),
+                accepted,
+            },
+        );
+        self.models[pu.0] = model;
+        if ctx.remaining_items() == 0 {
+            // The pool drained while the newcomer probed: there is no
+            // split left to absorb it into, which is trivially stable.
+            ctx.emit_event(Some(pu.0), EventKind::Restabilized { rebalances: 0 });
+            return;
+        }
+        ctx.emit_event(
+            Some(pu.0),
+            EventKind::RebalanceTriggered {
+                trigger: "device-joined".to_string(),
+                expected_s: 0.0,
+                observed_s: 0.0,
+                divergence: 0.0,
+            },
+        );
+        self.rebalances += 1;
+        self.restabilize[pu.0] = Some(JoinWatch {
+            rebalances_at_join: self.rebalances,
+            post_blocks: 0,
+        });
+        self.reselect_and_dispatch(ctx);
+    }
+
+    fn fastest_incumbent_model(&self, joined: usize) -> Option<UnitModel> {
+        let x = self.cfg.initial_block.max(1) as f64;
+        (0..self.models.len())
+            .filter(|&i| i != joined && self.active[i])
+            .min_by(|&a, &b| {
+                let ta = self.models[a].total_time(x);
+                let tb = self.models[b].total_time(x);
+                ta.partial_cmp(&tb).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|i| self.models[i].clone())
+    }
 }
 
 impl Policy for PlbHecPolicy {
@@ -428,6 +598,8 @@ impl Policy for PlbHecPolicy {
         self.extra_granted = vec![false; n];
         self.blocks = vec![0; n];
         self.fractions = vec![0.0; n];
+        self.join_probing = vec![0; n];
+        self.restabilize = (0..n).map(|_| None).collect();
         if self.try_resume(ctx) {
             // Checkpointed profiles re-fit cleanly: straight to the
             // execution phase, zero probes re-issued.
@@ -498,15 +670,57 @@ impl Policy for PlbHecPolicy {
                 }
             }
             Phase::Executing => {
+                if self.join_probing[done.pu.0] > 0 {
+                    // A joiner's mini-schedule probe, not a split block.
+                    self.on_join_probe_done(ctx, done);
+                    return;
+                }
                 self.profiles[done.pu.0].record(done.items, done.proc_time, done.xfer_time);
                 self.last_finish[done.pu.0] = Some(done.finish);
+
+                // Restabilization watch: a freshly folded joiner has
+                // settled once one of its blocks lands inside the
+                // divergence envelope (or after enough blocks that the
+                // envelope is evidently unreachable).
+                if self.restabilize[done.pu.0].is_some() {
+                    // An exhausted pool also settles the watch: with no
+                    // items left to redistribute, the tail blocks are
+                    // tail effects, not instability (the same reasoning
+                    // that mutes the divergence trigger below).
+                    let settled =
+                        self.check_divergence(done).is_none() || ctx.remaining_items() == 0;
+                    let watch = self.restabilize[done.pu.0]
+                        .as_mut()
+                        .expect("checked just above");
+                    watch.post_blocks += 1;
+                    if settled || watch.post_blocks >= JOIN_SETTLE_BLOCKS {
+                        let rebalances = (self.rebalances - watch.rebalances_at_join) as u32;
+                        self.restabilize[done.pu.0] = None;
+                        ctx.emit_event(Some(done.pu.0), EventKind::Restabilized { rebalances });
+                    }
+                }
+                if ctx.remaining_items() == 0 {
+                    // The pool is drained, so no watch can ever see
+                    // another block from its own unit: whatever split the
+                    // run ends on is the stable one. Flush them all.
+                    for pu in 0..self.restabilize.len() {
+                        if let Some(watch) = self.restabilize[pu].take() {
+                            let rebalances = (self.rebalances - watch.rebalances_at_join) as u32;
+                            ctx.emit_event(Some(pu), EventKind::Restabilized { rebalances });
+                        }
+                    }
+                }
 
                 // A divergence is only actionable while data remains to
                 // redistribute; the staggered finishes of the very last
                 // blocks (including the shrinking residue-phase blocks)
-                // are inherent tail effects, not imbalance.
+                // are inherent tail effects, not imbalance. The cooldown
+                // additionally mutes triggers right after a re-solve —
+                // hysteresis against thrash under continuous drift.
                 let round_total: u64 = self.blocks.iter().sum();
-                if !self.rebalance_pending && ctx.remaining_items() >= round_total.max(1) {
+                let cooled = ctx.now() >= self.last_rebalance_t + self.cfg.rebalance_cooldown_s;
+                if !self.rebalance_pending && cooled && ctx.remaining_items() >= round_total.max(1)
+                {
                     if let Some((expected, observed)) = self.check_divergence(done) {
                         ctx.emit_event(
                             Some(done.pu.0),
@@ -572,6 +786,10 @@ impl Policy for PlbHecPolicy {
     fn on_device_lost(&mut self, ctx: &mut dyn SchedulerCtx, pu: PuId) {
         self.active[pu.0] = false;
         self.last_finish[pu.0] = None;
+        // A joiner that dies mid-probe (or before settling) takes its
+        // join bookkeeping with it.
+        self.join_probing[pu.0] = 0;
+        self.restabilize[pu.0] = None;
         match self.phase {
             Phase::Modeling => {
                 let Some(ctrl) = self.ctrl.as_mut() else {
@@ -644,6 +862,84 @@ impl Policy for PlbHecPolicy {
                     );
                     self.rebalances += 1;
                     self.reselect_and_dispatch(ctx);
+                }
+            }
+        }
+    }
+
+    fn on_device_joined(&mut self, ctx: &mut dyn SchedulerCtx, pu: PuId) {
+        if self.active[pu.0] {
+            return;
+        }
+        match self.phase {
+            Phase::Modeling => {
+                // Mid-modeling the newcomer folds straight into the
+                // probe pipeline — no acquisition gate, probing is what
+                // this phase spends its budget on anyway.
+                self.active[pu.0] = true;
+                let Some(ctrl) = self.ctrl.as_mut() else {
+                    debug_assert!(false, "controller exists in modeling phase");
+                    self.active[pu.0] = false;
+                    return;
+                };
+                let block = ctrl.admit(pu.0);
+                if ctx.assign(pu, block) > 0 {
+                    ctx.emit_event(
+                        Some(pu.0),
+                        EventKind::ProbeIssued {
+                            items: block,
+                            round: 1,
+                        },
+                    );
+                    // The watch stays dormant through modeling (only
+                    // executing-phase completions tick it): the unit is
+                    // declared restabilized once its first split blocks
+                    // settle, same as an executing-phase fold.
+                    self.restabilize[pu.0] = Some(JoinWatch {
+                        rebalances_at_join: self.rebalances,
+                        post_blocks: 0,
+                    });
+                } else {
+                    // Data exhausted before the probe could be issued:
+                    // the unit stays out, as if it never joined.
+                    if let Some(ctrl) = self.ctrl.as_mut() {
+                        ctrl.cancel_probe(pu.0, block);
+                        ctrl.deactivate(pu.0);
+                    }
+                    self.active[pu.0] = false;
+                    ctx.emit_event(Some(pu.0), EventKind::DeviceRestoredIgnored);
+                }
+            }
+            Phase::Executing => {
+                let remaining = ctx.remaining_items();
+                if remaining == 0 || !self.join_payoff_beats_cost(remaining) {
+                    // Declined: the modeled payoff on the remaining work
+                    // does not cover the probing cost. The breadcrumb
+                    // explains why the unit idles.
+                    ctx.emit_event(Some(pu.0), EventKind::DeviceRestoredIgnored);
+                    return;
+                }
+                // The unit stays out of `active` (and thus out of any
+                // concurrent re-solve) until its probes yield a model;
+                // `fold_joined_unit` flips it in.
+                self.last_finish[pu.0] = None;
+                self.profiles[pu.0] = PerfProfile::new();
+                self.join_probing[pu.0] = JOIN_PROBE_ROUNDS;
+                let block =
+                    round_to_granularity(self.cfg.initial_block as f64, self.cfg.granularity);
+                if ctx.assign(pu, block) > 0 {
+                    ctx.emit_event(
+                        Some(pu.0),
+                        EventKind::ProbeIssued {
+                            items: block,
+                            round: 1,
+                        },
+                    );
+                } else {
+                    // The pool raced to empty between the gate and the
+                    // probe: back out.
+                    self.join_probing[pu.0] = 0;
+                    ctx.emit_event(Some(pu.0), EventKind::DeviceRestoredIgnored);
                 }
             }
         }
@@ -1052,6 +1348,104 @@ mod tests {
             sink.counters().probes > 0,
             "mismatched seed falls back to probing"
         );
+    }
+
+    fn linear_model(rate: f64) -> UnitModel {
+        let mut p = PerfProfile::new();
+        for &x in &[100u64, 200, 400, 800] {
+            p.record(x, x as f64 / rate, 1e-5);
+        }
+        p.fit_with(crate::config::FitMode::BestSubset)
+            .expect("clean linear data fits")
+    }
+
+    #[test]
+    fn acquisition_gate_prices_probe_cost() {
+        let cfg = PolicyConfig::default().with_initial_block(100);
+        let mut p = PlbHecPolicy::new(&cfg);
+        p.active = vec![true, true, false];
+        p.blocks = vec![1000, 1000, 0];
+        p.models = vec![linear_model(1e4), linear_model(1e4), linear_model(1e4)];
+        // Plenty of work left: the added rate easily recovers the 15
+        // initial blocks the mini schedule will consume.
+        assert!(p.join_payoff_beats_cost(1_000_000));
+        // Just past the hard floor the modeled payoff (~0.05 s) cannot
+        // cover the probe cost (~0.15 s).
+        assert!(!p.join_payoff_beats_cost(3_001));
+        // At or below twice the probe items the gate refuses outright.
+        assert!(!p.join_payoff_beats_cost(3_000));
+    }
+
+    #[test]
+    fn hot_join_folds_newcomer_and_restabilizes() {
+        let mut cluster = ClusterSim::build(
+            &cluster_scenario(Scenario::Two, false),
+            &ClusterOptions {
+                noise_sigma: 0.01,
+                ..Default::default()
+            },
+        );
+        let cost = heavy_cost();
+        let cfg = PolicyConfig::default()
+            .with_initial_block(1000)
+            .with_round_fraction(0.25);
+        let mut policy = PlbHecPolicy::new(&cfg);
+        let plan = plb_runtime::FaultPlan::parse("join:pu=1,after=30", 2).unwrap();
+        let mut engine = SimEngine::new(&mut cluster, &cost).with_faults(plan);
+        let r = engine.run(&mut policy, 4_000_000).unwrap();
+        assert_eq!(r.total_items, 4_000_000);
+        assert!(r.pus[1].items > 0, "joined unit must hold a share");
+
+        let sink = engine.last_events().expect("engine keeps the event sink");
+        assert!(
+            sink.events()
+                .iter()
+                .any(|e| e.pu == Some(1) && matches!(e.kind, EventKind::PuJoined { .. })),
+            "join must be recorded"
+        );
+        assert!(
+            sink.events()
+                .iter()
+                .any(|e| e.pu == Some(1) && matches!(e.kind, EventKind::Restabilized { .. })),
+            "joined unit must restabilize"
+        );
+    }
+
+    #[test]
+    fn cooldown_bounds_rebalances_under_drift() {
+        // Fast sinusoidal drift on the GPU: every block runs far from
+        // its freshly fitted curve, so without hysteresis the trigger
+        // re-solves round after round.
+        let run = |cooldown: f64| {
+            let mut cluster = ClusterSim::build(
+                &cluster_scenario(Scenario::One, false),
+                &ClusterOptions {
+                    noise_sigma: 0.01,
+                    ..Default::default()
+                },
+            );
+            let cost = heavy_cost();
+            let cfg = PolicyConfig::default()
+                .with_initial_block(1000)
+                .with_round_fraction(0.25)
+                .with_rebalance_cooldown(cooldown);
+            let mut policy = PlbHecPolicy::new(&cfg);
+            let plan =
+                plb_runtime::FaultPlan::parse("drift:pu=1,kind=sin,from=0,period=6,amp=0.8", 2)
+                    .unwrap();
+            let r = SimEngine::new(&mut cluster, &cost)
+                .with_faults(plan)
+                .run(&mut policy, 8_000_000)
+                .unwrap();
+            assert_eq!(r.total_items, 8_000_000);
+            policy.rebalances()
+        };
+        let unchecked = run(0.0);
+        assert!(unchecked >= 1, "drift scenario must be adversarial");
+        // A cooldown longer than the whole run mutes every divergence
+        // trigger after the initial selection.
+        let damped = run(1e6);
+        assert_eq!(damped, 0, "cooldown must suppress repeat triggers");
     }
 
     #[test]

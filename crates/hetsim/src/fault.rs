@@ -20,6 +20,18 @@
 //!   host watchdog's deadline path).
 //! * [`FaultKind::RandomDelay`] — like `Delay` but with a seeded,
 //!   hash-derived duration per attempt, still fully deterministic.
+//!
+//! The elastic-capacity extension adds two non-failure dimensions:
+//!
+//! * [`FaultKind::Join`] — the unit is *latent* at run start and joins
+//!   the cluster after a number of globally completed tasks (hot-join).
+//!   Join triggers are keyed by completed-task count, not attempts,
+//!   because a latent unit has no attempts yet.
+//! * [`FaultKind::DriftRamp`] / [`FaultKind::DriftStep`] /
+//!   [`FaultKind::DriftSinusoid`] — deterministic per-unit speed-drift
+//!   schedules: a multiplicative slowdown factor evaluated per attempt
+//!   (on top of the cluster's `NoiseGen` timing noise), emulating a
+//!   contended node whose effective speed changes over the run.
 
 use serde::{Deserialize, Serialize};
 
@@ -69,7 +81,47 @@ pub enum FaultKind {
         /// Hash seed; the same seed always yields the same delays.
         seed: u64,
     },
+    /// The unit is latent at run start and joins the cluster once
+    /// `after_tasks` tasks have completed globally (hot-join). A unit
+    /// can join at most once per plan.
+    Join {
+        /// Global completed-task count that admits the unit.
+        after_tasks: u64,
+    },
+    /// Slowdown factor ramps linearly from 1.0 toward `to` across
+    /// attempts `from..from + attempts`, then holds at `to`.
+    DriftRamp {
+        /// First affected attempt index.
+        from: u64,
+        /// Attempts the ramp is spread over.
+        attempts: u64,
+        /// Final slowdown factor (1.0 = nominal; > 1 slows the unit).
+        to: f64,
+    },
+    /// Stepwise slowdown schedule: from each `(attempt, factor)`
+    /// breakpoint on, the factor holds until the next breakpoint.
+    /// Breakpoint attempts must be strictly increasing.
+    DriftStep {
+        /// `(attempt, factor)` breakpoints in ascending attempt order.
+        points: Vec<(u64, f64)>,
+    },
+    /// Sinusoidal slowdown oscillation from attempt `from` on:
+    /// `factor = 1 + amplitude · sin(2π·(attempt − from)/period)`.
+    DriftSinusoid {
+        /// First affected attempt index.
+        from: u64,
+        /// Oscillation period in attempts (≥ 2).
+        period: u64,
+        /// Oscillation amplitude, in `(0, 1)` so the factor stays
+        /// positive.
+        amplitude: f64,
+    },
 }
+
+/// Inclusive bounds a drift slowdown factor must lie within — outside
+/// this range a "drift" is really a failure (or a time machine) and the
+/// parser rejects it.
+pub const DRIFT_FACTOR_RANGE: (f64, f64) = (0.01, 100.0);
 
 /// What a unit must do on a given attempt.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -157,6 +209,12 @@ impl FaultPlan {
                         delay += unit * max_seconds;
                     }
                 }
+                // Joins and drift schedules are not attempt actions:
+                // they are queried through `joins` and `drift_factor`.
+                FaultKind::Join { .. }
+                | FaultKind::DriftRamp { .. }
+                | FaultKind::DriftStep { .. }
+                | FaultKind::DriftSinusoid { .. } => {}
             }
         }
         if delay > 0.0 {
@@ -164,6 +222,71 @@ impl FaultPlan {
         } else {
             None
         }
+    }
+
+    /// The multiplicative slowdown factor unit `pu` runs at on its
+    /// `attempt`-th dispatch (1.0 = nominal). Multiple matching drift
+    /// schedules compose by multiplication.
+    pub fn drift_factor(&self, pu: usize, attempt: u64) -> f64 {
+        let mut factor = 1.0f64;
+        for f in self.faults.iter().filter(|f| f.pu == pu) {
+            match &f.kind {
+                FaultKind::DriftRamp { from, attempts, to } => {
+                    if attempt >= *from && *attempts > 0 {
+                        let step = (attempt - from + 1).min(*attempts) as f64;
+                        factor *= 1.0 + (to - 1.0) * step / *attempts as f64;
+                    }
+                }
+                FaultKind::DriftStep { points } => {
+                    if let Some(&(_, fac)) = points.iter().rev().find(|&&(at, _)| attempt >= at) {
+                        factor *= fac;
+                    }
+                }
+                FaultKind::DriftSinusoid {
+                    from,
+                    period,
+                    amplitude,
+                } => {
+                    if attempt >= *from && *period > 0 {
+                        let phase = (attempt - from) % period;
+                        let angle = std::f64::consts::TAU * phase as f64 / *period as f64;
+                        factor *= 1.0 + amplitude * angle.sin();
+                    }
+                }
+                _ => {}
+            }
+        }
+        factor
+    }
+
+    /// True when the plan carries any drift schedule — lets the driver
+    /// skip per-attempt factor evaluation entirely on drift-free plans.
+    pub fn has_drift(&self) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(
+                f.kind,
+                FaultKind::DriftRamp { .. }
+                    | FaultKind::DriftStep { .. }
+                    | FaultKind::DriftSinusoid { .. }
+            )
+        })
+    }
+
+    /// The join schedule: one `(pu, after_tasks)` entry per joining
+    /// unit, sorted by trigger count then unit id. Units listed here are
+    /// latent at run start and are admitted by the driver once the
+    /// global completed-task count reaches their trigger.
+    pub fn joins(&self) -> Vec<(usize, u64)> {
+        let mut joins: Vec<(usize, u64)> = self
+            .faults
+            .iter()
+            .filter_map(|f| match f.kind {
+                FaultKind::Join { after_tasks } => Some((f.pu, after_tasks)),
+                _ => None,
+            })
+            .collect();
+        joins.sort_by_key(|&(pu, at)| (at, pu));
+        joins
     }
 
     /// Parse the CLI syntax used by `plb run --faults`: a
@@ -175,6 +298,10 @@ impl FaultPlan {
     /// flaky:pu=2,n=4               unit 2 panics its first 4 attempts
     /// delay:pu=0,from=2,n=5,s=0.1  +0.1s on unit 0 attempts 2..7
     /// rdelay:pu=0,from=0,n=9,max=0.2,seed=7
+    /// join:pu=3,after=40           unit 3 is latent; joins after 40 tasks
+    /// drift:pu=1,kind=ramp,from=0,n=40,to=3.0
+    /// drift:pu=1,kind=step,points=5:1.5/12:2.0/20:1.0
+    /// drift:pu=1,kind=sin,from=0,period=16,amp=0.5
     /// ```
     ///
     /// Beyond the syntax, the plan itself must be well-formed — each
@@ -184,13 +311,21 @@ impl FaultPlan {
     /// * no fault may be listed twice;
     /// * a unit's faults must be listed in non-decreasing trigger order
     ///   (the attempt a fault first fires on: `nth` for `panic`, 0 for
-    ///   `flaky`, `from` for the delays);
+    ///   `flaky`, `from` for the delays and drifts — joins are keyed by
+    ///   task count, not attempts, and sit outside this ordering);
     /// * attempt windows need `n ≥ 1` and `from + n` must not overflow;
-    /// * injected durations (`s`, `max`) must be finite and positive.
+    /// * injected durations (`s`, `max`) must be finite and positive;
+    /// * a unit may join at most once (a second `join` targets a unit
+    ///   that is already live by then), and at least one unit must stay
+    ///   live at run start (joins must not cover every unit);
+    /// * drift factors (`to`, step factors) must lie within
+    ///   [`DRIFT_FACTOR_RANGE`]; step breakpoints must be strictly
+    ///   increasing; a sinusoid needs `period ≥ 2` and `amp` in (0, 1).
     pub fn parse(spec: &str, n_pus: usize) -> Result<FaultPlan, String> {
         let mut faults: Vec<Fault> = Vec::new();
         let mut last_trigger: std::collections::HashMap<usize, u64> =
             std::collections::HashMap::new();
+        let mut join_targets: std::collections::HashSet<usize> = std::collections::HashSet::new();
         for part in spec.split(';').filter(|p| !p.trim().is_empty()) {
             let part = part.trim();
             let (kind, rest) = part
@@ -225,8 +360,9 @@ impl FaultPlan {
                 if n == 0 {
                     return Err(format!("fault `{part}`: `n` must be at least 1"));
                 }
-                from.checked_add(n)
-                    .ok_or_else(|| format!("fault `{part}`: attempt window `from + n` overflows"))?;
+                from.checked_add(n).ok_or_else(|| {
+                    format!("fault `{part}`: attempt window `from + n` overflows")
+                })?;
                 Ok((from, n))
             };
             let duration = |key: &str, s: f64| -> Result<f64, String> {
@@ -263,9 +399,118 @@ impl FaultPlan {
                         seed: get_u64("seed").unwrap_or(0),
                     }
                 }
+                "join" => {
+                    if !join_targets.insert(pu) {
+                        return Err(format!(
+                            "fault `{part}`: pu {pu} already joins earlier in the \
+                             plan — the unit is live by then and cannot join again"
+                        ));
+                    }
+                    FaultKind::Join {
+                        after_tasks: get_u64("after")?,
+                    }
+                }
+                "drift" => {
+                    let factor = |key: &str, v: f64| -> Result<f64, String> {
+                        let (lo, hi) = DRIFT_FACTOR_RANGE;
+                        if v.is_finite() && (lo..=hi).contains(&v) {
+                            Ok(v)
+                        } else {
+                            Err(format!(
+                                "fault `{part}`: drift factor `{key}` must be a finite \
+                                 value in [{lo}, {hi}], got {v}"
+                            ))
+                        }
+                    };
+                    let shape = kv
+                        .get("kind")
+                        .ok_or_else(|| format!("fault `{part}`: missing `kind`"))?;
+                    match shape.as_str() {
+                        "ramp" => {
+                            let (from, attempts) = window(get_u64("from")?, get_u64("n")?)?;
+                            FaultKind::DriftRamp {
+                                from,
+                                attempts,
+                                to: factor("to", get_f64("to")?)?,
+                            }
+                        }
+                        "step" => {
+                            let raw = kv
+                                .get("points")
+                                .ok_or_else(|| format!("fault `{part}`: missing `points`"))?;
+                            let mut points: Vec<(u64, f64)> = Vec::new();
+                            for p in raw.split('/').filter(|p| !p.trim().is_empty()) {
+                                let (at, fac) = p.split_once(':').ok_or_else(|| {
+                                    format!(
+                                        "fault `{part}`: bad breakpoint `{p}` \
+                                         (expected attempt:factor)"
+                                    )
+                                })?;
+                                let at: u64 = at.trim().parse().map_err(|_| {
+                                    format!(
+                                        "fault `{part}`: breakpoint attempt `{at}` \
+                                             must be an integer"
+                                    )
+                                })?;
+                                let fac: f64 = fac.trim().parse().map_err(|_| {
+                                    format!(
+                                        "fault `{part}`: breakpoint factor `{fac}` \
+                                             must be a number"
+                                    )
+                                })?;
+                                let fac = factor("points", fac)?;
+                                if let Some(&(prev, _)) = points.last() {
+                                    if at <= prev {
+                                        return Err(format!(
+                                            "fault `{part}`: breakpoint at attempt {at} \
+                                             does not follow {prev}; drift breakpoints \
+                                             must be strictly increasing"
+                                        ));
+                                    }
+                                }
+                                points.push((at, fac));
+                            }
+                            if points.is_empty() {
+                                return Err(format!(
+                                    "fault `{part}`: `points` needs at least one \
+                                     attempt:factor breakpoint"
+                                ));
+                            }
+                            FaultKind::DriftStep { points }
+                        }
+                        "sin" => {
+                            let period = get_u64("period")?;
+                            if period < 2 {
+                                return Err(format!(
+                                    "fault `{part}`: sinusoid `period` must be at \
+                                     least 2 attempts, got {period}"
+                                ));
+                            }
+                            let amp = get_f64("amp")?;
+                            if !(amp.is_finite() && amp > 0.0 && amp < 1.0) {
+                                return Err(format!(
+                                    "fault `{part}`: sinusoid `amp` must lie in (0, 1) \
+                                     so the factor stays positive, got {amp}"
+                                ));
+                            }
+                            FaultKind::DriftSinusoid {
+                                from: get_u64("from")?,
+                                period,
+                                amplitude: amp,
+                            }
+                        }
+                        other => {
+                            return Err(format!(
+                                "fault `{part}`: unknown drift kind `{other}` \
+                                 (ramp, step, sin)"
+                            ))
+                        }
+                    }
+                }
                 other => {
                     return Err(format!(
-                        "unknown fault kind `{other}` (panic, flaky, delay, rdelay)"
+                        "unknown fault kind `{other}` (panic, flaky, delay, rdelay, \
+                         join, drift)"
                     ))
                 }
             };
@@ -273,21 +518,25 @@ impl FaultPlan {
             if faults.iter().any(|f| *f == fault) {
                 return Err(format!("fault `{part}`: duplicate of an earlier fault"));
             }
-            let trigger = fault.kind.trigger();
-            if let Some(&prev) = last_trigger.get(&pu) {
-                if trigger < prev {
-                    return Err(format!(
-                        "fault `{part}`: fires at attempt {trigger}, before the \
-                         previous fault on pu {pu} (attempt {prev}); list each \
-                         unit's faults in attempt order"
-                    ));
+            if let Some(trigger) = fault.kind.trigger() {
+                if let Some(&prev) = last_trigger.get(&pu) {
+                    if trigger < prev {
+                        return Err(format!(
+                            "fault `{part}`: fires at attempt {trigger}, before the \
+                             previous fault on pu {pu} (attempt {prev}); list each \
+                             unit's faults in attempt order"
+                        ));
+                    }
                 }
+                last_trigger.insert(pu, trigger);
             }
-            last_trigger.insert(pu, trigger);
             faults.push(fault);
         }
         if faults.is_empty() {
             return Err("empty fault spec".into());
+        }
+        if !join_targets.is_empty() && join_targets.len() >= n_pus {
+            return Err("every unit joins mid-run; at least one unit must be live at start".into());
         }
         Ok(FaultPlan { faults })
     }
@@ -342,16 +591,75 @@ impl FaultPlan {
         }
         FaultPlan { faults }
     }
+
+    /// [`chaos`](Self::chaos) plus an elastic dimension: roughly
+    /// `elastic` additional hot-join and speed-drift faults drawn from
+    /// the same seed. Unit 0 still stays untouched (so it is always live
+    /// at start and never drifts), each unit joins at most once, and
+    /// generated drift factors respect [`DRIFT_FACTOR_RANGE`]. The same
+    /// `(seed, n_pus, intensity, elastic)` always yields the same plan.
+    pub fn chaos_elastic(seed: u64, n_pus: usize, intensity: usize, elastic: usize) -> FaultPlan {
+        let mut plan = Self::chaos(seed, n_pus, intensity);
+        if n_pus < 2 || elastic == 0 {
+            return plan;
+        }
+        // A distinct stream from the base chaos RNG, so adding the
+        // elastic dimension never reshuffles the failure faults.
+        let mut x = splitmix64(seed ^ 0x5851_f42d_4c95_7f2d);
+        let mut next = move || {
+            x = splitmix64(x);
+            x
+        };
+        let mut joined: std::collections::HashSet<usize> = Default::default();
+        for _ in 0..elastic {
+            let pu = 1 + (next() as usize % (n_pus - 1));
+            let kind = match next() % 4 {
+                // A unit joins at most once; a repeat pick drifts
+                // instead so the draw is never wasted.
+                0 if joined.insert(pu) => FaultKind::Join {
+                    after_tasks: 1 + next() % 40,
+                },
+                0 | 1 => FaultKind::DriftRamp {
+                    from: next() % 8,
+                    attempts: 4 + next() % 28,
+                    to: 1.5 + (next() % 25) as f64 * 0.1,
+                },
+                2 => FaultKind::DriftStep {
+                    points: {
+                        let start = next() % 8;
+                        vec![
+                            (start, 1.2 + (next() % 18) as f64 * 0.1),
+                            (start + 4 + next() % 12, 1.0 + (next() % 10) as f64 * 0.1),
+                        ]
+                    },
+                },
+                _ => FaultKind::DriftSinusoid {
+                    from: next() % 8,
+                    period: 4 + next() % 28,
+                    amplitude: 0.1 + (next() % 8) as f64 * 0.1,
+                },
+            };
+            let fault = Fault { pu, kind };
+            if !plan.faults.iter().any(|f| *f == fault) {
+                plan.faults.push(fault);
+            }
+        }
+        plan
+    }
 }
 
 impl FaultKind {
     /// The first attempt index this fault can fire on — the ordering
-    /// key [`FaultPlan::parse`] enforces per unit.
-    fn trigger(&self) -> u64 {
+    /// key [`FaultPlan::parse`] enforces per unit. `None` for joins,
+    /// which are keyed by completed-task count rather than attempts.
+    fn trigger(&self) -> Option<u64> {
         match *self {
-            FaultKind::PanicOnAttempt { nth } => nth,
-            FaultKind::FlakyUntil { .. } => 0,
-            FaultKind::Delay { from, .. } | FaultKind::RandomDelay { from, .. } => from,
+            FaultKind::PanicOnAttempt { nth } => Some(nth),
+            FaultKind::FlakyUntil { .. } => Some(0),
+            FaultKind::Delay { from, .. } | FaultKind::RandomDelay { from, .. } => Some(from),
+            FaultKind::Join { .. } => None,
+            FaultKind::DriftRamp { from, .. } | FaultKind::DriftSinusoid { from, .. } => Some(from),
+            FaultKind::DriftStep { ref points } => points.first().map(|&(at, _)| at),
         }
     }
 }
@@ -548,6 +856,7 @@ mod tests {
                     FaultKind::PanicOnAttempt { nth } => nth,
                     FaultKind::FlakyUntil { .. } => 0,
                     FaultKind::Delay { from, .. } | FaultKind::RandomDelay { from, .. } => from,
+                    ref other => panic!("chaos() must not generate {other:?}"),
                 };
                 if let Some(&prev) = last.get(&f.pu) {
                     assert!(t >= prev, "non-monotonic triggers on pu {}: {plan:?}", f.pu);
@@ -555,7 +864,277 @@ mod tests {
                 last.insert(f.pu, t);
             }
         }
-        assert!(FaultPlan::chaos(7, 1, 10).is_empty(), "nothing safe to break");
+        assert!(
+            FaultPlan::chaos(7, 1, 10).is_empty(),
+            "nothing safe to break"
+        );
         assert!(FaultPlan::chaos(7, 4, 0).is_empty());
+    }
+
+    #[test]
+    fn drift_ramp_interpolates_and_holds() {
+        let plan = FaultPlan::new(vec![Fault {
+            pu: 1,
+            kind: FaultKind::DriftRamp {
+                from: 2,
+                attempts: 4,
+                to: 3.0,
+            },
+        }]);
+        assert_eq!(plan.drift_factor(1, 0), 1.0, "before the window");
+        assert_eq!(plan.drift_factor(1, 1), 1.0);
+        assert!((plan.drift_factor(1, 2) - 1.5).abs() < 1e-12, "first step");
+        assert!((plan.drift_factor(1, 3) - 2.0).abs() < 1e-12);
+        assert!(
+            (plan.drift_factor(1, 5) - 3.0).abs() < 1e-12,
+            "ramp tops out"
+        );
+        assert!(
+            (plan.drift_factor(1, 100) - 3.0).abs() < 1e-12,
+            "holds after"
+        );
+        assert_eq!(plan.drift_factor(0, 5), 1.0, "other units unaffected");
+        assert_eq!(plan.action(1, 3), None, "drift is not an attempt action");
+    }
+
+    #[test]
+    fn drift_step_and_sinusoid_evaluate() {
+        let plan = FaultPlan::new(vec![
+            Fault {
+                pu: 0,
+                kind: FaultKind::DriftStep {
+                    points: vec![(3, 2.0), (7, 0.5)],
+                },
+            },
+            Fault {
+                pu: 2,
+                kind: FaultKind::DriftSinusoid {
+                    from: 0,
+                    period: 4,
+                    amplitude: 0.5,
+                },
+            },
+        ]);
+        assert_eq!(plan.drift_factor(0, 0), 1.0);
+        assert_eq!(plan.drift_factor(0, 3), 2.0);
+        assert_eq!(plan.drift_factor(0, 6), 2.0, "holds between breakpoints");
+        assert_eq!(plan.drift_factor(0, 7), 0.5, "a drift can also speed up");
+        // Sinusoid: attempts 0..4 hit sin(0), sin(π/2), sin(π), sin(3π/2).
+        assert!((plan.drift_factor(2, 0) - 1.0).abs() < 1e-12);
+        assert!((plan.drift_factor(2, 1) - 1.5).abs() < 1e-12);
+        assert!((plan.drift_factor(2, 2) - 1.0).abs() < 1e-9);
+        assert!((plan.drift_factor(2, 3) - 0.5).abs() < 1e-12);
+        assert!((plan.drift_factor(2, 4) - 1.0).abs() < 1e-12, "periodic");
+        for a in 0..64 {
+            assert!(plan.drift_factor(2, a) > 0.0, "factor must stay positive");
+        }
+        assert!(plan.has_drift());
+        assert!(!FaultPlan::none().has_drift());
+    }
+
+    #[test]
+    fn matching_drifts_compose_by_multiplication() {
+        let plan = FaultPlan::new(vec![
+            Fault {
+                pu: 0,
+                kind: FaultKind::DriftStep {
+                    points: vec![(0, 2.0)],
+                },
+            },
+            Fault {
+                pu: 0,
+                kind: FaultKind::DriftStep {
+                    points: vec![(5, 3.0)],
+                },
+            },
+        ]);
+        assert_eq!(plan.drift_factor(0, 0), 2.0);
+        assert_eq!(plan.drift_factor(0, 5), 6.0);
+    }
+
+    #[test]
+    fn joins_collects_the_schedule_in_trigger_order() {
+        let plan = FaultPlan::new(vec![
+            Fault {
+                pu: 3,
+                kind: FaultKind::Join { after_tasks: 50 },
+            },
+            Fault {
+                pu: 1,
+                kind: FaultKind::PanicOnAttempt { nth: 0 },
+            },
+            Fault {
+                pu: 2,
+                kind: FaultKind::Join { after_tasks: 10 },
+            },
+        ]);
+        assert_eq!(plan.joins(), vec![(2, 10), (3, 50)]);
+        assert!(FaultPlan::none().joins().is_empty());
+        assert_eq!(plan.action(3, 0), None, "a join is not an attempt action");
+    }
+
+    #[test]
+    fn parse_round_trips_join_and_drift() {
+        let plan = FaultPlan::parse(
+            "join:pu=3,after=40; drift:pu=1,kind=ramp,from=0,n=40,to=3.0; \
+             drift:pu=2,kind=step,points=5:1.5/12:2.0; \
+             drift:pu=2,kind=sin,from=12,period=16,amp=0.5",
+            4,
+        )
+        .unwrap();
+        assert_eq!(plan.faults.len(), 4);
+        assert_eq!(
+            plan.faults[0],
+            Fault {
+                pu: 3,
+                kind: FaultKind::Join { after_tasks: 40 },
+            }
+        );
+        assert_eq!(
+            plan.faults[1],
+            Fault {
+                pu: 1,
+                kind: FaultKind::DriftRamp {
+                    from: 0,
+                    attempts: 40,
+                    to: 3.0,
+                },
+            }
+        );
+        assert_eq!(
+            plan.faults[2],
+            Fault {
+                pu: 2,
+                kind: FaultKind::DriftStep {
+                    points: vec![(5, 1.5), (12, 2.0)],
+                },
+            }
+        );
+        assert_eq!(plan.joins(), vec![(3, 40)]);
+        assert!(plan.has_drift());
+    }
+
+    #[test]
+    fn parse_rejects_repeat_joins_and_all_units_joining() {
+        // A second join for the same unit: it is already live by then.
+        let err = FaultPlan::parse("join:pu=2,after=10;join:pu=2,after=20", 4).unwrap_err();
+        assert!(err.contains("already joins"), "{err}");
+        assert!(err.contains("cannot join again"), "{err}");
+        // Joins covering every unit leave nothing live at start.
+        let err = FaultPlan::parse("join:pu=0,after=1;join:pu=1,after=2", 2).unwrap_err();
+        assert!(err.contains("at least one unit must be live"), "{err}");
+        // A join out of range fails like any other fault.
+        let err = FaultPlan::parse("join:pu=4,after=1", 4).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        // A join plus attempt-keyed faults on the same unit is fine, in
+        // either listing order: joins sit outside the attempt timeline.
+        assert!(FaultPlan::parse("panic:pu=2,nth=3;join:pu=2,after=10", 4).is_ok());
+        assert!(FaultPlan::parse("join:pu=2,after=10;panic:pu=2,nth=3", 4).is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_drift_schedules() {
+        // Non-monotonic step breakpoints.
+        let err = FaultPlan::parse("drift:pu=1,kind=step,points=5:1.5/5:2.0", 4).unwrap_err();
+        assert!(err.contains("strictly increasing"), "{err}");
+        let err = FaultPlan::parse("drift:pu=1,kind=step,points=9:1.5/3:2.0", 4).unwrap_err();
+        assert!(err.contains("strictly increasing"), "{err}");
+        // Out-of-range factors.
+        let err = FaultPlan::parse("drift:pu=1,kind=ramp,from=0,n=4,to=0", 4).unwrap_err();
+        assert!(err.contains("drift factor"), "{err}");
+        let err = FaultPlan::parse("drift:pu=1,kind=ramp,from=0,n=4,to=-2", 4).unwrap_err();
+        assert!(err.contains("drift factor"), "{err}");
+        let err = FaultPlan::parse("drift:pu=1,kind=ramp,from=0,n=4,to=1e9", 4).unwrap_err();
+        assert!(err.contains("drift factor"), "{err}");
+        let err = FaultPlan::parse("drift:pu=1,kind=ramp,from=0,n=4,to=inf", 4).unwrap_err();
+        assert!(err.contains("drift factor"), "{err}");
+        let err = FaultPlan::parse("drift:pu=1,kind=step,points=3:200.0", 4).unwrap_err();
+        assert!(err.contains("drift factor"), "{err}");
+        // Degenerate windows and shapes.
+        let err = FaultPlan::parse("drift:pu=1,kind=ramp,from=0,n=0,to=2", 4).unwrap_err();
+        assert!(err.contains("`n` must be at least 1"), "{err}");
+        let err = FaultPlan::parse("drift:pu=1,kind=step,points=", 4).unwrap_err();
+        assert!(err.contains("at least one"), "{err}");
+        let err = FaultPlan::parse("drift:pu=1,kind=sin,from=0,period=1,amp=0.5", 4).unwrap_err();
+        assert!(err.contains("period"), "{err}");
+        let err = FaultPlan::parse("drift:pu=1,kind=sin,from=0,period=8,amp=1.5", 4).unwrap_err();
+        assert!(err.contains("amp"), "{err}");
+        let err = FaultPlan::parse("drift:pu=1,kind=sin,from=0,period=8,amp=0", 4).unwrap_err();
+        assert!(err.contains("amp"), "{err}");
+        let err = FaultPlan::parse("drift:pu=1,kind=wobble,from=0", 4).unwrap_err();
+        assert!(err.contains("unknown drift kind"), "{err}");
+        // Drift schedules join the per-unit attempt ordering.
+        let err = FaultPlan::parse("drift:pu=1,kind=ramp,from=9,n=4,to=2;panic:pu=1,nth=2", 4)
+            .unwrap_err();
+        assert!(err.contains("attempt order"), "{err}");
+    }
+
+    #[test]
+    fn elastic_serde_round_trip() {
+        let plan = FaultPlan::parse(
+            "join:pu=3,after=7;drift:pu=1,kind=step,points=2:1.5/9:0.8",
+            4,
+        )
+        .unwrap();
+        // Offline builds link a serde_json stub whose serializers always
+        // error; the round trip is only meaningful with the real crate.
+        let Ok(json) = serde_json::to_string(&plan) else {
+            return;
+        };
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+        assert!(json.contains("\"fault\":\"join\""), "{json}");
+        assert!(json.contains("\"fault\":\"drift_step\""), "{json}");
+    }
+
+    #[test]
+    fn chaos_elastic_is_deterministic_and_well_formed() {
+        let a = FaultPlan::chaos_elastic(42, 5, 8, 4);
+        let b = FaultPlan::chaos_elastic(42, 5, 8, 4);
+        assert_eq!(a, b, "same seed, same plan");
+        assert_eq!(
+            FaultPlan::chaos_elastic(42, 5, 8, 0),
+            FaultPlan::chaos(42, 5, 8),
+            "elastic 0 degrades to the base chaos plan"
+        );
+        // The failure dimension is untouched by the elastic knob.
+        let base = FaultPlan::chaos(42, 5, 8);
+        assert!(a.faults.starts_with(&base.faults));
+
+        let (lo, hi) = DRIFT_FACTOR_RANGE;
+        for seed in 0..32u64 {
+            let plan = FaultPlan::chaos_elastic(seed, 5, 6, 5);
+            let mut joined = std::collections::HashSet::new();
+            for f in &plan.faults {
+                assert!(f.pu >= 1 && f.pu < 5, "unit 0 stays untouched: {f:?}");
+                match &f.kind {
+                    FaultKind::Join { .. } => {
+                        assert!(joined.insert(f.pu), "unit {} joins twice", f.pu)
+                    }
+                    FaultKind::DriftRamp { attempts, to, .. } => {
+                        assert!(*attempts >= 1);
+                        assert!((lo..=hi).contains(to), "factor {to} out of range");
+                    }
+                    FaultKind::DriftStep { points } => {
+                        assert!(!points.is_empty());
+                        for w in points.windows(2) {
+                            assert!(w[0].0 < w[1].0, "non-monotonic breakpoints");
+                        }
+                        for (_, fac) in points {
+                            assert!((lo..=hi).contains(fac), "factor {fac} out of range");
+                        }
+                    }
+                    FaultKind::DriftSinusoid {
+                        period, amplitude, ..
+                    } => {
+                        assert!(*period >= 2);
+                        assert!(*amplitude > 0.0 && *amplitude < 1.0);
+                    }
+                    _ => {}
+                }
+            }
+            assert!(joined.len() < 5, "at least one unit stays live at start");
+        }
+        assert!(FaultPlan::chaos_elastic(7, 1, 4, 4).is_empty());
     }
 }

@@ -47,6 +47,12 @@ pub struct LaunchSpec {
     pub backoff_s: f64,
     /// Injected fault for this attempt, if any.
     pub inject: Option<FaultAction>,
+    /// Kernel-speed drift multiplier from the fault plan's drift
+    /// schedule (1.0 = nominal). The core resolves the schedule (it owns
+    /// the per-unit attempt counters); the backend applies the factor to
+    /// kernel time only, never transfers. Wall-clock backends cannot
+    /// speed real hardware up, so they realize factors below 1.0 as 1.0.
+    pub drift: f64,
 }
 
 /// Outcome of [`Backend::launch`].
@@ -169,6 +175,12 @@ pub trait Backend {
     /// The core quarantined `pu`; mirror it in backend-private state
     /// (the simulator marks the simulated device failed).
     fn on_unit_quarantined(&mut self, _pu: usize) {}
+
+    /// The core admitted `pu` mid-run from the fault plan's join
+    /// schedule; mirror it in backend-private state (the simulator
+    /// restores the simulated device that was held latent). Backends
+    /// whose units are always live need nothing.
+    fn on_unit_joined(&mut self, _pu: usize) {}
 
     /// The core wrote `pu` off permanently; drop its executor (the host
     /// backend closes the worker channel).

@@ -116,6 +116,21 @@ struct Driver<'b> {
     /// Per-unit dispatch counter (including retries) — the fault
     /// plan's attempt index.
     attempts: Vec<u64>,
+    /// Join schedule from the fault plan, sorted by trigger: units in
+    /// this list start *latent* (never probed, never assigned) and are
+    /// admitted when the global completed-task count reaches their
+    /// threshold. Keying admission to `tasks_done` — owned here, not by
+    /// the backends — makes both engines admit at the same point in the
+    /// task sequence.
+    joins: Vec<(usize, u64)>,
+    /// Next unadmitted entry of `joins`.
+    next_join: usize,
+    /// Per-unit drift factor of the previous dispatch; `drift_applied`
+    /// is emitted only when the factor changes.
+    last_drift: Vec<f64>,
+    /// Whether the fault plan has any drift schedule at all (skips the
+    /// per-launch schedule evaluation on the common drift-free path).
+    has_drift: bool,
     /// Per-unit consecutive-failure counter; reset by any success.
     consec_failures: Vec<u32>,
     /// Policy-provided seconds-per-item prediction (deadline hint).
@@ -241,6 +256,17 @@ impl Driver<'_> {
         let fault_attempt = self.attempts[pu];
         self.attempts[pu] += 1;
         let inject = self.faults.action(pu, fault_attempt);
+        let drift = if self.has_drift {
+            self.faults.drift_factor(pu, fault_attempt)
+        } else {
+            1.0
+        };
+        if drift != self.last_drift[pu] {
+            self.last_drift[pu] = drift;
+            let now = self.backend.now();
+            self.events
+                .record(now, Some(pu), EventKind::DriftApplied { factor: drift });
+        }
         let deadline_at = if self.backend.clock_kind() == ClockKind::Wall {
             let rate = self.deadline_hint[pu].or(self.rate_ewma[pu]);
             let now = self.backend.now();
@@ -265,6 +291,7 @@ impl Driver<'_> {
             attempt,
             backoff_s,
             inject,
+            drift,
         }) {
             Launch::Started { start } => {
                 // Virtual clocks know the start time at dispatch; it is
@@ -316,6 +343,41 @@ impl Driver<'_> {
     fn notify_lost(&mut self, policy: &mut dyn Policy) {
         while let Some(pu) = self.pending_lost.pop() {
             policy.on_device_lost(self, pu);
+        }
+    }
+
+    /// Admit every latent unit whose join threshold the global
+    /// completed-task count has reached: flip it available, mirror the
+    /// admission in the backend, emit `pu_joined`, and hand the unit to
+    /// the policy's `on_device_joined` flow (which decides — via its
+    /// acquisition gate — whether folding the newcomer in pays off).
+    /// Called once at start (thresholds of 0, resumed runs) and after
+    /// every completion; joins never fire between completions, so both
+    /// engines admit at the same point in the task sequence.
+    fn admit_due_joins(&mut self, policy: &mut dyn Policy) {
+        while self
+            .joins
+            .get(self.next_join)
+            .is_some_and(|&(_, after)| self.tasks_done >= after)
+        {
+            let (pu, after_tasks) = self.joins[self.next_join];
+            self.next_join += 1;
+            // Out-of-range targets (a plan built for a larger cluster)
+            // are ignored, mirroring the latent-marking pass. A unit
+            // written off while latent (it cannot fail a task it never
+            // ran, but an external perturbation may have killed it)
+            // stays gone.
+            if pu >= self.handles.len() || self.gates[pu].is_lost() || self.handles[pu].available {
+                continue;
+            }
+            self.handles[pu].available = true;
+            self.consec_failures[pu] = 0;
+            self.backend.on_unit_joined(pu);
+            let now = self.backend.now();
+            self.events
+                .record(now, Some(pu), EventKind::PuJoined { after_tasks });
+            policy.on_device_joined(self, PuId(pu));
+            self.notify_lost(policy);
         }
     }
 
@@ -670,6 +732,7 @@ impl Driver<'_> {
                     };
                     policy.on_task_finished(self, &info);
                     self.notify_lost(policy);
+                    self.admit_due_joins(policy);
                     self.maybe_checkpoint(&*policy, false)?;
                 }
                 Polled::AttemptFailed { pu, task, reason } => {
@@ -828,6 +891,11 @@ pub fn drive(
         }
     }
 
+    // Units with a scheduled mid-run join start *latent*: invisible to
+    // the policy's probing and assignment until the global completed-
+    // task count reaches their threshold (`Driver::admit_due_joins`).
+    let joins = faults.joins();
+    let has_drift = faults.has_drift();
     let mut d = Driver {
         backend,
         handles,
@@ -841,6 +909,10 @@ pub fn drive(
         faults,
         ft,
         attempts: vec![0; n],
+        joins,
+        next_join: 0,
+        last_drift: vec![1.0; n],
+        has_drift,
         consec_failures: vec![0; n],
         deadline_hint: vec![None; n],
         rate_ewma: vec![None; n],
@@ -851,6 +923,11 @@ pub fn drive(
         ckpt_writer: checkpoint,
         carried: EventCounters::default(),
     };
+    for &(pu, _) in &d.joins {
+        if pu < n {
+            d.handles[pu].available = false;
+        }
+    }
     d.events.record(
         0.0,
         None,
@@ -910,6 +987,9 @@ pub fn drive(
     }
     policy.on_start(&mut d);
     d.notify_lost(policy);
+    // Joins already due (a threshold of 0, or a resume past the
+    // threshold) fire before the loop; later ones fire on completions.
+    d.admit_due_joins(policy);
     let mut outcome = d.run_loop(policy);
     if outcome.is_ok() {
         // One forced snapshot on clean shutdown, so the file on disk

@@ -217,7 +217,9 @@ impl Backend for SimBackend<'_> {
         }
         let dev = self.cluster.device_mut(pu);
         let xfer = dev.transfer_time(self.cost, spec.items);
-        let mut proc = dev.proc_time(self.cost, spec.items);
+        // Drift from the fault plan multiplies kernel time only —
+        // background load contends for compute, not the interconnect.
+        let mut proc = dev.proc_time(self.cost, spec.items) * spec.drift;
         // Injected delays stretch the kernel; injected panics surface
         // when the "completion" event fires.
         let doomed = match spec.inject {
@@ -323,6 +325,13 @@ impl Backend for SimBackend<'_> {
 
     fn on_unit_quarantined(&mut self, pu: usize) {
         self.cluster.device_mut(PuId(pu)).fail();
+    }
+
+    fn on_unit_joined(&mut self, pu: usize) {
+        // The device sat latent (held out of the roster by the core);
+        // make sure the simulated hardware is live from here on.
+        // Restoring a never-failed device is a no-op.
+        self.cluster.device_mut(PuId(pu)).restore();
     }
 
     fn idle_progress_possible(&self) -> bool {

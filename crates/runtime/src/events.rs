@@ -36,8 +36,10 @@ use serde::{Deserialize, Serialize};
 /// Schema version stamped into every exported trace header.
 /// Version history: 1 = PR 1 baseline; 2 adds the fault-tolerance kinds
 /// (`task_failed`, `task_retry`, `pu_quarantined`); 3 adds the run-level
-/// durability kinds (`checkpoint_written`, `run_resumed`).
-pub const TRACE_FORMAT_VERSION: u32 = 3;
+/// durability kinds (`checkpoint_written`, `run_resumed`); 4 adds the
+/// elastic-capacity kinds (`pu_joined`, `drift_applied`, `restabilized`,
+/// `device_restored_ignored`).
+pub const TRACE_FORMAT_VERSION: u32 = 4;
 
 /// Default ring-buffer capacity (events).
 pub const DEFAULT_SINK_CAPACITY: usize = 1 << 16;
@@ -156,6 +158,38 @@ pub enum EventKind {
         /// Items already covered when the run resumed.
         completed_items: u64,
     },
+    /// A never-before-seen unit (`pu`) joined the run mid-flight: it was
+    /// latent until the global completed-task count reached its
+    /// `Join` trigger, and is now eligible for work. Emitted before the
+    /// policy is asked whether admitting it pays off
+    /// (`docs/FAULT_TOLERANCE.md`, "Elastic capacity").
+    PuJoined {
+        /// Global completed-task threshold that admitted the unit.
+        after_tasks: u64,
+    },
+    /// The deterministic drift schedule changed `pu`'s kernel-speed
+    /// multiplier. Emitted only when the factor differs from the unit's
+    /// previous dispatch, so a trace records the drift *trajectory*
+    /// rather than one event per task.
+    DriftApplied {
+        /// Kernel-time multiplier applied from this dispatch on
+        /// (1.0 = nominal, 2.0 = twice as slow).
+        factor: f64,
+    },
+    /// A joined unit's measured block times came back inside the
+    /// divergence envelope of its fitted curve (or the bounded
+    /// post-join observation window elapsed): the split absorbed the
+    /// newcomer. `pu` is the joined unit.
+    Restabilized {
+        /// Rebalances between the join and this event (the cost of
+        /// absorbing the unit).
+        rebalances: u32,
+    },
+    /// A `device_restored` (or join) notification reached a policy that
+    /// did not override the handler: the restore was silently ignored
+    /// and the unit will only receive work if the policy's normal
+    /// dispatch path covers it. Debug breadcrumb for traces.
+    DeviceRestoredIgnored,
 
     /// PLB-HeC issued a modeling-phase probe block to `pu`.
     ProbeIssued {
@@ -256,6 +290,10 @@ impl EventKind {
             EventKind::RunEnd { .. } => "run_end",
             EventKind::CheckpointWritten { .. } => "checkpoint_written",
             EventKind::RunResumed { .. } => "run_resumed",
+            EventKind::PuJoined { .. } => "pu_joined",
+            EventKind::DriftApplied { .. } => "drift_applied",
+            EventKind::Restabilized { .. } => "restabilized",
+            EventKind::DeviceRestoredIgnored => "device_restored_ignored",
             EventKind::ProbeIssued { .. } => "probe_issued",
             EventKind::CurveFit { .. } => "curve_fit",
             EventKind::ModelingDone { .. } => "modeling_done",
@@ -438,6 +476,19 @@ pub struct EventCounters {
     /// Resumes from a checkpoint (`run_resumed`; 0 or 1 per process).
     #[serde(default)]
     pub resumes: u64,
+    /// Units admitted mid-run (`pu_joined`).
+    #[serde(default)]
+    pub joins: u64,
+    /// Drift-factor changes applied at dispatch (`drift_applied`).
+    #[serde(default)]
+    pub drift_changes: u64,
+    /// Joined units absorbed back into a stable split (`restabilized`).
+    #[serde(default)]
+    pub restabilizations: u64,
+    /// Restore/join notifications a policy left unhandled
+    /// (`device_restored_ignored`).
+    #[serde(default)]
+    pub restores_ignored: u64,
     /// Stall errors.
     pub stalls: u64,
     /// Events lost to ring-buffer overwrite (counts may undercount when
@@ -478,6 +529,10 @@ impl EventCounters {
                 EventKind::PuQuarantined { .. } => c.quarantines += 1,
                 EventKind::CheckpointWritten { .. } => c.checkpoints += 1,
                 EventKind::RunResumed { .. } => c.resumes += 1,
+                EventKind::PuJoined { .. } => c.joins += 1,
+                EventKind::DriftApplied { .. } => c.drift_changes += 1,
+                EventKind::Restabilized { .. } => c.restabilizations += 1,
+                EventKind::DeviceRestoredIgnored => c.restores_ignored += 1,
                 EventKind::Stalled { .. } => c.stalls += 1,
                 EventKind::RunStart { .. }
                 | EventKind::TaskStart { .. }
@@ -510,6 +565,10 @@ impl EventCounters {
         self.quarantines += other.quarantines;
         self.checkpoints += other.checkpoints;
         self.resumes += other.resumes;
+        self.joins += other.joins;
+        self.drift_changes += other.drift_changes;
+        self.restabilizations += other.restabilizations;
+        self.restores_ignored += other.restores_ignored;
         self.stalls += other.stalls;
         self.dropped += other.dropped;
     }
@@ -799,6 +858,53 @@ impl TraceData {
             }
         }
 
+        // Elastic-capacity history: one line per mid-run join, with the
+        // time the split took to absorb the newcomer and how many
+        // rebalances that cost (docs/FAULT_TOLERANCE.md).
+        let joins: Vec<&Event> = self
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::PuJoined { .. }))
+            .collect();
+        if !joins.is_empty() {
+            let _ = writeln!(out, "\nelastic capacity:");
+            for j in &joins {
+                let pu = j.pu.map(name_of).unwrap_or_else(|| "-".into());
+                let after = match j.kind {
+                    EventKind::PuJoined { after_tasks } => after_tasks,
+                    _ => 0,
+                };
+                // The matching restabilized event, if the run got there.
+                let settled = self.events.iter().find(|e| {
+                    e.pu == j.pu && e.t >= j.t && matches!(e.kind, EventKind::Restabilized { .. })
+                });
+                match settled {
+                    Some(s) => {
+                        let cost = match s.kind {
+                            EventKind::Restabilized { rebalances } => rebalances,
+                            _ => 0,
+                        };
+                        let _ = writeln!(
+                            out,
+                            "  t={:>10.6}s {:<name_w$} joined after {} tasks; restabilized in {:.6}s ({} rebalances)",
+                            j.t,
+                            pu,
+                            after,
+                            s.t - j.t,
+                            cost
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "  t={:>10.6}s {:<name_w$} joined after {} tasks; never restabilized",
+                            j.t, pu, after
+                        );
+                    }
+                }
+            }
+        }
+
         // Aggregate counters.
         let c = self.counters();
         let _ = writeln!(out, "\nevent counters:");
@@ -827,6 +933,11 @@ impl TraceData {
             out,
             "  durability: {} checkpoints written, {} resumes",
             c.checkpoints, c.resumes
+        );
+        let _ = writeln!(
+            out,
+            "  elastic: {} joins, {} drift changes, {} restabilizations, {} ignored restores",
+            c.joins, c.drift_changes, c.restabilizations, c.restores_ignored
         );
         out
     }
@@ -1107,9 +1218,63 @@ mod tests {
     }
 
     #[test]
+    fn elastic_events_counted_merged_and_summarized() {
+        let mut sink = EventSink::new(16);
+        sink.record(1.0, Some(1), EventKind::PuJoined { after_tasks: 40 });
+        sink.record(1.1, Some(1), EventKind::DriftApplied { factor: 1.5 });
+        sink.record(1.2, Some(1), EventKind::DriftApplied { factor: 2.0 });
+        sink.record(1.5, Some(1), EventKind::Restabilized { rebalances: 2 });
+        sink.record(1.6, Some(0), EventKind::DeviceRestoredIgnored);
+        let mut c = sink.counters();
+        assert_eq!(c.joins, 1);
+        assert_eq!(c.drift_changes, 2);
+        assert_eq!(c.restabilizations, 1);
+        assert_eq!(c.restores_ignored, 1);
+        let carried = EventCounters {
+            joins: 2,
+            drift_changes: 5,
+            ..EventCounters::default()
+        };
+        c.merge(&carried);
+        assert_eq!(c.joins, 3);
+        assert_eq!(c.drift_changes, 7);
+        // The summary surfaces the per-join restabilization line and the
+        // aggregate elastic counters.
+        let mut data = sample_trace_data();
+        data.events.extend(sink.events());
+        let s = data.summarize();
+        assert!(s.contains("elastic capacity:"));
+        assert!(s.contains("joined after 40 tasks"));
+        assert!(s.contains("(2 rebalances)"));
+        assert!(s.contains("elastic: 1 joins, 2 drift changes"));
+    }
+
+    #[test]
+    fn join_without_restabilization_is_reported() {
+        let mut data = sample_trace_data();
+        let mut sink = EventSink::new(4);
+        sink.record(1.0, Some(1), EventKind::PuJoined { after_tasks: 3 });
+        data.events.extend(sink.events());
+        assert!(data.summarize().contains("never restabilized"));
+    }
+
+    #[test]
     fn event_kind_names_are_stable() {
         assert_eq!(EventKind::DeviceFailed.name(), "device_failed");
         assert_eq!(EventKind::Stalled { remaining: 1 }.name(), "stalled");
+        assert_eq!(EventKind::PuJoined { after_tasks: 1 }.name(), "pu_joined");
+        assert_eq!(
+            EventKind::DriftApplied { factor: 1.5 }.name(),
+            "drift_applied"
+        );
+        assert_eq!(
+            EventKind::Restabilized { rebalances: 0 }.name(),
+            "restabilized"
+        );
+        assert_eq!(
+            EventKind::DeviceRestoredIgnored.name(),
+            "device_restored_ignored"
+        );
         // The serde tag matches `name()` (the schema contract the docs
         // rely on).
         let e = Event {

@@ -111,6 +111,13 @@ struct Assignment {
     backoff_s: f64,
     /// Injected fault for this attempt, if any.
     inject: Option<FaultAction>,
+    /// Kernel-speed drift multiplier from the fault plan (≥ 1.0 here:
+    /// a wall clock cannot speed real hardware up, so the core's factor
+    /// is clamped at launch). Realized by sleeping the surplus of the
+    /// measured kernel time inside the timed section, so the drift is
+    /// visible to the policy's measurements exactly like background
+    /// load would be.
+    drift: f64,
     /// The attempt's claim word, shared with the core's watchdog: the
     /// worker must win it (`try_complete` / `try_fail`) before
     /// reporting, so a deadline-claimed attempt reports nothing. See
@@ -167,6 +174,11 @@ impl Backend for HostBackend {
                     attempt: spec.attempt,
                     backoff_s: spec.backoff_s,
                     inject: spec.inject,
+                    drift: if spec.drift.is_finite() {
+                        spec.drift.max(1.0)
+                    } else {
+                        1.0
+                    },
                     slot: Arc::clone(&slot),
                 })
                 .is_ok(),
@@ -397,6 +409,17 @@ impl HostEngine {
                                     }
                                 });
                             }));
+                        // Realize drift: stretch the attempt by the
+                        // surplus fraction of its own measured kernel
+                        // time, inside the timed section, so measured
+                        // `proc_time` reflects the drifted speed.
+                        if outcome.is_ok() && a.drift > 1.0 {
+                            let busy = t0.elapsed().as_secs_f64();
+                            let extra = (a.drift - 1.0) * busy;
+                            if extra.is_finite() && extra > 0.0 {
+                                std::thread::sleep(Duration::from_secs_f64(extra));
+                            }
+                        }
                         let proc_time = t0.elapsed().as_secs_f64();
                         attempts_run += 1;
                         // Win the attempt's claim word before reporting:

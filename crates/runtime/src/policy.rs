@@ -105,8 +105,32 @@ pub trait Policy: Send {
     /// Called when a previously quarantined unit re-enters the active
     /// set (the host engine's probation window elapsed, or a simulator
     /// `Restore` perturbation fired). The unit's handle is available
-    /// again before this call. The default does nothing.
-    fn on_device_restored(&mut self, _ctx: &mut dyn SchedulerCtx, _pu: PuId) {}
+    /// again before this call.
+    ///
+    /// The default assigns no work — which is correct for policies that
+    /// reassign on every completion, but silently strands the unit for
+    /// model-driven policies. To make that visible in traces, the
+    /// default emits a `device_restored_ignored` debug event whenever
+    /// the policy carries state (implements [`Policy::snapshot`]) yet
+    /// left this handler unimplemented: stateful policies are exactly
+    /// the ones for which "do nothing" is usually a bug.
+    fn on_device_restored(&mut self, ctx: &mut dyn SchedulerCtx, pu: PuId) {
+        if self.snapshot().is_some() {
+            ctx.emit_event(Some(pu.0), EventKind::DeviceRestoredIgnored);
+        }
+    }
+
+    /// Called when a never-before-seen unit is admitted mid-run from
+    /// the fault plan's join schedule (`docs/FAULT_TOLERANCE.md`,
+    /// "Elastic capacity"). The unit's handle is available before this
+    /// call, but the policy has no profile or model for it yet. The
+    /// default treats a join like a restore — policies that pump work
+    /// to any idle unit pick the newcomer up automatically, and
+    /// stateful policies that ignore restores get the same
+    /// `device_restored_ignored` breadcrumb.
+    fn on_device_joined(&mut self, ctx: &mut dyn SchedulerCtx, pu: PuId) {
+        self.on_device_restored(ctx, pu);
+    }
 
     /// Called when a task attempt failed *and its items returned to the
     /// shared pool* — i.e. after in-place retries were exhausted or the
@@ -187,5 +211,70 @@ mod tests {
         let p = FixedBlockPolicy { block: 8 };
         assert_eq!(p.name(), "fixed-block");
         assert!(p.block_distribution().is_none());
+    }
+
+    /// A context that only records emitted events.
+    struct EventProbe {
+        emitted: Vec<EventKind>,
+    }
+
+    impl SchedulerCtx for EventProbe {
+        fn now(&self) -> f64 {
+            0.0
+        }
+        fn pus(&self) -> &[PuHandle] {
+            &[]
+        }
+        fn remaining_items(&self) -> u64 {
+            0
+        }
+        fn total_items(&self) -> u64 {
+            0
+        }
+        fn assign(&mut self, _pu: PuId, _items: u64) -> u64 {
+            0
+        }
+        fn is_busy(&self, _pu: PuId) -> bool {
+            false
+        }
+        fn any_busy(&self) -> bool {
+            false
+        }
+        fn charge_overhead(&mut self, _seconds: f64) {}
+        fn emit_event(&mut self, _pu: Option<usize>, kind: EventKind) {
+            self.emitted.push(kind);
+        }
+    }
+
+    struct StatefulNoopPolicy;
+
+    impl Policy for StatefulNoopPolicy {
+        fn name(&self) -> &str {
+            "stateful-noop"
+        }
+        fn on_start(&mut self, _ctx: &mut dyn SchedulerCtx) {}
+        fn on_task_finished(&mut self, _ctx: &mut dyn SchedulerCtx, _done: &TaskInfo) {}
+        fn snapshot(&self) -> Option<serde_json::Value> {
+            Some(serde_json::Value::Null)
+        }
+    }
+
+    #[test]
+    fn unhandled_restore_on_stateful_policy_leaves_a_breadcrumb() {
+        let mut ctx = EventProbe { emitted: vec![] };
+        // A stateless policy ignoring a restore is normal operation:
+        // no breadcrumb.
+        let mut plain = FixedBlockPolicy { block: 8 };
+        plain.on_device_restored(&mut ctx, PuId(0));
+        assert!(ctx.emitted.is_empty());
+        // A snapshot-carrying policy that never overrode the handler is
+        // almost certainly stranding the unit: the default makes that
+        // visible.
+        let mut stateful = StatefulNoopPolicy;
+        stateful.on_device_restored(&mut ctx, PuId(0));
+        assert_eq!(ctx.emitted, vec![EventKind::DeviceRestoredIgnored]);
+        // Joins delegate to the same default.
+        stateful.on_device_joined(&mut ctx, PuId(1));
+        assert_eq!(ctx.emitted.len(), 2);
     }
 }

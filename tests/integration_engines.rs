@@ -138,6 +138,7 @@ fn fault_event_label(kind: &EventKind) -> Option<&'static str> {
         EventKind::PuQuarantined { .. } => Some("quarantined"),
         EventKind::DeviceFailed => Some("device-failed"),
         EventKind::DeviceRestored => Some("device-restored"),
+        EventKind::PuJoined { .. } => Some("joined"),
         _ => None,
     }
 }
@@ -221,6 +222,39 @@ fn engines_agree_when_all_but_one_unit_is_quarantined() {
 
     // Per-unit fault-event sequences match event for event.
     assert_eq!(sim_seq, host_seq);
+}
+
+#[test]
+fn engines_agree_on_hot_join_and_drift() {
+    // Unit 1 is latent until 8 tasks complete globally, then hot-joins;
+    // unit 0 ramps to 2× slower over its first 10 launches. Admission is
+    // decided by the shared core on the global completed-task count, so
+    // both engines must admit at the same point and tell the same
+    // story; drift only stretches execution *times*, which the
+    // equivalence deliberately does not compare.
+    let n = sim_cluster().len();
+    let plan = FaultPlan::parse(
+        "join:pu=1,after=8; drift:pu=0,kind=ramp,from=0,n=10,to=2.0",
+        n,
+    )
+    .expect("valid elastic plan");
+
+    let (sim, sim_seq) = run_sim(plan.clone());
+    let (host, host_seq, ranges) = run_host(n, plan);
+
+    for report in [&sim, &host] {
+        assert_eq!(report.total_items, TOTAL);
+        assert_eq!(report.events.joins, 1, "exactly one admission");
+        assert!(report.pus[1].items > 0, "joined unit must receive work");
+    }
+    assert_disjoint_cover(ranges, TOTAL);
+    let sim_items: u64 = sim.pus.iter().map(|p| p.items).sum();
+    assert_eq!(sim_items, TOTAL);
+
+    // Per-unit fault/elastic sequences match event for event, and the
+    // joined unit's story is exactly one admission.
+    assert_eq!(sim_seq, host_seq);
+    assert_eq!(sim_seq.get(&1), Some(&vec!["joined"]));
 }
 
 #[test]
