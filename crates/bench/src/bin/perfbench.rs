@@ -35,15 +35,16 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut value = |flag: &str| {
-            it.next()
-                .ok_or_else(|| format!("{flag} needs a value"))
-        };
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
         match a.as_str() {
             "--sizes" => {
                 args.sizes = value("--sizes")?
                     .split(',')
-                    .map(|s| s.trim().parse::<usize>().map_err(|e| format!("bad size: {e}")))
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|e| format!("bad size: {e}"))
+                    })
                     .collect::<Result<_, _>>()?;
             }
             "--repeats" => {

@@ -1,0 +1,62 @@
+//! The one sanctioned wall-clock in `plb-hec`: a stopwatch for
+//! *reporting* how long a solve took.
+//!
+//! The deterministic crates may not read ambient time (lint pass 9,
+//! `nondeterminism-confinement`, docs/SOUNDNESS.md) because the
+//! SimEngine/HostEngine equivalence claim requires every *decision* to
+//! replay from the same inputs. Solve latency is the audited
+//! exception: `solve_seconds` in a [`crate::selection::SelectionResult`]
+//! is pure observability — it is carried in events and reports but
+//! never fed back into block sizing, probing, or fault response. This
+//! module is on the pass-9 allowlist
+//! (`crates/xtask/allowlists/nondeterminism-confinement.txt`); keeping
+//! the measurement behind one named type keeps that audit one line
+//! long. Code that wants to *act* on time must go through the
+//! `Backend` clock instead.
+
+use std::time::Instant;
+
+/// A started wall-clock measurement.
+///
+/// ```
+/// let watch = plb_hec::perf::Stopwatch::start();
+/// // ... work ...
+/// let seconds = watch.elapsed_seconds();
+/// assert!(seconds >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Start measuring now.
+    #[must_use]
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`]. Monotonic and
+    /// non-negative; for reporting only — never branch on it in
+    /// scheduling logic.
+    #[must_use]
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Stopwatch;
+
+    #[test]
+    fn elapsed_is_nonnegative_and_monotone() {
+        let watch = Stopwatch::start();
+        let a = watch.elapsed_seconds();
+        let b = watch.elapsed_seconds();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+    }
+}

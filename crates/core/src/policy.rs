@@ -682,16 +682,15 @@ impl Policy for PlbHecPolicy {
                 // settled once one of its blocks lands inside the
                 // divergence envelope (or after enough blocks that the
                 // envelope is evidently unreachable).
-                if self.restabilize[done.pu.0].is_some() {
-                    // An exhausted pool also settles the watch: with no
-                    // items left to redistribute, the tail blocks are
-                    // tail effects, not instability (the same reasoning
-                    // that mutes the divergence trigger below).
-                    let settled =
-                        self.check_divergence(done).is_none() || ctx.remaining_items() == 0;
-                    let watch = self.restabilize[done.pu.0]
-                        .as_mut()
-                        .expect("checked just above");
+                // An exhausted pool also settles the watch: with no
+                // items left to redistribute, the tail blocks are
+                // tail effects, not instability (the same reasoning
+                // that mutes the divergence trigger below). Computed
+                // before borrowing the watch because check_divergence
+                // reads `self`.
+                let settled = self.restabilize[done.pu.0].is_some()
+                    && (self.check_divergence(done).is_none() || ctx.remaining_items() == 0);
+                if let Some(watch) = self.restabilize[done.pu.0].as_mut() {
                     watch.post_blocks += 1;
                     if settled || watch.post_blocks >= JOIN_SETTLE_BLOCKS {
                         let rebalances = (self.rebalances - watch.rebalances_at_join) as u32;

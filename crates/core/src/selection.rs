@@ -13,12 +13,12 @@
 //! produced anyway.
 
 use crate::config::SolverChoice;
+use crate::perf::Stopwatch;
 use crate::profile::UnitModel;
 use plb_ipm::nlp::Curve;
 use plb_ipm::{
     solve_warm, BlockPartitionNlp, BoxedCurve, IpmOptions, IpmStatus, IterationRecord, WarmStart,
 };
-use std::time::Instant;
 
 /// Which solver produced the selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,7 +160,7 @@ pub fn select_block_sizes_cached(
     let live: Vec<usize> = (0..models.len()).filter(|&i| active[i]).collect();
     assert!(!live.is_empty(), "no active processing units");
 
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let n = models.len();
 
     // Single unit: trivial.
@@ -175,7 +175,7 @@ pub fn select_block_sizes_cached(
             blocks,
             predicted_time: predicted,
             method: SelectionMethod::RateProportional,
-            solve_seconds: t0.elapsed().as_secs_f64(),
+            solve_seconds: t0.elapsed_seconds(),
             ipm_iterations: 0,
             ipm_log: Vec::new(),
             ipm_status: None,
@@ -272,7 +272,7 @@ pub fn select_block_sizes_cached(
         blocks,
         predicted_time: predicted,
         method,
-        solve_seconds: t0.elapsed().as_secs_f64(),
+        solve_seconds: t0.elapsed_seconds(),
         ipm_iterations: iterations,
         ipm_log,
         ipm_status,
@@ -532,8 +532,14 @@ mod tests {
         ];
         let active = [true; 3];
         let mut cache = None;
-        let first =
-            select_block_sizes_cached(&models, &active, 1_000_000, 1, SolverChoice::Auto, &mut cache);
+        let first = select_block_sizes_cached(
+            &models,
+            &active,
+            1_000_000,
+            1,
+            SolverChoice::Auto,
+            &mut cache,
+        );
         assert_eq!(first.method, SelectionMethod::InteriorPoint);
         assert!(cache.is_some(), "usable solve must refresh the cache");
 
@@ -571,7 +577,12 @@ mod tests {
         // Same selection either way: identical blocks, matching fractions.
         assert_eq!(warm.blocks, cold.blocks);
         for (w, c) in warm.fractions.iter().zip(&cold.fractions) {
-            assert!((w - c).abs() < 1e-6, "{:?} vs {:?}", warm.fractions, cold.fractions);
+            assert!(
+                (w - c).abs() < 1e-6,
+                "{:?} vs {:?}",
+                warm.fractions,
+                cold.fractions
+            );
         }
     }
 
@@ -604,7 +615,11 @@ mod tests {
         );
         assert_eq!(r.blocks[1], 0);
         assert_eq!(r.blocks.iter().sum::<u64>(), 100_000);
-        assert!((r.blocks[0] as f64 / 100_000.0 - 0.2).abs() < 0.02, "{:?}", r.blocks);
+        assert!(
+            (r.blocks[0] as f64 / 100_000.0 - 0.2).abs() < 0.02,
+            "{:?}",
+            r.blocks
+        );
         let c = cache.as_ref().unwrap();
         assert_eq!(c.live, vec![0, 2]);
     }

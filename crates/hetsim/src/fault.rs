@@ -323,15 +323,15 @@ impl FaultPlan {
     ///   increasing; a sinusoid needs `period ≥ 2` and `amp` in (0, 1).
     pub fn parse(spec: &str, n_pus: usize) -> Result<FaultPlan, String> {
         let mut faults: Vec<Fault> = Vec::new();
-        let mut last_trigger: std::collections::HashMap<usize, u64> =
-            std::collections::HashMap::new();
-        let mut join_targets: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        let mut last_trigger: std::collections::BTreeMap<usize, u64> =
+            std::collections::BTreeMap::new();
+        let mut join_targets: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
         for part in spec.split(';').filter(|p| !p.trim().is_empty()) {
             let part = part.trim();
             let (kind, rest) = part
                 .split_once(':')
                 .ok_or_else(|| format!("fault `{part}`: expected kind:key=value,..."))?;
-            let mut kv = std::collections::HashMap::new();
+            let mut kv = std::collections::BTreeMap::new();
             for pair in rest.split(',').filter(|p| !p.trim().is_empty()) {
                 let (k, v) = pair
                     .split_once('=')
@@ -610,7 +610,7 @@ impl FaultPlan {
             x = splitmix64(x);
             x
         };
-        let mut joined: std::collections::HashSet<usize> = Default::default();
+        let mut joined: std::collections::BTreeSet<usize> = Default::default();
         for _ in 0..elastic {
             let pu = 1 + (next() as usize % (n_pus - 1));
             let kind = match next() % 4 {
@@ -845,7 +845,7 @@ mod tests {
 
         for seed in 0..32u64 {
             let plan = FaultPlan::chaos(seed, 5, 10);
-            let mut last: std::collections::HashMap<usize, u64> = Default::default();
+            let mut last: std::collections::BTreeMap<usize, u64> = Default::default();
             for (i, f) in plan.faults.iter().enumerate() {
                 assert!(f.pu >= 1 && f.pu < 5, "unit 0 stays healthy: {f:?}");
                 assert!(
@@ -1104,7 +1104,7 @@ mod tests {
         let (lo, hi) = DRIFT_FACTOR_RANGE;
         for seed in 0..32u64 {
             let plan = FaultPlan::chaos_elastic(seed, 5, 6, 5);
-            let mut joined = std::collections::HashSet::new();
+            let mut joined = std::collections::BTreeSet::new();
             for f in &plan.faults {
                 assert!(f.pu >= 1 && f.pu < 5, "unit 0 stays untouched: {f:?}");
                 match &f.kind {

@@ -4,9 +4,8 @@
 #![allow(clippy::needless_range_loop)]
 // Solver failures surface as `IpmError`/`IpmStatus`, never as panics:
 // the balancer falls back to proportional selection when a solve goes
-// bad. Tests are exempt (assertions are their job).
-#![deny(clippy::unwrap_used, clippy::expect_used)]
-#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+// bad. Enforced by `cargo xtask lint` pass 10 (`panic-freedom`,
+// docs/SOUNDNESS.md).
 
 //! Interior-point NLP solver — the workspace's IPOPT substitute.
 //!

@@ -373,11 +373,7 @@ mod tests {
     /// must fall back to the dense path rather than poison the solve.
     #[test]
     fn non_finite_coeffs_fall_back_to_dense() {
-        let weird: BoxedCurve = Box::new(FnCurve::new(
-            |x: f64| x * 2.0,
-            |_| f64::NAN,
-            |_| 0.0,
-        ));
+        let weird: BoxedCurve = Box::new(FnCurve::new(|x: f64| x * 2.0, |_| f64::NAN, |_| 0.0));
         let nlp = BlockPartitionNlp::new(vec![weird, linear_curve(1.0)]);
         let mut jd = vec![0.0; 2];
         let mut hd = vec![0.0; 3];

@@ -371,7 +371,10 @@ pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
 }
 
 fn tmp_path(path: &Path) -> PathBuf {
-    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
     name.push(".tmp");
     path.with_file_name(name)
 }

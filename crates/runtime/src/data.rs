@@ -17,7 +17,7 @@
 
 use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::sync::{thread, Mutex};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 use std::mem::ManuallyDrop;
 use std::ops::{Deref, DerefMut, Range};
@@ -79,7 +79,7 @@ impl Default for DataRegistry {
 #[derive(Debug, Default)]
 struct Inner {
     /// `(handle id, node)` pairs holding a valid copy.
-    copies: HashSet<(u64, usize)>,
+    copies: BTreeSet<(u64, usize)>,
     ledger: Vec<TransferRecord>,
 }
 

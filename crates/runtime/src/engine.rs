@@ -683,7 +683,7 @@ mod tests {
         assert_eq!(report.events.perturbations, 2);
         assert_eq!(report.events.device_failures, 1);
         // Per-PU timestamps are monotone after clamping.
-        let mut last: std::collections::HashMap<usize, f64> = Default::default();
+        let mut last: std::collections::BTreeMap<usize, f64> = Default::default();
         for e in &events {
             if let Some(p) = e.pu {
                 let prev = last.entry(p).or_insert(f64::NEG_INFINITY);

@@ -591,8 +591,8 @@ pub struct TraceHeader {
 /// `docs/OBSERVABILITY.md`.
 // Serializing plain data structs (no maps with non-string keys, no
 // custom Serialize impls) cannot fail; the expects below are
-// unreachable rather than error paths.
-#[allow(clippy::expect_used)]
+// unreachable rather than error paths (audited in
+// crates/xtask/allowlists/panic-freedom.txt).
 pub fn write_jsonl(header: &TraceHeader, segments: &[Segment], events: &[Event]) -> String {
     fn tagged(rec: &str, value: serde_json::Value) -> String {
         let mut obj = value;

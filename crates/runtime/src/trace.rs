@@ -153,8 +153,8 @@ impl Trace {
     ///
     /// [Perfetto]: https://ui.perfetto.dev
     // Serializing a Vec of serde_json::Value cannot fail; the expect is
-    // unreachable rather than an error path.
-    #[allow(clippy::expect_used)]
+    // unreachable rather than an error path (audited in
+    // crates/xtask/allowlists/panic-freedom.txt).
     pub fn to_chrome_trace(&self, names: &[String]) -> String {
         let mut events = Vec::with_capacity(self.segments.len() + self.n_pus);
         for (i, name) in names.iter().enumerate().take(self.n_pus) {

@@ -98,7 +98,11 @@ fn checkpointed_run_writes_a_complete_final_snapshot() {
     assert_eq!(report.events.resumes, 0);
 
     let ckpt = load(&path).unwrap();
-    assert_eq!(ckpt.completed, vec![(0, total)], "final cover must be total");
+    assert_eq!(
+        ckpt.completed,
+        vec![(0, total)],
+        "final cover must be total"
+    );
     assert_eq!(ckpt.completed_items(), total);
     assert_eq!(ckpt.tasks_done, report.tasks as u64);
     assert_eq!(ckpt.workload.policy, "fixed-block");
@@ -145,7 +149,10 @@ fn resume_processes_the_complement_and_completes_the_cover() {
     // Lifetime accounting: the resumed run's own final snapshot.
     let fin = load(&dst).unwrap();
     assert_eq!(fin.completed, vec![(0, total)]);
-    assert!(fin.seq >= ckpt.seq + 1, "sequence must continue, not restart");
+    assert!(
+        fin.seq >= ckpt.seq + 1,
+        "sequence must continue, not restart"
+    );
     assert!(fin.tasks_done > carried_tasks);
     assert_eq!(fin.counters.resumes, 1);
 

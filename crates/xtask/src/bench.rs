@@ -1,0 +1,372 @@
+//! `cargo xtask bench-check [--tolerance PCT] [--fresh DIR]` validates
+//! the committed performance snapshots (`BENCH_solver.json`,
+//! `BENCH_driver.json`; written by `cargo run -p plb-bench --bin
+//! perfbench --release`). The gates are machine-independent — shape,
+//! iteration-count, and *ratio* invariants (structured vs dense
+//! speedup, O(n) growth), never absolute microseconds — so the check
+//! passes on any host. With `--fresh DIR`, freshly measured snapshots
+//! in DIR are compared against the committed ones: iteration counts
+//! (deterministic, machine-independent) must agree within the
+//! tolerance. See `docs/PERFORMANCE.md`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One parsed `BENCH_solver.json` row.
+#[derive(Debug, Clone, PartialEq)]
+struct BenchEntry {
+    n_pus: u64,
+    structured_us: f64,
+    dense_us: Option<f64>,
+    cold_iters: u64,
+    warm_iters: u64,
+}
+
+/// Sizes every committed solver snapshot must cover.
+const REQUIRED_SIZES: &[u64] = &[10, 100, 1000, 10000];
+
+/// Minimum structured-vs-dense speedup at n = 1000 (the tentpole's
+/// acceptance bar; the measured ratio is far larger).
+const MIN_SPEEDUP_AT_1000: f64 = 10.0;
+
+/// Growth cap: structured solve time may grow at most this factor per
+/// 10× size step (O(n) per iteration with generous headroom for
+/// iteration-count and cache effects).
+const MAX_GROWTH_PER_DECADE: f64 = 30.0;
+
+/// Entry point for `cargo xtask bench-check`.
+pub fn bench_check(root: &Path, args: &[String]) -> ExitCode {
+    let mut tolerance = 20.0f64;
+    let mut fresh_dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v >= 0.0 => tolerance = v,
+                _ => {
+                    eprintln!("bench-check: --tolerance needs a non-negative number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fresh" => match it.next() {
+                Some(v) => fresh_dir = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("bench-check: --fresh needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("bench-check: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut errors = Vec::new();
+    let committed = match load_solver_snapshot(&root.join("BENCH_solver.json")) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("bench-check: BENCH_solver.json: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    check_solver_invariants(&committed, &mut errors);
+    match load_driver_snapshot(&root.join("BENCH_driver.json")) {
+        Ok((overhead, events_per_sec)) => {
+            if !(overhead.is_finite() && overhead > 0.0) {
+                errors.push(format!(
+                    "driver: sched_overhead_us_per_task = {overhead} is not a positive number"
+                ));
+            }
+            if !(events_per_sec.is_finite() && events_per_sec >= 1e5) {
+                errors.push(format!(
+                    "driver: events_per_sec = {events_per_sec:.0} below the 1e5 sanity floor"
+                ));
+            }
+        }
+        Err(e) => errors.push(format!("BENCH_driver.json: {e}")),
+    }
+
+    if let Some(dir) = fresh_dir {
+        match load_solver_snapshot(&dir.join("BENCH_solver.json")) {
+            Ok(fresh) => compare_iteration_counts(&committed, &fresh, tolerance, &mut errors),
+            Err(e) => errors.push(format!("fresh snapshot {}: {e}", dir.display())),
+        }
+    }
+
+    if errors.is_empty() {
+        println!(
+            "xtask bench-check: OK ({} solver entries, tolerance {tolerance}%)",
+            committed.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("bench-check: {e}");
+        }
+        eprintln!("xtask bench-check: {} violation(s)", errors.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Shape + ratio gates on a committed solver snapshot. All gates are
+/// machine-independent: they constrain ratios and iteration counts,
+/// never absolute times.
+fn check_solver_invariants(entries: &[BenchEntry], errors: &mut Vec<String>) {
+    for &size in REQUIRED_SIZES {
+        match entries.iter().find(|e| e.n_pus == size) {
+            None => errors.push(format!("solver: no entry at n_pus = {size}")),
+            Some(e) => {
+                if !(e.structured_us.is_finite() && e.structured_us > 0.0) {
+                    errors.push(format!(
+                        "solver: structured_us at n = {size} is not a positive number"
+                    ));
+                }
+                if e.warm_iters > e.cold_iters {
+                    errors.push(format!(
+                        "solver: warm start at n = {size} took {} iterations vs {} cold — \
+                         warm must never be slower",
+                        e.warm_iters, e.cold_iters
+                    ));
+                }
+            }
+        }
+    }
+    if let Some(e) = entries.iter().find(|e| e.n_pus == 1000) {
+        match e.dense_us {
+            Some(d) if d.is_finite() && d > 0.0 => {
+                let speedup = d / e.structured_us;
+                if speedup < MIN_SPEEDUP_AT_1000 {
+                    errors.push(format!(
+                        "solver: structured path is only {speedup:.1}x faster than dense at \
+                         n = 1000 (required >= {MIN_SPEEDUP_AT_1000}x)"
+                    ));
+                }
+            }
+            _ => errors.push("solver: dense_us missing at n = 1000 (the oracle size)".to_string()),
+        }
+    }
+    let mut sorted: Vec<&BenchEntry> = entries.iter().collect();
+    sorted.sort_by_key(|e| e.n_pus);
+    for pair in sorted.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if b.n_pus == a.n_pus * 10 && b.structured_us > a.structured_us * MAX_GROWTH_PER_DECADE {
+            errors.push(format!(
+                "solver: structured time grew {:.1}x from n = {} to n = {} \
+                 (cap {MAX_GROWTH_PER_DECADE}x per decade — the O(n) path has regressed)",
+                b.structured_us / a.structured_us,
+                a.n_pus,
+                b.n_pus
+            ));
+        }
+    }
+}
+
+/// Iteration counts are deterministic per problem, so a fresh run on any
+/// machine must reproduce the committed ones within the tolerance.
+fn compare_iteration_counts(
+    committed: &[BenchEntry],
+    fresh: &[BenchEntry],
+    tolerance_pct: f64,
+    errors: &mut Vec<String>,
+) {
+    let within = |a: u64, b: u64| -> bool {
+        let (a, b) = (a as f64, b as f64);
+        // Small absolute slack covers tiny counts (2 vs 3 iterations is
+        // noise, not a regression).
+        (a - b).abs() <= (a.max(b) * tolerance_pct / 100.0).max(1.0)
+    };
+    for f in fresh {
+        let Some(c) = committed.iter().find(|c| c.n_pus == f.n_pus) else {
+            continue;
+        };
+        if !within(c.cold_iters, f.cold_iters) {
+            errors.push(format!(
+                "fresh: cold_iters at n = {} is {} vs committed {} (tolerance {tolerance_pct}%)",
+                f.n_pus, f.cold_iters, c.cold_iters
+            ));
+        }
+        if !within(c.warm_iters, f.warm_iters) {
+            errors.push(format!(
+                "fresh: warm_iters at n = {} is {} vs committed {} (tolerance {tolerance_pct}%)",
+                f.n_pus, f.warm_iters, c.warm_iters
+            ));
+        }
+        if f.warm_iters > f.cold_iters {
+            errors.push(format!(
+                "fresh: warm start at n = {} took {} iterations vs {} cold",
+                f.n_pus, f.warm_iters, f.cold_iters
+            ));
+        }
+    }
+}
+
+// --- minimal JSON field extraction (keeps xtask dependency-free) -----------
+
+/// Value of `"key": <number|null>` inside `obj`, or an error. `None`
+/// means an explicit `null`.
+fn json_number(obj: &str, key: &str) -> Result<Option<f64>, String> {
+    let needle = format!("\"{key}\"");
+    let at = obj
+        .find(&needle)
+        .ok_or_else(|| format!("field `{key}` not found"))?;
+    let rest = obj[at + needle.len()..]
+        .trim_start()
+        .strip_prefix(':')
+        .ok_or_else(|| format!("field `{key}` is not `key: value`"))?
+        .trim_start();
+    if rest.starts_with("null") {
+        return Ok(None);
+    }
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse::<f64>()
+        .map(Some)
+        .map_err(|e| format!("field `{key}`: {e}"))
+}
+
+/// Split the `"entries": [ ... ]` array into its `{...}` object slices.
+fn json_entry_objects(text: &str) -> Result<Vec<&str>, String> {
+    let at = text
+        .find("\"entries\"")
+        .ok_or("no `entries` array".to_string())?;
+    let open = at + text[at..].find('[').ok_or("no `[` after `entries`")?;
+    let close = open + text[open..].find(']').ok_or("no `]` closing `entries`")?;
+    let body = &text[open + 1..close];
+    let mut objects = Vec::new();
+    let mut rest = body;
+    while let Some(s) = rest.find('{') {
+        let e = rest[s..]
+            .find('}')
+            .ok_or("unterminated entry object".to_string())?;
+        objects.push(&rest[s..s + e + 1]);
+        rest = &rest[s + e + 1..];
+    }
+    Ok(objects)
+}
+
+fn load_solver_snapshot(path: &Path) -> Result<Vec<BenchEntry>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let entries = json_entry_objects(&text)?;
+    let mut out = Vec::with_capacity(entries.len());
+    for obj in entries {
+        let req = |key: &str| -> Result<f64, String> {
+            json_number(obj, key)?.ok_or_else(|| format!("field `{key}` is null"))
+        };
+        out.push(BenchEntry {
+            n_pus: req("n_pus")? as u64,
+            structured_us: req("structured_us")?,
+            dense_us: json_number(obj, "dense_us")?,
+            cold_iters: req("cold_iters")? as u64,
+            warm_iters: req("warm_iters")? as u64,
+        });
+    }
+    if out.is_empty() {
+        return Err("snapshot has no entries".to_string());
+    }
+    Ok(out)
+}
+
+fn load_driver_snapshot(path: &Path) -> Result<(f64, f64), String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let overhead = json_number(&text, "sched_overhead_us_per_task")?
+        .ok_or("sched_overhead_us_per_task is null")?;
+    let events = json_number(&text, "events_per_sec")?.ok_or("events_per_sec is null")?;
+    Ok((overhead, events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE_SNAPSHOT: &str = r#"{
+  "schema": 1,
+  "entries": [
+    {"n_pus": 10, "structured_us": 24.5, "dense_us": 61.3, "cold_iters": 8, "warm_iters": 2},
+    {"n_pus": 100, "structured_us": 236.2, "dense_us": 6562.8, "cold_iters": 9, "warm_iters": 2},
+    {"n_pus": 1000, "structured_us": 3534.9, "dense_us": 3940227.4, "cold_iters": 16, "warm_iters": 2},
+    {"n_pus": 10000, "structured_us": 7158.6, "dense_us": null, "cold_iters": 9, "warm_iters": 3}
+  ]
+}"#;
+
+    fn sample_entries() -> Vec<BenchEntry> {
+        json_entry_objects(SAMPLE_SNAPSHOT)
+            .unwrap()
+            .iter()
+            .map(|obj| BenchEntry {
+                n_pus: json_number(obj, "n_pus").unwrap().unwrap() as u64,
+                structured_us: json_number(obj, "structured_us").unwrap().unwrap(),
+                dense_us: json_number(obj, "dense_us").unwrap(),
+                cold_iters: json_number(obj, "cold_iters").unwrap().unwrap() as u64,
+                warm_iters: json_number(obj, "warm_iters").unwrap().unwrap() as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_json_parses_including_null_dense() {
+        let entries = sample_entries();
+        assert_eq!(entries.len(), 4);
+        assert_eq!(entries[0].n_pus, 10);
+        assert_eq!(entries[2].dense_us, Some(3940227.4));
+        assert_eq!(entries[3].dense_us, None);
+        assert_eq!(entries[3].warm_iters, 3);
+    }
+
+    #[test]
+    fn solver_invariants_accept_the_committed_shape() {
+        let mut errors = Vec::new();
+        check_solver_invariants(&sample_entries(), &mut errors);
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn solver_invariants_catch_regressions() {
+        // Dense barely faster than structured at n = 1000.
+        let mut slow = sample_entries();
+        slow[2].dense_us = Some(slow[2].structured_us * 2.0);
+        let mut errors = Vec::new();
+        check_solver_invariants(&slow, &mut errors);
+        assert!(errors.iter().any(|e| e.contains("10x")), "{errors:?}");
+
+        // Warm start slower than cold.
+        let mut warm = sample_entries();
+        warm[1].warm_iters = warm[1].cold_iters + 5;
+        errors.clear();
+        check_solver_invariants(&warm, &mut errors);
+        assert!(errors.iter().any(|e| e.contains("warm")), "{errors:?}");
+
+        // Super-linear growth.
+        let mut growth = sample_entries();
+        growth[3].structured_us = growth[2].structured_us * 100.0;
+        errors.clear();
+        check_solver_invariants(&growth, &mut errors);
+        assert!(errors.iter().any(|e| e.contains("grew")), "{errors:?}");
+
+        // A missing size.
+        let partial: Vec<BenchEntry> = sample_entries().into_iter().take(2).collect();
+        errors.clear();
+        check_solver_invariants(&partial, &mut errors);
+        assert!(errors.iter().any(|e| e.contains("no entry")), "{errors:?}");
+    }
+
+    #[test]
+    fn fresh_comparison_tolerates_small_drift_only() {
+        let committed = sample_entries();
+        let mut fresh = sample_entries();
+        fresh[0].cold_iters = 9; // 8 -> 9: within the ±1 slack
+        let mut errors = Vec::new();
+        compare_iteration_counts(&committed, &fresh, 20.0, &mut errors);
+        assert!(errors.is_empty(), "{errors:?}");
+
+        fresh[1].cold_iters = 40; // 9 -> 40: a real divergence
+        errors.clear();
+        compare_iteration_counts(&committed, &fresh, 20.0, &mut errors);
+        assert_eq!(errors.len(), 1, "{errors:?}");
+    }
+}

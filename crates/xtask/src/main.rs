@@ -1,1354 +1,244 @@
-//! Workspace static-analysis tasks.
+//! Repo-local automation (`cargo xtask <command>`), dependency-free by
+//! design so it builds anywhere the workspace does.
 //!
-//! `cargo xtask lint` runs eight soundness passes over the workspace
-//! sources (policy rationale in `docs/SOUNDNESS.md`):
-//!
-//! 1. **unsafe-allowlist** — `unsafe` may appear only in the audited
-//!    files listed in [`UNSAFE_ALLOWLIST`]; everything else, app
-//!    kernels in particular, must stay safe Rust.
-//! 2. **sync-shim** — inside `crates/runtime/src`, concurrency
-//!    primitives must come from `crate::sync` (the loom-swappable
-//!    shim), never directly from `std::sync` or `parking_lot`.
-//! 3. **event-coverage** — every `EventKind` variant is constructed
-//!    somewhere outside `events.rs`, is matched explicitly in
-//!    `EventCounters::from_events`, and that match has no `_ =>`
-//!    wildcard (adding a variant must force a counters decision).
-//! 4. **lossy-cast** — no `as` casts to narrower numeric types in
-//!    `plb-numerics`/`plb-ipm` outside the audited `cast` module.
-//! 5. **must-use** — result-carrying types stay `#[must_use]`.
-//! 6. **fault-divergence** — fault-response decision logic (retry,
-//!    backoff, quarantine, probation, re-credit) lives only in the
-//!    scheduling core and the state machines it drives; engine backends
-//!    must not grow their own copies (`docs/ARCHITECTURE.md`).
-//! 7. **fs-confinement** — filesystem I/O in `plb-runtime` lives only
-//!    in the checkpoint module ([`FS_IO_HOME`]), whose atomic-write
-//!    protocol is what makes snapshots crash-safe; an engine or policy
-//!    opening files on its own would bypass those guarantees.
-//! 8. **doc-consistency** — the prose tracks the code: every
-//!    `EventKind` variant's snake_case schema name is documented in
-//!    `docs/OBSERVABILITY.md`, and `docs/PERFORMANCE.md` exists and is
-//!    linked from `README.md` and `docs/ARCHITECTURE.md`.
-//!
-//! `cargo xtask bench-check [--tolerance PCT] [--fresh DIR]` validates
-//! the committed performance snapshots (`BENCH_solver.json`,
-//! `BENCH_driver.json`; written by `cargo run -p plb-bench --bin
-//! perfbench --release`). The gates are machine-independent — shape,
-//! iteration-count, and *ratio* invariants (structured vs dense
-//! speedup, O(n) growth), never absolute microseconds — so the check
-//! passes on any host. With `--fresh DIR`, freshly measured snapshots
-//! in DIR are compared against the committed ones: iteration counts
-//! (deterministic, machine-independent) must agree within the
-//! tolerance. See `docs/PERFORMANCE.md`.
-//!
-//! The scanner is deliberately token-level rather than a real parser:
-//! it blanks comments, string/char literals, and `#[cfg(test)]`
-//! modules in place (preserving byte offsets, so reported line numbers
-//! match the file on disk), then matches words. That keeps this binary
-//! dependency-free, which is what lets it build and run as a blocking
-//! CI step without registry access.
+//! * `lint` — the determinism auditor: ten token-accurate static
+//!   passes over the workspace sources (policy table in
+//!   `docs/SOUNDNESS.md`). Sources are lexed (`lexer.rs`) into a code
+//!   view with comments, string/char literals, and `#[cfg(test)]`
+//!   modules blanked in place, so a keyword inside a doc comment or a
+//!   raw string can never produce a false positive, and line numbers
+//!   always match the file on disk. Findings pass through per-pass
+//!   allowlists and the ratcheting baseline (`report.rs`), and render
+//!   as human text or SARIF 2.1.0 for GitHub code scanning.
+//! * `bench-check` — machine-independent gates on the committed
+//!   performance snapshots (`bench.rs`, `docs/PERFORMANCE.md`).
+
+mod bench;
+mod lexer;
+mod passes;
+mod report;
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
-/// Files allowed to contain `unsafe`. Each entry carries SAFETY
-/// comments on every block and is exercised under Miri in CI.
-const UNSAFE_ALLOWLIST: &[&str] = &["crates/runtime/src/data.rs"];
-
-/// The one runtime module allowed to name `std::sync` / `parking_lot`.
-const SYNC_SHIM: &str = "crates/runtime/src/sync.rs";
-
-/// The vocabulary of fault-response decisions: config knobs, driver
-/// state, and state-machine transitions. Any of these appearing in a
-/// runtime file outside [`fault_response_home`] means a backend is
-/// re-implementing core policy.
-const FAULT_RESPONSE_TOKENS: &[&str] = &[
-    "max_retries",
-    "backoff_for",
-    "quarantine_after",
-    "consec_failures",
-    "recredit",
-    "reclaim",
-    "take_range",
-    "probation_s",
-    "quarantined_until",
-    "pending_lost",
-    "try_quarantine",
-    "try_restore",
-    "mark_lost",
-];
-
-/// Files where fault-response logic legitimately lives: the scheduling
-/// core (decisions), the fault config (knobs), the protocol state
-/// machines (transitions), and the sync shim they are built on.
-fn fault_response_home(rel: &str) -> bool {
-    rel.starts_with("crates/runtime/src/core/")
-        || rel == "crates/runtime/src/fault.rs"
-        || rel == "crates/runtime/src/protocol.rs"
-        || rel == SYNC_SHIM
-}
-
-/// The one runtime module allowed to perform filesystem I/O: the
-/// durability layer, whose tmp-write + fsync + rename protocol is
-/// audited for crash atomicity (`docs/FAULT_TOLERANCE.md`).
-const FS_IO_HOME: &str = "crates/runtime/src/checkpoint.rs";
-
-/// Tokens that betray direct filesystem access.
-const FS_IO_TOKENS: &[&str] = &["std::fs", "File", "OpenOptions"];
-
-/// Checked-conversion module exempt from the lossy-cast pass (its
-/// whole point is to fence the raw casts behind guarded APIs).
-const CAST_MODULE: &str = "crates/numerics/src/cast.rs";
-
-/// Where the event schema lives.
-const EVENTS_MODULE: &str = "crates/runtime/src/events.rs";
-
-/// Result-carrying types that must stay `#[must_use]`.
-const MUST_USE_TYPES: &[(&str, &str)] = &[
-    ("crates/runtime/src/metrics.rs", "RunReport"),
-    ("crates/runtime/src/metrics.rs", "PuReport"),
-    ("crates/core/src/selection.rs", "SelectionResult"),
-    ("crates/ipm/src/solver.rs", "Solution"),
-    ("crates/numerics/src/curvefit.rs", "FittedCurve"),
-];
-
-/// Cast targets that can drop bits or change sign coming from the
-/// `f64`/`u64` domains the numeric crates work in.
-const NARROWING: &[&str] = &[
-    "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128", "f32",
-];
+use passes::{registry, Context, Source};
+use report::{default_baseline_path, sarif, timing_line, Baseline, PassTiming, Violation};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = workspace_root();
     match args.first().map(String::as_str) {
-        Some("lint") | None => lint(),
-        Some("bench-check") => bench_check(&args[1..]),
-        Some(other) => {
-            eprintln!("unknown xtask command `{other}` (supported: lint, bench-check)");
+        Some("lint") => lint(&root, &args[1..]),
+        Some("bench-check") => bench::bench_check(&root, &args[1..]),
+        _ => {
+            eprintln!(
+                "usage: cargo xtask <command>\n\n\
+                 commands:\n  \
+                 lint [--format text|sarif] [--out PATH] [--baseline PATH] [--write-baseline]\n      \
+                 run the ten soundness passes (docs/SOUNDNESS.md)\n  \
+                 bench-check [--tolerance PCT] [--fresh DIR]\n      \
+                 validate the committed performance snapshots (docs/PERFORMANCE.md)"
+            );
             ExitCode::FAILURE
         }
     }
 }
 
-struct Violation {
-    file: String,
-    line: usize,
-    pass: &'static str,
-    msg: String,
-}
-
-struct Source {
-    /// Workspace-relative path with `/` separators.
-    rel: String,
-    /// Comment-, literal-, and test-module-stripped text; byte offsets
-    /// (and therefore line numbers) match the file on disk.
-    code: String,
-}
-
-fn lint() -> ExitCode {
-    let root = workspace_root();
-    let sources = load_sources(&root);
-    if sources.is_empty() {
-        eprintln!("xtask lint: no Rust sources under {}", root.display());
-        return ExitCode::FAILURE;
-    }
-    let mut violations = Vec::new();
-    pass_unsafe_allowlist(&sources, &mut violations);
-    pass_sync_shim(&sources, &mut violations);
-    pass_event_coverage(&sources, &mut violations);
-    pass_lossy_casts(&sources, &mut violations);
-    pass_must_use(&sources, &mut violations);
-    pass_fault_divergence(&sources, &mut violations);
-    pass_fs_confinement(&sources, &mut violations);
-    pass_doc_consistency(&root, &sources, &mut violations);
-    if violations.is_empty() {
-        println!("xtask lint: OK ({} files, 8 passes)", sources.len());
-        ExitCode::SUCCESS
-    } else {
-        violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-        for v in &violations {
-            eprintln!("{}:{}: [{}] {}", v.file, v.line, v.pass, v.msg);
-        }
-        eprintln!("xtask lint: {} violation(s)", violations.len());
-        ExitCode::FAILURE
-    }
-}
-
+/// The workspace root: two levels up from this crate's manifest.
 fn workspace_root() -> PathBuf {
-    // crates/xtask -> crates -> workspace root.
-    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     manifest
         .ancestors()
         .nth(2)
-        .unwrap_or(manifest)
+        .expect("crates/xtask has a workspace root two levels up")
         .to_path_buf()
 }
 
-fn load_sources(root: &Path) -> Vec<Source> {
-    let mut dirs = Vec::new();
-    if let Ok(entries) = fs::read_dir(root.join("crates")) {
-        for entry in entries.flatten() {
-            let src = entry.path().join("src");
-            if src.is_dir() {
-                dirs.push(src);
-            }
-        }
-    }
-    let root_src = root.join("src");
-    if root_src.is_dir() {
-        dirs.push(root_src);
-    }
-    let mut files = Vec::new();
-    for dir in &dirs {
-        collect_rs(dir, &mut files);
-    }
-    files.sort();
-    files
-        .into_iter()
-        .filter_map(|path| {
-            let raw = fs::read_to_string(&path).ok()?;
-            let rel = path
-                .strip_prefix(root)
-                .unwrap_or(&path)
-                .components()
-                .map(|c| c.as_os_str().to_string_lossy().into_owned())
-                .collect::<Vec<_>>()
-                .join("/");
-            Some(Source {
-                rel,
-                code: strip_test_modules(&strip_noncode(&raw)),
-            })
-        })
-        .collect()
-}
-
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            collect_rs(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
 // ---------------------------------------------------------------------------
-// Passes
+// lint
 // ---------------------------------------------------------------------------
 
-fn pass_unsafe_allowlist(sources: &[Source], out: &mut Vec<Violation>) {
-    for s in sources {
-        if UNSAFE_ALLOWLIST.contains(&s.rel.as_str()) {
-            continue;
-        }
-        for pos in word_occurrences(&s.code, "unsafe") {
-            out.push(Violation {
-                file: s.rel.clone(),
-                line: line_of(&s.code, pos),
-                pass: "unsafe-allowlist",
-                msg: format!(
-                    "`unsafe` outside the audited allowlist ({}); express this \
-                     through a safe abstraction such as `plb_runtime::DisjointOutput`",
-                    UNSAFE_ALLOWLIST.join(", ")
-                ),
-            });
-        }
-    }
+enum Format {
+    Text,
+    Sarif,
 }
 
-fn pass_sync_shim(sources: &[Source], out: &mut Vec<Violation>) {
-    for s in sources {
-        if !s.rel.starts_with("crates/runtime/src/") || s.rel == SYNC_SHIM {
-            continue;
-        }
-        for banned in ["std::sync", "parking_lot"] {
-            for pos in word_occurrences(&s.code, banned) {
-                out.push(Violation {
-                    file: s.rel.clone(),
-                    line: line_of(&s.code, pos),
-                    pass: "sync-shim",
-                    msg: format!(
-                        "direct `{banned}` use in plb-runtime; import the primitive \
-                         from `crate::sync` so the loom models stay faithful"
-                    ),
-                });
-            }
-        }
-    }
-}
-
-fn pass_event_coverage(sources: &[Source], out: &mut Vec<Violation>) {
-    let Some(events) = sources.iter().find(|s| s.rel == EVENTS_MODULE) else {
-        out.push(Violation {
-            file: EVENTS_MODULE.to_string(),
-            line: 1,
-            pass: "event-coverage",
-            msg: "events module not found".to_string(),
-        });
-        return;
-    };
-    let Some(variants) = enum_variants(&events.code, "pub enum EventKind") else {
-        out.push(Violation {
-            file: events.rel.clone(),
-            line: 1,
-            pass: "event-coverage",
-            msg: "could not locate `pub enum EventKind`".to_string(),
-        });
-        return;
-    };
-    let from_events = fn_body(&events.code, "fn from_events");
-    if from_events.is_none() {
-        out.push(Violation {
-            file: events.rel.clone(),
-            line: 1,
-            pass: "event-coverage",
-            msg: "could not locate `EventCounters::from_events`".to_string(),
-        });
-    }
-    for (name, line) in &variants {
-        let needle = format!("EventKind::{name}");
-        let constructed = sources
-            .iter()
-            .any(|s| s.rel != EVENTS_MODULE && !word_occurrences(&s.code, &needle).is_empty());
-        if !constructed {
-            out.push(Violation {
-                file: events.rel.clone(),
-                line: *line,
-                pass: "event-coverage",
-                msg: format!(
-                    "variant `{name}` is never constructed outside events.rs — \
-                     dead schema entry or missing emission site"
-                ),
-            });
-        }
-        if let Some((body, _)) = from_events {
-            if !body.contains(&needle) {
-                out.push(Violation {
-                    file: events.rel.clone(),
-                    line: *line,
-                    pass: "event-coverage",
-                    msg: format!(
-                        "`EventCounters::from_events` does not match \
-                         `EventKind::{name}` explicitly"
-                    ),
-                });
-            }
-        }
-    }
-    if let Some((body, body_pos)) = from_events {
-        if let Some(off) = wildcard_arm(body) {
-            out.push(Violation {
-                file: events.rel.clone(),
-                line: line_of(&events.code, body_pos + off),
-                pass: "event-coverage",
-                msg: "wildcard `_ =>` arm in `EventCounters::from_events`; every \
-                      variant must make an explicit counting decision"
-                    .to_string(),
-            });
-        }
-    }
-}
-
-fn pass_lossy_casts(sources: &[Source], out: &mut Vec<Violation>) {
-    for s in sources {
-        let scoped =
-            s.rel.starts_with("crates/numerics/src/") || s.rel.starts_with("crates/ipm/src/");
-        if !scoped || s.rel == CAST_MODULE {
-            continue;
-        }
-        let b = s.code.as_bytes();
-        for pos in word_occurrences(&s.code, "as") {
-            let mut j = pos + 2;
-            while j < b.len() && b[j].is_ascii_whitespace() {
-                j += 1;
-            }
-            let start = j;
-            while j < b.len() && is_word_byte(b[j]) {
-                j += 1;
-            }
-            let target = &s.code[start..j];
-            if NARROWING.contains(&target) {
-                out.push(Violation {
-                    file: s.rel.clone(),
-                    line: line_of(&s.code, pos),
-                    pass: "lossy-cast",
-                    msg: format!(
-                        "`as {target}` can silently truncate, wrap, or change sign; \
-                         use the checked `plb_numerics::cast` helpers or `TryFrom`"
-                    ),
-                });
-            }
-        }
-    }
-}
-
-fn pass_must_use(sources: &[Source], out: &mut Vec<Violation>) {
-    for (file, ty) in MUST_USE_TYPES {
-        let Some(s) = sources.iter().find(|s| s.rel == *file) else {
-            out.push(Violation {
-                file: (*file).to_string(),
-                line: 1,
-                pass: "must-use",
-                msg: format!("expected `{ty}` to be declared here, but the file is missing"),
-            });
-            continue;
-        };
-        let decl = format!("pub struct {ty}");
-        let Some(pos) = word_occurrences(&s.code, &decl).into_iter().next() else {
-            out.push(Violation {
-                file: s.rel.clone(),
-                line: 1,
-                pass: "must-use",
-                msg: format!("declaration `{decl}` not found"),
-            });
-            continue;
-        };
-        // The attribute must sit between the end of the previous item
-        // and the declaration itself.
-        let window_start = s.code[..pos]
-            .rfind(|c| c == '}' || c == ';')
-            .map(|p| p + 1)
-            .unwrap_or(0);
-        if !s.code[window_start..pos].contains("#[must_use") {
-            out.push(Violation {
-                file: s.rel.clone(),
-                line: line_of(&s.code, pos),
-                pass: "must-use",
-                msg: format!(
-                    "`{ty}` carries run results; annotate it `#[must_use]` so \
-                     silently dropping one is a compile-time warning"
-                ),
-            });
-        }
-    }
-}
-
-fn pass_fault_divergence(sources: &[Source], out: &mut Vec<Violation>) {
-    for s in sources {
-        if !s.rel.starts_with("crates/runtime/src/") || fault_response_home(&s.rel) {
-            continue;
-        }
-        for token in FAULT_RESPONSE_TOKENS {
-            for pos in word_occurrences(&s.code, token) {
-                out.push(Violation {
-                    file: s.rel.clone(),
-                    line: line_of(&s.code, pos),
-                    pass: "fault-divergence",
-                    msg: format!(
-                        "fault-response token `{token}` outside the scheduling core; \
-                         retry/backoff/quarantine/re-credit decisions belong to \
-                         `crates/runtime/src/core` (docs/ARCHITECTURE.md), not to \
-                         engine backends"
-                    ),
-                });
-            }
-        }
-    }
-}
-
-fn pass_fs_confinement(sources: &[Source], out: &mut Vec<Violation>) {
-    for s in sources {
-        if !s.rel.starts_with("crates/runtime/src/") || s.rel == FS_IO_HOME {
-            continue;
-        }
-        for token in FS_IO_TOKENS {
-            for pos in word_occurrences(&s.code, token) {
-                out.push(Violation {
-                    file: s.rel.clone(),
-                    line: line_of(&s.code, pos),
-                    pass: "fs-confinement",
-                    msg: format!(
-                        "filesystem access `{token}` outside `{FS_IO_HOME}`; durability \
-                         I/O must go through the checkpoint module's atomic-write \
-                         protocol (docs/FAULT_TOLERANCE.md)"
-                    ),
-                });
-            }
-        }
-    }
-}
-
-/// CamelCase → snake_case (the `EventKind` serde tag convention).
-fn snake_case(name: &str) -> String {
-    let mut out = String::new();
-    for (i, c) in name.chars().enumerate() {
-        if c.is_ascii_uppercase() {
-            if i > 0 {
-                out.push('_');
-            }
-            out.push(c.to_ascii_lowercase());
-        } else {
-            out.push(c);
-        }
-    }
-    out
-}
-
-fn pass_doc_consistency(root: &Path, sources: &[Source], out: &mut Vec<Violation>) {
-    // Every EventKind variant's schema name must be documented.
-    let observability = fs::read_to_string(root.join("docs/OBSERVABILITY.md")).unwrap_or_default();
-    if observability.is_empty() {
-        out.push(Violation {
-            file: "docs/OBSERVABILITY.md".to_string(),
-            line: 1,
-            pass: "doc-consistency",
-            msg: "missing or unreadable (the event-schema reference)".to_string(),
-        });
-    } else if let Some(events) = sources.iter().find(|s| s.rel == EVENTS_MODULE) {
-        if let Some(variants) = enum_variants(&events.code, "pub enum EventKind") {
-            for (name, line) in &variants {
-                let tag = snake_case(name);
-                if !observability.contains(&tag) {
-                    out.push(Violation {
-                        file: events.rel.clone(),
-                        line: *line,
-                        pass: "doc-consistency",
-                        msg: format!(
-                            "event kind `{tag}` is not documented in docs/OBSERVABILITY.md \
-                             (the schema reference must cover every variant)"
-                        ),
-                    });
-                }
-            }
-        }
-    }
-    // The performance book must exist and be reachable.
-    if !root.join("docs/PERFORMANCE.md").is_file() {
-        out.push(Violation {
-            file: "docs/PERFORMANCE.md".to_string(),
-            line: 1,
-            pass: "doc-consistency",
-            msg: "missing (the cost-model and bench-methodology reference)".to_string(),
-        });
-    } else {
-        for linker in ["README.md", "docs/ARCHITECTURE.md"] {
-            let text = fs::read_to_string(root.join(linker)).unwrap_or_default();
-            if !text.contains("PERFORMANCE.md") {
-                out.push(Violation {
-                    file: linker.to_string(),
-                    line: 1,
-                    pass: "doc-consistency",
-                    msg: "does not link docs/PERFORMANCE.md".to_string(),
-                });
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// bench-check
-// ---------------------------------------------------------------------------
-
-/// One parsed `BENCH_solver.json` row.
-#[derive(Debug, Clone, PartialEq)]
-struct BenchEntry {
-    n_pus: u64,
-    structured_us: f64,
-    dense_us: Option<f64>,
-    cold_iters: u64,
-    warm_iters: u64,
-}
-
-/// Sizes every committed solver snapshot must cover.
-const REQUIRED_SIZES: &[u64] = &[10, 100, 1000, 10000];
-
-/// Minimum structured-vs-dense speedup at n = 1000 (the tentpole's
-/// acceptance bar; the measured ratio is far larger).
-const MIN_SPEEDUP_AT_1000: f64 = 10.0;
-
-/// Growth cap: structured solve time may grow at most this factor per
-/// 10× size step (O(n) per iteration with generous headroom for
-/// iteration-count and cache effects).
-const MAX_GROWTH_PER_DECADE: f64 = 30.0;
-
-fn bench_check(args: &[String]) -> ExitCode {
-    let mut tolerance = 20.0f64;
-    let mut fresh_dir: Option<PathBuf> = None;
+fn lint(root: &Path, args: &[String]) -> ExitCode {
+    let mut format = Format::Text;
+    let mut out_path: Option<PathBuf> = None;
+    let mut baseline_path = default_baseline_path(root);
+    let mut write_baseline = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--tolerance" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
-                Some(v) if v >= 0.0 => tolerance = v,
-                _ => {
-                    eprintln!("bench-check: --tolerance needs a non-negative number");
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("sarif") => format = Format::Sarif,
+                other => {
+                    eprintln!("lint: --format must be `text` or `sarif`, got {other:?}");
                     return ExitCode::FAILURE;
                 }
             },
-            "--fresh" => match it.next() {
-                Some(v) => fresh_dir = Some(PathBuf::from(v)),
+            "--out" => match it.next() {
+                Some(p) => out_path = Some(PathBuf::from(p)),
                 None => {
-                    eprintln!("bench-check: --fresh needs a directory");
+                    eprintln!("lint: --out needs a path");
                     return ExitCode::FAILURE;
                 }
             },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = PathBuf::from(p),
+                None => {
+                    eprintln!("lint: --baseline needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--write-baseline" => write_baseline = true,
             other => {
-                eprintln!("bench-check: unknown argument `{other}`");
+                eprintln!("lint: unknown argument `{other}`");
                 return ExitCode::FAILURE;
             }
         }
     }
 
-    let root = workspace_root();
-    let mut errors = Vec::new();
-    let committed = match load_solver_snapshot(&root.join("BENCH_solver.json")) {
-        Ok(e) => e,
+    let sources = match load_sources(root) {
+        Ok(s) => s,
         Err(e) => {
-            eprintln!("bench-check: BENCH_solver.json: {e}");
+            eprintln!("lint: {e}");
             return ExitCode::FAILURE;
         }
     };
-    check_solver_invariants(&committed, &mut errors);
-    match load_driver_snapshot(&root.join("BENCH_driver.json")) {
-        Ok((overhead, events_per_sec)) => {
-            if !(overhead.is_finite() && overhead > 0.0) {
-                errors.push(format!(
-                    "driver: sched_overhead_us_per_task = {overhead} is not a positive number"
-                ));
-            }
-            if !(events_per_sec.is_finite() && events_per_sec >= 1e5) {
-                errors.push(format!(
-                    "driver: events_per_sec = {events_per_sec:.0} below the 1e5 sanity floor"
-                ));
-            }
-        }
-        Err(e) => errors.push(format!("BENCH_driver.json: {e}")),
-    }
+    let ctx = Context {
+        root,
+        sources: &sources,
+    };
 
-    if let Some(dir) = fresh_dir {
-        match load_solver_snapshot(&dir.join("BENCH_solver.json")) {
-            Ok(fresh) => compare_iteration_counts(&committed, &fresh, tolerance, &mut errors),
-            Err(e) => errors.push(format!("fresh snapshot {}: {e}", dir.display())),
-        }
+    let passes = registry();
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut timings: Vec<PassTiming> = Vec::new();
+    for pass in &passes {
+        let t0 = Instant::now();
+        pass.run(&ctx, &mut violations);
+        timings.push(PassTiming {
+            name: pass.name(),
+            millis: t0.elapsed().as_secs_f64() * 1e3,
+        });
     }
+    violations.sort_by(|a, b| (a.pass, &a.file, a.line).cmp(&(b.pass, &b.file, b.line)));
 
-    if errors.is_empty() {
+    if write_baseline {
+        let text = Baseline::render(&violations);
+        if let Err(e) = fs::write(&baseline_path, &text) {
+            eprintln!("lint: writing {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
         println!(
-            "xtask bench-check: OK ({} solver entries, tolerance {tolerance}%)",
-            committed.len()
+            "xtask lint: wrote baseline {} ({} finding(s) accepted)",
+            baseline_path.display(),
+            violations.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (reported, suppressed) = baseline.apply(violations);
+
+    let rules: Vec<(&'static str, &'static str)> =
+        passes.iter().map(|p| (p.name(), p.summary())).collect();
+    match format {
+        Format::Sarif => {
+            let doc = sarif(&rules, &reported);
+            match &out_path {
+                Some(p) => {
+                    if let Err(e) = fs::write(p, &doc) {
+                        eprintln!("lint: writing {}: {e}", p.display());
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!(
+                        "xtask lint: wrote SARIF {} ({} result(s))",
+                        p.display(),
+                        reported.len()
+                    );
+                }
+                None => print!("{doc}"),
+            }
+        }
+        Format::Text => {
+            for v in &reported {
+                println!("{}:{}: [{}] {}", v.file, v.line, v.pass, v.msg);
+            }
+        }
+    }
+    eprintln!("{}", timing_line(&timings));
+    if reported.is_empty() {
+        eprintln!(
+            "xtask lint: OK ({} files, {} passes, {} baselined finding(s) suppressed)",
+            sources.len(),
+            passes.len(),
+            suppressed
         );
         ExitCode::SUCCESS
     } else {
-        for e in &errors {
-            eprintln!("bench-check: {e}");
-        }
-        eprintln!("xtask bench-check: {} violation(s)", errors.len());
+        eprintln!(
+            "xtask lint: {} violation(s) ({} baselined suppressed)",
+            reported.len(),
+            suppressed
+        );
         ExitCode::FAILURE
     }
 }
 
-/// Shape + ratio gates on a committed solver snapshot. All gates are
-/// machine-independent: they constrain ratios and iteration counts,
-/// never absolute times.
-fn check_solver_invariants(entries: &[BenchEntry], errors: &mut Vec<String>) {
-    for &size in REQUIRED_SIZES {
-        match entries.iter().find(|e| e.n_pus == size) {
-            None => errors.push(format!("solver: no entry at n_pus = {size}")),
-            Some(e) => {
-                if !(e.structured_us.is_finite() && e.structured_us > 0.0) {
-                    errors.push(format!(
-                        "solver: structured_us at n = {size} is not a positive number"
-                    ));
-                }
-                if e.warm_iters > e.cold_iters {
-                    errors.push(format!(
-                        "solver: warm start at n = {size} took {} iterations vs {} cold — \
-                         warm must never be slower",
-                        e.warm_iters, e.cold_iters
-                    ));
-                }
-            }
+/// Load every `.rs` file under the workspace crates' `src` trees,
+/// lexed into its code view (comments, string/char literals, and
+/// `#[cfg(test)]` modules blanked in place).
+fn load_sources(root: &Path) -> Result<Vec<Source>, String> {
+    let crates_dir = root.join("crates");
+    let mut files: Vec<PathBuf> = Vec::new();
+    let entries =
+        fs::read_dir(&crates_dir).map_err(|e| format!("{}: {e}", crates_dir.display()))?;
+    for entry in entries.flatten() {
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
         }
     }
-    if let Some(e) = entries.iter().find(|e| e.n_pus == 1000) {
-        match e.dense_us {
-            Some(d) if d.is_finite() && d > 0.0 => {
-                let speedup = d / e.structured_us;
-                if speedup < MIN_SPEEDUP_AT_1000 {
-                    errors.push(format!(
-                        "solver: structured path is only {speedup:.1}x faster than dense at \
-                         n = 1000 (required >= {MIN_SPEEDUP_AT_1000}x)"
-                    ));
-                }
-            }
-            _ => errors.push("solver: dense_us missing at n = 1000 (the oracle size)".to_string()),
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    files.sort();
+    let mut sources = Vec::with_capacity(files.len());
+    for path in files {
+        let raw = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let tokens = lexer::lex(&raw);
+        let code = lexer::strip_test_modules(&lexer::code_view(&raw, &tokens));
+        sources.push(Source { rel, code });
+    }
+    Ok(sources)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
         }
     }
-    let mut sorted: Vec<&BenchEntry> = entries.iter().collect();
-    sorted.sort_by_key(|e| e.n_pus);
-    for pair in sorted.windows(2) {
-        let (a, b) = (pair[0], pair[1]);
-        if b.n_pus == a.n_pus * 10 && b.structured_us > a.structured_us * MAX_GROWTH_PER_DECADE {
-            errors.push(format!(
-                "solver: structured time grew {:.1}x from n = {} to n = {} \
-                 (cap {MAX_GROWTH_PER_DECADE}x per decade — the O(n) path has regressed)",
-                b.structured_us / a.structured_us,
-                a.n_pus,
-                b.n_pus
-            ));
-        }
-    }
-}
-
-/// Iteration counts are deterministic per problem, so a fresh run on any
-/// machine must reproduce the committed ones within the tolerance.
-fn compare_iteration_counts(
-    committed: &[BenchEntry],
-    fresh: &[BenchEntry],
-    tolerance_pct: f64,
-    errors: &mut Vec<String>,
-) {
-    let within = |a: u64, b: u64| -> bool {
-        let (a, b) = (a as f64, b as f64);
-        // Small absolute slack covers tiny counts (2 vs 3 iterations is
-        // noise, not a regression).
-        (a - b).abs() <= (a.max(b) * tolerance_pct / 100.0).max(1.0)
-    };
-    for f in fresh {
-        let Some(c) = committed.iter().find(|c| c.n_pus == f.n_pus) else {
-            continue;
-        };
-        if !within(c.cold_iters, f.cold_iters) {
-            errors.push(format!(
-                "fresh: cold_iters at n = {} is {} vs committed {} (tolerance {tolerance_pct}%)",
-                f.n_pus, f.cold_iters, c.cold_iters
-            ));
-        }
-        if !within(c.warm_iters, f.warm_iters) {
-            errors.push(format!(
-                "fresh: warm_iters at n = {} is {} vs committed {} (tolerance {tolerance_pct}%)",
-                f.n_pus, f.warm_iters, c.warm_iters
-            ));
-        }
-        if f.warm_iters > f.cold_iters {
-            errors.push(format!(
-                "fresh: warm start at n = {} took {} iterations vs {} cold",
-                f.n_pus, f.warm_iters, f.cold_iters
-            ));
-        }
-    }
-}
-
-// --- minimal JSON field extraction (keeps xtask dependency-free) -----------
-
-/// Value of `"key": <number|null>` inside `obj`, or an error. `None`
-/// means an explicit `null`.
-fn json_number(obj: &str, key: &str) -> Result<Option<f64>, String> {
-    let needle = format!("\"{key}\"");
-    let at = obj
-        .find(&needle)
-        .ok_or_else(|| format!("field `{key}` not found"))?;
-    let rest = obj[at + needle.len()..]
-        .trim_start()
-        .strip_prefix(':')
-        .ok_or_else(|| format!("field `{key}` is not `key: value`"))?
-        .trim_start();
-    if rest.starts_with("null") {
-        return Ok(None);
-    }
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+'))
-        .unwrap_or(rest.len());
-    rest[..end]
-        .parse::<f64>()
-        .map(Some)
-        .map_err(|e| format!("field `{key}`: {e}"))
-}
-
-/// Split the `"entries": [ ... ]` array into its `{...}` object slices.
-fn json_entry_objects(text: &str) -> Result<Vec<&str>, String> {
-    let at = text
-        .find("\"entries\"")
-        .ok_or("no `entries` array".to_string())?;
-    let open = at + text[at..].find('[').ok_or("no `[` after `entries`")?;
-    let close = open + text[open..].find(']').ok_or("no `]` closing `entries`")?;
-    let body = &text[open + 1..close];
-    let mut objects = Vec::new();
-    let mut rest = body;
-    while let Some(s) = rest.find('{') {
-        let e = rest[s..]
-            .find('}')
-            .ok_or("unterminated entry object".to_string())?;
-        objects.push(&rest[s..s + e + 1]);
-        rest = &rest[s + e + 1..];
-    }
-    Ok(objects)
-}
-
-fn load_solver_snapshot(path: &Path) -> Result<Vec<BenchEntry>, String> {
-    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    let entries = json_entry_objects(&text)?;
-    let mut out = Vec::with_capacity(entries.len());
-    for obj in entries {
-        let req = |key: &str| -> Result<f64, String> {
-            json_number(obj, key)?.ok_or_else(|| format!("field `{key}` is null"))
-        };
-        out.push(BenchEntry {
-            n_pus: req("n_pus")? as u64,
-            structured_us: req("structured_us")?,
-            dense_us: json_number(obj, "dense_us")?,
-            cold_iters: req("cold_iters")? as u64,
-            warm_iters: req("warm_iters")? as u64,
-        });
-    }
-    if out.is_empty() {
-        return Err("snapshot has no entries".to_string());
-    }
-    Ok(out)
-}
-
-fn load_driver_snapshot(path: &Path) -> Result<(f64, f64), String> {
-    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    let overhead = json_number(&text, "sched_overhead_us_per_task")?
-        .ok_or("sched_overhead_us_per_task is null")?;
-    let events = json_number(&text, "events_per_sec")?.ok_or("events_per_sec is null")?;
-    Ok((overhead, events))
-}
-
-// ---------------------------------------------------------------------------
-// Token-level scanner
-// ---------------------------------------------------------------------------
-
-fn is_word_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-fn prev_is_word(b: &[u8], i: usize) -> bool {
-    i > 0 && (is_word_byte(b[i - 1]) || b[i - 1] >= 0x80)
-}
-
-/// Overwrite `[from, to)` with spaces, keeping newlines so line
-/// numbering is unaffected.
-fn blank(out: &mut [u8], from: usize, to: usize) {
-    let to = to.min(out.len());
-    for slot in &mut out[from..to] {
-        if *slot != b'\n' {
-            *slot = b' ';
-        }
-    }
-}
-
-/// Blank comments and string/char literals. Lifetimes and loop labels
-/// are preserved; raw and byte strings are handled.
-fn strip_noncode(src: &str) -> String {
-    let b = src.as_bytes();
-    let mut out = b.to_vec();
-    let mut i = 0;
-    while i < b.len() {
-        match b[i] {
-            b'/' if b.get(i + 1) == Some(&b'/') => {
-                let start = i;
-                while i < b.len() && b[i] != b'\n' {
-                    i += 1;
-                }
-                blank(&mut out, start, i);
-            }
-            b'/' if b.get(i + 1) == Some(&b'*') => {
-                let start = i;
-                let mut depth = 1usize;
-                i += 2;
-                while i < b.len() && depth > 0 {
-                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
-                        depth += 1;
-                        i += 2;
-                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
-                        depth -= 1;
-                        i += 2;
-                    } else {
-                        i += 1;
-                    }
-                }
-                blank(&mut out, start, i);
-            }
-            b'r' | b'b' if !prev_is_word(b, i) => {
-                if let Some(end) = raw_string_end(b, i) {
-                    blank(&mut out, i, end);
-                    i = end;
-                } else {
-                    i += 1;
-                }
-            }
-            b'"' => {
-                let start = i;
-                i += 1;
-                while i < b.len() {
-                    match b[i] {
-                        b'\\' => i += 2,
-                        b'"' => {
-                            i += 1;
-                            break;
-                        }
-                        _ => i += 1,
-                    }
-                }
-                blank(&mut out, start, i);
-            }
-            b'\'' => {
-                if b.get(i + 1) == Some(&b'\\') {
-                    // Escaped char literal: '\n', '\'', '\u{1F4A9}'.
-                    let start = i;
-                    i += 3;
-                    while i < b.len() && b[i] != b'\'' {
-                        i += 1;
-                    }
-                    if i < b.len() {
-                        i += 1;
-                    }
-                    blank(&mut out, start, i);
-                } else {
-                    let mut j = i + 1;
-                    while j < b.len() && (is_word_byte(b[j]) || b[j] >= 0x80) {
-                        j += 1;
-                    }
-                    if j > i + 1 && b.get(j) == Some(&b'\'') {
-                        // Char literal such as 'a' (possibly multibyte).
-                        blank(&mut out, i, j + 1);
-                        i = j + 1;
-                    } else if j == i + 1 && b.get(i + 2) == Some(&b'\'') {
-                        // Punctuation char literal such as '(' or '"'.
-                        blank(&mut out, i, i + 3);
-                        i += 3;
-                    } else {
-                        // A lifetime ('a, 'static, '_) or loop label.
-                        i = j.max(i + 1);
-                    }
-                }
-            }
-            _ => i += 1,
-        }
-    }
-    String::from_utf8(out).unwrap_or_default()
-}
-
-/// If `pos` starts a raw string literal (`r"…"`, `r#"…"#`, `br#"…"#`),
-/// return the offset one past its closing delimiter.
-fn raw_string_end(b: &[u8], pos: usize) -> Option<usize> {
-    let mut i = pos;
-    if b[i] == b'b' {
-        i += 1;
-    }
-    if b.get(i) != Some(&b'r') {
-        return None;
-    }
-    i += 1;
-    let mut hashes = 0usize;
-    while b.get(i) == Some(&b'#') {
-        hashes += 1;
-        i += 1;
-    }
-    if b.get(i) != Some(&b'"') {
-        return None;
-    }
-    i += 1;
-    while i < b.len() {
-        if b[i] == b'"' {
-            let tail = &b[i + 1..];
-            if tail.len() >= hashes && tail[..hashes].iter().all(|&c| c == b'#') {
-                return Some(i + 1 + hashes);
-            }
-        }
-        i += 1;
-    }
-    Some(b.len())
-}
-
-/// Blank every `#[cfg(test)] mod … { … }` item (tests are exempt from
-/// the passes; `#[cfg(test)]` on non-module items is left alone).
-fn strip_test_modules(code: &str) -> String {
-    let b = code.as_bytes();
-    let mut out = b.to_vec();
-    let mut from = 0;
-    while let Some(off) = code[from..].find("#[cfg(test)]") {
-        let start = from + off;
-        let mut j = start + "#[cfg(test)]".len();
-        // Skip whitespace and any further attributes between the cfg
-        // gate and the item it applies to.
-        loop {
-            while j < b.len() && b[j].is_ascii_whitespace() {
-                j += 1;
-            }
-            if b.get(j) == Some(&b'#') && b.get(j + 1) == Some(&b'[') {
-                match match_delim(b, j + 1, b'[', b']') {
-                    Some(past) => j = past,
-                    None => break,
-                }
-            } else {
-                break;
-            }
-        }
-        let gated_mod = code[j..].starts_with("mod ") || code[j..].starts_with("pub mod ");
-        if gated_mod {
-            if let Some(open_off) = code[j..].find('{') {
-                let open = j + open_off;
-                if let Some(close) = match_delim(b, open, b'{', b'}') {
-                    blank(&mut out, start, close);
-                    from = close;
-                    continue;
-                }
-            }
-        }
-        from = start + 1;
-    }
-    String::from_utf8(out).unwrap_or_default()
-}
-
-/// Offset one past the delimiter matching the opener at `open`.
-fn match_delim(b: &[u8], open: usize, open_c: u8, close_c: u8) -> Option<usize> {
-    let mut depth = 0usize;
-    let mut i = open;
-    while i < b.len() {
-        if b[i] == open_c {
-            depth += 1;
-        } else if b[i] == close_c {
-            depth = depth.checked_sub(1)?;
-            if depth == 0 {
-                return Some(i + 1);
-            }
-        }
-        i += 1;
-    }
-    None
-}
-
-/// Byte offsets of standalone occurrences of `needle` — occurrences
-/// not embedded in a larger identifier on either side.
-fn word_occurrences(code: &str, needle: &str) -> Vec<usize> {
-    let b = code.as_bytes();
-    let mut hits = Vec::new();
-    let mut from = 0;
-    while let Some(off) = code[from..].find(needle) {
-        let pos = from + off;
-        let end = pos + needle.len();
-        let before_ok = pos == 0 || !is_word_byte(b[pos - 1]);
-        let after_ok = end >= b.len() || !is_word_byte(b[end]);
-        if before_ok && after_ok {
-            hits.push(pos);
-        }
-        from = pos + 1;
-    }
-    hits
-}
-
-/// 1-based line number of byte offset `pos`.
-fn line_of(code: &str, pos: usize) -> usize {
-    code.as_bytes()[..pos]
-        .iter()
-        .filter(|&&c| c == b'\n')
-        .count()
-        + 1
-}
-
-/// Variant names (with their lines) of the enum introduced by `decl`.
-fn enum_variants(code: &str, decl: &str) -> Option<Vec<(String, usize)>> {
-    let at = code.find(decl)?;
-    let open = at + code[at..].find('{')?;
-    let end = match_delim(code.as_bytes(), open, b'{', b'}')?;
-    let b = code.as_bytes();
-    let mut variants = Vec::new();
-    let mut depth = 0usize;
-    let mut i = open + 1;
-    while i < end - 1 {
-        match b[i] {
-            b'{' | b'(' | b'[' => {
-                depth += 1;
-                i += 1;
-            }
-            b'}' | b')' | b']' => {
-                depth = depth.saturating_sub(1);
-                i += 1;
-            }
-            b'#' if depth == 0 => {
-                // Skip a variant attribute such as `#[serde(rename = …)]`.
-                i += 1;
-                if b.get(i) == Some(&b'[') {
-                    match match_delim(b, i, b'[', b']') {
-                        Some(past) => i = past,
-                        None => i += 1,
-                    }
-                }
-            }
-            c if depth == 0 && c.is_ascii_uppercase() => {
-                let start = i;
-                while i < end && is_word_byte(b[i]) {
-                    i += 1;
-                }
-                variants.push((code[start..i].to_string(), line_of(code, start)));
-            }
-            _ => i += 1,
-        }
-    }
-    Some(variants)
-}
-
-/// The brace-delimited body of the first function whose text contains
-/// `sig`, plus the body's byte offset in `code`.
-fn fn_body<'a>(code: &'a str, sig: &str) -> Option<(&'a str, usize)> {
-    let at = code.find(sig)?;
-    let open = at + code[at..].find('{')?;
-    let end = match_delim(code.as_bytes(), open, b'{', b'}')?;
-    Some((&code[open..end], open))
-}
-
-/// Byte offset (within `body`) of a wildcard `_ =>` match arm, if any.
-fn wildcard_arm(body: &str) -> Option<usize> {
-    let b = body.as_bytes();
-    let mut from = 0;
-    while let Some(off) = body[from..].find("=>") {
-        let pos = from + off;
-        let mut k = pos;
-        while k > 0 && b[k - 1].is_ascii_whitespace() {
-            k -= 1;
-        }
-        if k > 0 && b[k - 1] == b'_' && (k == 1 || !is_word_byte(b[k - 2])) {
-            return Some(k - 1);
-        }
-        from = pos + 2;
-    }
-    None
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn strips_line_and_block_comments() {
-        let code = "let x = 1; // unsafe here\n/* parking_lot */ let y = 2;";
-        let s = strip_noncode(code);
-        assert!(!s.contains("unsafe"));
-        assert!(!s.contains("parking_lot"));
-        assert!(s.contains("let y = 2;"));
-        assert_eq!(s.len(), code.len());
-    }
-
-    #[test]
-    fn strips_literals_but_keeps_lifetimes() {
-        let code =
-            r##"fn f<'a>(s: &'a str) { let c = '"'; let t = "unsafe"; let r = r#"std::sync"#; }"##;
-        let s = strip_noncode(code);
-        assert!(!s.contains("unsafe"));
-        assert!(!s.contains("std::sync"));
-        assert!(s.contains("fn f<'a>(s: &'a str)"));
-    }
-
-    #[test]
-    fn escaped_char_literals_do_not_derail_the_scanner() {
-        let code = "let q = '\\''; let n = '\\n'; unsafe {}";
-        let s = strip_noncode(code);
-        let hits = word_occurrences(&s, "unsafe");
-        assert_eq!(hits.len(), 1);
-    }
-
-    #[test]
-    fn blanks_test_modules_only() {
-        let code =
-            "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn inner() { unsafe {} }\n}\nfn after() {}\n";
-        let s = strip_test_modules(code);
-        assert!(!s.contains("unsafe"));
-        assert!(s.contains("fn real()"));
-        assert!(s.contains("fn after()"));
-        let after = s.find("fn after").expect("kept");
-        assert_eq!(line_of(&s, after), 6, "blanking must preserve line numbers");
-    }
-
-    #[test]
-    fn word_occurrences_respects_identifier_boundaries() {
-        let code = "fn pass_unsafe() {} unsafe fn g() {}";
-        let hits = word_occurrences(code, "unsafe");
-        assert_eq!(hits.len(), 1);
-    }
-
-    #[test]
-    fn finds_enum_variants_and_wildcard_arms() {
-        let code = "pub enum EventKind { A { x: usize }, B(Option<u8>), LongName }\n\
-                    fn from_events() { match k { EventKind::A { .. } => {} _ => {} } }";
-        let variants = enum_variants(code, "pub enum EventKind").expect("enum");
-        let names: Vec<&str> = variants.iter().map(|(n, _)| n.as_str()).collect();
-        assert_eq!(names, ["A", "B", "LongName"]);
-        let (body, _) = fn_body(code, "fn from_events").expect("body");
-        assert!(wildcard_arm(body).is_some());
-        assert!(wildcard_arm("match k { EventKind::A { .. } => {} }").is_none());
-    }
-
-    #[test]
-    fn fault_divergence_flags_backends_but_not_the_core() {
-        let leaky = Source {
-            rel: "crates/runtime/src/engine.rs".into(),
-            code: "if self.consec_failures >= ft.quarantine_after { gate.try_quarantine(); }"
-                .into(),
-        };
-        let home = Source {
-            rel: "crates/runtime/src/core/mod.rs".into(),
-            code: leaky.code.clone(),
-        };
-        let elsewhere = Source {
-            rel: "crates/bench/src/harness.rs".into(),
-            code: leaky.code.clone(),
-        };
-        let mut v = Vec::new();
-        pass_fault_divergence(&[home, elsewhere], &mut v);
-        assert!(v.is_empty(), "core and non-runtime files are exempt");
-        pass_fault_divergence(&[leaky], &mut v);
-        assert_eq!(
-            v.len(),
-            3,
-            "each leaked fault-response token is its own violation"
-        );
-        assert!(v.iter().all(|x| x.pass == "fault-divergence"));
-    }
-
-    #[test]
-    fn fs_confinement_flags_engines_but_not_the_checkpoint_module() {
-        let code = "let f = std::fs::File::create(&tmp)?; \
-                    let o = OpenOptions::new().append(true);";
-        let leaky = Source {
-            rel: "crates/runtime/src/engine.rs".into(),
-            code: code.into(),
-        };
-        let home = Source {
-            rel: FS_IO_HOME.into(),
-            code: code.into(),
-        };
-        let elsewhere = Source {
-            rel: "crates/bench/src/harness.rs".into(),
-            code: code.into(),
-        };
-        let mut v = Vec::new();
-        pass_fs_confinement(&[home, elsewhere], &mut v);
-        assert!(v.is_empty(), "the checkpoint module and non-runtime crates are exempt");
-        pass_fs_confinement(&[leaky], &mut v);
-        // `std::fs`, the standalone `File` inside the path, and
-        // `OpenOptions` each count.
-        assert_eq!(v.len(), 3);
-        assert!(v.iter().all(|x| x.pass == "fs-confinement"));
-        // `FileHeader`-style identifiers must not trip the `File` token.
-        let fine = Source {
-            rel: "crates/runtime/src/events.rs".into(),
-            code: "struct FileHeader; let p: PathBuf = base.join(name);".into(),
-        };
-        v.clear();
-        pass_fs_confinement(&[fine], &mut v);
-        assert!(v.is_empty());
-    }
-
-    const SAMPLE_SNAPSHOT: &str = r#"{
-  "schema": 1,
-  "entries": [
-    {"n_pus": 10, "structured_us": 24.5, "dense_us": 61.3, "cold_iters": 8, "warm_iters": 2},
-    {"n_pus": 100, "structured_us": 236.2, "dense_us": 6562.8, "cold_iters": 9, "warm_iters": 2},
-    {"n_pus": 1000, "structured_us": 3534.9, "dense_us": 3940227.4, "cold_iters": 16, "warm_iters": 2},
-    {"n_pus": 10000, "structured_us": 7158.6, "dense_us": null, "cold_iters": 9, "warm_iters": 3}
-  ]
-}"#;
-
-    fn sample_entries() -> Vec<BenchEntry> {
-        json_entry_objects(SAMPLE_SNAPSHOT)
-            .unwrap()
-            .iter()
-            .map(|obj| BenchEntry {
-                n_pus: json_number(obj, "n_pus").unwrap().unwrap() as u64,
-                structured_us: json_number(obj, "structured_us").unwrap().unwrap(),
-                dense_us: json_number(obj, "dense_us").unwrap(),
-                cold_iters: json_number(obj, "cold_iters").unwrap().unwrap() as u64,
-                warm_iters: json_number(obj, "warm_iters").unwrap().unwrap() as u64,
-            })
-            .collect()
-    }
-
-    #[test]
-    fn snapshot_json_parses_including_null_dense() {
-        let entries = sample_entries();
-        assert_eq!(entries.len(), 4);
-        assert_eq!(entries[0].n_pus, 10);
-        assert_eq!(entries[2].dense_us, Some(3940227.4));
-        assert_eq!(entries[3].dense_us, None);
-        assert_eq!(entries[3].warm_iters, 3);
-    }
-
-    #[test]
-    fn solver_invariants_accept_the_committed_shape() {
-        let mut errors = Vec::new();
-        check_solver_invariants(&sample_entries(), &mut errors);
-        assert!(errors.is_empty(), "{errors:?}");
-    }
-
-    #[test]
-    fn solver_invariants_catch_regressions() {
-        // Dense barely faster than structured at n = 1000.
-        let mut slow = sample_entries();
-        slow[2].dense_us = Some(slow[2].structured_us * 2.0);
-        let mut errors = Vec::new();
-        check_solver_invariants(&slow, &mut errors);
-        assert!(errors.iter().any(|e| e.contains("10x")), "{errors:?}");
-
-        // Warm start slower than cold.
-        let mut warm = sample_entries();
-        warm[1].warm_iters = warm[1].cold_iters + 5;
-        errors.clear();
-        check_solver_invariants(&warm, &mut errors);
-        assert!(errors.iter().any(|e| e.contains("warm")), "{errors:?}");
-
-        // Super-linear growth.
-        let mut growth = sample_entries();
-        growth[3].structured_us = growth[2].structured_us * 100.0;
-        errors.clear();
-        check_solver_invariants(&growth, &mut errors);
-        assert!(errors.iter().any(|e| e.contains("grew")), "{errors:?}");
-
-        // A missing size.
-        let partial: Vec<BenchEntry> = sample_entries().into_iter().take(2).collect();
-        errors.clear();
-        check_solver_invariants(&partial, &mut errors);
-        assert!(errors.iter().any(|e| e.contains("no entry")), "{errors:?}");
-    }
-
-    #[test]
-    fn fresh_comparison_tolerates_small_drift_only() {
-        let committed = sample_entries();
-        let mut fresh = sample_entries();
-        fresh[0].cold_iters = 9; // 8 -> 9: within the ±1 slack
-        let mut errors = Vec::new();
-        compare_iteration_counts(&committed, &fresh, 20.0, &mut errors);
-        assert!(errors.is_empty(), "{errors:?}");
-
-        fresh[1].cold_iters = 40; // 9 -> 40: a real divergence
-        errors.clear();
-        compare_iteration_counts(&committed, &fresh, 20.0, &mut errors);
-        assert_eq!(errors.len(), 1, "{errors:?}");
-    }
-
-    #[test]
-    fn snake_case_matches_event_tags() {
-        assert_eq!(snake_case("RunStart"), "run_start");
-        assert_eq!(snake_case("IpmIteration"), "ipm_iteration");
-        assert_eq!(snake_case("PuQuarantined"), "pu_quarantined");
-        assert_eq!(snake_case("DeviceFailed"), "device_failed");
-    }
-
-    #[test]
-    fn lossy_cast_target_detection() {
-        let code = "let lo = pos.floor() as usize; let f = n as f64;";
-        let hits = word_occurrences(code, "as");
-        assert_eq!(hits.len(), 2);
-        // Only the first cast targets a narrowing type.
-        let b = code.as_bytes();
-        let mut narrow = 0;
-        for pos in hits {
-            let mut j = pos + 2;
-            while j < b.len() && b[j].is_ascii_whitespace() {
-                j += 1;
-            }
-            let start = j;
-            while j < b.len() && is_word_byte(b[j]) {
-                j += 1;
-            }
-            if NARROWING.contains(&&code[start..j]) {
-                narrow += 1;
-            }
-        }
-        assert_eq!(narrow, 1);
-    }
+    Ok(())
 }

@@ -1,0 +1,103 @@
+//! Pass 8: the prose tracks the code: every `EventKind` variant's
+//! snake_case schema name is documented in `docs/OBSERVABILITY.md`,
+//! and `docs/PERFORMANCE.md` exists and is linked from `README.md` and
+//! `docs/ARCHITECTURE.md`.
+
+use std::fs;
+
+use super::{Context, Pass, EVENTS_MODULE};
+use crate::lexer::enum_variants;
+use crate::report::Violation;
+
+/// CamelCase → snake_case (the `EventKind` serde tag convention).
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+pub struct DocConsistency;
+
+impl Pass for DocConsistency {
+    fn name(&self) -> &'static str {
+        "doc-consistency"
+    }
+
+    fn summary(&self) -> &'static str {
+        "OBSERVABILITY.md / PERFORMANCE.md stay in step with the code"
+    }
+
+    fn run(&self, ctx: &Context, out: &mut Vec<Violation>) {
+        // Every EventKind variant's schema name must be documented.
+        let observability =
+            fs::read_to_string(ctx.root.join("docs/OBSERVABILITY.md")).unwrap_or_default();
+        if observability.is_empty() {
+            out.push(Violation {
+                file: "docs/OBSERVABILITY.md".to_string(),
+                line: 1,
+                pass: self.name(),
+                msg: "missing or unreadable (the event-schema reference)".to_string(),
+            });
+        } else if let Some(events) = ctx.source(EVENTS_MODULE) {
+            if let Some(variants) = enum_variants(&events.code, "pub enum EventKind") {
+                for (name, line) in &variants {
+                    let tag = snake_case(name);
+                    if !observability.contains(&tag) {
+                        out.push(Violation {
+                            file: events.rel.clone(),
+                            line: *line,
+                            pass: self.name(),
+                            msg: format!(
+                                "event kind `{tag}` is not documented in docs/OBSERVABILITY.md \
+                                 (the schema reference must cover every variant)"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        // The performance book must exist and be reachable.
+        if !ctx.root.join("docs/PERFORMANCE.md").is_file() {
+            out.push(Violation {
+                file: "docs/PERFORMANCE.md".to_string(),
+                line: 1,
+                pass: self.name(),
+                msg: "missing (the cost-model and bench-methodology reference)".to_string(),
+            });
+        } else {
+            for linker in ["README.md", "docs/ARCHITECTURE.md"] {
+                let text = fs::read_to_string(ctx.root.join(linker)).unwrap_or_default();
+                if !text.contains("PERFORMANCE.md") {
+                    out.push(Violation {
+                        file: linker.to_string(),
+                        line: 1,
+                        pass: self.name(),
+                        msg: "does not link docs/PERFORMANCE.md".to_string(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::snake_case;
+
+    #[test]
+    fn snake_case_matches_event_tags() {
+        assert_eq!(snake_case("RunStart"), "run_start");
+        assert_eq!(snake_case("IpmIteration"), "ipm_iteration");
+        assert_eq!(snake_case("PuQuarantined"), "pu_quarantined");
+        assert_eq!(snake_case("DeviceFailed"), "device_failed");
+    }
+}

@@ -1,0 +1,50 @@
+//! Pass 7: filesystem I/O in `plb-runtime` lives only in the
+//! checkpoint module, whose atomic-write protocol is what makes
+//! snapshots crash-safe; an engine or policy opening files on its own
+//! would bypass those guarantees.
+
+use super::{Context, Pass};
+use crate::lexer::{line_of, word_occurrences};
+use crate::report::Violation;
+
+/// The one runtime module allowed to perform filesystem I/O: the
+/// durability layer, whose tmp-write + fsync + rename protocol is
+/// audited for crash atomicity (`docs/FAULT_TOLERANCE.md`).
+pub const FS_IO_HOME: &str = "crates/runtime/src/checkpoint.rs";
+
+/// Tokens that betray direct filesystem access.
+const FS_IO_TOKENS: &[&str] = &["std::fs", "File", "OpenOptions"];
+
+pub struct FsConfinement;
+
+impl Pass for FsConfinement {
+    fn name(&self) -> &'static str {
+        "fs-confinement"
+    }
+
+    fn summary(&self) -> &'static str {
+        "runtime filesystem I/O only in the checkpoint module"
+    }
+
+    fn run(&self, ctx: &Context, out: &mut Vec<Violation>) {
+        for s in ctx.sources {
+            if !s.rel.starts_with("crates/runtime/src/") || s.rel == FS_IO_HOME {
+                continue;
+            }
+            for token in FS_IO_TOKENS {
+                for pos in word_occurrences(&s.code, token) {
+                    out.push(Violation {
+                        file: s.rel.clone(),
+                        line: line_of(&s.code, pos),
+                        pass: self.name(),
+                        msg: format!(
+                            "filesystem access `{token}` outside `{FS_IO_HOME}`; durability \
+                             I/O must go through the checkpoint module's atomic-write \
+                             protocol (docs/FAULT_TOLERANCE.md)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

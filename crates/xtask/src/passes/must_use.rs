@@ -1,0 +1,67 @@
+//! Pass 5: result-carrying types stay `#[must_use]`.
+
+use super::{Context, Pass};
+use crate::lexer::{line_of, word_occurrences};
+use crate::report::Violation;
+
+/// Result-carrying types that must stay `#[must_use]`.
+const MUST_USE_TYPES: &[(&str, &str)] = &[
+    ("crates/runtime/src/metrics.rs", "RunReport"),
+    ("crates/runtime/src/metrics.rs", "PuReport"),
+    ("crates/core/src/selection.rs", "SelectionResult"),
+    ("crates/ipm/src/solver.rs", "Solution"),
+    ("crates/numerics/src/curvefit.rs", "FittedCurve"),
+];
+
+pub struct MustUse;
+
+impl Pass for MustUse {
+    fn name(&self) -> &'static str {
+        "must-use"
+    }
+
+    fn summary(&self) -> &'static str {
+        "result-carrying types stay #[must_use]"
+    }
+
+    fn run(&self, ctx: &Context, out: &mut Vec<Violation>) {
+        for (file, ty) in MUST_USE_TYPES {
+            let Some(s) = ctx.source(file) else {
+                out.push(Violation {
+                    file: (*file).to_string(),
+                    line: 1,
+                    pass: self.name(),
+                    msg: format!("expected `{ty}` to be declared here, but the file is missing"),
+                });
+                continue;
+            };
+            let decl = format!("pub struct {ty}");
+            let Some(pos) = word_occurrences(&s.code, &decl).into_iter().next() else {
+                out.push(Violation {
+                    file: s.rel.clone(),
+                    line: 1,
+                    pass: self.name(),
+                    msg: format!("declaration `{decl}` not found"),
+                });
+                continue;
+            };
+            // The attribute must sit between the end of the previous item
+            // and the declaration itself.
+            let window_start = s.code[..pos]
+                .rfind(['}', ';'])
+                .map(|p| p + 1)
+                .unwrap_or(0);
+            if !s.code[window_start..pos].contains("#[must_use") {
+                out.push(Violation {
+                    file: s.rel.clone(),
+                    line: line_of(&s.code, pos),
+                    pass: self.name(),
+                    msg: format!(
+                        "`{ty}` carries run results; annotate it `#[must_use]` so \
+                         silently dropping one is a compile-time warning"
+                    ),
+                });
+            }
+        }
+    }
+}

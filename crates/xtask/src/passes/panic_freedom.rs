@@ -1,0 +1,191 @@
+//! Pass 10: panic freedom on the run path.
+//!
+//! Scheduling and solving must degrade (fallback selection, typed
+//! errors, skipped probes) rather than abort a run a fault-tolerant
+//! engine could otherwise finish. This pass replaces the old per-crate
+//! `#![deny(clippy::unwrap_used, clippy::expect_used)]` patchwork with
+//! one audited, machine-checked policy:
+//!
+//! * **unwrap / expect / panic-family macros** are banned across the
+//!   run-path crates (`plb-runtime`, `plb-hec`, `plb-ipm`) outside the
+//!   audited allowlist (`allowlists/panic-freedom.txt`, each entry a
+//!   file whose panics carry a local proof of unreachability);
+//! * **slice-index expressions** (`xs[i]` — the third way safe Rust
+//!   panics) are additionally flagged in the `drive()` hot path and
+//!   the policy hooks it calls. Existing audited sites live in the
+//!   ratchet baseline (`lint-baseline.txt`): the count may only
+//!   shrink.
+//!
+//! Tests are exempt (assertions are their job), as is `assert!` — an
+//! invariant check is a *deliberate* abort, not an accidental one.
+
+use super::{config_error, Context, Pass};
+use crate::lexer::{is_word_byte, line_of, word_occurrences};
+use crate::report::{Allowlist, Violation};
+
+/// Crates whose run path must not panic (the old deny-lint scope).
+const PANIC_SCOPE: &[&str] = &["crates/runtime/src/", "crates/core/src/", "crates/ipm/src/"];
+
+/// The `drive()` hot path and the policy hooks it invokes every task
+/// completion: here even indexing is a latent abort.
+const INDEX_SCOPE: &[&str] = &[
+    "crates/runtime/src/core/",
+    "crates/core/src/policy.rs",
+    "crates/core/src/baselines/",
+];
+
+/// Macros that abort by design.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub struct PanicFreedom;
+
+impl Pass for PanicFreedom {
+    fn name(&self) -> &'static str {
+        "panic-freedom"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no unwrap/expect/panic!/slice-index on the run path"
+    }
+
+    fn run(&self, ctx: &Context, out: &mut Vec<Violation>) {
+        let allow = match Allowlist::load(ctx.root, self.name()) {
+            Ok(a) => a,
+            Err(e) => {
+                out.push(config_error(self.name(), e));
+                return;
+            }
+        };
+        for s in ctx.sources {
+            if !PANIC_SCOPE.iter().any(|p| s.rel.starts_with(p)) || allow.permits(&s.rel) {
+                continue;
+            }
+            let b = s.code.as_bytes();
+            for method in ["unwrap", "expect"] {
+                for pos in word_occurrences(&s.code, method) {
+                    if is_call(b, pos + method.len()) && is_method_recv(b, pos) {
+                        out.push(Violation {
+                            file: s.rel.clone(),
+                            line: line_of(&s.code, pos),
+                            pass: self.name(),
+                            msg: format!(
+                                "`.{method}()` on the run path can abort a run the \
+                                 fault-tolerant engines could finish; return a typed error \
+                                 or degrade (audited exceptions: allowlists/panic-freedom.txt)"
+                            ),
+                        });
+                    }
+                }
+            }
+            for mac in PANIC_MACROS {
+                for pos in word_occurrences(&s.code, mac) {
+                    if b.get(pos + mac.len()) == Some(&b'!') {
+                        out.push(Violation {
+                            file: s.rel.clone(),
+                            line: line_of(&s.code, pos),
+                            pass: self.name(),
+                            msg: format!(
+                                "`{mac}!` on the run path; scheduling and solving must \
+                                 degrade into typed errors, not abort \
+                                 (docs/FAULT_TOLERANCE.md)"
+                            ),
+                        });
+                    }
+                }
+            }
+            if INDEX_SCOPE.iter().any(|p| s.rel.starts_with(p)) {
+                for pos in index_expressions(&s.code) {
+                    out.push(Violation {
+                        file: s.rel.clone(),
+                        line: line_of(&s.code, pos),
+                        pass: self.name(),
+                        msg: "slice-index in the drive() hot path can panic on a logic \
+                              slip; prefer `.get()`/iterators, or keep the audited count \
+                              in lint-baseline.txt from growing"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Does the occurrence at `pos` look like a method call receiver —
+/// preceded (after whitespace) by `.`? Filters out `fn unwrap` items
+/// and paths like `Option::unwrap` passed as fns (rare; those read as
+/// deliberate).
+fn is_method_recv(b: &[u8], pos: usize) -> bool {
+    let mut k = pos;
+    while k > 0 && b[k - 1].is_ascii_whitespace() {
+        k -= 1;
+    }
+    k > 0 && b[k - 1] == b'.'
+}
+
+/// Is the token ending at `end` followed (after whitespace) by `(` or
+/// a turbofish?
+fn is_call(b: &[u8], mut end: usize) -> bool {
+    while end < b.len() && b[end].is_ascii_whitespace() {
+        end += 1;
+    }
+    b.get(end) == Some(&b'(') || (b.get(end) == Some(&b':') && b.get(end + 1) == Some(&b':'))
+}
+
+/// Byte offsets of `[` tokens that open an *index* expression: the
+/// previous non-whitespace byte ends a place expression (identifier,
+/// `)`, or `]`). Array literals (`[0; n]`), attribute brackets
+/// (`#[...]`), macro brackets (`vec![...]`), and type brackets
+/// (`: [u8; 4]`) are excluded by that rule. Operates on a code view,
+/// so brackets inside strings or comments cannot appear.
+fn index_expressions(code: &str) -> Vec<usize> {
+    let b = code.as_bytes();
+    let mut hits = Vec::new();
+    for (i, &c) in b.iter().enumerate() {
+        if c != b'[' {
+            continue;
+        }
+        let mut k = i;
+        while k > 0 && b[k - 1].is_ascii_whitespace() {
+            k -= 1;
+        }
+        if k == 0 {
+            continue;
+        }
+        let prev = b[k - 1];
+        if is_word_byte(prev) || prev == b')' || prev == b']' {
+            hits.push(i);
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_detection_distinguishes_index_from_literal_and_attr() {
+        let code = "#[derive(Debug)] fn f(xs: &[u64], i: usize) -> u64 { \
+                    let a = [0u64; 4]; let v = vec![1, 2]; xs[i] + a[0] + m()[1] }";
+        let hits = index_expressions(code);
+        // xs[i], a[0], m()[1] — not #[derive], not the literal, not vec![.
+        assert_eq!(hits.len(), 3, "{hits:?}");
+    }
+
+    #[test]
+    fn unwrap_detection_needs_dot_and_call() {
+        let b = "x.unwrap(); y. unwrap (); unwrap(z); fn unwrap() {} let f = Option::unwrap;";
+        let bytes = b.as_bytes();
+        let hits: Vec<usize> = word_occurrences(b, "unwrap")
+            .into_iter()
+            .filter(|&p| is_call(bytes, p + "unwrap".len()) && is_method_recv(bytes, p))
+            .collect();
+        assert_eq!(hits.len(), 2, "{hits:?}");
+    }
+
+    #[test]
+    fn unwrap_or_is_a_different_word() {
+        let code = "x.unwrap_or(0); x.unwrap_or_else(f); x.unwrap_or_default();";
+        assert!(word_occurrences(code, "unwrap").is_empty());
+    }
+}

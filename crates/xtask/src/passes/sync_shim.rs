@@ -1,0 +1,40 @@
+//! Pass 2: inside `crates/runtime/src`, concurrency primitives must
+//! come from `crate::sync` (the loom-swappable shim), never directly
+//! from `std::sync` or `parking_lot`.
+
+use super::{Context, Pass, SYNC_SHIM};
+use crate::lexer::{line_of, word_occurrences};
+use crate::report::Violation;
+
+pub struct SyncShim;
+
+impl Pass for SyncShim {
+    fn name(&self) -> &'static str {
+        "sync-shim"
+    }
+
+    fn summary(&self) -> &'static str {
+        "runtime concurrency primitives come from crate::sync only"
+    }
+
+    fn run(&self, ctx: &Context, out: &mut Vec<Violation>) {
+        for s in ctx.sources {
+            if !s.rel.starts_with("crates/runtime/src/") || s.rel == SYNC_SHIM {
+                continue;
+            }
+            for banned in ["std::sync", "parking_lot"] {
+                for pos in word_occurrences(&s.code, banned) {
+                    out.push(Violation {
+                        file: s.rel.clone(),
+                        line: line_of(&s.code, pos),
+                        pass: self.name(),
+                        msg: format!(
+                            "direct `{banned}` use in plb-runtime; import the primitive \
+                             from `crate::sync` so the loom models stay faithful"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Pass 1: `unsafe` may appear only in the audited files listed in
+//! `allowlists/unsafe-allowlist.txt`; everything else, app kernels in
+//! particular, must stay safe Rust.
+
+use super::{config_error, Context, Pass};
+use crate::lexer::{line_of, word_occurrences};
+use crate::report::{Allowlist, Violation};
+
+pub struct UnsafeAllowlist;
+
+impl Pass for UnsafeAllowlist {
+    fn name(&self) -> &'static str {
+        "unsafe-allowlist"
+    }
+
+    fn summary(&self) -> &'static str {
+        "`unsafe` only in the audited allowlist (Miri-covered files)"
+    }
+
+    fn run(&self, ctx: &Context, out: &mut Vec<Violation>) {
+        let allow = match Allowlist::load(ctx.root, self.name()) {
+            Ok(a) => a,
+            Err(e) => {
+                out.push(config_error(self.name(), e));
+                return;
+            }
+        };
+        for s in ctx.sources {
+            if allow.permits(&s.rel) {
+                continue;
+            }
+            for pos in word_occurrences(&s.code, "unsafe") {
+                out.push(Violation {
+                    file: s.rel.clone(),
+                    line: line_of(&s.code, pos),
+                    pass: self.name(),
+                    msg: format!(
+                        "`unsafe` outside the audited allowlist ({}); express this \
+                         through a safe abstraction such as `plb_runtime::DisjointOutput`",
+                        allow.entries().join(", ")
+                    ),
+                });
+            }
+        }
+    }
+}

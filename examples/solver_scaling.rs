@@ -70,7 +70,10 @@ fn main() {
             .expect("warm re-solve");
 
         let (dense_str, dense_iters) = match dense {
-            Some((d, it)) => (format!("{:>10.1} us", d.as_secs_f64() * 1e6), format!("{it}")),
+            Some((d, it)) => (
+                format!("{:>10.1} us", d.as_secs_f64() * 1e6),
+                format!("{it}"),
+            ),
             None => ("- (too big)".to_string(), "-".to_string()),
         };
         println!(

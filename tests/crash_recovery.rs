@@ -78,8 +78,8 @@ fn crash_child_body() {
     let codelet = Arc::new(FnCodelet::new("sleepy", |range, _res| {
         std::thread::sleep(SLEEP_PER_ITEM * (range.end - range.start) as u32);
     }));
-    let mut engine = HostEngine::new(pus())
-        .with_checkpoint(CheckpointConfig::new(&path).with_interval(1));
+    let mut engine =
+        HostEngine::new(pus()).with_checkpoint(CheckpointConfig::new(&path).with_interval(1));
     let mut policy = PlbHecPolicy::new(&config());
     // The parent kills us mid-run; if we do finish, that's fine too —
     // the parent detects it and fails with a diagnostic.
@@ -166,7 +166,12 @@ fn sigkilled_run_resumes_with_disjoint_cover_and_no_reprobe() {
 fn run_and_kill_child(path: &Path) -> Checkpoint {
     let exe = std::env::current_exe().expect("test binary path");
     let mut child = Command::new(exe)
-        .args(["--ignored", "--exact", "crash_child_body", "--test-threads=1"])
+        .args([
+            "--ignored",
+            "--exact",
+            "crash_child_body",
+            "--test-threads=1",
+        ])
         .env(CKPT_ENV, path)
         .spawn()
         .expect("spawn child workload");
