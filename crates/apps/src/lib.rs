@@ -19,16 +19,23 @@
 //! A fourth application, [`nnlayer`] (dense neural-network layer
 //! inference), extends the suite into the machine-learning workload
 //! class the paper's introduction motivates.
+//!
+//! A fifth, [`spmv`] (sparse matrix–vector multiply with power-law row
+//! lengths), opens the *irregular* workload class: items are rows but
+//! work is nonzeros, so it additionally exports per-item
+//! [`plb_runtime::Weights`] that the weighted range model consumes.
 
 pub mod blackscholes;
 pub mod grn;
 pub mod matmul;
 pub mod nnlayer;
+pub mod spmv;
 
 pub use blackscholes::{BlackScholes, BsCodelet, BsCost};
 pub use grn::{GrnCodelet, GrnCost, GrnInference};
 pub use matmul::{MatMul, MatMulCodelet, MatMulCost};
 pub use nnlayer::{NnLayer, NnLayerCodelet, NnLayerCost};
+pub use spmv::{Spmv, SpmvCodelet, SpmvCost};
 
 /// The input-size grids of the paper's evaluation (Figures 4 and 5).
 pub mod paper_inputs {

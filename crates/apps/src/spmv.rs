@@ -1,0 +1,414 @@
+//! Sparse matrix–vector multiply: the suite's first *irregular*
+//! workload.
+//!
+//! One item = one matrix row, but rows are not equal work: row `i`
+//! costs one multiply–add per stored nonzero, and the row-length
+//! distribution is a seeded power law (scale-free graphs, finite-element
+//! meshes and web matrices all look like this). A count-uniform split
+//! therefore balances *rows* while the heavy rows pile onto whichever
+//! unit drew the skewed range — exactly the failure mode the weighted
+//! range model exists to fix. [`Spmv::weights`] exports the per-row
+//! nonzero counts as [`plb_runtime::Weights`], so cost-budgeted claims,
+//! the fitted curves and the NLP all reason in nonzeros instead of rows.
+//!
+//! The generator is fully deterministic: the same `(rows, skew, seed)`
+//! triple produces the same matrix on every platform, which is what the
+//! cross-engine equivalence tests rely on.
+
+use plb_hetsim::CostModel;
+use plb_runtime::{Codelet, DisjointOutput, PuResources, Weights};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Lightest admissible row: the power law's scale parameter `x_min`.
+const X_MIN_NNZ: f64 = 8.0;
+
+/// Tail cap on a single row's nonzeros, so one extreme draw cannot
+/// dwarf the rest of the matrix.
+const MAX_ROW_NNZ: u64 = 65_536;
+
+/// FLOPs per stored nonzero (one multiply–add).
+const FLOPS_PER_NNZ: f64 = 2.0;
+
+/// Bytes per stored nonzero in CSR: a 4-byte column index plus an
+/// 8-byte value.
+const BYTES_PER_NNZ: f64 = 12.0;
+
+/// Inclusive bounds on the power-law exponent `skew`. Below the lower
+/// bound the tail is so heavy the cap dominates every row; above the
+/// upper bound the matrix is effectively uniform and SpMV stops being
+/// an irregularity test.
+pub const SKEW_RANGE: (f64, f64) = (0.5, 4.0);
+
+/// The synthetic SpMV application: a square `rows × rows` sparse matrix
+/// with power-law row lengths.
+#[derive(Debug, Clone)]
+pub struct Spmv {
+    /// Matrix order (one item = one row).
+    pub rows: u64,
+    /// Power-law exponent of the row-length distribution (smaller =
+    /// heavier tail = more skew).
+    pub skew: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Per-row nonzero counts, `rows` entries.
+    nnz: Vec<u32>,
+}
+
+impl Spmv {
+    /// Create the application, generating the row-length profile.
+    ///
+    /// Returns a description of the problem instead of panicking when
+    /// `rows == 0` or `skew` is outside [`SKEW_RANGE`] — the CLI
+    /// surfaces it as a usage error.
+    pub fn new(rows: u64, skew: f64, seed: u64) -> Result<Spmv, String> {
+        if rows == 0 {
+            return Err("spmv needs at least one row".to_string());
+        }
+        let (lo, hi) = SKEW_RANGE;
+        if !skew.is_finite() || skew < lo || skew > hi {
+            return Err(format!(
+                "spmv skew {skew} outside supported range [{lo}, {hi}]"
+            ));
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let nnz = (0..rows)
+            .map(|_| {
+                // Inverse-CDF Pareto draw: nnz = x_min · u^(-1/skew).
+                let u: f64 = rng.gen::<f64>().max(1e-12);
+                let raw = X_MIN_NNZ * u.powf(-1.0 / skew);
+                (raw as u64).clamp(1, MAX_ROW_NNZ) as u32
+            })
+            .collect();
+        Ok(Spmv {
+            rows,
+            skew,
+            seed,
+            nnz,
+        })
+    }
+
+    /// Total work items (rows).
+    pub fn total_items(&self) -> u64 {
+        self.rows
+    }
+
+    /// Nonzeros of row `i` (0 for out-of-range rows).
+    pub fn row_nnz(&self, i: u64) -> u64 {
+        self.nnz.get(i as usize).map_or(0, |&c| c as u64)
+    }
+
+    /// Total stored nonzeros.
+    pub fn total_nnz(&self) -> u64 {
+        self.nnz.iter().map(|&c| c as u64).sum()
+    }
+
+    /// The per-row cost table as runtime weights: one cost unit per
+    /// nonzero. This is what makes claims, curves and the NLP reason in
+    /// work instead of rows.
+    pub fn weights(&self) -> Arc<Weights> {
+        Arc::new(Weights::per_item(self.nnz.iter().map(|&c| c as u64)))
+    }
+
+    /// The simulator cost model (range-aware).
+    pub fn cost(&self) -> SpmvCost {
+        let mut prefix = Vec::with_capacity(self.nnz.len() + 1);
+        prefix.push(0u64);
+        let mut acc = 0u64;
+        for &c in &self.nnz {
+            acc = acc.saturating_add(c as u64);
+            prefix.push(acc);
+        }
+        let mean_nnz = if self.rows > 0 {
+            acc as f64 / self.rows as f64
+        } else {
+            0.0
+        };
+        SpmvCost {
+            prefix: Arc::new(prefix),
+            mean_nnz,
+        }
+    }
+}
+
+/// Range-aware SpMV cost model: a block's work is its *nonzero* count,
+/// read off the row-length prefix sums, not its row count. The
+/// count-based [`CostModel`] methods fall back to the mean row length —
+/// they are only reached by callers that have no offset to give, and
+/// for those the average is the best unbiased answer.
+#[derive(Debug, Clone)]
+pub struct SpmvCost {
+    /// `prefix[i]` = nonzeros of rows `0..i`; `rows + 1` entries.
+    prefix: Arc<Vec<u64>>,
+    /// Mean nonzeros per row (the count-based fallback rate).
+    mean_nnz: f64,
+}
+
+impl SpmvCost {
+    /// Nonzeros in the row range `offset..offset + items`.
+    pub fn range_nnz(&self, offset: u64, items: u64) -> u64 {
+        let at = |i: u64| -> u64 {
+            let last = self.prefix.last().copied().unwrap_or(0);
+            self.prefix.get(i as usize).copied().unwrap_or(last)
+        };
+        at(offset.saturating_add(items)).saturating_sub(at(offset))
+    }
+}
+
+impl CostModel for SpmvCost {
+    fn name(&self) -> &str {
+        "spmv"
+    }
+
+    fn flops(&self, items: u64) -> f64 {
+        FLOPS_PER_NNZ * self.mean_nnz * items as f64
+    }
+
+    fn bytes_in(&self, items: u64) -> f64 {
+        (BYTES_PER_NNZ * self.mean_nnz + 8.0) * items as f64
+    }
+
+    fn bytes_out(&self, items: u64) -> f64 {
+        8.0 * items as f64 // one f64 result per row
+    }
+
+    fn threads(&self, items: u64) -> f64 {
+        self.mean_nnz * items as f64
+    }
+
+    fn flops_range(&self, offset: u64, items: u64) -> f64 {
+        FLOPS_PER_NNZ * self.range_nnz(offset, items) as f64
+    }
+
+    fn bytes_in_range(&self, offset: u64, items: u64) -> f64 {
+        // CSR slice: the block's nonzeros (index + value) plus its row
+        // pointers.
+        BYTES_PER_NNZ * self.range_nnz(offset, items) as f64 + 8.0 * items as f64
+    }
+
+    fn bytes_out_range(&self, _offset: u64, items: u64) -> f64 {
+        8.0 * items as f64
+    }
+
+    fn threads_range(&self, offset: u64, items: u64) -> f64 {
+        // One lane per nonzero: the fine-grained parallelism a GPU
+        // spreads a block over scales with its work, not its row count.
+        self.range_nnz(offset, items) as f64
+    }
+}
+
+/// Host data: the CSR matrix and the dense input vector.
+pub struct SpmvData {
+    /// `row_ptr[i]..row_ptr[i+1]` indexes row `i`'s entries.
+    pub row_ptr: Vec<u64>,
+    /// Column index per stored entry.
+    pub cols: Vec<u32>,
+    /// Value per stored entry.
+    pub vals: Vec<f64>,
+    /// The dense vector `x`.
+    pub x: Vec<f64>,
+}
+
+impl SpmvData {
+    /// Materialize the CSR matrix the app's row-length profile
+    /// describes, deterministically from the app's seed.
+    pub fn generate(app: &Spmv) -> SpmvData {
+        let mut rng = ChaCha8Rng::seed_from_u64(app.seed.wrapping_add(1));
+        let total = app.total_nnz() as usize;
+        let mut row_ptr = Vec::with_capacity(app.nnz.len() + 1);
+        let mut cols = Vec::with_capacity(total);
+        let mut vals = Vec::with_capacity(total);
+        row_ptr.push(0u64);
+        for &n in &app.nnz {
+            for _ in 0..n {
+                cols.push(rng.gen_range(0..app.rows) as u32);
+                vals.push(rng.gen_range(-1.0..1.0));
+            }
+            row_ptr.push(cols.len() as u64);
+        }
+        let x = (0..app.rows).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        SpmvData {
+            row_ptr,
+            cols,
+            vals,
+            x,
+        }
+    }
+
+    /// `y[row] = Σ_j A[row, j] · x[j]` for one row.
+    pub fn row_dot(&self, row: usize) -> f64 {
+        let lo = self.row_ptr.get(row).copied().unwrap_or(0) as usize;
+        let hi = self.row_ptr.get(row + 1).copied().unwrap_or(0) as usize;
+        let mut acc = 0.0;
+        for k in lo..hi.min(self.cols.len()) {
+            let c = self.cols.get(k).copied().unwrap_or(0) as usize;
+            let v = self.vals.get(k).copied().unwrap_or(0.0);
+            acc += v * self.x.get(c).copied().unwrap_or(0.0);
+        }
+        acc
+    }
+}
+
+/// The real CPU codelet: multiplies its row range.
+pub struct SpmvCodelet {
+    data: Arc<SpmvData>,
+    /// Output `y` per row; each task claims its row range as a
+    /// [`DisjointOutput`] view.
+    y: Arc<DisjointOutput<f64>>,
+}
+
+impl SpmvCodelet {
+    /// Wrap host data.
+    pub fn new(data: Arc<SpmvData>) -> SpmvCodelet {
+        let rows = data.row_ptr.len().saturating_sub(1);
+        let y = Arc::new(DisjointOutput::new(0.0, rows));
+        SpmvCodelet { data, y }
+    }
+
+    /// The computed result vector.
+    pub fn results(&self) -> Vec<f64> {
+        self.y.snapshot()
+    }
+}
+
+impl Codelet for SpmvCodelet {
+    fn name(&self) -> &str {
+        "spmv"
+    }
+
+    fn execute(&self, range: Range<u64>, res: &PuResources) {
+        use rayon::prelude::*;
+        let lo = range.start as usize;
+        let hi = range.end as usize;
+        if res.threads > 1 {
+            // One claim per row so rayon threads write independently.
+            (lo..hi).into_par_iter().for_each(|i| {
+                let mut out = self.y.writer(i..i + 1);
+                out[0] = self.data.row_dot(i);
+            });
+        } else {
+            // One claim for the whole contiguous block.
+            let mut out = self.y.writer(lo..hi);
+            for i in lo..hi {
+                out[i - lo] = self.data.row_dot(i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plb_hetsim::PuKind;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Spmv::new(500, 1.5, 42).unwrap();
+        let b = Spmv::new(500, 1.5, 42).unwrap();
+        assert_eq!(a.nnz, b.nnz);
+        let c = Spmv::new(500, 1.5, 43).unwrap();
+        assert_ne!(a.nnz, c.nnz, "different seed, different matrix");
+    }
+
+    #[test]
+    fn skew_validation_is_an_error_not_a_panic() {
+        assert!(Spmv::new(0, 1.5, 1).is_err());
+        assert!(Spmv::new(100, 0.0, 1).is_err());
+        assert!(Spmv::new(100, 99.0, 1).is_err());
+        assert!(Spmv::new(100, f64::NAN, 1).is_err());
+        assert!(Spmv::new(100, SKEW_RANGE.0, 1).is_ok(), "bounds inclusive");
+        assert!(Spmv::new(100, SKEW_RANGE.1, 1).is_ok());
+    }
+
+    #[test]
+    fn row_lengths_are_bounded_and_skewed() {
+        let app = Spmv::new(10_000, 1.2, 7).unwrap();
+        assert!(app.nnz.iter().all(|&n| n >= 1 && n as u64 <= MAX_ROW_NNZ));
+        // A heavy tail: the largest row dwarfs the median row.
+        let mut sorted = app.nnz.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2] as u64;
+        let max = *sorted.last().unwrap() as u64;
+        assert!(max > 10 * median, "max {max} vs median {median}");
+    }
+
+    #[test]
+    fn weights_match_row_nnz() {
+        let app = Spmv::new(200, 1.5, 3).unwrap();
+        let w = app.weights();
+        assert_eq!(w.total_cost(app.rows), app.total_nnz());
+        for i in 0..app.rows {
+            assert_eq!(w.cost(i, 1), app.row_nnz(i));
+        }
+    }
+
+    #[test]
+    fn cost_model_range_matches_prefix() {
+        let app = Spmv::new(300, 1.5, 9).unwrap();
+        let cost = app.cost();
+        let direct: u64 = (40..70).map(|i| app.row_nnz(i)).sum();
+        assert_eq!(cost.range_nnz(40, 30), direct);
+        assert_eq!(cost.flops_range(40, 30), FLOPS_PER_NNZ * direct as f64);
+        // Whole-matrix range equals the count-based estimate at n rows.
+        let whole = cost.flops_range(0, app.rows);
+        assert!((whole - cost.flops(app.rows)).abs() < 1e-6 * whole);
+        // Past-the-end ranges cost nothing.
+        assert_eq!(cost.range_nnz(app.rows, 50), 0);
+    }
+
+    #[test]
+    fn codelet_multiplies_range_only() {
+        let app = Spmv::new(64, 1.5, 11).unwrap();
+        let data = Arc::new(SpmvData::generate(&app));
+        let codelet = SpmvCodelet::new(Arc::clone(&data));
+        codelet.execute(
+            10..20,
+            &PuResources {
+                threads: 1,
+                kind: PuKind::Cpu,
+            },
+        );
+        let y = codelet.results();
+        assert!(y[..10].iter().all(|&v| v == 0.0));
+        for i in 10..20 {
+            assert_eq!(y[i], data.row_dot(i));
+        }
+        assert!(y[20..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let app = Spmv::new(256, 1.2, 5).unwrap();
+        let data = Arc::new(SpmvData::generate(&app));
+        let a = SpmvCodelet::new(Arc::clone(&data));
+        a.execute(
+            0..256,
+            &PuResources {
+                threads: 1,
+                kind: PuKind::Cpu,
+            },
+        );
+        let b = SpmvCodelet::new(Arc::clone(&data));
+        b.execute(
+            0..256,
+            &PuResources {
+                threads: 8,
+                kind: PuKind::Gpu,
+            },
+        );
+        assert_eq!(a.results(), b.results());
+    }
+
+    #[test]
+    fn csr_shape_is_consistent() {
+        let app = Spmv::new(128, 2.0, 21).unwrap();
+        let data = SpmvData::generate(&app);
+        assert_eq!(data.row_ptr.len() as u64, app.rows + 1);
+        assert_eq!(data.cols.len() as u64, app.total_nnz());
+        assert_eq!(data.vals.len(), data.cols.len());
+        assert_eq!(data.x.len() as u64, app.rows);
+        assert!(data.cols.iter().all(|&c| (c as u64) < app.rows));
+    }
+}

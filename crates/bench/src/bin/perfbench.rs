@@ -118,6 +118,12 @@ fn main() {
             "  event sink: {:.2e} events/s over {} events",
             driver.events_per_sec, driver.events_measured
         );
+        for e in &driver.claim {
+            println!(
+                "  pool claim @ {:>7} items: uniform {:.0} ns, weighted {:.0} ns",
+                e.items, e.uniform_ns, e.weighted_ns
+            );
+        }
         let driver_path = args.out.join("BENCH_driver.json");
         if let Err(e) = std::fs::write(&driver_path, driver.to_json()) {
             eprintln!("perfbench: writing {}: {e}", driver_path.display());

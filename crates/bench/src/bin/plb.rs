@@ -39,6 +39,7 @@ struct Args {
     cmd: String,
     app: String,
     size: u64,
+    skew: f64,
     machines: usize,
     policy: String,
     seed: u64,
@@ -65,6 +66,7 @@ fn parse_args() -> Args {
         cmd: String::new(),
         app: "mm".into(),
         size: 16384,
+        skew: 1.2,
         machines: 4,
         policy: "plb-hec".into(),
         seed: 0,
@@ -100,6 +102,11 @@ fn parse_args() -> Args {
                 a.size = next("--size")
                     .parse()
                     .unwrap_or_else(|_| usage("bad --size"))
+            }
+            "--skew" => {
+                a.skew = next("--skew")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --skew (expects a power-law exponent)"))
             }
             "--machines" => {
                 a.machines = next("--machines")
@@ -167,16 +174,19 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage:\n  plb run     --app mm|grn|bs|nn --size N --machines 1-4 --policy \
-         plb-hec|greedy|acosta|hdss\n              [--seed N] [--single-gpu] [--noise SIGMA] \
+        "usage:\n  plb run     --app mm|grn|bs|nn|spmv --size N --machines 1-4 --policy \
+         plb-hec|greedy|acosta|hdss\n              [--seed N] [--skew A] [--single-gpu] [--noise SIGMA] \
          [--json FILE] [--gantt FILE.svg] [--trace FILE.json]\n              [--events \
          FILE.jsonl] [--cluster FILE.json] [--faults SPEC] [--chaos SEED] [--chaos-elastic N]\n\
               [--checkpoint FILE [--checkpoint-interval N] [--resume]]\n  plb compare --app \
-         mm|grn|bs --size N --machines 1-4 [--seeds N] [--single-gpu]\n  plb cluster \
+         mm|grn|bs|spmv --size N --machines 1-4 [--seeds N] [--single-gpu]\n  plb cluster \
          [--machines 1-4] [--cluster FILE.json]\n  plb profile --app mm|grn|bs|nn --size N \
          [--machines 1-4|--cluster FILE.json] --profiles OUT.json\n  plb trace   --input \
-         FILE.jsonl\n  plb diag    [--app mm|grn|bs|nn] [--size N] [--machines 1-4] [--seed N] \
-         [--single-gpu]\n\nA --cluster file is a \
+         FILE.jsonl\n  plb diag    [--app mm|grn|bs|nn|spmv] [--size N] [--machines 1-4] [--seed N] \
+         [--single-gpu]\n\n`--app spmv` is the irregular workload: a sparse matrix whose \
+         power-law row lengths are generated from --seed, with tail exponent --skew \
+         (supported range [0.5, 4.0]); the run balances nonzeros, not rows. \
+         A --cluster file is a \
          JSON array of machine specs (see docs/cluster.example.json); it replaces the Table I \
          presets. `plb profile` probes each unit offline and saves its fitted models; \
          `plb run --policy static --profiles FILE` reuses them without any online probing. \
@@ -218,13 +228,25 @@ fn scenario_of(machines: usize) -> Scenario {
     }
 }
 
-fn app_of(name: &str, size: u64) -> App {
+fn app_of(name: &str, size: u64, skew: f64, seed: u64) -> App {
     match name {
         "mm" | "matmul" => App::MatMul(size),
         "grn" => App::Grn(size),
         "bs" | "blackscholes" => App::BlackScholes(size),
         "nn" | "nnlayer" => App::NnLayer(size),
-        _ => usage("--app must be mm, grn, bs or nn"),
+        "spmv" => {
+            // Validate up front so bad parameters are a usage error, not
+            // a panic deep inside the harness.
+            if let Err(e) = plb_apps::Spmv::new(size, skew, seed) {
+                usage(&e);
+            }
+            App::Spmv {
+                rows: size,
+                skew,
+                seed,
+            }
+        }
+        _ => usage("--app must be mm, grn, bs, nn or spmv"),
     }
 }
 
@@ -302,7 +324,7 @@ fn main() {
             }
         }
         "run" => {
-            let app = app_of(&a.app, a.size);
+            let app = app_of(&a.app, a.size, a.skew, a.seed);
             let machines = machines_of(&a);
             let opts = ClusterOptions {
                 seed: a.seed,
@@ -313,12 +335,13 @@ fn main() {
             let n_units = cluster.ids().count();
             let cost = app.cost();
             let cfg = PolicyConfig {
-                initial_block: default_initial_block(app.total_items(), cost.as_ref()),
+                initial_block: default_initial_block(app.total_cost(), cost.as_ref()),
                 seed: a.seed,
                 ..Default::default()
             };
             let mut policy = policy_of(&a.policy, &cfg, &a.profiles);
-            let mut engine = SimEngine::new(&mut cluster, cost.as_ref());
+            let mut engine =
+                SimEngine::new(&mut cluster, cost.as_ref()).with_weights(app.weights());
             let mut plan = match &a.faults {
                 Some(spec) => FaultPlan::parse(spec, n_units)
                     .unwrap_or_else(|e| usage(&format!("bad --faults spec: {e}"))),
@@ -436,7 +459,7 @@ fn main() {
                 .profiles
                 .as_ref()
                 .unwrap_or_else(|| usage("profile needs --profiles OUT.json"));
-            let app = app_of(&a.app, a.size);
+            let app = app_of(&a.app, a.size, a.skew, a.seed);
             let machines = machines_of(&a);
             let opts = ClusterOptions {
                 seed: a.seed,
@@ -447,7 +470,7 @@ fn main() {
             let cost = app.cost();
             // Probe each unit across a size sweep (offline profiling,
             // exactly what the static algorithm [17] requires).
-            let base = default_initial_block(app.total_items(), cost.as_ref()).max(1);
+            let base = default_initial_block(app.total_cost(), cost.as_ref()).max(1);
             let ids: Vec<_> = cluster.ids().collect();
             let models: Vec<UnitModel> = ids
                 .into_iter()
@@ -474,7 +497,7 @@ fn main() {
             println!("wrote {} unit profiles to {out}", models.len());
         }
         "compare" => {
-            let app = app_of(&a.app, a.size);
+            let app = app_of(&a.app, a.size, a.skew, a.seed);
             let scenario = scenario_of(a.machines);
             println!(
                 "{} on {} machine(s), mean over {} seeds:",
@@ -506,7 +529,7 @@ fn main() {
             }
         }
         "diag" => {
-            let app = app_of(&a.app, a.size);
+            let app = app_of(&a.app, a.size, a.skew, a.seed);
             let scenario = scenario_of(a.machines);
             println!(
                 "diagnostics: {} on {} machine(s), seed {}",
@@ -555,7 +578,7 @@ fn main() {
             let mut cluster = ClusterSim::build(&machines, &opts);
             let cost = app.cost();
             let cfg = PolicyConfig {
-                initial_block: default_initial_block(app.total_items(), cost.as_ref()),
+                initial_block: default_initial_block(app.total_cost(), cost.as_ref()),
                 seed: a.seed,
                 ..Default::default()
             };
@@ -564,7 +587,8 @@ fn main() {
                 cfg.initial_block
             );
             let mut policy = PlbHecPolicy::new(&cfg);
-            let mut engine = SimEngine::new(&mut cluster, cost.as_ref());
+            let mut engine =
+                SimEngine::new(&mut cluster, cost.as_ref()).with_weights(app.weights());
             let report = engine
                 .run(&mut policy, app.total_items())
                 .unwrap_or_else(|e| {

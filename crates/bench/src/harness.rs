@@ -3,10 +3,11 @@
 use plb_hec::{AcostaPolicy, GreedyPolicy, HdssPolicy, PlbHecPolicy, PolicyConfig};
 use plb_hetsim::cluster::ClusterOptions;
 use plb_hetsim::{cluster_scenario, ClusterSim, CostModel, Scenario};
-use plb_runtime::{EventSink, Perturbation, RunReport, SimEngine, Trace};
+use plb_runtime::{EventSink, Perturbation, RunReport, SimEngine, Trace, Weights};
+use std::sync::Arc;
 
 /// An evaluation application at a given input size.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum App {
     /// Matrix multiplication of the given order.
     MatMul(u64),
@@ -17,9 +18,27 @@ pub enum App {
     /// Dense NN-layer inference over the given batch size (extension
     /// app; fixed 16384x16384 layer = 1 GB of broadcast weights).
     NnLayer(u64),
+    /// Sparse matrix–vector multiply: the irregular-workload extension
+    /// app. Rows follow a seeded power-law length distribution; the run
+    /// carries per-row [`Weights`] so work is balanced by nonzeros.
+    Spmv {
+        /// Matrix order (items = rows).
+        rows: u64,
+        /// Power-law exponent (see [`plb_apps::spmv::SKEW_RANGE`]).
+        skew: f64,
+        /// Matrix generator seed.
+        seed: u64,
+    },
 }
 
 impl App {
+    /// The generated SpMV application for a [`App::Spmv`] variant.
+    /// Panics on parameters outside [`plb_apps::spmv::SKEW_RANGE`] —
+    /// the CLI validates before constructing the variant.
+    fn spmv_app(rows: u64, skew: f64, seed: u64) -> plb_apps::Spmv {
+        plb_apps::Spmv::new(rows, skew, seed).expect("spmv parameters validated by caller")
+    }
+
     /// The simulator cost model.
     pub fn cost(&self) -> Box<dyn CostModel> {
         match *self {
@@ -27,6 +46,7 @@ impl App {
             App::Grn(n) => Box::new(plb_apps::GrnInference::new(n).cost()),
             App::BlackScholes(n) => Box::new(plb_apps::BlackScholes::new(n).cost()),
             App::NnLayer(n) => Box::new(plb_apps::NnLayer::new(n, 16384, 16384).cost()),
+            App::Spmv { rows, skew, seed } => Box::new(Self::spmv_app(rows, skew, seed).cost()),
         }
     }
 
@@ -37,7 +57,24 @@ impl App {
             App::Grn(n) => n,
             App::BlackScholes(n) => n,
             App::NnLayer(n) => n,
+            App::Spmv { rows, .. } => rows,
         }
+    }
+
+    /// The run's work weights: per-row nonzero costs for SpMV, uniform
+    /// for the regular apps (for which cost ≡ item count).
+    pub fn weights(&self) -> Arc<Weights> {
+        match *self {
+            App::Spmv { rows, skew, seed } => Self::spmv_app(rows, skew, seed).weights(),
+            _ => Weights::uniform(),
+        }
+    }
+
+    /// Total workload weight in cost units (equals [`App::total_items`]
+    /// for the uniform apps): the quantity block-size heuristics should
+    /// scale with.
+    pub fn total_cost(&self) -> u64 {
+        self.weights().total_cost(self.total_items())
     }
 
     /// Short family name ("MM", "GRN", "BS").
@@ -47,6 +84,7 @@ impl App {
             App::Grn(_) => "GRN",
             App::BlackScholes(_) => "BS",
             App::NnLayer(_) => "NN",
+            App::Spmv { .. } => "SPMV",
         }
     }
 
@@ -57,6 +95,7 @@ impl App {
             App::Grn(n) => format!("GRN {n}"),
             App::BlackScholes(n) => format!("BS {n}"),
             App::NnLayer(n) => format!("NN {n}"),
+            App::Spmv { rows, skew, .. } => format!("SPMV {rows} a={skew}"),
         }
     }
 }
@@ -152,12 +191,17 @@ pub fn run_once(
     let total = app.total_items();
     let cost = app.cost();
     let cfg = PolicyConfig {
-        initial_block: default_initial_block(total, cost.as_ref()),
+        // Block sizes are cost budgets, so the heuristic scales with
+        // the workload's weight, not its item count (identical for the
+        // uniform apps).
+        initial_block: default_initial_block(app.total_cost(), cost.as_ref()),
         seed,
         ..Default::default()
     };
     let _ = n_units;
-    let mut engine = SimEngine::new(&mut cluster, cost.as_ref()).with_perturbations(perturbations);
+    let mut engine = SimEngine::new(&mut cluster, cost.as_ref())
+        .with_weights(app.weights())
+        .with_perturbations(perturbations);
 
     let (report, solve_times, rebalances) = match kind {
         PolicyKind::Greedy => {

@@ -53,6 +53,21 @@ pub struct SolverReport {
     pub entries: Vec<SolverEntry>,
 }
 
+/// One row of the pool claim-latency table: the per-claim cost of
+/// draining a `WorkPool` of a given size through `take`, under uniform
+/// weights (O(1) arithmetic) and under a per-item cost table (binary
+/// search over the prefix sum). The gap between the two columns is the
+/// price of the weighted range model on the driver's claim path.
+#[derive(Debug, Clone)]
+pub struct ClaimEntry {
+    /// Items in the drained pool.
+    pub items: u64,
+    /// Nanoseconds per claim with `Weights::Uniform`.
+    pub uniform_ns: f64,
+    /// Nanoseconds per claim with a per-item weight table.
+    pub weighted_ns: f64,
+}
+
 /// The committed `BENCH_driver.json` payload.
 #[derive(Debug, Clone)]
 pub struct DriverReport {
@@ -66,6 +81,8 @@ pub struct DriverReport {
     pub events_per_sec: f64,
     /// Events the throughput measurement recorded.
     pub events_measured: u64,
+    /// Pool claim latency, uniform vs weighted, ascending by size.
+    pub claim: Vec<ClaimEntry>,
 }
 
 /// The synthetic selection problem at a given size: a heterogeneous
@@ -170,6 +187,61 @@ pub fn solver_bench(sizes: &[usize], repeats: usize, dense_max: usize) -> Solver
     }
 }
 
+/// Measure one row of the claim-latency table: drain a pool of `items`
+/// items twice — once under uniform weights, once under a skewed
+/// per-item cost table — with the budget sized so each drain takes on
+/// the order of a thousand claims, and report nanoseconds per claim.
+pub fn claim_entry(items: u64) -> ClaimEntry {
+    use plb_runtime::{Weights, WorkPool};
+
+    // Deterministic skewed costs in [1, 128]: a multiplicative-hash
+    // pattern, not RNG, so the snapshot is reproducible bit-for-bit.
+    let cost_of = |i: u64| (i.wrapping_mul(2_654_435_761) >> 7) % 128 + 1;
+    let weights = std::sync::Arc::new(Weights::per_item((0..items).map(cost_of)));
+    let total_cost = weights.total_cost(items);
+    let budget = (total_cost / 1024).max(1);
+
+    let drain = |mut pool: WorkPool| -> f64 {
+        let mut claims = 0u64;
+        let t0 = Instant::now();
+        while pool.take(budget).is_some() {
+            claims += 1;
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        if claims > 0 {
+            secs * 1e9 / claims as f64
+        } else {
+            0.0
+        }
+    };
+
+    // Uniform drain gets the same *claim count* (budget rescaled to the
+    // uniform cost domain, where cost ≡ items) so the comparison is
+    // per-claim against per-claim, not per-drain.
+    let uniform_budget = (items / 1024).max(1);
+    let uniform_ns = {
+        let mut pool = WorkPool::new(items);
+        let mut claims = 0u64;
+        let t0 = Instant::now();
+        while pool.take(uniform_budget).is_some() {
+            claims += 1;
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        if claims > 0 {
+            secs * 1e9 / claims as f64
+        } else {
+            0.0
+        }
+    };
+    let weighted_ns = drain(WorkPool::with_weights(items, weights));
+
+    ClaimEntry {
+        items,
+        uniform_ns,
+        weighted_ns,
+    }
+}
+
 /// Measure the driver hot path: a full simulated run under the greedy
 /// policy (maximum task churn — every completion triggers a fresh
 /// claim), wall time divided by tasks completed; then raw event-sink
@@ -214,7 +286,11 @@ pub fn driver_bench() -> DriverReport {
         sink.record(
             i as f64 * 1e-6,
             Some((i % 16) as usize),
-            EventKind::TaskSubmit { task: i, items: 64 },
+            EventKind::TaskSubmit {
+                task: i,
+                items: 64,
+                cost: 64,
+            },
         );
     }
     let secs = t0.elapsed().as_secs_f64();
@@ -224,11 +300,17 @@ pub fn driver_bench() -> DriverReport {
         0.0
     };
 
+    // Claim path: the uniform fast path vs the weighted binary search,
+    // at a small and a large pool (the weighted column should grow only
+    // logarithmically between the two).
+    let claim = vec![claim_entry(10_000), claim_entry(1_000_000)];
+
     DriverReport {
         sched_overhead_us_per_task,
         tasks_measured: tasks,
         events_per_sec,
         events_measured,
+        claim,
     }
 }
 
@@ -273,8 +355,18 @@ impl SolverReport {
 impl DriverReport {
     /// Serialize to the committed `BENCH_driver.json` shape.
     pub fn to_json(&self) -> String {
+        let mut claim = String::new();
+        for (i, e) in self.claim.iter().enumerate() {
+            claim.push_str(&format!(
+                "    {{\"items\": {}, \"uniform_ns\": {}, \"weighted_ns\": {}}}{}\n",
+                e.items,
+                fmt_f64(e.uniform_ns),
+                fmt_f64(e.weighted_ns),
+                if i + 1 < self.claim.len() { "," } else { "" }
+            ));
+        }
         format!(
-            "{{\n  \"schema\": {PERF_SCHEMA_VERSION},\n  \"note\": \"core::drive() hot-path costs; see docs/PERFORMANCE.md\",\n  \"sched_overhead_us_per_task\": {},\n  \"tasks_measured\": {},\n  \"events_per_sec\": {},\n  \"events_measured\": {}\n}}\n",
+            "{{\n  \"schema\": {PERF_SCHEMA_VERSION},\n  \"note\": \"core::drive() hot-path costs; see docs/PERFORMANCE.md\",\n  \"sched_overhead_us_per_task\": {},\n  \"tasks_measured\": {},\n  \"events_per_sec\": {},\n  \"events_measured\": {},\n  \"claim\": [\n{claim}  ]\n}}\n",
             fmt_f64(self.sched_overhead_us_per_task),
             self.tasks_measured,
             fmt_f64(self.events_per_sec),
@@ -338,9 +430,31 @@ mod tests {
             tasks_measured: 1000,
             events_per_sec: 2e7,
             events_measured: 1_000_000,
+            claim: vec![
+                ClaimEntry {
+                    items: 10_000,
+                    uniform_ns: 40.0,
+                    weighted_ns: 90.0,
+                },
+                ClaimEntry {
+                    items: 1_000_000,
+                    uniform_ns: 41.0,
+                    weighted_ns: 130.0,
+                },
+            ],
         };
         let json = report.to_json();
         assert!(json.contains("\"sched_overhead_us_per_task\": 1.500"));
         assert!(json.contains("\"events_measured\": 1000000"));
+        assert!(json.contains("\"items\": 10000,"));
+        assert!(json.contains("\"weighted_ns\": 130.000"));
+    }
+
+    #[test]
+    fn claim_entry_measures_both_paths() {
+        let e = claim_entry(10_000);
+        assert_eq!(e.items, 10_000);
+        assert!(e.uniform_ns > 0.0);
+        assert!(e.weighted_ns > 0.0);
     }
 }

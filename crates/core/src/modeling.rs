@@ -16,6 +16,11 @@
 //! Modeling completes when every active unit has at least four samples
 //! and all fits reach R² ≥ 0.7, or when the phase has consumed its data
 //! budget (20 % of the application).
+//!
+//! All block quantities here are *cost units* (`plb_runtime::Weights`):
+//! probe sizes are cost budgets the policy passes to `assign`, and
+//! completions report the cost actually claimed. Under uniform weights
+//! cost ≡ item count, which is the paper's original formulation.
 
 use crate::config::ProbeSchedule;
 use crate::profile::{PerfProfile, UnitModel};
@@ -55,8 +60,9 @@ pub struct ModelingController {
 impl ModelingController {
     /// Create a controller for `n_units` units.
     ///
-    /// `items_budget` is the modeling-phase data cap in items (the
-    /// paper's 20 % of the application input).
+    /// `items_budget` is the modeling-phase data cap in cost units (the
+    /// paper's 20 % of the application input; items under uniform
+    /// weights), as are `initial_block` and `granularity`.
     pub fn new(
         n_units: usize,
         initial_block: u64,
@@ -94,7 +100,8 @@ impl ModelingController {
         &self.profiles
     }
 
-    /// Items consumed by probing so far.
+    /// Cost units consumed by probing so far (items under uniform
+    /// weights).
     pub fn items_used(&self) -> u64 {
         self.items_used
     }
@@ -147,22 +154,25 @@ impl ModelingController {
     }
 
     /// Tell the controller an issued probe could not actually be
-    /// assigned (data ran out): it will never complete.
-    pub fn cancel_probe(&mut self, _unit: usize, items: u64) {
+    /// assigned (data ran out): it will never complete. `cost` is the
+    /// probe's budgeted weight.
+    pub fn cancel_probe(&mut self, _unit: usize, cost: u64) {
         debug_assert!(self.outstanding > 0);
         self.outstanding -= 1;
-        self.items_used = self.items_used.saturating_sub(items);
+        self.items_used = self.items_used.saturating_sub(cost);
     }
 
     /// Record a probe completion and decide this unit's next probe.
+    /// `cost` is the block's claimed weight (item count under uniform
+    /// weights) — the x-value the curves are fit against.
     ///
     /// Returns `Some(block)` when the unit should immediately probe
     /// again (the pipelined schedule), `None` when the modeling phase
     /// should stop growing (consult [`status`](Self::status)).
-    pub fn on_task_done(&mut self, unit: usize, items: u64, proc: f64, xfer: f64) -> Option<u64> {
+    pub fn on_task_done(&mut self, unit: usize, cost: u64, proc: f64, xfer: f64) -> Option<u64> {
         debug_assert!(self.outstanding > 0, "completion without outstanding probe");
         self.outstanding -= 1;
-        self.profiles[unit].record(items, proc, xfer);
+        self.profiles[unit].record(cost, proc, xfer);
         self.probes_done[unit] += 1;
 
         let total = proc + xfer;
@@ -265,7 +275,8 @@ impl ModelingController {
     }
 }
 
-/// Round `raw` items to the application granularity, at least one unit.
+/// Round `raw` cost units to the application granularity, at least one
+/// granule.
 pub fn round_to_granularity(raw: f64, granularity: u64) -> u64 {
     let g = granularity.max(1);
     let blocks = (raw / g as f64).round().max(1.0);

@@ -188,10 +188,13 @@ impl PlbHecPolicy {
         }
     }
 
+    /// One execution round's worth of work, in cost units: a fraction
+    /// of the total workload weight, capped by what is left. Under
+    /// uniform weights this is the pre-weights item window.
     fn execution_window(&self, ctx: &dyn SchedulerCtx) -> u64 {
-        let w = (ctx.total_items() as f64 * self.cfg.round_fraction) as u64;
-        w.clamp(1, ctx.remaining_items().max(1))
-            .min(ctx.remaining_items())
+        let w = (ctx.total_cost() as f64 * self.cfg.round_fraction) as u64;
+        w.clamp(1, ctx.remaining_cost().max(1))
+            .min(ctx.remaining_cost())
     }
 
     /// Run the block-size selection over the current models and assign a
@@ -430,8 +433,10 @@ impl PlbHecPolicy {
         // The unit's own fitted curve is the reference: a block running
         // more than the threshold away from it means either the machine
         // changed (QoS drift) or the model is off by more than the
-        // tolerance — both are reasons to refit and re-solve.
-        let expected = self.models[done.pu.0].total_time(done.items as f64);
+        // tolerance — both are reasons to refit and re-solve. The curve
+        // domain is cost, so the comparison uses the block's claimed
+        // weight, not its item count.
+        let expected = self.models[done.pu.0].total_time(done.cost as f64);
         if !(expected.is_finite() && expected > 0.0) {
             return None;
         }
@@ -451,19 +456,21 @@ impl PlbHecPolicy {
     }
 
     /// The acquisition gate: admit a mid-execution joiner only when the
-    /// modeled makespan payoff on the remaining items exceeds the
-    /// probing cost the newcomer must sink before it can contribute.
+    /// modeled makespan payoff on the remaining work (cost units)
+    /// exceeds the probing cost the newcomer must sink before it can
+    /// contribute.
     ///
     /// The payoff is priced optimistically — the newcomer is assumed as
     /// fast as the fastest incumbent (its actual speed is unknown, that
     /// is what the probes are for). Even under that best case, a join
-    /// near the end of the run costs more probe items than the extra
+    /// near the end of the run costs more probe work than the extra
     /// rate can recover; declining keeps the tail undisturbed.
     fn join_payoff_beats_cost(&self, remaining: u64) -> bool {
         // The mini schedule ×1+×2+×4+×8 consumes 15 initial blocks
-        // before the newcomer's curve exists.
-        let probe_items = self.cfg.initial_block.saturating_mul(15);
-        if remaining <= probe_items.saturating_mul(2) {
+        // (initial_block is a cost budget) before the newcomer's curve
+        // exists.
+        let probe_cost = self.cfg.initial_block.saturating_mul(15);
+        if remaining <= probe_cost.saturating_mul(2) {
             return false;
         }
         let mut total_rate = 0.0f64;
@@ -489,7 +496,7 @@ impl PlbHecPolicy {
             return true;
         }
         let payoff = remaining as f64 / total_rate - remaining as f64 / (total_rate + max_rate);
-        let cost = probe_items as f64 / max_rate;
+        let cost = probe_cost as f64 / max_rate;
         payoff > cost
     }
 
@@ -498,7 +505,7 @@ impl PlbHecPolicy {
     /// data) runs out — fold the unit into the split.
     fn on_join_probe_done(&mut self, ctx: &mut dyn SchedulerCtx, done: &TaskInfo) {
         let pu = done.pu;
-        self.profiles[pu.0].record(done.items, done.proc_time, done.xfer_time);
+        self.profiles[pu.0].record(done.cost, done.proc_time, done.xfer_time);
         self.join_probing[pu.0] -= 1;
         if self.join_probing[pu.0] > 0 && ctx.remaining_items() > 0 {
             let round = JOIN_PROBE_ROUNDS - self.join_probing[pu.0] + 1;
@@ -606,7 +613,10 @@ impl Policy for PlbHecPolicy {
             return;
         }
         self.profiles = vec![PerfProfile::new(); n];
-        let budget = (ctx.total_items() as f64 * self.cfg.modeling_cap_fraction).ceil() as u64;
+        // The paper's 20% modeling budget, measured in work (cost
+        // units), so a skewed workload doesn't let probing chew through
+        // a disproportionate share of the heavy rows.
+        let budget = (ctx.total_cost() as f64 * self.cfg.modeling_cap_fraction).ceil() as u64;
         let mut ctrl = ModelingController::new(
             n,
             self.cfg.initial_block,
@@ -631,7 +641,7 @@ impl Policy for PlbHecPolicy {
                     debug_assert!(false, "controller exists in modeling phase");
                     return;
                 };
-                let next = ctrl.on_task_done(done.pu.0, done.items, done.proc_time, done.xfer_time);
+                let next = ctrl.on_task_done(done.pu.0, done.cost, done.proc_time, done.xfer_time);
                 let round = ctrl.probes_done(done.pu.0) + 1;
                 if let Some(block) = next {
                     // Pipelined probing: this unit immediately gets its
@@ -675,7 +685,7 @@ impl Policy for PlbHecPolicy {
                     self.on_join_probe_done(ctx, done);
                     return;
                 }
-                self.profiles[done.pu.0].record(done.items, done.proc_time, done.xfer_time);
+                self.profiles[done.pu.0].record(done.cost, done.proc_time, done.xfer_time);
                 self.last_finish[done.pu.0] = Some(done.finish);
 
                 // Restabilization watch: a freshly folded joiner has
@@ -716,10 +726,11 @@ impl Policy for PlbHecPolicy {
                 // are inherent tail effects, not imbalance. The cooldown
                 // additionally mutes triggers right after a re-solve —
                 // hysteresis against thrash under continuous drift.
+                // Blocks are cost budgets, so the "one full round left"
+                // test compares against the remaining cost.
                 let round_total: u64 = self.blocks.iter().sum();
                 let cooled = ctx.now() >= self.last_rebalance_t + self.cfg.rebalance_cooldown_s;
-                if !self.rebalance_pending && cooled && ctx.remaining_items() >= round_total.max(1)
-                {
+                if !self.rebalance_pending && cooled && ctx.remaining_cost() >= round_total.max(1) {
                     if let Some((expected, observed)) = self.check_divergence(done) {
                         ctx.emit_event(
                             Some(done.pu.0),
@@ -762,8 +773,10 @@ impl Policy for PlbHecPolicy {
                 // then split by the same fractions (blocks shrink
                 // geometrically), so the last tasks finish together
                 // instead of one unit dragging a full-size block past
-                // everyone else.
-                let remaining = ctx.remaining_items();
+                // everyone else. All in cost units: on an irregular
+                // workload a "same-size" block covers however many items
+                // add up to the same weight.
+                let remaining = ctx.remaining_cost();
                 if remaining > 0 && self.blocks[done.pu.0] > 0 {
                     let want = if remaining >= round_total {
                         self.blocks[done.pu.0]
@@ -910,7 +923,7 @@ impl Policy for PlbHecPolicy {
                 }
             }
             Phase::Executing => {
-                let remaining = ctx.remaining_items();
+                let remaining = ctx.remaining_cost();
                 if remaining == 0 || !self.join_payoff_beats_cost(remaining) {
                     // Declined: the modeled payoff on the remaining work
                     // does not cover the probing cost. The breadcrumb
@@ -964,8 +977,9 @@ impl Policy for PlbHecPolicy {
                     return;
                 };
                 // The probe measurement will never land; stop the round
-                // gate from waiting on it.
-                ctrl.cancel_probe(failure.pu.0, failure.items);
+                // gate from waiting on it. The budget to un-account is
+                // the block's weight, not its item count.
+                ctrl.cancel_probe(failure.pu.0, failure.cost);
                 match ctrl.status() {
                     ModelingStatus::Done(models) => self.finish_modeling(ctx, models),
                     ModelingStatus::Probing => {

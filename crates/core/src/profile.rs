@@ -22,13 +22,16 @@ impl PerfProfile {
         PerfProfile::default()
     }
 
-    /// Record one task execution: block size in items, kernel time, and
-    /// transfer time (seconds).
-    pub fn record(&mut self, items: u64, proc_time: f64, xfer_time: f64) {
-        if items == 0 {
-            return; // zero-size tasks carry no model information
+    /// Record one task execution: block weight in cost units (the item
+    /// count under uniform weights), kernel time, and transfer time
+    /// (seconds). Cost is the curves' domain — on an irregular workload
+    /// two blocks with the same row count but different weight are
+    /// different x-values, which is what keeps the fits meaningful.
+    pub fn record(&mut self, cost: u64, proc_time: f64, xfer_time: f64) {
+        if cost == 0 {
+            return; // zero-weight tasks carry no model information
         }
-        let x = items as f64;
+        let x = cost as f64;
         if proc_time.is_finite() && proc_time >= 0.0 {
             self.proc_samples.push((x, proc_time));
         }
@@ -124,9 +127,10 @@ fn fit_quality(fit: &FittedCurve, samples: &[(f64, f64)]) -> f64 {
 /// A fitted per-unit model: `F_p` (processing) and `G_p` (transfer).
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct UnitModel {
-    /// Processing-time curve over items.
+    /// Processing-time curve over cost units (items under uniform
+    /// weights).
     pub f: FittedCurve,
-    /// Transfer-time curve over items.
+    /// Transfer-time curve over cost units.
     pub g: FittedCurve,
     /// Gate quality of the processing fit (R², or residual-based for
     /// near-constant data).
@@ -137,19 +141,19 @@ pub struct UnitModel {
 
 impl UnitModel {
     /// Total predicted execution time `E_p(x) = F_p(x) + G_p(x)` for a
-    /// block of `x` items.
-    pub fn total_time(&self, items: f64) -> f64 {
-        self.f.eval(items) + self.g.eval(items)
+    /// block of `x` cost units (items under uniform weights).
+    pub fn total_time(&self, cost: f64) -> f64 {
+        self.f.eval(cost) + self.g.eval(cost)
     }
 
-    /// First derivative of `E_p` at `items`.
-    pub fn total_d1(&self, items: f64) -> f64 {
-        self.f.d1(items) + self.g.d1(items)
+    /// First derivative of `E_p` at `cost`.
+    pub fn total_d1(&self, cost: f64) -> f64 {
+        self.f.d1(cost) + self.g.d1(cost)
     }
 
-    /// Second derivative of `E_p` at `items`.
-    pub fn total_d2(&self, items: f64) -> f64 {
-        self.f.d2(items) + self.g.d2(items)
+    /// Second derivative of `E_p` at `cost`.
+    pub fn total_d2(&self, cost: f64) -> f64 {
+        self.f.d2(cost) + self.g.d2(cost)
     }
 
     /// The worse (smaller) of the two fit qualities — what the paper's

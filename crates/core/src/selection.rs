@@ -5,6 +5,11 @@
 //! role, filled by `plb-ipm`), then rounds the real-valued fractions to
 //! valid application block sizes.
 //!
+//! The partition window is measured in *cost units* (item count under
+//! uniform weights): the NLP distributes shares of total work, and the
+//! Σx = 1 coupling and KKT structure are identical either way — only the
+//! domain the fitted curves are evaluated on changes.
+//!
 //! Production robustness requires a fallback chain: if the NLP solve
 //! fails or returns an unusable point (wild curves extrapolated far from
 //! the probed range can do that), a damped fixed-point equalization
@@ -48,7 +53,8 @@ impl SelectionMethod {
 pub struct SelectionResult {
     /// Per-unit fraction of the window (0 for inactive units).
     pub fractions: Vec<f64>,
-    /// Per-unit block size in items; sums to the window.
+    /// Per-unit block budget in cost units (items under uniform
+    /// weights); sums to the window.
     pub blocks: Vec<u64>,
     /// Predicted common execution time of the round, seconds.
     pub predicted_time: f64,
@@ -68,7 +74,7 @@ pub struct SelectionResult {
 }
 
 /// A fitted unit model reinterpreted on the fraction domain of a
-/// `window`-item round.
+/// `window`-cost-unit round.
 struct FracCurve {
     model: UnitModel,
     window: f64,
@@ -103,33 +109,28 @@ pub struct SelectionWarmCache {
     warm: WarmStart,
 }
 
-/// Select the per-unit block sizes for a round of `window_items`.
+/// Select the per-unit block sizes for a round of `window_cost` cost
+/// units (items under uniform weights).
 ///
-/// `active[i]` masks failed units: they receive fraction 0 and no items.
+/// `active[i]` masks failed units: they receive fraction 0 and no work.
 ///
 /// # Panics
 /// Panics when `models` and `active` lengths differ, when no unit is
-/// active, or when `window_items == 0`.
+/// active, or when `window_cost == 0`.
 pub fn select_block_sizes(
     models: &[UnitModel],
     active: &[bool],
-    window_items: u64,
+    window_cost: u64,
     granularity: u64,
 ) -> SelectionResult {
-    select_block_sizes_with(
-        models,
-        active,
-        window_items,
-        granularity,
-        SolverChoice::Auto,
-    )
+    select_block_sizes_with(models, active, window_cost, granularity, SolverChoice::Auto)
 }
 
 /// [`select_block_sizes`] with an explicit solver choice (ablation knob).
 pub fn select_block_sizes_with(
     models: &[UnitModel],
     active: &[bool],
-    window_items: u64,
+    window_cost: u64,
     granularity: u64,
     solver: SolverChoice,
 ) -> SelectionResult {
@@ -137,7 +138,7 @@ pub fn select_block_sizes_with(
     select_block_sizes_cached(
         models,
         active,
-        window_items,
+        window_cost,
         granularity,
         solver,
         &mut no_cache,
@@ -150,13 +151,13 @@ pub fn select_block_sizes_with(
 pub fn select_block_sizes_cached(
     models: &[UnitModel],
     active: &[bool],
-    window_items: u64,
+    window_cost: u64,
     granularity: u64,
     solver: SolverChoice,
     cache: &mut Option<SelectionWarmCache>,
 ) -> SelectionResult {
     assert_eq!(models.len(), active.len(), "models/active length mismatch");
-    assert!(window_items > 0, "empty selection window");
+    assert!(window_cost > 0, "empty selection window");
     let live: Vec<usize> = (0..models.len()).filter(|&i| active[i]).collect();
     assert!(!live.is_empty(), "no active processing units");
 
@@ -168,8 +169,8 @@ pub fn select_block_sizes_cached(
         let mut fractions = vec![0.0; n];
         fractions[live[0]] = 1.0;
         let mut blocks = vec![0u64; n];
-        blocks[live[0]] = window_items;
-        let predicted = models[live[0]].total_time(window_items as f64);
+        blocks[live[0]] = window_cost;
+        let predicted = models[live[0]].total_time(window_cost as f64);
         return SelectionResult {
             fractions,
             blocks,
@@ -182,7 +183,7 @@ pub fn select_block_sizes_cached(
         };
     }
 
-    let window = window_items as f64;
+    let window = window_cost as f64;
     let curves: Vec<BoxedCurve> = live
         .iter()
         .map(|&i| {
@@ -265,7 +266,7 @@ pub fn select_block_sizes_cached(
     for (j, &i) in live.iter().enumerate() {
         fractions[i] = live_fractions[j];
     }
-    let blocks = apportion(&fractions, window_items, granularity);
+    let blocks = apportion(&fractions, window_cost, granularity);
 
     SelectionResult {
         fractions,
@@ -344,13 +345,14 @@ fn rate_proportional(nlp: &BlockPartitionNlp) -> Vec<f64> {
     x
 }
 
-/// Round fractions to granular block sizes conserving the exact window
-/// total (largest-remainder apportionment in granularity quanta; the
-/// sub-quantum remainder goes to the unit with the largest fraction).
-pub fn apportion(fractions: &[f64], window_items: u64, granularity: u64) -> Vec<u64> {
+/// Round fractions to granular block budgets (cost units) conserving
+/// the exact window total (largest-remainder apportionment in
+/// granularity quanta; the sub-quantum remainder goes to the unit with
+/// the largest fraction).
+pub fn apportion(fractions: &[f64], window_cost: u64, granularity: u64) -> Vec<u64> {
     let g = granularity.max(1);
-    let quanta_total = window_items / g;
-    let remainder_items = window_items % g;
+    let quanta_total = window_cost / g;
+    let remainder_items = window_cost % g;
     let n = fractions.len();
     let mut blocks = vec![0u64; n];
 

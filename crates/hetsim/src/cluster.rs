@@ -78,10 +78,19 @@ impl SimDevice {
     /// Measure (simulate) the kernel execution time for a block.
     /// Each call draws fresh noise, like a real timing measurement.
     pub fn proc_time(&mut self, cost: &dyn CostModel, items: u64) -> f64 {
+        self.proc_time_at(cost, 0, items)
+    }
+
+    /// Kernel time for the block `offset..offset+items` — the
+    /// range-aware entry irregular workloads need (a skewed SpMV block's
+    /// time depends on which rows it covers). Count-based models ignore
+    /// the offset, so for them this is identical to
+    /// [`SimDevice::proc_time`].
+    pub fn proc_time_at(&mut self, cost: &dyn CostModel, offset: u64, items: u64) -> f64 {
         let t = self.spec.perf.kernel_time(
-            cost.flops(items),
-            cost.bytes_touched(items),
-            cost.threads(items),
+            cost.flops_range(offset, items),
+            cost.bytes_touched_range(offset, items),
+            cost.threads_range(offset, items),
         );
         t * self.slowdown * self.noise.factor()
     }
@@ -90,7 +99,14 @@ impl SimDevice {
     /// plus per-task re-streaming of any broadcast working set that does
     /// not fit in device memory).
     pub fn transfer_time(&mut self, cost: &dyn CostModel, items: u64) -> f64 {
-        let bytes = cost.bytes_in(items) + cost.bytes_out(items);
+        self.transfer_time_at(cost, 0, items)
+    }
+
+    /// Transfer time for the block `offset..offset+items` (range-aware
+    /// twin of [`SimDevice::transfer_time`], same noise and overflow
+    /// semantics).
+    pub fn transfer_time_at(&mut self, cost: &dyn CostModel, offset: u64, items: u64) -> f64 {
+        let bytes = cost.bytes_in_range(offset, items) + cost.bytes_out_range(offset, items);
         let t = self.spec.path.time(bytes) + self.stream_overflow_time(cost);
         if t == 0.0 {
             0.0

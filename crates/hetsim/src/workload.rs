@@ -46,6 +46,40 @@ pub trait CostModel: Send + Sync {
     fn broadcast_bytes(&self) -> f64 {
         0.0
     }
+
+    // Range-aware variants for irregular workloads, where a block's
+    // cost depends on WHERE it sits in the item space (e.g. SpMV: a
+    // block of skewed rows does work ∝ its nonzeros, not its row
+    // count). Count-based models need not implement these — the
+    // defaults ignore the offset and delegate to the count-based
+    // methods, so every existing model behaves exactly as before.
+
+    /// Floating-point operations for the block `offset..offset+items`.
+    fn flops_range(&self, _offset: u64, items: u64) -> f64 {
+        self.flops(items)
+    }
+
+    /// Host→device bytes for the block `offset..offset+items`.
+    fn bytes_in_range(&self, _offset: u64, items: u64) -> f64 {
+        self.bytes_in(items)
+    }
+
+    /// Device→host result bytes for the block `offset..offset+items`.
+    fn bytes_out_range(&self, _offset: u64, items: u64) -> f64 {
+        self.bytes_out(items)
+    }
+
+    /// Device-memory traffic for the block `offset..offset+items`.
+    /// Defaults to `bytes_in_range + bytes_out_range`, mirroring
+    /// [`CostModel::bytes_touched`].
+    fn bytes_touched_range(&self, offset: u64, items: u64) -> f64 {
+        self.bytes_in_range(offset, items) + self.bytes_out_range(offset, items)
+    }
+
+    /// Parallel threads for the block `offset..offset+items`.
+    fn threads_range(&self, _offset: u64, items: u64) -> f64 {
+        self.threads(items)
+    }
 }
 
 /// A trivially configurable cost model for tests and microbenchmarks:

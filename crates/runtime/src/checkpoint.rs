@@ -32,7 +32,11 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Version stamped into every snapshot; [`load`] refuses newer ones.
-pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+/// Version history: 1 = item-count workload identity; 2 adds
+/// [`WorkloadId::total_cost`] so a resumed weighted run refuses a
+/// snapshot taken under different per-item costs (v1 snapshots still
+/// load — their cost defaults to the 0 sentinel and is not matched).
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 2;
 
 /// Magic tag on the header line, so a wrong file path fails loudly.
 const MAGIC: &str = "plb-checkpoint";
@@ -48,6 +52,13 @@ pub struct WorkloadId {
     pub total_items: u64,
     /// Processing units in the cluster.
     pub n_pus: usize,
+    /// Total workload weight in cost units ([`crate::Weights`]); equals
+    /// `total_items` under uniform weights. 0 is the pre-v2 sentinel
+    /// (snapshot written before weights existed): [`Checkpoint::matches`]
+    /// skips the cost comparison when either side is 0. Real totals are
+    /// never 0 — per-item costs are clamped ≥ 1.
+    #[serde(default)]
+    pub total_cost: u64,
 }
 
 /// Persisted per-unit driver state.
@@ -61,7 +72,8 @@ pub struct PuState {
     pub dispatches: u64,
     /// Failures in a row at snapshot time (quarantine threshold state).
     pub consecutive_failures: u32,
-    /// Smoothed observed processing rate, items/second.
+    /// Smoothed observed processing rate, cost units/second (items/second
+    /// under uniform weights).
     pub rate_ewma: Option<f64>,
     /// The unit was out of the active set when the snapshot was taken.
     pub quarantined: bool,
@@ -148,20 +160,30 @@ impl Checkpoint {
     }
 
     /// Does this snapshot belong to `workload`? Resume refuses a
-    /// mismatch instead of corrupting a different run.
+    /// mismatch instead of corrupting a different run. Field-wise on
+    /// purpose: `total_cost` is only compared when both sides carry one
+    /// (nonzero), so pre-v2 snapshots of uniform workloads still resume.
     pub fn matches(&self, workload: &WorkloadId) -> Result<(), CheckpointError> {
-        if &self.workload == workload {
+        let ours = &self.workload;
+        let cost_ok = ours.total_cost == 0
+            || workload.total_cost == 0
+            || ours.total_cost == workload.total_cost;
+        if ours.policy == workload.policy
+            && ours.total_items == workload.total_items
+            && ours.n_pus == workload.n_pus
+            && cost_ok
+        {
             Ok(())
         } else {
+            let describe = |w: &WorkloadId| {
+                format!(
+                    "{} / {} items / {} cost / {} units",
+                    w.policy, w.total_items, w.total_cost, w.n_pus
+                )
+            };
             Err(CheckpointError::WorkloadMismatch {
-                expected: format!(
-                    "{} / {} items / {} units",
-                    workload.policy, workload.total_items, workload.n_pus
-                ),
-                found: format!(
-                    "{} / {} items / {} units",
-                    self.workload.policy, self.workload.total_items, self.workload.n_pus
-                ),
+                expected: describe(workload),
+                found: describe(ours),
             })
         }
     }
@@ -390,6 +412,7 @@ mod tests {
                 policy: "plb-hec".into(),
                 total_items: 1000,
                 n_pus: 2,
+                total_cost: 1000,
             },
             seq: 0,
             at: 1.25,
@@ -521,10 +544,28 @@ mod tests {
             policy: "greedy".into(),
             total_items: 1000,
             n_pus: 2,
+            total_cost: 1000,
         };
         assert!(c.matches(&c.workload).is_ok());
         let err = c.matches(&other).unwrap_err();
         assert!(matches!(err, CheckpointError::WorkloadMismatch { .. }));
         assert!(err.to_string().contains("greedy"));
+    }
+
+    #[test]
+    fn total_cost_matched_only_when_both_sides_carry_one() {
+        let c = sample();
+        // A pre-v2 snapshot (sentinel 0) resumes under a costed workload
+        // and vice versa; two nonzero costs must agree.
+        let mut legacy = c.workload.clone();
+        legacy.total_cost = 0;
+        assert!(c.matches(&legacy).is_ok());
+        let mut old = sample();
+        old.workload.total_cost = 0;
+        assert!(old.matches(&c.workload).is_ok());
+        let mut reweighted = c.workload.clone();
+        reweighted.total_cost = 999;
+        let err = c.matches(&reweighted).unwrap_err();
+        assert!(err.to_string().contains("999 cost"));
     }
 }

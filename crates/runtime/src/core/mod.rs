@@ -49,7 +49,9 @@ use crate::policy::{Policy, PuHandle, SchedulerCtx};
 use crate::protocol::UnitGate;
 use crate::task::{FailureReason, TaskFailure, TaskId, TaskInfo};
 use crate::trace::Trace;
+use crate::weights::Weights;
 use plb_hetsim::PuId;
+use crate::sync::Arc;
 
 /// Run-level durability knobs handed to [`drive`]: an optional
 /// periodic-snapshot writer and an optional snapshot to resume from.
@@ -90,6 +92,9 @@ struct Pending {
     task: TaskId,
     offset: u64,
     items: u64,
+    /// Weight of the block's range in cost units (equal to `items`
+    /// under uniform weights).
+    cost: u64,
     /// 0-based attempt number of this block (0 = first dispatch).
     attempt: u32,
     /// Absolute watchdog deadline, when one applies (wall clocks only).
@@ -133,9 +138,10 @@ struct Driver<'b> {
     has_drift: bool,
     /// Per-unit consecutive-failure counter; reset by any success.
     consec_failures: Vec<u32>,
-    /// Policy-provided seconds-per-item prediction (deadline hint).
+    /// Policy-provided seconds-per-cost-unit prediction (deadline
+    /// hint; seconds per item under uniform weights).
     deadline_hint: Vec<Option<f64>>,
-    /// Observed seconds-per-item EWMA (deadline fallback).
+    /// Observed seconds-per-cost-unit EWMA (deadline fallback).
     rate_ewma: Vec<Option<f64>>,
     /// Probation expiry for quarantined units (wall clocks only).
     quarantined_until: Vec<Option<f64>>,
@@ -153,6 +159,10 @@ struct Driver<'b> {
     /// into every new snapshot and the final report so lifetime totals
     /// survive the process boundary.
     carried: EventCounters,
+    /// Per-item cost of the workload (shared with the pool): converts
+    /// claimed ranges to cost units for events, deadlines, and the
+    /// policy-facing cost accessors.
+    weights: Arc<Weights>,
 }
 
 impl SchedulerCtx for Driver<'_> {
@@ -172,8 +182,16 @@ impl SchedulerCtx for Driver<'_> {
         self.total
     }
 
-    fn assign(&mut self, pu: PuId, items: u64) -> u64 {
-        if items == 0 || self.pool.remaining() == 0 {
+    fn remaining_cost(&self) -> u64 {
+        self.pool.remaining_cost()
+    }
+
+    fn total_cost(&self) -> u64 {
+        self.weights.total_cost(self.total)
+    }
+
+    fn assign(&mut self, pu: PuId, budget_cost: u64) -> u64 {
+        if budget_cost == 0 || self.pool.remaining() == 0 {
             return 0;
         }
         if !self.handles[pu.0].available
@@ -183,12 +201,13 @@ impl SchedulerCtx for Driver<'_> {
             return 0;
         }
         // Re-credited ranges are served first so failed blocks re-run;
-        // a reclaimed fragment may be smaller than the request, in
-        // which case fewer items are assigned (policies must tolerate
+        // a reclaimed fragment may carry less weight than the budget,
+        // in which case less cost is assigned (policies must tolerate
         // any return value).
-        let Some((offset, got)) = self.pool.take(items) else {
+        let Some((offset, got)) = self.pool.take(budget_cost) else {
             return 0;
         };
+        let cost = self.weights.cost(offset, got);
         let task = TaskId(self.next_task);
         self.next_task += 1;
         let now = self.backend.now();
@@ -198,9 +217,10 @@ impl SchedulerCtx for Driver<'_> {
             EventKind::TaskSubmit {
                 task: task.0,
                 items: got,
+                cost,
             },
         );
-        if !self.launch(pu.0, task, offset, got, 0, 0.0) {
+        if !self.launch(pu.0, task, offset, got, cost, 0, 0.0) {
             // The executor died out from under us: the block returns
             // to the pool and the unit is lost; the driver loop
             // delivers the policy notification.
@@ -208,7 +228,7 @@ impl SchedulerCtx for Driver<'_> {
             self.release_unit(pu.0);
             return 0;
         }
-        got
+        cost
     }
 
     fn is_busy(&self, pu: PuId) -> bool {
@@ -230,12 +250,13 @@ impl SchedulerCtx for Driver<'_> {
         self.events.record(now, pu, kind);
     }
 
-    fn set_deadline_hint(&mut self, pu: PuId, seconds_per_item: f64) {
-        self.deadline_hint[pu.0] = if seconds_per_item.is_finite() && seconds_per_item > 0.0 {
-            Some(seconds_per_item)
-        } else {
-            None
-        };
+    fn set_deadline_hint(&mut self, pu: PuId, seconds_per_cost_unit: f64) {
+        self.deadline_hint[pu.0] =
+            if seconds_per_cost_unit.is_finite() && seconds_per_cost_unit > 0.0 {
+                Some(seconds_per_cost_unit)
+            } else {
+                None
+            };
     }
 }
 
@@ -250,6 +271,7 @@ impl Driver<'_> {
         task: TaskId,
         offset: u64,
         items: u64,
+        cost: u64,
         attempt: u32,
         backoff_s: f64,
     ) -> bool {
@@ -268,10 +290,12 @@ impl Driver<'_> {
                 .record(now, Some(pu), EventKind::DriftApplied { factor: drift });
         }
         let deadline_at = if self.backend.clock_kind() == ClockKind::Wall {
+            // Rates (hinted and observed) are seconds per cost unit, so
+            // the watchdog prices the block by its weight, not length.
             let rate = self.deadline_hint[pu].or(self.rate_ewma[pu]);
             let now = self.backend.now();
             self.ft
-                .deadline_for(rate, items)
+                .deadline_for(rate, cost)
                 .map(|d| now + backoff_s + d)
         } else {
             None
@@ -280,6 +304,7 @@ impl Driver<'_> {
             task,
             offset,
             items,
+            cost,
             attempt,
             deadline_at,
         });
@@ -381,12 +406,13 @@ impl Driver<'_> {
         }
     }
 
-    /// Fold an observed per-item rate into the unit's EWMA estimate.
-    fn observe_rate(&mut self, pu: usize, proc_time: f64, items: u64) {
-        if items == 0 || !(proc_time.is_finite() && proc_time >= 0.0) {
+    /// Fold an observed per-cost-unit rate into the unit's EWMA
+    /// estimate (per-item under uniform weights).
+    fn observe_rate(&mut self, pu: usize, proc_time: f64, cost: u64) {
+        if cost == 0 || !(proc_time.is_finite() && proc_time >= 0.0) {
             return;
         }
-        let rate = proc_time / items as f64;
+        let rate = proc_time / cost as f64;
         self.rate_ewma[pu] = Some(match self.rate_ewma[pu] {
             Some(prev) => 0.5 * prev + 0.5 * rate,
             None => rate,
@@ -430,6 +456,7 @@ impl Driver<'_> {
                 policy: policy.name().to_string(),
                 total_items: self.total,
                 n_pus: self.handles.len(),
+                total_cost: self.weights.total_cost(self.total),
             },
             seq: 0,
             at: self.backend.now(),
@@ -556,6 +583,7 @@ impl Driver<'_> {
                 task_id: pend.task,
                 pu: PuId(pu),
                 items: pend.items,
+                cost: pend.cost,
                 attempt: pend.attempt,
                 at: now,
                 reason,
@@ -584,6 +612,7 @@ impl Driver<'_> {
                 pend.task,
                 pend.offset,
                 pend.items,
+                pend.cost,
                 retry_attempt,
                 backoff,
             ) {
@@ -600,6 +629,7 @@ impl Driver<'_> {
             task_id: pend.task,
             pu: PuId(pu),
             items: pend.items,
+            cost: pend.cost,
             attempt: pend.attempt,
             at: now,
             reason,
@@ -693,7 +723,7 @@ impl Driver<'_> {
                         continue;
                     };
                     self.consec_failures[pu] = 0;
-                    self.observe_rate(pu, proc_s, pend.items);
+                    self.observe_rate(pu, proc_s, pend.cost);
                     self.completed.push((pend.offset, pend.items));
                     self.tasks_done += 1;
                     self.trace
@@ -717,6 +747,7 @@ impl Driver<'_> {
                         EventKind::TaskFinish {
                             task: task.0,
                             items: pend.items,
+                            cost: pend.cost,
                             xfer_s,
                             proc_s,
                         },
@@ -725,6 +756,7 @@ impl Driver<'_> {
                         task_id: task,
                         pu: PuId(pu),
                         items: pend.items,
+                        cost: pend.cost,
                         xfer_time: xfer_s,
                         proc_time: proc_s,
                         start,
@@ -819,6 +851,7 @@ impl Driver<'_> {
                             task_id: pend.task,
                             pu: PuId(i),
                             items: pend.items,
+                            cost: pend.cost,
                             attempt: pend.attempt,
                             at: now,
                             reason: FailureReason::DeadlineExceeded,
@@ -843,15 +876,17 @@ impl Driver<'_> {
 
 /// Run `total_items` under `policy` on `backend`: the single driver
 /// both engines delegate to. `handles` is the backend's unit roster
-/// (with initial availability); `faults` injects deterministic
-/// failures and `ft` tunes the response (see [`crate::fault`]);
-/// `durability` turns on periodic checkpointing and/or resume (see
-/// [`crate::checkpoint`]).
+/// (with initial availability); `weights` is the workload's per-item
+/// cost (uniform for regular workloads — cost ≡ item count); `faults`
+/// injects deterministic failures and `ft` tunes the response (see
+/// [`crate::fault`]); `durability` turns on periodic checkpointing
+/// and/or resume (see [`crate::checkpoint`]).
 pub fn drive(
     backend: &mut dyn Backend,
     handles: Vec<PuHandle>,
     policy: &mut dyn Policy,
     total_items: u64,
+    weights: Arc<Weights>,
     faults: FaultPlan,
     ft: FaultToleranceConfig,
     durability: Durability,
@@ -863,18 +898,21 @@ pub fn drive(
     // rejected snapshot must fail the run loudly, never silently start
     // a fresh one over the remains of another.
     let mut restored: Option<Checkpoint> = None;
-    let mut pool = WorkPool::new(total_items);
+    let mut pool = WorkPool::with_weights(total_items, Arc::clone(&weights));
     if let Some(ckpt) = resume {
         let workload = WorkloadId {
             policy: policy.name().to_string(),
             total_items,
             n_pus: n,
+            total_cost: weights.total_cost(total_items),
         };
         let prepared = ckpt
             .validate()
             .and_then(|()| ckpt.matches(&workload))
             .map_err(|e| e.to_string())
-            .and_then(|()| WorkPool::resume(total_items, &ckpt.completed));
+            .and_then(|()| {
+                WorkPool::resume_with_weights(total_items, &ckpt.completed, Arc::clone(&weights))
+            });
         match prepared {
             Ok(p) => {
                 pool = p;
@@ -922,6 +960,7 @@ pub fn drive(
         tasks_done: 0,
         ckpt_writer: checkpoint,
         carried: EventCounters::default(),
+        weights,
     };
     for &(pu, _) in &d.joins {
         if pu < n {

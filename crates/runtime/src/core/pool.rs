@@ -8,12 +8,26 @@
 //! of the loom-checked [`CompletionLatch`] (the item count and the
 //! run-closed bit share one atomic word, so a re-credit can never race
 //! a run completion — see `docs/SOUNDNESS.md`).
+//!
+//! Claims are budgeted in **cost units**, not item counts: `take`
+//! converts its budget into an item range through the pool's
+//! [`Weights`] (binary search on the per-item prefix sums), so a claim
+//! on an irregular workload returns a range whose *weight*, not
+//! length, approximates the budget. Under [`Weights::Uniform`] —
+//! the default — cost and item count coincide and every path below
+//! behaves exactly as the pre-weights pool did. The completion latch
+//! always counts *items*: the disjoint-cover invariant is exact in
+//! item space, and weights are positional, so a re-credited fragment
+//! keeps its original weight by construction.
 
 use crate::protocol::CompletionLatch;
+use crate::weights::Weights;
+use crate::sync::Arc;
 
 /// The undistributed-item pool: a cursor over fresh ranges plus a free
 /// list of reclaimed (failed-block) ranges, with the item count and the
-/// run-completion latch backed by [`CompletionLatch`].
+/// run-completion latch backed by [`CompletionLatch`], and claims
+/// budgeted through the workload's [`Weights`].
 #[derive(Debug)]
 pub struct WorkPool {
     latch: CompletionLatch,
@@ -22,15 +36,26 @@ pub struct WorkPool {
     /// fresh cursor ranges so the disjoint-cover invariant holds under
     /// re-dispatch.
     reclaimed: Vec<(u64, u64)>,
+    /// Per-item cost of the workload; uniform unless the application
+    /// declared an irregular cost vector.
+    weights: Arc<Weights>,
 }
 
 impl WorkPool {
-    /// A pool holding the full `0..total` item space.
+    /// A pool holding the full `0..total` item space under uniform
+    /// weights (cost ≡ item count).
     pub fn new(total: u64) -> WorkPool {
+        WorkPool::with_weights(total, Weights::uniform())
+    }
+
+    /// A pool holding the full `0..total` item space under the given
+    /// per-item weights.
+    pub fn with_weights(total: u64, weights: Arc<Weights>) -> WorkPool {
         WorkPool {
             latch: CompletionLatch::new(total),
             cursor: 0,
             reclaimed: Vec::new(),
+            weights,
         }
     }
 
@@ -38,13 +63,25 @@ impl WorkPool {
     /// `0..total` — the resume path: the uncovered holes become
     /// reclaimed-style ranges (served lowest offset first) and the
     /// cursor starts exhausted, so a resumed run dispatches exactly the
-    /// items the checkpointed run never finished.
+    /// items the checkpointed run never finished. Uniform weights; see
+    /// [`WorkPool::resume_with_weights`] for irregular workloads.
     ///
     /// `completed` must be sorted by offset, non-empty per range,
     /// disjoint and within `0..total` (what
     /// [`Checkpoint::validate`](crate::checkpoint::Checkpoint::validate)
     /// guarantees); otherwise an error describes the first violation.
     pub fn resume(total: u64, completed: &[(u64, u64)]) -> Result<WorkPool, String> {
+        WorkPool::resume_with_weights(total, completed, Weights::uniform())
+    }
+
+    /// [`WorkPool::resume`] with per-item weights: the uncovered holes
+    /// keep their positional cost, so a resumed weighted run budgets
+    /// claims over exactly the weight the checkpointed run left behind.
+    pub fn resume_with_weights(
+        total: u64,
+        completed: &[(u64, u64)],
+        weights: Arc<Weights>,
+    ) -> Result<WorkPool, String> {
         let mut holes: Vec<(u64, u64)> = Vec::new();
         let mut covered = 0u64;
         let mut prev_end = 0u64;
@@ -81,6 +118,7 @@ impl WorkPool {
             latch: CompletionLatch::new(total - covered),
             cursor: total,
             reclaimed: holes,
+            weights,
         })
     }
 
@@ -89,35 +127,60 @@ impl WorkPool {
         self.latch.remaining()
     }
 
-    /// Take a contiguous range of up to `want` items: reclaimed ranges
-    /// first (splitting when larger than the request), then fresh items
-    /// from the cursor. Returns `(offset, items)`; `None` when the pool
-    /// is empty or the run already closed. A reclaimed fragment may be
-    /// smaller than the request, in which case fewer items are handed
-    /// out — callers (and policies) must tolerate any return value.
-    pub fn take(&mut self, want: u64) -> Option<(u64, u64)> {
-        let want = want.min(self.latch.remaining());
-        if want == 0 {
+    /// Total cost of the items not yet distributed: the reclaimed
+    /// fragments' weight plus the fresh range's weight. Equal to
+    /// [`remaining`](WorkPool::remaining) under uniform weights.
+    pub fn remaining_cost(&self) -> u64 {
+        let reclaimed_items: u64 = self.reclaimed.iter().map(|&(_, len)| len).sum();
+        let fresh = self.latch.remaining().saturating_sub(reclaimed_items);
+        self.reclaimed
+            .iter()
+            .map(|&(off, len)| self.weights.cost(off, len))
+            .sum::<u64>()
+            .saturating_add(self.weights.cost(self.cursor, fresh))
+    }
+
+    /// The workload's per-item weights.
+    pub fn weights(&self) -> &Arc<Weights> {
+        &self.weights
+    }
+
+    /// Take a contiguous range worth up to `budget_cost` cost units:
+    /// reclaimed ranges first (splitting when heavier than the budget),
+    /// then fresh items from the cursor. The budget is converted to an
+    /// item count through the pool's [`Weights`] (under uniform weights
+    /// the budget *is* an item count). Returns `(offset, items)`;
+    /// `None` when the pool is empty or the run already closed. A
+    /// nonzero budget always buys at least one item, and a reclaimed
+    /// fragment may carry less weight than the budget — callers (and
+    /// policies) must tolerate any return value.
+    pub fn take(&mut self, budget_cost: u64) -> Option<(u64, u64)> {
+        if budget_cost == 0 || self.latch.remaining() == 0 {
             return None;
         }
         let (offset, got) = if let Some((off, len)) = self.reclaimed.pop() {
-            if len > want {
-                self.reclaimed.push((off + want, len - want));
-                (off, want)
-            } else {
-                (off, len)
+            let n = self.weights.items_for_budget(off, len, budget_cost);
+            if n < len {
+                self.reclaimed.push((off + n, len - n));
             }
+            (off, n)
         } else {
+            let avail = self.latch.remaining();
             let off = self.cursor;
-            self.cursor += want;
-            (off, want)
+            let n = self.weights.items_for_budget(off, avail, budget_cost);
+            self.cursor += n;
+            (off, n)
         };
+        if got == 0 {
+            return None;
+        }
         let debited = self.latch.take(got);
         debug_assert_eq!(debited, got, "latch and range pool out of sync");
         Some((offset, got))
     }
 
-    /// Return a failed block's range to the pool.
+    /// Return a failed block's range to the pool. Weights are
+    /// positional, so the fragment re-enters with its original cost.
     pub fn reclaim(&mut self, offset: u64, items: u64) {
         // The driver only reclaims while work is in flight, and the
         // latch closes only when nothing is — so the re-credit cannot
@@ -243,5 +306,159 @@ mod tests {
         }
         assert_eq!(expect, 1000);
         assert!(p.try_close());
+    }
+
+    #[test]
+    fn weighted_claims_are_budgeted_by_cost_not_count() {
+        // Items 0..4 cost 10 each, items 4..100 cost 1 each.
+        let costs = (0..100u64).map(|i| if i < 4 { 10 } else { 1 });
+        let w = Arc::new(Weights::per_item(costs));
+        let mut p = WorkPool::with_weights(100, Arc::clone(&w));
+        assert_eq!(p.remaining_cost(), 136);
+        // A 20-unit budget buys two heavy items, not twenty.
+        assert_eq!(p.take(20), Some((0, 2)));
+        // A budget below one item's cost still buys that item.
+        assert_eq!(p.take(3), Some((2, 1)));
+        // Across the heavy/light boundary the budget spans many items.
+        assert_eq!(p.take(30), Some((3, 21)));
+        assert_eq!(p.remaining(), 76);
+        assert_eq!(p.remaining_cost(), 76);
+    }
+
+    #[test]
+    fn weighted_reclaim_keeps_the_fragment_weight() {
+        let w = Arc::new(Weights::per_item([10, 10, 1, 1, 1, 1]));
+        let mut p = WorkPool::with_weights(6, Arc::clone(&w));
+        let (off, got) = p.take(20).unwrap();
+        assert_eq!((off, got), (0, 2));
+        p.reclaim(off, got);
+        assert_eq!(p.remaining_cost(), 24);
+        // The re-credited fragment is re-served at its original weight:
+        // a 10-unit budget now buys only the first heavy item back.
+        assert_eq!(p.take(10), Some((0, 1)));
+        assert_eq!(p.take(100), Some((1, 1)), "fragment caps the grant");
+        assert_eq!(p.take(100), Some((2, 4)));
+        assert!(p.try_close());
+    }
+
+    #[test]
+    fn weighted_resume_budgets_over_the_holes() {
+        let w = Arc::new(Weights::per_item([5, 5, 5, 5, 1, 1, 1, 1]));
+        // Completed [2,6) — holes are [0,2) (cost 10) and [6,8) (cost 2).
+        let mut p = WorkPool::resume_with_weights(8, &[(2, 4)], Arc::clone(&w)).unwrap();
+        assert_eq!(p.remaining(), 4);
+        assert_eq!(p.remaining_cost(), 12);
+        assert_eq!(p.take(5), Some((0, 1)), "budget splits the weighted hole");
+        assert_eq!(p.take(100), Some((1, 1)));
+        assert_eq!(p.take(100), Some((6, 2)));
+        assert!(p.try_close());
+    }
+
+    proptest::proptest! {
+        /// Weighted cover invariant: however claims and re-credits
+        /// interleave, the served ranges form a disjoint, complete
+        /// cover of the item space, and the served weight sums to the
+        /// total cost.
+        #[test]
+        fn weighted_cover_is_disjoint_and_complete(
+            costs in proptest::collection::vec(0u64..50, 1..200),
+            budgets in proptest::collection::vec(1u64..100, 1..64),
+            fail_every in 2usize..6,
+        ) {
+            let total = costs.len() as u64;
+            let w = Arc::new(Weights::per_item(costs));
+            let mut p = WorkPool::with_weights(total, Arc::clone(&w));
+            let mut done: Vec<(u64, u64)> = Vec::new();
+            let mut served_cost = 0u64;
+            let mut i = 0usize;
+            let mut flaky = 0usize;
+            while let Some((off, got)) = p.take(budgets[i % budgets.len()]) {
+                i += 1;
+                flaky += 1;
+                if flaky % fail_every == 0 {
+                    p.reclaim(off, got);
+                } else {
+                    served_cost += w.cost(off, got);
+                    done.push((off, got));
+                }
+            }
+            done.sort_unstable();
+            let mut expect = 0u64;
+            for (off, len) in done {
+                proptest::prop_assert_eq!(off, expect, "gap or overlap");
+                expect = off + len;
+            }
+            proptest::prop_assert_eq!(expect, total);
+            proptest::prop_assert_eq!(served_cost, w.total_cost(total));
+            proptest::prop_assert!(p.try_close());
+        }
+
+        /// Resume round-trips weighted holes: whatever cover a run
+        /// leaves behind, a resumed pool serves exactly the complement
+        /// at exactly the complement's weight.
+        #[test]
+        fn weighted_resume_round_trips_holes(
+            costs in proptest::collection::vec(0u64..50, 2..200),
+            cuts in proptest::collection::vec(0.0f64..1.0, 1..8),
+            budget in 1u64..60,
+        ) {
+            let total = costs.len() as u64;
+            let w = Arc::new(Weights::per_item(costs));
+            // Build a sorted disjoint cover from the random cuts.
+            let mut bounds: Vec<u64> =
+                cuts.iter().map(|f| (f * total as f64) as u64).collect();
+            bounds.sort_unstable();
+            bounds.dedup();
+            let mut completed: Vec<(u64, u64)> = Vec::new();
+            for pair in bounds.chunks(2) {
+                if let [a, b] = pair {
+                    if b > a {
+                        completed.push((*a, b - a));
+                    }
+                }
+            }
+            let completed_cost: u64 =
+                completed.iter().map(|&(o, l)| w.cost(o, l)).sum();
+            let mut p =
+                WorkPool::resume_with_weights(total, &completed, Arc::clone(&w)).unwrap();
+            proptest::prop_assert_eq!(
+                p.remaining_cost(),
+                w.total_cost(total) - completed_cost
+            );
+            let mut served: Vec<(u64, u64)> = completed.clone();
+            while let Some(r) = p.take(budget) {
+                served.push(r);
+            }
+            served.sort_unstable();
+            let mut expect = 0u64;
+            for (off, len) in served {
+                proptest::prop_assert_eq!(off, expect, "gap or overlap");
+                expect = off + len;
+            }
+            proptest::prop_assert_eq!(expect, total);
+            proptest::prop_assert!(p.try_close());
+        }
+
+        /// Re-credited fragments keep their original weight: reclaim
+        /// and re-serve any claimed range and its cost is unchanged.
+        #[test]
+        fn reclaimed_fragments_keep_their_weight(
+            costs in proptest::collection::vec(0u64..50, 1..200),
+            budget in 1u64..100,
+        ) {
+            let total = costs.len() as u64;
+            let w = Arc::new(Weights::per_item(costs));
+            let mut p = WorkPool::with_weights(total, Arc::clone(&w));
+            while let Some((off, got)) = p.take(budget) {
+                let cost_before = w.cost(off, got);
+                p.reclaim(off, got);
+                // Re-serve the fragment with an unlimited budget: it
+                // comes back whole, at the same offset and weight.
+                let (off2, got2) = p.take(u64::MAX).unwrap();
+                proptest::prop_assert_eq!((off2, got2), (off, got));
+                proptest::prop_assert_eq!(w.cost(off2, got2), cost_before);
+            }
+            proptest::prop_assert!(p.try_close());
+        }
     }
 }

@@ -27,9 +27,11 @@ use crate::metrics::RunReport;
 use crate::policy::{Policy, PuHandle};
 use crate::task::{FailureReason, TaskId};
 use crate::trace::Trace;
+use crate::weights::Weights;
 use plb_hetsim::{ClusterSim, CostModel, PuId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use crate::sync::Arc;
 
 /// A scheduled runtime perturbation.
 #[derive(Debug, Clone)]
@@ -206,7 +208,7 @@ impl Backend for SimBackend<'_> {
             // unit; the broadcast set is staged once per unit (cache
             // hit after). Retries reuse the already-staged block.
             let node = MemNode::of_pu(spec.pu);
-            let block_bytes = self.cost.bytes_in(spec.items).max(0.0) as u64;
+            let block_bytes = self.cost.bytes_in_range(spec.offset, spec.items).max(0.0) as u64;
             if block_bytes > 0 {
                 let h = self.registry.register(block_bytes, MemNode::HOST);
                 self.registry.acquire(h, node, MemNode::HOST);
@@ -216,10 +218,10 @@ impl Backend for SimBackend<'_> {
             }
         }
         let dev = self.cluster.device_mut(pu);
-        let xfer = dev.transfer_time(self.cost, spec.items);
+        let xfer = dev.transfer_time_at(self.cost, spec.offset, spec.items);
         // Drift from the fault plan multiplies kernel time only —
         // background load contends for compute, not the interconnect.
-        let mut proc = dev.proc_time(self.cost, spec.items) * spec.drift;
+        let mut proc = dev.proc_time_at(self.cost, spec.offset, spec.items) * spec.drift;
         // Injected delays stretch the kernel; injected panics surface
         // when the "completion" event fires.
         let doomed = match spec.inject {
@@ -377,6 +379,7 @@ pub struct SimEngine<'a> {
     ft: FaultToleranceConfig,
     checkpoint: Option<CheckpointConfig>,
     resume: Option<Checkpoint>,
+    weights: Arc<Weights>,
     last_trace: Option<Trace>,
     last_events: Option<EventSink>,
 }
@@ -392,6 +395,7 @@ impl<'a> SimEngine<'a> {
             ft: FaultToleranceConfig::default(),
             checkpoint: None,
             resume: None,
+            weights: Weights::uniform(),
             last_trace: None,
             last_events: None,
         }
@@ -432,6 +436,15 @@ impl<'a> SimEngine<'a> {
     /// [`RunError::Checkpoint`].
     pub fn resume_from(mut self, ckpt: Checkpoint) -> SimEngine<'a> {
         self.resume = Some(ckpt);
+        self
+    }
+
+    /// Use per-item work weights for the run: pool claims become
+    /// cost-budgeted and profiling/selection see cost, not count. The
+    /// default is [`Weights::Uniform`], under which everything behaves
+    /// exactly as the pre-weights engine did. See [`crate::weights`].
+    pub fn with_weights(mut self, weights: Arc<Weights>) -> SimEngine<'a> {
+        self.weights = weights;
         self
     }
 
@@ -492,6 +505,7 @@ impl<'a> SimEngine<'a> {
             handles,
             policy,
             total_items,
+            Arc::clone(&self.weights),
             self.faults.clone(),
             self.ft.clone(),
             durability,

@@ -38,8 +38,10 @@ use serde::{Deserialize, Serialize};
 /// (`task_failed`, `task_retry`, `pu_quarantined`); 3 adds the run-level
 /// durability kinds (`checkpoint_written`, `run_resumed`); 4 adds the
 /// elastic-capacity kinds (`pu_joined`, `drift_applied`, `restabilized`,
-/// `device_restored_ignored`).
-pub const TRACE_FORMAT_VERSION: u32 = 4;
+/// `device_restored_ignored`); 5 adds the weighted-work `cost` field to
+/// `task_submit` and `task_finish` (cost units of the block; equals
+/// `items` under uniform weights).
+pub const TRACE_FORMAT_VERSION: u32 = 5;
 
 /// Default ring-buffer capacity (events).
 pub const DEFAULT_SINK_CAPACITY: usize = 1 << 16;
@@ -64,6 +66,11 @@ pub enum EventKind {
         task: u64,
         /// Items in the task's block.
         items: u64,
+        /// Weight of the block in cost units ([`crate::Weights`]);
+        /// equals `items` under uniform weights. Trace v5; absent in
+        /// older traces and deserialized as 0.
+        #[serde(default)]
+        cost: u64,
     },
     /// The task began occupying its unit (may trail the submit when a
     /// scheduler-overhead window delays it).
@@ -79,6 +86,11 @@ pub enum EventKind {
         task: u64,
         /// Items in the task's block.
         items: u64,
+        /// Weight of the block in cost units; equals `items` under
+        /// uniform weights. Trace v5; absent in older traces and
+        /// deserialized as 0.
+        #[serde(default)]
+        cost: u64,
         /// Measured input-transfer time, seconds.
         xfer_s: f64,
         /// Measured kernel time, seconds.
@@ -957,6 +969,7 @@ mod tests {
                 EventKind::TaskSubmit {
                     task: i as u64,
                     items: 1,
+                    cost: 1,
                 },
             );
         }
@@ -1106,6 +1119,7 @@ mod tests {
             EventKind::TaskSubmit {
                 task: 0,
                 items: 100,
+                cost: 100,
             },
         );
         sink.record(
@@ -1114,6 +1128,7 @@ mod tests {
             EventKind::TaskFinish {
                 task: 0,
                 items: 100,
+                cost: 100,
                 xfer_s: 0.5,
                 proc_s: 1.5,
             },

@@ -65,6 +65,7 @@ use crate::protocol::AttemptSlot;
 use crate::sync::Arc;
 use crate::task::{FailureReason, TaskId};
 use crate::trace::Trace;
+use crate::weights::Weights;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use plb_hetsim::{PuId, PuKind};
 use std::time::{Duration, Instant};
@@ -272,6 +273,7 @@ pub struct HostEngine {
     ft: FaultToleranceConfig,
     checkpoint: Option<CheckpointConfig>,
     resume: Option<Checkpoint>,
+    weights: Arc<Weights>,
     last_trace: Option<Trace>,
     last_events: Option<EventSink>,
 }
@@ -288,6 +290,7 @@ impl HostEngine {
             ft: FaultToleranceConfig::default(),
             checkpoint: None,
             resume: None,
+            weights: Weights::uniform(),
             last_trace: None,
             last_events: None,
         }
@@ -332,6 +335,15 @@ impl HostEngine {
     /// after a loss already requires).
     pub fn resume_from(mut self, ckpt: Checkpoint) -> HostEngine {
         self.resume = Some(ckpt);
+        self
+    }
+
+    /// Use per-item work weights for the run: pool claims become
+    /// cost-budgeted and profiling/selection see cost, not count. The
+    /// default is [`Weights::Uniform`], under which everything behaves
+    /// exactly as the pre-weights engine did. See [`crate::weights`].
+    pub fn with_weights(mut self, weights: Arc<Weights>) -> HostEngine {
+        self.weights = weights;
         self
     }
 
@@ -502,6 +514,7 @@ impl HostEngine {
             handles,
             policy,
             total_items,
+            Arc::clone(&self.weights),
             self.faults.clone(),
             self.ft.clone(),
             durability,

@@ -65,6 +65,7 @@ pub mod protocol;
 pub mod sync;
 pub mod task;
 pub mod trace;
+pub mod weights;
 
 pub use crate::core::{
     Backend, ClockKind, CoreOutcome, Durability, Launch, LaunchSpec, Polled, WorkPool,
@@ -90,3 +91,4 @@ pub use policy::{FixedBlockPolicy, Policy, PuHandle, SchedulerCtx};
 pub use protocol::{AttemptOutcome, AttemptSlot, CompletionLatch, UnitGate};
 pub use task::{FailureReason, TaskFailure, TaskId, TaskInfo};
 pub use trace::{Segment, SegmentKind, Trace};
+pub use weights::Weights;

@@ -42,11 +42,29 @@ pub trait SchedulerCtx {
     /// Total items of the application.
     fn total_items(&self) -> u64;
 
-    /// Assign a block of up to `items` to `pu`. The engine clamps the
-    /// request to the remaining item count and returns what was actually
-    /// assigned (0 when nothing remains, the unit is busy, or the unit
-    /// is unavailable — policies must tolerate a 0 return).
-    fn assign(&mut self, pu: PuId, items: u64) -> u64;
+    /// Cost units not yet assigned to any unit ([`crate::Weights`]).
+    /// Defaults to the item count — correct for uniform weights, and
+    /// what contexts without a weights table (tests, minimal
+    /// embeddings) fall back to.
+    fn remaining_cost(&self) -> u64 {
+        self.remaining_items()
+    }
+
+    /// Total workload weight in cost units. Defaults to the item count
+    /// (uniform weights).
+    fn total_cost(&self) -> u64 {
+        self.total_items()
+    }
+
+    /// Assign a block worth up to `budget` *cost units* to `pu`. The
+    /// engine converts the budget to a contiguous item range via the
+    /// workload's [`crate::Weights`] (under uniform weights the budget
+    /// IS an item count, exactly the pre-weights behavior), clamps to
+    /// the remaining work, and returns the *cost* actually claimed (0
+    /// when nothing remains, the unit is busy, or the unit is
+    /// unavailable — policies must tolerate a 0 return). Under uniform
+    /// weights the returned cost equals the assigned item count.
+    fn assign(&mut self, pu: PuId, budget: u64) -> u64;
 
     /// Is a task currently running (or queued) on `pu`?
     fn is_busy(&self, pu: PuId) -> bool;
@@ -72,14 +90,14 @@ pub trait SchedulerCtx {
     fn emit_event(&mut self, _pu: Option<usize>, _kind: EventKind) {}
 
     /// Tell the engine what the policy's performance model predicts for
-    /// `pu`: `seconds_per_item` of wall time per application item. The
-    /// host engine multiplies this by a task's block size (and the
-    /// configured safety factor) to derive the watchdog deadline
-    /// `k × E_p(x)`. Non-finite or non-positive hints clear a previous
-    /// hint. The default ignores the hint — the simulator needs no
-    /// watchdog, and the host engine falls back to its own observed
-    /// per-item rate until a hint arrives.
-    fn set_deadline_hint(&mut self, _pu: PuId, _seconds_per_item: f64) {}
+    /// `pu`: seconds of wall time per *cost unit* (per item under
+    /// uniform weights). The host engine multiplies this by a task's
+    /// block cost (and the configured safety factor) to derive the
+    /// watchdog deadline `k × E_p(x)`. Non-finite or non-positive hints
+    /// clear a previous hint. The default ignores the hint — the
+    /// simulator needs no watchdog, and the host engine falls back to
+    /// its own observed per-cost-unit rate until a hint arrives.
+    fn set_deadline_hint(&mut self, _pu: PuId, _seconds_per_cost_unit: f64) {}
 }
 
 /// A scheduling policy. Implementations live in the `plb-hec` crate; the

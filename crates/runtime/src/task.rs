@@ -24,6 +24,10 @@ pub struct TaskInfo {
     pub pu: PuId,
     /// Block size in application items.
     pub items: u64,
+    /// Block weight in cost units ([`crate::Weights`]); equals `items`
+    /// under uniform weights. This is what PLB-HeC's curves are fit
+    /// against.
+    pub cost: u64,
     /// Data-transfer time (host → unit and results back), seconds.
     pub xfer_time: f64,
     /// Kernel processing time, seconds.
@@ -81,6 +85,9 @@ pub struct TaskFailure {
     pub pu: PuId,
     /// Block size in application items (re-credited to the pool).
     pub items: u64,
+    /// Block weight in cost units; equals `items` under uniform
+    /// weights. What the modeling phase budgeted for the block.
+    pub cost: u64,
     /// 0-based attempt number that failed last.
     pub attempt: u32,
     /// Time of the failure, seconds.
@@ -99,6 +106,7 @@ mod tests {
             task_id: TaskId(1),
             pu: PuId(0),
             items: 10,
+            cost: 10,
             xfer_time: 0.5,
             proc_time: 1.5,
             start: 0.0,

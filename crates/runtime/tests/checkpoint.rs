@@ -68,6 +68,7 @@ fn midrun_snapshot(total: u64) -> Checkpoint {
             policy: "fixed-block".into(),
             total_items: total,
             n_pus: 2,
+            total_cost: total,
         },
         seq: 4,
         at: 0.75,

@@ -23,6 +23,22 @@ struct BenchEntry {
     warm_iters: u64,
 }
 
+/// One parsed row of `BENCH_driver.json`'s claim-latency table.
+#[derive(Debug, Clone, PartialEq)]
+struct ClaimEntry {
+    items: u64,
+    uniform_ns: f64,
+    weighted_ns: f64,
+}
+
+/// The parsed `BENCH_driver.json` fields bench-check gates on.
+#[derive(Debug, Clone)]
+struct DriverSnapshot {
+    overhead: f64,
+    events_per_sec: f64,
+    claim: Vec<ClaimEntry>,
+}
+
 /// Sizes every committed solver snapshot must cover.
 const REQUIRED_SIZES: &[u64] = &[10, 100, 1000, 10000];
 
@@ -73,17 +89,20 @@ pub fn bench_check(root: &Path, args: &[String]) -> ExitCode {
     };
     check_solver_invariants(&committed, &mut errors);
     match load_driver_snapshot(&root.join("BENCH_driver.json")) {
-        Ok((overhead, events_per_sec)) => {
-            if !(overhead.is_finite() && overhead > 0.0) {
+        Ok(driver) => {
+            if !(driver.overhead.is_finite() && driver.overhead > 0.0) {
                 errors.push(format!(
-                    "driver: sched_overhead_us_per_task = {overhead} is not a positive number"
+                    "driver: sched_overhead_us_per_task = {} is not a positive number",
+                    driver.overhead
                 ));
             }
-            if !(events_per_sec.is_finite() && events_per_sec >= 1e5) {
+            if !(driver.events_per_sec.is_finite() && driver.events_per_sec >= 1e5) {
                 errors.push(format!(
-                    "driver: events_per_sec = {events_per_sec:.0} below the 1e5 sanity floor"
+                    "driver: events_per_sec = {:.0} below the 1e5 sanity floor",
+                    driver.events_per_sec
                 ));
             }
+            check_claim_invariants(&driver.claim, &mut errors);
         }
         Err(e) => errors.push(format!("BENCH_driver.json: {e}")),
     }
@@ -163,6 +182,50 @@ fn check_solver_invariants(entries: &[BenchEntry], errors: &mut Vec<String>) {
     }
 }
 
+/// Pool sizes every committed claim-latency table must cover (the
+/// weighted range model's `WorkPool::take` benchmark).
+const REQUIRED_CLAIM_SIZES: &[u64] = &[10_000, 1_000_000];
+
+/// Growth cap on the weighted claim column across the two-decade size
+/// step: the weighted path is a binary search over the prefix sum, so
+/// per-claim cost may grow logarithmically (~1.5x between 1e4 and 1e6),
+/// never linearly. The cap leaves generous headroom for cache effects.
+const MAX_WEIGHTED_CLAIM_GROWTH: f64 = 25.0;
+
+/// Shape + ratio gates on the driver snapshot's claim-latency table.
+/// Machine-independent like the solver gates: positivity and growth
+/// ratios only, never absolute nanoseconds.
+fn check_claim_invariants(claim: &[ClaimEntry], errors: &mut Vec<String>) {
+    for &size in REQUIRED_CLAIM_SIZES {
+        match claim.iter().find(|e| e.items == size) {
+            None => errors.push(format!("driver: no claim entry at items = {size}")),
+            Some(e) => {
+                for (name, v) in [("uniform_ns", e.uniform_ns), ("weighted_ns", e.weighted_ns)] {
+                    if !(v.is_finite() && v > 0.0) {
+                        errors.push(format!(
+                            "driver: claim {name} at items = {size} is not a positive number"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    let mut sorted: Vec<&ClaimEntry> = claim.iter().collect();
+    sorted.sort_by_key(|e| e.items);
+    for pair in sorted.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if b.weighted_ns > a.weighted_ns * MAX_WEIGHTED_CLAIM_GROWTH {
+            errors.push(format!(
+                "driver: weighted claim cost grew {:.1}x from {} to {} items \
+                 (cap {MAX_WEIGHTED_CLAIM_GROWTH}x — the O(log n) claim path has regressed)",
+                b.weighted_ns / a.weighted_ns,
+                a.items,
+                b.items
+            ));
+        }
+    }
+}
+
 /// Iteration counts are deterministic per problem, so a fresh run on any
 /// machine must reproduce the committed ones within the tolerance.
 fn compare_iteration_counts(
@@ -232,11 +295,21 @@ fn json_number(obj: &str, key: &str) -> Result<Option<f64>, String> {
 
 /// Split the `"entries": [ ... ]` array into its `{...}` object slices.
 fn json_entry_objects(text: &str) -> Result<Vec<&str>, String> {
-    let at = text
-        .find("\"entries\"")
-        .ok_or("no `entries` array".to_string())?;
-    let open = at + text[at..].find('[').ok_or("no `[` after `entries`")?;
-    let close = open + text[open..].find(']').ok_or("no `]` closing `entries`")?;
+    json_array_objects(text, "entries")
+}
+
+/// Split a top-level `"key": [ {...}, ... ]` array into object slices.
+fn json_array_objects<'a>(text: &'a str, key: &str) -> Result<Vec<&'a str>, String> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle).ok_or(format!("no `{key}` array"))?;
+    let open = at
+        + text[at..]
+            .find('[')
+            .ok_or(format!("no `[` after `{key}`"))?;
+    let close = open
+        + text[open..]
+            .find(']')
+            .ok_or(format!("no `]` closing `{key}`"))?;
     let body = &text[open + 1..close];
     let mut objects = Vec::new();
     let mut rest = body;
@@ -272,12 +345,27 @@ fn load_solver_snapshot(path: &Path) -> Result<Vec<BenchEntry>, String> {
     Ok(out)
 }
 
-fn load_driver_snapshot(path: &Path) -> Result<(f64, f64), String> {
+fn load_driver_snapshot(path: &Path) -> Result<DriverSnapshot, String> {
     let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     let overhead = json_number(&text, "sched_overhead_us_per_task")?
         .ok_or("sched_overhead_us_per_task is null")?;
     let events = json_number(&text, "events_per_sec")?.ok_or("events_per_sec is null")?;
-    Ok((overhead, events))
+    let mut claim = Vec::new();
+    for obj in json_array_objects(&text, "claim")? {
+        let req = |key: &str| -> Result<f64, String> {
+            json_number(obj, key)?.ok_or_else(|| format!("claim field `{key}` is null"))
+        };
+        claim.push(ClaimEntry {
+            items: req("items")? as u64,
+            uniform_ns: req("uniform_ns")?,
+            weighted_ns: req("weighted_ns")?,
+        });
+    }
+    Ok(DriverSnapshot {
+        overhead,
+        events_per_sec: events,
+        claim,
+    })
 }
 
 #[cfg(test)]
@@ -353,6 +441,69 @@ mod tests {
         errors.clear();
         check_solver_invariants(&partial, &mut errors);
         assert!(errors.iter().any(|e| e.contains("no entry")), "{errors:?}");
+    }
+
+    const SAMPLE_DRIVER: &str = r#"{
+  "schema": 1,
+  "sched_overhead_us_per_task": 0.568,
+  "tasks_measured": 512,
+  "events_per_sec": 59185003.562,
+  "events_measured": 1000000,
+  "claim": [
+    {"items": 10000, "uniform_ns": 45.2, "weighted_ns": 98.7},
+    {"items": 1000000, "uniform_ns": 46.1, "weighted_ns": 141.3}
+  ]
+}"#;
+
+    fn sample_claim() -> Vec<ClaimEntry> {
+        json_array_objects(SAMPLE_DRIVER, "claim")
+            .unwrap()
+            .iter()
+            .map(|obj| ClaimEntry {
+                items: json_number(obj, "items").unwrap().unwrap() as u64,
+                uniform_ns: json_number(obj, "uniform_ns").unwrap().unwrap(),
+                weighted_ns: json_number(obj, "weighted_ns").unwrap().unwrap(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn claim_table_parses_and_passes_invariants() {
+        let claim = sample_claim();
+        assert_eq!(claim.len(), 2);
+        assert_eq!(claim[1].items, 1_000_000);
+        let mut errors = Vec::new();
+        check_claim_invariants(&claim, &mut errors);
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn claim_invariants_catch_regressions() {
+        // Missing the large-pool row.
+        let partial: Vec<ClaimEntry> = sample_claim().into_iter().take(1).collect();
+        let mut errors = Vec::new();
+        check_claim_invariants(&partial, &mut errors);
+        assert!(
+            errors.iter().any(|e| e.contains("no claim entry")),
+            "{errors:?}"
+        );
+
+        // Non-positive latency.
+        let mut zero = sample_claim();
+        zero[0].weighted_ns = 0.0;
+        errors.clear();
+        check_claim_invariants(&zero, &mut errors);
+        assert!(
+            errors.iter().any(|e| e.contains("not a positive")),
+            "{errors:?}"
+        );
+
+        // Weighted claim cost growing linearly with pool size.
+        let mut linear = sample_claim();
+        linear[1].weighted_ns = linear[0].weighted_ns * 100.0;
+        errors.clear();
+        check_claim_invariants(&linear, &mut errors);
+        assert!(errors.iter().any(|e| e.contains("grew")), "{errors:?}");
     }
 
     #[test]

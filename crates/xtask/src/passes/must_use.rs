@@ -47,10 +47,7 @@ impl Pass for MustUse {
             };
             // The attribute must sit between the end of the previous item
             // and the declaration itself.
-            let window_start = s.code[..pos]
-                .rfind(['}', ';'])
-                .map(|p| p + 1)
-                .unwrap_or(0);
+            let window_start = s.code[..pos].rfind(['}', ';']).map(|p| p + 1).unwrap_or(0);
             if !s.code[window_start..pos].contains("#[must_use") {
                 out.push(Violation {
                     file: s.rel.clone(),

@@ -1,16 +1,71 @@
 //! The seeded chaos harness end-to-end: generated fault plans are
 //! deterministic and structurally valid, simulator runs survive them
-//! across many seeds under both a trivial policy and full PLB-HeC, and
-//! chaos composes with the durability layer (the CI smoke scenario).
+//! across many seeds under both a trivial policy and full PLB-HeC,
+//! chaos composes with the durability layer (the CI smoke scenario),
+//! and the weighted irregular workload (SpMV) survives chaos on both
+//! engines without losing a row or a cost unit.
 
+use plb_hec_suite::apps::Spmv;
 use plb_hec_suite::hetsim::cluster::ClusterOptions;
 use plb_hec_suite::hetsim::workload::LinearCost;
-use plb_hec_suite::hetsim::{cluster_scenario, ClusterSim, Scenario};
+use plb_hec_suite::hetsim::PuId;
+use plb_hec_suite::hetsim::{cluster_scenario, ClusterSim, PuKind, Scenario};
 use plb_hec_suite::plb::{PlbHecPolicy, PolicyConfig};
 use plb_hec_suite::runtime::checkpoint::load;
 use plb_hec_suite::runtime::policy::FixedBlockPolicy;
-use plb_hec_suite::runtime::{CheckpointConfig, FaultPlan, SimEngine};
+use plb_hec_suite::runtime::{
+    CheckpointConfig, Codelet, FaultPlan, FnCodelet, HostEngine, HostPu, Policy, SchedulerCtx,
+    SimEngine, TaskFailure, TaskInfo,
+};
 use std::path::PathBuf;
+use std::sync::Arc;
+
+/// The minimal fault-aware policy shape: a fixed *cost* budget per
+/// block, re-pumped to every idle unit on every callback so re-credited
+/// work from lost or quarantined units is always re-dispatched.
+struct RedispatchPolicy {
+    block: u64,
+}
+
+impl RedispatchPolicy {
+    fn pump(&self, ctx: &mut dyn SchedulerCtx) {
+        let ids: Vec<PuId> = ctx
+            .pus()
+            .iter()
+            .filter(|p| p.available)
+            .map(|p| p.id)
+            .collect();
+        for id in ids {
+            if ctx.remaining_cost() == 0 {
+                break;
+            }
+            if !ctx.is_busy(id) {
+                ctx.assign(id, self.block);
+            }
+        }
+    }
+}
+
+impl Policy for RedispatchPolicy {
+    fn name(&self) -> &str {
+        "redispatch"
+    }
+    fn on_start(&mut self, ctx: &mut dyn SchedulerCtx) {
+        self.pump(ctx);
+    }
+    fn on_task_finished(&mut self, ctx: &mut dyn SchedulerCtx, _done: &TaskInfo) {
+        self.pump(ctx);
+    }
+    fn on_device_lost(&mut self, ctx: &mut dyn SchedulerCtx, _pu: PuId) {
+        self.pump(ctx);
+    }
+    fn on_device_restored(&mut self, ctx: &mut dyn SchedulerCtx, _pu: PuId) {
+        self.pump(ctx);
+    }
+    fn on_task_failed(&mut self, ctx: &mut dyn SchedulerCtx, _failure: &TaskFailure) {
+        self.pump(ctx);
+    }
+}
 
 fn cost() -> LinearCost {
     LinearCost {
@@ -91,6 +146,65 @@ fn plb_hec_completes_under_chaos() {
     assert_eq!(report.total_items, total);
     let per_pu: u64 = report.pus.iter().map(|p| p.items).sum();
     assert_eq!(per_pu, total);
+}
+
+/// The weighted irregular workload survives chaos on the simulator:
+/// cost-budgeted claims, re-credits of failed weighted blocks, and
+/// quarantine re-dispatch must still account for every row across
+/// many seeds.
+#[test]
+fn spmv_sim_completes_under_chaos_for_many_seeds() {
+    let rows = 20_000u64;
+    let app = Spmv::new(rows, 1.2, 11).expect("valid spmv parameters");
+    let c = app.cost();
+    let weights = app.weights();
+    let block = (weights.total_cost(rows) / 50).max(1);
+    for seed in [3u64, 17, 42, 99, 1234] {
+        let mut cl = cluster();
+        let n_units = cl.ids().count();
+        let plan = FaultPlan::chaos(seed, n_units, 2 * n_units);
+        let mut policy = RedispatchPolicy { block };
+        let report = SimEngine::new(&mut cl, &c)
+            .with_weights(Arc::clone(&weights))
+            .with_faults(plan)
+            .run(&mut policy, rows)
+            .unwrap_or_else(|e| panic!("seed {seed}: spmv sim run failed: {e}"));
+        assert_eq!(report.total_items, rows, "seed {seed}");
+        let per_pu: u64 = report.pus.iter().map(|p| p.items).sum();
+        assert_eq!(per_pu, rows, "seed {seed}: rows lost or duplicated");
+    }
+}
+
+/// The same weighted chaos scenario on the real-thread host engine:
+/// wall-clock timing and real worker threads must not break the
+/// cost-budgeted re-credit path either.
+#[test]
+fn spmv_host_completes_under_chaos() {
+    let rows = 20_000u64;
+    let app = Spmv::new(rows, 1.2, 11).expect("valid spmv parameters");
+    let weights = app.weights();
+    let block = (weights.total_cost(rows) / 50).max(1);
+    let n_units = cluster().ids().count();
+    let pus: Vec<HostPu> = (0..n_units)
+        .map(|i| HostPu {
+            name: format!("pu{i}"),
+            kind: PuKind::Cpu,
+            threads: 1,
+        })
+        .collect();
+    let codelet: Arc<dyn Codelet> = Arc::new(FnCodelet::new("noop", |_r, _| {}));
+    for seed in [3u64, 42] {
+        let plan = FaultPlan::chaos(seed, n_units, 2 * n_units);
+        let mut policy = RedispatchPolicy { block };
+        let report = HostEngine::new(pus.clone())
+            .with_weights(Arc::clone(&weights))
+            .with_faults(plan)
+            .run(&mut policy, Arc::clone(&codelet), rows)
+            .unwrap_or_else(|e| panic!("seed {seed}: spmv host run failed: {e}"));
+        assert_eq!(report.total_items, rows, "seed {seed}");
+        let per_pu: u64 = report.pus.iter().map(|p| p.items).sum();
+        assert_eq!(per_pu, rows, "seed {seed}: rows lost or duplicated");
+    }
 }
 
 /// Chaos composes with checkpointing — the combination CI smokes with a
