@@ -24,15 +24,17 @@
 
 use plb_bench::harness::{default_initial_block, run_once, App, PolicyKind};
 use plb_bench::viz::gantt_svg;
+use plb_hec::NodeDiffusionPolicy;
 use plb_hec::{
     AcostaPolicy, GreedyPolicy, HdssPolicy, PerfProfile, PlbHecPolicy, PolicyConfig,
     StaticProfilePolicy, UnitModel,
 };
 use plb_hetsim::cluster::ClusterOptions;
-use plb_hetsim::{cluster_scenario, ClusterSim, Scenario};
+use plb_hetsim::{cluster_scenario, ClusterSim, Scenario, Topology};
 use plb_runtime::{
-    write_jsonl, CheckpointConfig, CheckpointError, FaultPlan, Policy, RunReport, SegmentKind,
-    SimEngine, TraceData, TraceHeader,
+    equal_cost_shards, write_jsonl, CheckpointConfig, CheckpointError, ClusterEngine, EventSink,
+    FaultPlan, NodeFaultPlan, Policy, RunReport, SegmentKind, SimEngine, SimNodeRunner, Trace,
+    TraceData, TraceHeader,
 };
 
 struct Args {
@@ -59,6 +61,9 @@ struct Args {
     checkpoint: Option<String>,
     checkpoint_interval: Option<u64>,
     resume: bool,
+    nodes: usize,
+    topology: String,
+    node_faults: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -86,6 +91,9 @@ fn parse_args() -> Args {
         checkpoint: None,
         checkpoint_interval: None,
         resume: false,
+        nodes: 1,
+        topology: "full".into(),
+        node_faults: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -159,6 +167,13 @@ fn parse_args() -> Args {
                 )
             }
             "--resume" => a.resume = true,
+            "--nodes" => {
+                a.nodes = next("--nodes")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --nodes"))
+            }
+            "--topology" => a.topology = next("--topology"),
+            "--node-faults" => a.node_faults = Some(next("--node-faults")),
             "-h" | "--help" => usage(""),
             other => usage(&format!("unknown argument {other}")),
         }
@@ -178,7 +193,8 @@ fn usage(err: &str) -> ! {
          plb-hec|greedy|acosta|hdss\n              [--seed N] [--skew A] [--single-gpu] [--noise SIGMA] \
          [--json FILE] [--gantt FILE.svg] [--trace FILE.json]\n              [--events \
          FILE.jsonl] [--cluster FILE.json] [--faults SPEC] [--chaos SEED] [--chaos-elastic N]\n\
-              [--checkpoint FILE [--checkpoint-interval N] [--resume]]\n  plb compare --app \
+              [--checkpoint FILE [--checkpoint-interval N] [--resume]]\n              [--nodes N \
+         [--topology full|ring|star] [--node-faults SPEC]]\n  plb compare --app \
          mm|grn|bs|spmv --size N --machines 1-4 [--seeds N] [--single-gpu]\n  plb cluster \
          [--machines 1-4] [--cluster FILE.json]\n  plb profile --app mm|grn|bs|nn --size N \
          [--machines 1-4|--cluster FILE.json] --profiles OUT.json\n  plb trace   --input \
@@ -200,7 +216,14 @@ fn usage(err: &str) -> ! {
          drift schedules (docs/FAULT_TOLERANCE.md, Elastic capacity). \
          `--checkpoint FILE` snapshots run state every N completed tasks \
          (default 32) so `--resume` can continue a killed run \
-         (docs/FAULT_TOLERANCE.md)."
+         (docs/FAULT_TOLERANCE.md). \
+         `--nodes N` runs the multi-node cluster tier: N simulated nodes \
+         (each a full --machines cluster running the intra-node --policy) \
+         balanced by node-level diffusion over --topology, with \
+         inter-node migration; `--node-faults` injects node fault \
+         domains, e.g. 'node-crash:1,2; partition:0+1|2,0.5,2.0; \
+         link-degrade:0-1,4.0,0.0,3.0' \
+         (docs/FAULT_TOLERANCE.md, Node fault domains)."
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -301,9 +324,167 @@ fn print_report(report: &RunReport) {
             ev.task_failures, ev.task_retries, ev.quarantines, ev.device_failures
         );
     }
+    if ev.migrations_sent > 0 || ev.node_quarantines > 0 || ev.node_joins > 0 {
+        let _ = writeln!(
+            out,
+            "cluster   : {} migrations ({} retried), {} node quarantines, {} re-credits, {} joins",
+            ev.migrations_sent,
+            ev.migration_retries,
+            ev.node_quarantines,
+            ev.cover_recredits,
+            ev.node_joins
+        );
+    }
     // Write in one shot, tolerating a closed pipe (e.g. `plb run | head`).
     use std::io::Write as _;
     let _ = std::io::stdout().write_all(out.as_bytes());
+}
+
+/// Shared `--json` / `--gantt` / `--trace` / `--events` emission for
+/// the single-node and cluster run paths.
+fn write_outputs(
+    a: &Args,
+    report: &RunReport,
+    trace: Option<&Trace>,
+    events: Option<&EventSink>,
+    title: &str,
+) {
+    if let Some(path) = &a.json {
+        let json = serde_json::to_string_pretty(report).expect("report serializes");
+        std::fs::write(path, json).expect("write json");
+        println!("wrote {path}");
+    }
+    let names: Vec<String> = report.pus.iter().map(|p| p.name.clone()).collect();
+    if let Some(path) = &a.gantt {
+        let svg = gantt_svg(trace.expect("trace recorded"), &names, title);
+        std::fs::write(path, svg).expect("write gantt svg");
+        println!("wrote {path}");
+    }
+    if let Some(path) = &a.trace {
+        let json = trace.expect("trace recorded").to_chrome_trace(&names);
+        std::fs::write(path, json).expect("write chrome trace");
+        println!("wrote {path} (open in chrome://tracing)");
+    }
+    if let Some(path) = &a.events {
+        let header = TraceHeader {
+            version: plb_runtime::TRACE_FORMAT_VERSION,
+            policy: report.policy.clone(),
+            pu_names: names,
+        };
+        let segments = trace.expect("trace recorded").segments();
+        let events = events.expect("events recorded").events();
+        let jsonl = write_jsonl(&header, segments, &events);
+        std::fs::write(path, jsonl).expect("write event trace");
+        println!("wrote {path} (inspect with `plb trace --input {path}`)");
+    }
+}
+
+/// `plb run --nodes N`: the multi-node cluster tier. Each node is a
+/// full simulated machine cluster running the intra-node `--policy`;
+/// the outer engine balances equal-cost home shards across the nodes by
+/// diffusion over `--topology`, migrating chunks over the cluster link,
+/// under the node fault domains of `--node-faults`.
+fn run_cluster_tier(a: &Args) {
+    let app = app_of(&a.app, a.size, a.skew, a.seed);
+    let machines = machines_of(a);
+    let n = a.nodes;
+    let topology =
+        Topology::parse(&a.topology).unwrap_or_else(|e| usage(&format!("bad --topology: {e}")));
+    let node_plan = match &a.node_faults {
+        Some(spec) => NodeFaultPlan::parse(spec, n)
+            .unwrap_or_else(|e| usage(&format!("bad --node-faults spec: {e}"))),
+        None => NodeFaultPlan::none(),
+    };
+    let chunk_plan = match &a.faults {
+        Some(spec) => {
+            FaultPlan::parse(spec, n).unwrap_or_else(|e| usage(&format!("bad --faults spec: {e}")))
+        }
+        None => FaultPlan::none(),
+    };
+    let cost = app.cost();
+    let weights = app.weights();
+    // Per-node seeds keep the nodes' noise streams independent while
+    // the whole run stays reproducible from --seed.
+    let clusters: Vec<ClusterSim> = (0..n)
+        .map(|i| {
+            let opts = ClusterOptions {
+                seed: a.seed.wrapping_add(i as u64),
+                noise_sigma: a.noise,
+                ..Default::default()
+            };
+            ClusterSim::build(&machines, &opts)
+        })
+        .collect();
+    // Intra-node chunks are shard-sized, not run-sized: scale the
+    // probing block to the per-node share.
+    let per_node_cost = (app.total_cost() / (n as u64).max(1)).max(1);
+    let cfg = PolicyConfig {
+        initial_block: default_initial_block(per_node_cost, cost.as_ref()),
+        seed: a.seed,
+        ..Default::default()
+    };
+    let policies: Vec<Box<dyn Policy>> = (0..n)
+        .map(|_| policy_of(&a.policy, &cfg, &a.profiles))
+        .collect();
+    let names: Vec<String> = (0..n).map(|i| format!("node{i}")).collect();
+    let mut runner = SimNodeRunner::new(cost.as_ref(), names, clusters, policies, weights.clone());
+    let bounds = equal_cost_shards(app.total_items(), n, &weights);
+    let mut outer = NodeDiffusionPolicy::new(topology, bounds.clone());
+    let mut engine = ClusterEngine::new(&mut runner)
+        .with_node_faults(node_plan)
+        .with_weights(weights)
+        .with_shard_bounds(bounds);
+    if !chunk_plan.is_empty() {
+        engine = engine.with_faults(chunk_plan);
+    }
+    if a.resume && a.checkpoint.is_none() {
+        usage("--resume requires --checkpoint FILE");
+    }
+    if let Some(path) = &a.checkpoint {
+        let mut ckpt_cfg = CheckpointConfig::new(path);
+        if let Some(every) = a.checkpoint_interval {
+            ckpt_cfg = ckpt_cfg.with_interval(every);
+        }
+        engine = engine.with_checkpoint(ckpt_cfg);
+        if a.resume {
+            match plb_runtime::checkpoint::load(std::path::Path::new(path)) {
+                Ok(ckpt) => {
+                    println!(
+                        "resuming from {path}: snapshot #{}, {} of {} items already done",
+                        ckpt.seq,
+                        ckpt.completed_items(),
+                        ckpt.workload.total_items,
+                    );
+                    engine = engine.resume_from(ckpt);
+                }
+                Err(CheckpointError::Io(_)) => {
+                    println!("no checkpoint at {path}; starting fresh");
+                }
+                Err(e) => usage(&format!("cannot resume from {path}: {e}")),
+            }
+        }
+    }
+    let report = engine
+        .run(&mut outer, app.total_items())
+        .unwrap_or_else(|e| {
+            eprintln!("run failed: {e}");
+            std::process::exit(1)
+        });
+    print_report(&report);
+    let title = format!(
+        "{} on {} node(s) x {} machine(s) — {}",
+        app.label(),
+        n,
+        a.machines,
+        a.policy
+    );
+    write_outputs(
+        a,
+        &report,
+        engine.last_trace(),
+        engine.last_events(),
+        &title,
+    );
 }
 
 fn main() {
@@ -324,6 +505,13 @@ fn main() {
             }
         }
         "run" => {
+            if a.nodes > 1 {
+                run_cluster_tier(&a);
+                return;
+            }
+            if a.node_faults.is_some() {
+                usage("--node-faults requires --nodes N (with N > 1)");
+            }
             let app = app_of(&a.app, a.size, a.skew, a.seed);
             let machines = machines_of(&a);
             let opts = ClusterOptions {
@@ -400,47 +588,19 @@ fn main() {
                     std::process::exit(1)
                 });
             print_report(&report);
-            if let Some(path) = &a.json {
-                let json = serde_json::to_string_pretty(&report).expect("report serializes");
-                std::fs::write(path, json).expect("write json");
-                println!("wrote {path}");
-            }
-            if let Some(path) = &a.gantt {
-                let names: Vec<String> = report.pus.iter().map(|p| p.name.clone()).collect();
-                let svg = gantt_svg(
-                    engine.last_trace().expect("trace recorded"),
-                    &names,
-                    &format!(
-                        "{} on {} machine(s) — {}",
-                        app.label(),
-                        a.machines,
-                        report.policy
-                    ),
-                );
-                std::fs::write(path, svg).expect("write gantt svg");
-                println!("wrote {path}");
-            }
-            if let Some(path) = &a.trace {
-                let names: Vec<String> = report.pus.iter().map(|p| p.name.clone()).collect();
-                let json = engine
-                    .last_trace()
-                    .expect("trace recorded")
-                    .to_chrome_trace(&names);
-                std::fs::write(path, json).expect("write chrome trace");
-                println!("wrote {path} (open in chrome://tracing)");
-            }
-            if let Some(path) = &a.events {
-                let header = TraceHeader {
-                    version: plb_runtime::TRACE_FORMAT_VERSION,
-                    policy: report.policy.clone(),
-                    pu_names: report.pus.iter().map(|p| p.name.clone()).collect(),
-                };
-                let segments = engine.last_trace().expect("trace recorded").segments();
-                let events = engine.last_events().expect("events recorded").events();
-                let jsonl = write_jsonl(&header, segments, &events);
-                std::fs::write(path, jsonl).expect("write event trace");
-                println!("wrote {path} (inspect with `plb trace --input {path}`)");
-            }
+            let title = format!(
+                "{} on {} machine(s) — {}",
+                app.label(),
+                a.machines,
+                report.policy
+            );
+            write_outputs(
+                &a,
+                &report,
+                engine.last_trace(),
+                engine.last_events(),
+                &title,
+            );
         }
         "trace" => {
             let path = a

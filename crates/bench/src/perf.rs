@@ -68,6 +68,21 @@ pub struct ClaimEntry {
     pub weighted_ns: f64,
 }
 
+/// Inter-node migration cost on the cluster tier: how many chunks left
+/// their home shard in the reference 3-node run, and the mean modeled
+/// link latency each paid. The run uses a virtual clock and a seeded
+/// simulator, so both numbers are deterministic — bit-reproducible on
+/// any machine — which is what lets `cargo xtask bench-check` gate on
+/// them directly instead of on ratios.
+#[derive(Debug, Clone)]
+pub struct MigrationStats {
+    /// `migration_sent` events in the reference cluster run.
+    pub migrations: u64,
+    /// Mean modeled transfer time per migrated chunk, milliseconds
+    /// (floor: the link's 1 ms propagation latency).
+    pub xfer_ms_mean: f64,
+}
+
 /// The committed `BENCH_driver.json` payload.
 #[derive(Debug, Clone)]
 pub struct DriverReport {
@@ -83,6 +98,8 @@ pub struct DriverReport {
     pub events_measured: u64,
     /// Pool claim latency, uniform vs weighted, ascending by size.
     pub claim: Vec<ClaimEntry>,
+    /// Inter-node migration latency on the cluster tier.
+    pub migration: MigrationStats,
 }
 
 /// The synthetic selection problem at a given size: a heterogeneous
@@ -311,6 +328,65 @@ pub fn driver_bench() -> DriverReport {
         events_per_sec,
         events_measured,
         claim,
+        migration: migration_bench(),
+    }
+}
+
+/// Measure the cluster tier's migration path: a 3-node ring where node
+/// 0 is a two-machine node (faster) and nodes 1–2 single-machine, so
+/// node 0 drains its home shard early and pulls cross-shard work over
+/// the modeled inter-node link. Virtual clock, zero noise: the event
+/// stream — and with it both committed numbers — is deterministic.
+pub fn migration_bench() -> MigrationStats {
+    use plb_hec::NodeDiffusionPolicy;
+    use plb_hetsim::cluster::ClusterOptions;
+    use plb_hetsim::workload::LinearCost;
+    use plb_hetsim::{cluster_scenario, ClusterSim, Scenario, Topology};
+    use plb_runtime::{
+        equal_cost_shards, ClusterEngine, EventKind, FixedBlockPolicy, Policy, SimNodeRunner,
+        Weights,
+    };
+
+    let n_nodes = 3usize;
+    let total: u64 = 120_000;
+    let cost = LinearCost::generic();
+    let opts = ClusterOptions {
+        noise_sigma: 0.0,
+        ..Default::default()
+    };
+    let clusters: Vec<ClusterSim> = (0..n_nodes)
+        .map(|i| {
+            let scenario = if i == 0 { Scenario::Two } else { Scenario::One };
+            ClusterSim::build(&cluster_scenario(scenario, false), &opts)
+        })
+        .collect();
+    let policies: Vec<Box<dyn Policy>> = (0..n_nodes)
+        .map(|_| Box::new(FixedBlockPolicy { block: 4096 }) as Box<dyn Policy>)
+        .collect();
+    let names = (0..n_nodes).map(|i| format!("node{i}")).collect();
+    let weights = Weights::uniform();
+    let bounds = equal_cost_shards(total, n_nodes, &weights);
+    let mut runner = SimNodeRunner::new(&cost, names, clusters, policies, weights);
+    let mut policy = NodeDiffusionPolicy::new(Topology::Ring, bounds.clone());
+    let mut engine = ClusterEngine::new(&mut runner).with_shard_bounds(bounds);
+    let _ = engine.run(&mut policy, total);
+
+    let (mut migrations, mut xfer_sum) = (0u64, 0.0f64);
+    if let Some(sink) = engine.last_events() {
+        for e in sink.events() {
+            if let EventKind::MigrationSent { xfer_s, .. } = e.kind {
+                migrations += 1;
+                xfer_sum += xfer_s;
+            }
+        }
+    }
+    MigrationStats {
+        migrations,
+        xfer_ms_mean: if migrations > 0 {
+            xfer_sum * 1e3 / migrations as f64
+        } else {
+            0.0
+        },
     }
 }
 
@@ -366,11 +442,13 @@ impl DriverReport {
             ));
         }
         format!(
-            "{{\n  \"schema\": {PERF_SCHEMA_VERSION},\n  \"note\": \"core::drive() hot-path costs; see docs/PERFORMANCE.md\",\n  \"sched_overhead_us_per_task\": {},\n  \"tasks_measured\": {},\n  \"events_per_sec\": {},\n  \"events_measured\": {},\n  \"claim\": [\n{claim}  ]\n}}\n",
+            "{{\n  \"schema\": {PERF_SCHEMA_VERSION},\n  \"note\": \"core::drive() hot-path costs; see docs/PERFORMANCE.md\",\n  \"sched_overhead_us_per_task\": {},\n  \"tasks_measured\": {},\n  \"events_per_sec\": {},\n  \"events_measured\": {},\n  \"claim\": [\n{claim}  ],\n  \"migration\": {{\"migrations\": {}, \"xfer_ms_mean\": {}}}\n}}\n",
             fmt_f64(self.sched_overhead_us_per_task),
             self.tasks_measured,
             fmt_f64(self.events_per_sec),
-            self.events_measured
+            self.events_measured,
+            self.migration.migrations,
+            fmt_f64(self.migration.xfer_ms_mean)
         )
     }
 }
@@ -442,12 +520,32 @@ mod tests {
                     weighted_ns: 130.0,
                 },
             ],
+            migration: MigrationStats {
+                migrations: 7,
+                xfer_ms_mean: 1.234,
+            },
         };
         let json = report.to_json();
         assert!(json.contains("\"sched_overhead_us_per_task\": 1.500"));
         assert!(json.contains("\"events_measured\": 1000000"));
         assert!(json.contains("\"items\": 10000,"));
         assert!(json.contains("\"weighted_ns\": 130.000"));
+        assert!(json.contains("\"migration\": {\"migrations\": 7, \"xfer_ms_mean\": 1.234}"));
+    }
+
+    #[test]
+    fn migration_bench_is_deterministic_and_pays_link_latency() {
+        let a = migration_bench();
+        assert!(a.migrations >= 1, "the skewed ring must migrate work");
+        // Every migrated chunk pays at least the link's 1 ms latency.
+        assert!(
+            a.xfer_ms_mean >= 1.0,
+            "mean {} below latency",
+            a.xfer_ms_mean
+        );
+        let b = migration_bench();
+        assert_eq!(a.migrations, b.migrations);
+        assert_eq!(a.xfer_ms_mean, b.xfer_ms_mean);
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 pub mod baselines;
 pub mod config;
+pub mod diffusion;
 pub mod modeling;
 pub mod perf;
 pub mod policy;
@@ -44,6 +45,7 @@ pub mod selection;
 
 pub use baselines::{AcostaPolicy, GreedyPolicy, HdssPolicy, StaticProfilePolicy};
 pub use config::{FitMode, PolicyConfig, ProbeSchedule, SolverChoice};
+pub use diffusion::NodeDiffusionPolicy;
 pub use modeling::{ModelingController, ModelingStatus};
 pub use policy::PlbHecPolicy;
 pub use profile::{PerfProfile, UnitModel};

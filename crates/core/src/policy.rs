@@ -607,6 +607,23 @@ impl Policy for PlbHecPolicy {
         self.fractions = vec![0.0; n];
         self.join_probing = vec![0; n];
         self.restabilize = (0..n).map(|_| None).collect();
+        // A reused policy object (the cluster tier runs one nested
+        // engine per chunk against the same policy) carries its learned
+        // profiles into the next run as an implicit seed: re-fit +
+        // re-solve, never re-probe — the same path a checkpoint resume
+        // takes.
+        if self.seed.is_none() && matches!(self.phase, Phase::Executing) && self.profiles.len() == n
+        {
+            self.seed = Some(PolicySeed {
+                profiles: self.profiles.clone(),
+                models: self.models.clone(),
+            });
+        }
+        self.phase = Phase::Modeling;
+        self.ctrl = None;
+        self.mean_block_time = 0.0;
+        self.rebalance_pending = false;
+        self.last_rebalance_t = f64::NEG_INFINITY;
         if self.try_resume(ctx) {
             // Checkpointed profiles re-fit cleanly: straight to the
             // execution phase, zero probes re-issued.

@@ -331,6 +331,16 @@ impl FaultPlan {
             let (kind, rest) = part
                 .split_once(':')
                 .ok_or_else(|| format!("fault `{part}`: expected kind:key=value,..."))?;
+            // Node-scoped kinds use the positional `--node-faults`
+            // grammar; catching them before key=value parsing gives a
+            // pointer instead of a confusing syntax error.
+            if matches!(kind.trim(), "node-crash" | "partition" | "link-degrade") {
+                return Err(format!(
+                    "fault `{part}`: `{}` is a node-scoped fault; pass it via \
+                     --node-faults (parsed by NodeFaultPlan), not --faults",
+                    kind.trim()
+                ));
+            }
             let mut kv = std::collections::BTreeMap::new();
             for pair in rest.split(',').filter(|p| !p.trim().is_empty()) {
                 let (k, v) = pair
@@ -661,6 +671,576 @@ impl FaultKind {
             FaultKind::DriftRamp { from, .. } | FaultKind::DriftSinusoid { from, .. } => Some(from),
             FaultKind::DriftStep { ref points } => points.first().map(|&(at, _)| at),
         }
+    }
+}
+
+/// One node-scoped fault bound to one cluster node.
+///
+/// Node faults live in a separate plan from [`Fault`] because they key
+/// on different clocks: crashes trigger on the node's completed-chunk
+/// count (deterministic across engines, like attempt-keyed PU faults),
+/// while partitions and link degradations are windows in the *outer*
+/// virtual clock of the cluster driver.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeFault {
+    /// Node index the fault applies to.
+    pub node: usize,
+    /// What goes wrong.
+    pub kind: NodeFaultKind,
+}
+
+/// Kinds of node-scoped fault.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "fault", rename_all = "snake_case")]
+pub enum NodeFaultKind {
+    /// The node dies permanently once it has completed `after_chunks`
+    /// migration chunks. Chunk-count keying (not wall time) keeps
+    /// crash points deterministic on both engines.
+    Crash {
+        /// Completed-chunk count at which the node goes dark.
+        after_chunks: u64,
+    },
+    /// The node is unreachable from the coordinator during
+    /// `[from_s, to_s)` of the outer virtual clock, then heals.
+    Partition {
+        /// Window start, seconds on the cluster driver's clock.
+        from_s: f64,
+        /// Window end (exclusive), seconds; the heal instant.
+        to_s: f64,
+    },
+    /// Transfers between this node and `peer` take `factor`× as long
+    /// during `[from_s, to_s)`. Matches in either direction;
+    /// overlapping degradations on the same link compose by
+    /// multiplication.
+    LinkDegrade {
+        /// The other endpoint of the degraded link.
+        peer: usize,
+        /// Transfer-time multiplier, finite and ≥ 1.
+        factor: f64,
+        /// Window start, seconds on the cluster driver's clock.
+        from_s: f64,
+        /// Window end (exclusive), seconds.
+        to_s: f64,
+    },
+}
+
+/// Typed validation failures for [`NodeFaultPlan::parse`] and
+/// [`NodeFaultPlan::validate`]. Every malformed spec is a value of this
+/// enum, never a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeFaultError {
+    /// The spec text around `part` is not syntactically a node fault.
+    Syntax {
+        /// The offending `;`-separated fragment.
+        part: String,
+        /// What was expected instead.
+        detail: String,
+    },
+    /// A node id is at or beyond the cluster size.
+    UnknownNode {
+        /// The offending fragment.
+        part: String,
+        /// The out-of-range id.
+        node: usize,
+        /// Cluster size the plan was validated against.
+        n_nodes: usize,
+    },
+    /// A partition side lists no nodes.
+    EmptyPartitionSide {
+        /// The offending fragment.
+        part: String,
+    },
+    /// Both partition sides claim the same node.
+    PartitionSidesOverlap {
+        /// The offending fragment.
+        part: String,
+        /// The node listed on both sides.
+        node: usize,
+    },
+    /// A link endpoint pairs a node with itself.
+    SelfLink {
+        /// The offending fragment.
+        part: String,
+        /// The node linked to itself.
+        node: usize,
+    },
+    /// A time window does not satisfy `0 ≤ from < to` with both finite.
+    NonMonotoneWindow {
+        /// The offending fragment.
+        part: String,
+        /// Window start as given.
+        from_s: f64,
+        /// Window end as given.
+        to_s: f64,
+    },
+    /// Two partition windows on one node overlap — the node's
+    /// down/heal breakpoints would not be monotone.
+    OverlappingPartitions {
+        /// The node with conflicting windows.
+        node: usize,
+        /// The earlier window.
+        prev: (f64, f64),
+        /// The overlapping later window.
+        next: (f64, f64),
+    },
+    /// A link-degrade factor is not finite or is below 1.
+    BadFactor {
+        /// The offending fragment.
+        part: String,
+        /// The rejected factor.
+        factor: f64,
+    },
+    /// A node is given more than one crash point.
+    DuplicateCrash {
+        /// The doubly-crashed node.
+        node: usize,
+    },
+    /// Every node crashes — no survivor could finish the run.
+    AllNodesCrash,
+    /// The spec contained no faults at all.
+    Empty,
+}
+
+impl std::fmt::Display for NodeFaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeFaultError::Syntax { part, detail } => {
+                write!(f, "node fault `{part}`: {detail}")
+            }
+            NodeFaultError::UnknownNode {
+                part,
+                node,
+                n_nodes,
+            } => write!(
+                f,
+                "node fault `{part}`: node {node} out of range for a {n_nodes}-node cluster"
+            ),
+            NodeFaultError::EmptyPartitionSide { part } => write!(
+                f,
+                "node fault `{part}`: each partition side needs at least one node"
+            ),
+            NodeFaultError::PartitionSidesOverlap { part, node } => write!(
+                f,
+                "node fault `{part}`: node {node} appears on both partition sides"
+            ),
+            NodeFaultError::SelfLink { part, node } => write!(
+                f,
+                "node fault `{part}`: link endpoints must differ, got {node}-{node}"
+            ),
+            NodeFaultError::NonMonotoneWindow { part, from_s, to_s } => write!(
+                f,
+                "node fault `{part}`: window must satisfy 0 <= from < to with both \
+                 finite, got [{from_s}, {to_s})"
+            ),
+            NodeFaultError::OverlappingPartitions { node, prev, next } => write!(
+                f,
+                "node {node}: partition window [{}, {}) overlaps [{}, {}); a node's \
+                 down/heal breakpoints must be monotone",
+                next.0, next.1, prev.0, prev.1
+            ),
+            NodeFaultError::BadFactor { part, factor } => write!(
+                f,
+                "node fault `{part}`: degrade factor must be finite and >= 1, got {factor}"
+            ),
+            NodeFaultError::DuplicateCrash { node } => {
+                write!(f, "node {node} is given more than one crash point")
+            }
+            NodeFaultError::AllNodesCrash => {
+                write!(
+                    f,
+                    "every node crashes; at least one node must survive the plan"
+                )
+            }
+            NodeFaultError::Empty => write!(f, "empty node fault spec"),
+        }
+    }
+}
+
+impl std::error::Error for NodeFaultError {}
+
+/// A deterministic plan of node-scoped faults for the cluster tier.
+/// Empty plans are free, mirroring [`FaultPlan`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeFaultPlan {
+    /// The injected node faults, in no particular order.
+    pub faults: Vec<NodeFault>,
+}
+
+impl NodeFaultPlan {
+    /// A plan with no node faults.
+    pub fn none() -> NodeFaultPlan {
+        NodeFaultPlan::default()
+    }
+
+    /// Build a plan from a fault list (call [`validate`](Self::validate)
+    /// before trusting a hand-built one).
+    pub fn new(faults: Vec<NodeFault>) -> NodeFaultPlan {
+        NodeFaultPlan { faults }
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The completed-chunk count at which `node` crashes, if it does.
+    pub fn crash_after(&self, node: usize) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f.kind {
+            NodeFaultKind::Crash { after_chunks } if f.node == node => Some(after_chunks),
+            _ => None,
+        })
+    }
+
+    /// True when `node` is inside a partition window at time `t`.
+    pub fn partitioned(&self, node: usize, t: f64) -> bool {
+        self.faults.iter().any(|f| match f.kind {
+            NodeFaultKind::Partition { from_s, to_s } => f.node == node && t >= from_s && t < to_s,
+            _ => false,
+        })
+    }
+
+    /// `node`'s partition windows as `(from_s, to_s)` pairs, ascending
+    /// by start time.
+    pub fn partition_windows(&self, node: usize) -> Vec<(f64, f64)> {
+        let mut windows: Vec<(f64, f64)> = self
+            .faults
+            .iter()
+            .filter_map(|f| match f.kind {
+                NodeFaultKind::Partition { from_s, to_s } if f.node == node => Some((from_s, to_s)),
+                _ => None,
+            })
+            .collect();
+        windows.sort_by(|a, b| a.0.total_cmp(&b.0));
+        windows
+    }
+
+    /// The transfer-time multiplier on the `a`–`b` link at time `t`
+    /// (1.0 = nominal). Direction-agnostic; overlapping degradations
+    /// compose by multiplication.
+    pub fn degrade_factor(&self, a: usize, b: usize, t: f64) -> f64 {
+        let mut factor = 1.0f64;
+        for f in &self.faults {
+            if let NodeFaultKind::LinkDegrade {
+                peer,
+                factor: fac,
+                from_s,
+                to_s,
+            } = f.kind
+            {
+                let hits = (f.node == a && peer == b) || (f.node == b && peer == a);
+                if hits && t >= from_s && t < to_s {
+                    factor *= fac;
+                }
+            }
+        }
+        factor
+    }
+
+    /// True when the plan carries any partition window — lets the
+    /// cluster backend skip heal bookkeeping on partition-free plans.
+    pub fn has_partitions(&self) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f.kind, NodeFaultKind::Partition { .. }))
+    }
+
+    /// Check plan-level invariants against a cluster of `n_nodes`.
+    /// Exactly the rules [`parse`](Self::parse) enforces, callable on
+    /// programmatically built plans.
+    pub fn validate(&self, n_nodes: usize) -> Result<(), NodeFaultError> {
+        let mut crashed: std::collections::BTreeSet<usize> = Default::default();
+        for f in &self.faults {
+            let check_node = |node: usize| -> Result<(), NodeFaultError> {
+                if node >= n_nodes {
+                    return Err(NodeFaultError::UnknownNode {
+                        part: format!("{f:?}"),
+                        node,
+                        n_nodes,
+                    });
+                }
+                Ok(())
+            };
+            check_node(f.node)?;
+            match f.kind {
+                NodeFaultKind::Crash { .. } => {
+                    if !crashed.insert(f.node) {
+                        return Err(NodeFaultError::DuplicateCrash { node: f.node });
+                    }
+                }
+                NodeFaultKind::Partition { from_s, to_s } => {
+                    window_ok(&format!("{f:?}"), from_s, to_s)?;
+                }
+                NodeFaultKind::LinkDegrade {
+                    peer,
+                    factor,
+                    from_s,
+                    to_s,
+                } => {
+                    check_node(peer)?;
+                    if peer == f.node {
+                        return Err(NodeFaultError::SelfLink {
+                            part: format!("{f:?}"),
+                            node: f.node,
+                        });
+                    }
+                    if !(factor.is_finite() && factor >= 1.0) {
+                        return Err(NodeFaultError::BadFactor {
+                            part: format!("{f:?}"),
+                            factor,
+                        });
+                    }
+                    window_ok(&format!("{f:?}"), from_s, to_s)?;
+                }
+            }
+        }
+        if !crashed.is_empty() && crashed.len() >= n_nodes {
+            return Err(NodeFaultError::AllNodesCrash);
+        }
+        for node in 0..n_nodes {
+            let windows = self.partition_windows(node);
+            for pair in windows.windows(2) {
+                if let [prev, next] = pair {
+                    if next.0 < prev.1 {
+                        return Err(NodeFaultError::OverlappingPartitions {
+                            node,
+                            prev: *prev,
+                            next: *next,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse the CLI syntax used by `plb run --node-faults`: a
+    /// semicolon-separated list of positional node faults, validated
+    /// against a cluster of `n_nodes` nodes.
+    ///
+    /// ```text
+    /// node-crash:2,6            node 2 dies after completing 6 chunks
+    /// partition:1|3,2.0,9.0     nodes 1 and 3 lose the coordinator on [2, 9)
+    /// link-degrade:0-1,8,0,14   0-1 transfers take 8x as long on [0, 14)
+    /// ```
+    ///
+    /// The `partition` sides are `+`-separated node lists; every node
+    /// on the side *not* containing node 0 (the coordinator) is
+    /// unreachable for the window. Each violation of the plan rules —
+    /// unknown node ids, overlapping partition windows on one node,
+    /// non-monotone windows, factors below 1, duplicate crash points,
+    /// plans that crash every node — is a typed [`NodeFaultError`].
+    pub fn parse(spec: &str, n_nodes: usize) -> Result<NodeFaultPlan, NodeFaultError> {
+        let mut faults: Vec<NodeFault> = Vec::new();
+        for part in spec.split(';').filter(|p| !p.trim().is_empty()) {
+            let part = part.trim();
+            let syntax = |detail: &str| NodeFaultError::Syntax {
+                part: part.to_string(),
+                detail: detail.to_string(),
+            };
+            let (kind, rest) = part
+                .split_once(':')
+                .ok_or_else(|| syntax("expected kind:arg,arg,..."))?;
+            let args: Vec<&str> = rest.split(',').map(str::trim).collect();
+            let node_id = |s: &str| -> Result<usize, NodeFaultError> {
+                let node: usize = s
+                    .parse()
+                    .map_err(|_| syntax(&format!("`{s}` must be a node id (integer)")))?;
+                if node >= n_nodes {
+                    return Err(NodeFaultError::UnknownNode {
+                        part: part.to_string(),
+                        node,
+                        n_nodes,
+                    });
+                }
+                Ok(node)
+            };
+            let seconds = |s: &str| -> Result<f64, NodeFaultError> {
+                s.parse()
+                    .map_err(|_| syntax(&format!("`{s}` must be a number of seconds")))
+            };
+            match kind.trim() {
+                "node-crash" => {
+                    let [node, after] = args[..] else {
+                        return Err(syntax("expected node-crash:node,after_chunks"));
+                    };
+                    let node = node_id(node)?;
+                    let after_chunks: u64 = after
+                        .parse()
+                        .map_err(|_| syntax("`after_chunks` must be an integer"))?;
+                    faults.push(NodeFault {
+                        node,
+                        kind: NodeFaultKind::Crash { after_chunks },
+                    });
+                }
+                "partition" => {
+                    let [sides, from, to] = args[..] else {
+                        return Err(syntax("expected partition:a+..|b+..,from_s,to_s"));
+                    };
+                    let (side_a, side_b) = sides
+                        .split_once('|')
+                        .ok_or_else(|| syntax("partition sides must be separated by `|`"))?;
+                    let parse_side = |side: &str| -> Result<Vec<usize>, NodeFaultError> {
+                        let nodes: Vec<usize> = side
+                            .split('+')
+                            .filter(|s| !s.trim().is_empty())
+                            .map(|s| node_id(s.trim()))
+                            .collect::<Result<_, _>>()?;
+                        if nodes.is_empty() {
+                            return Err(NodeFaultError::EmptyPartitionSide {
+                                part: part.to_string(),
+                            });
+                        }
+                        Ok(nodes)
+                    };
+                    let a = parse_side(side_a)?;
+                    let b = parse_side(side_b)?;
+                    if let Some(&dup) = a.iter().find(|n| b.contains(n)) {
+                        return Err(NodeFaultError::PartitionSidesOverlap {
+                            part: part.to_string(),
+                            node: dup,
+                        });
+                    }
+                    let (from_s, to_s) = (seconds(from)?, seconds(to)?);
+                    window_ok(part, from_s, to_s)?;
+                    // The side without the coordinator (node 0) loses
+                    // contact; if neither side lists node 0 the cut
+                    // isolates side b from the a-side work source.
+                    let cut = if a.contains(&0) || !b.contains(&0) {
+                        &b
+                    } else {
+                        &a
+                    };
+                    for &node in cut {
+                        faults.push(NodeFault {
+                            node,
+                            kind: NodeFaultKind::Partition { from_s, to_s },
+                        });
+                    }
+                }
+                "link-degrade" => {
+                    let [link, factor, from, to] = args[..] else {
+                        return Err(syntax("expected link-degrade:a-b,factor,from_s,to_s"));
+                    };
+                    let (a, b) = link
+                        .split_once('-')
+                        .ok_or_else(|| syntax("link endpoints must be separated by `-`"))?;
+                    let (a, b) = (node_id(a.trim())?, node_id(b.trim())?);
+                    if a == b {
+                        return Err(NodeFaultError::SelfLink {
+                            part: part.to_string(),
+                            node: a,
+                        });
+                    }
+                    let factor: f64 = factor
+                        .parse()
+                        .map_err(|_| syntax("`factor` must be a number"))?;
+                    if !(factor.is_finite() && factor >= 1.0) {
+                        return Err(NodeFaultError::BadFactor {
+                            part: part.to_string(),
+                            factor,
+                        });
+                    }
+                    let (from_s, to_s) = (seconds(from)?, seconds(to)?);
+                    window_ok(part, from_s, to_s)?;
+                    faults.push(NodeFault {
+                        node: a,
+                        kind: NodeFaultKind::LinkDegrade {
+                            peer: b,
+                            factor,
+                            from_s,
+                            to_s,
+                        },
+                    });
+                }
+                other => {
+                    return Err(syntax(&format!(
+                        "unknown node fault kind `{other}` \
+                         (node-crash, partition, link-degrade)"
+                    )));
+                }
+            }
+        }
+        if faults.is_empty() {
+            return Err(NodeFaultError::Empty);
+        }
+        let plan = NodeFaultPlan { faults };
+        plan.validate(n_nodes)?;
+        Ok(plan)
+    }
+
+    /// A seeded pseudo-random node-fault plan for cluster chaos
+    /// testing: roughly `intensity` faults over nodes `1..n_nodes`
+    /// (node 0 always stays healthy and unpartitioned so the run can
+    /// finish), with per-node partition windows kept disjoint and at
+    /// most one crash per node. The same `(seed, n_nodes, intensity)`
+    /// always yields the same plan, and the plan always passes
+    /// [`validate`](Self::validate).
+    pub fn chaos_cluster(seed: u64, n_nodes: usize, intensity: usize) -> NodeFaultPlan {
+        let mut faults: Vec<NodeFault> = Vec::new();
+        if n_nodes < 2 {
+            return NodeFaultPlan { faults };
+        }
+        let mut x = splitmix64(seed ^ 0x1b87_3593_12f4_11ae);
+        let mut next = move || {
+            x = splitmix64(x);
+            x
+        };
+        let mut crashed: std::collections::BTreeSet<usize> = Default::default();
+        // Next free partition-window start per node, keeping windows
+        // disjoint by construction.
+        let mut part_from: Vec<f64> = vec![0.0; n_nodes];
+        for _ in 0..intensity {
+            let node = 1 + (next() as usize % (n_nodes - 1));
+            match next() % 4 {
+                0 if crashed.insert(node) => {
+                    faults.push(NodeFault {
+                        node,
+                        kind: NodeFaultKind::Crash {
+                            after_chunks: 1 + next() % 6,
+                        },
+                    });
+                }
+                0 | 1 => {
+                    let peer = (node + 1 + next() as usize % (n_nodes - 1)) % n_nodes;
+                    let peer = if peer == node { 0 } else { peer };
+                    let from_s = (next() % 8) as f64;
+                    faults.push(NodeFault {
+                        node,
+                        kind: NodeFaultKind::LinkDegrade {
+                            peer,
+                            factor: 2.0 + (next() % 12) as f64,
+                            from_s,
+                            to_s: from_s + 1.0 + (next() % 10) as f64,
+                        },
+                    });
+                }
+                _ => {
+                    let from_s = part_from.get(node).copied().unwrap_or(0.0) + (next() % 4) as f64;
+                    let to_s = from_s + 0.5 + (next() % 6) as f64;
+                    if let Some(slot) = part_from.get_mut(node) {
+                        *slot = to_s;
+                    }
+                    faults.push(NodeFault {
+                        node,
+                        kind: NodeFaultKind::Partition { from_s, to_s },
+                    });
+                }
+            }
+        }
+        NodeFaultPlan { faults }
+    }
+}
+
+/// Shared window check: `0 ≤ from < to`, both finite.
+fn window_ok(part: &str, from_s: f64, to_s: f64) -> Result<(), NodeFaultError> {
+    if from_s.is_finite() && to_s.is_finite() && from_s >= 0.0 && from_s < to_s {
+        Ok(())
+    } else {
+        Err(NodeFaultError::NonMonotoneWindow {
+            part: part.to_string(),
+            from_s,
+            to_s,
+        })
     }
 }
 
@@ -1136,5 +1716,198 @@ mod tests {
             assert!(joined.len() < 5, "at least one unit stays live at start");
         }
         assert!(FaultPlan::chaos_elastic(7, 1, 4, 4).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod node_tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_the_node_cli_syntax() {
+        let plan = NodeFaultPlan::parse(
+            "node-crash:2,6; partition:1|3,2.0,9.0; link-degrade:0-1,8,0,14",
+            4,
+        )
+        .unwrap();
+        assert_eq!(plan.crash_after(2), Some(6));
+        assert_eq!(plan.crash_after(1), None);
+        // Side `1` holds no coordinator, side `3` neither: side b (3)
+        // is the cut side.
+        assert!(plan.partitioned(3, 2.0));
+        assert!(plan.partitioned(3, 8.999));
+        assert!(!plan.partitioned(3, 9.0));
+        assert!(!plan.partitioned(1, 5.0));
+        assert_eq!(plan.degrade_factor(0, 1, 5.0), 8.0);
+        assert_eq!(plan.degrade_factor(1, 0, 5.0), 8.0, "direction-agnostic");
+        assert_eq!(plan.degrade_factor(0, 1, 14.0), 1.0);
+        assert_eq!(plan.degrade_factor(0, 2, 5.0), 1.0);
+    }
+
+    #[test]
+    fn partition_cut_side_avoids_the_coordinator() {
+        // Coordinator on side a: side b is cut.
+        let plan = NodeFaultPlan::parse("partition:0+1|2+3,1,2", 4).unwrap();
+        assert!(plan.partitioned(2, 1.5) && plan.partitioned(3, 1.5));
+        assert!(!plan.partitioned(0, 1.5) && !plan.partitioned(1, 1.5));
+        // Coordinator on side b: side a is cut.
+        let plan = NodeFaultPlan::parse("partition:2+3|0,1,2", 4).unwrap();
+        assert!(plan.partitioned(2, 1.5) && plan.partitioned(3, 1.5));
+        assert!(!plan.partitioned(0, 1.5));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_node_ids() {
+        for spec in [
+            "node-crash:4,2",
+            "partition:1|4,0,5",
+            "link-degrade:0-9,2,0,5",
+        ] {
+            match NodeFaultPlan::parse(spec, 4) {
+                Err(NodeFaultError::UnknownNode { node, n_nodes, .. }) => {
+                    assert!(node >= 4, "{spec}");
+                    assert_eq!(n_nodes, 4);
+                }
+                other => panic!("{spec}: expected UnknownNode, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_overlapping_partition_windows() {
+        let err = NodeFaultPlan::parse("partition:0|1,0,5; partition:0|1,4,8", 3).unwrap_err();
+        match err {
+            NodeFaultError::OverlappingPartitions { node, prev, next } => {
+                assert_eq!(node, 1);
+                assert_eq!(prev, (0.0, 5.0));
+                assert_eq!(next, (4.0, 8.0));
+            }
+            other => panic!("expected OverlappingPartitions, got {other:?}"),
+        }
+        // Back-to-back windows (heal == next drop) are fine.
+        assert!(NodeFaultPlan::parse("partition:0|1,0,5; partition:0|1,5,8", 3).is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_non_monotone_windows() {
+        for spec in [
+            "partition:0|1,5,5",
+            "partition:0|1,9,2",
+            "partition:0|1,-1,2",
+            "link-degrade:0-1,2,inf,20",
+        ] {
+            assert!(
+                matches!(
+                    NodeFaultPlan::parse(spec, 3),
+                    Err(NodeFaultError::NonMonotoneWindow { .. })
+                ),
+                "{spec}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs_with_typed_errors() {
+        assert!(matches!(
+            NodeFaultPlan::parse("", 3),
+            Err(NodeFaultError::Empty)
+        ));
+        assert!(matches!(
+            NodeFaultPlan::parse("partition:|1,0,5", 3),
+            Err(NodeFaultError::EmptyPartitionSide { .. })
+        ));
+        assert!(matches!(
+            NodeFaultPlan::parse("partition:1|1+2,0,5", 3),
+            Err(NodeFaultError::PartitionSidesOverlap { node: 1, .. })
+        ));
+        assert!(matches!(
+            NodeFaultPlan::parse("link-degrade:1-1,2,0,5", 3),
+            Err(NodeFaultError::SelfLink { node: 1, .. })
+        ));
+        assert!(matches!(
+            NodeFaultPlan::parse("link-degrade:0-1,0.5,0,5", 3),
+            Err(NodeFaultError::BadFactor { .. })
+        ));
+        assert!(matches!(
+            NodeFaultPlan::parse("node-crash:1,2; node-crash:1,5", 3),
+            Err(NodeFaultError::DuplicateCrash { node: 1 })
+        ));
+        assert!(matches!(
+            NodeFaultPlan::parse("node-crash:0,1; node-crash:1,1", 2),
+            Err(NodeFaultError::AllNodesCrash)
+        ));
+        assert!(matches!(
+            NodeFaultPlan::parse("meteor:1,2", 3),
+            Err(NodeFaultError::Syntax { .. })
+        ));
+        assert!(matches!(
+            NodeFaultPlan::parse("node-crash:1", 3),
+            Err(NodeFaultError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn pu_fault_grammar_points_node_kinds_at_node_faults() {
+        for spec in [
+            "node-crash:1,2",
+            "partition:0|1,0,5",
+            "link-degrade:0-1,2,0,5",
+        ] {
+            let err = FaultPlan::parse(spec, 4).unwrap_err();
+            assert!(err.contains("--node-faults"), "{spec}: {err}");
+        }
+    }
+
+    #[test]
+    fn overlapping_link_degrades_compose_multiplicatively() {
+        let plan =
+            NodeFaultPlan::parse("link-degrade:0-1,2,0,10; link-degrade:1-0,3,5,10", 2).unwrap();
+        assert_eq!(plan.degrade_factor(0, 1, 1.0), 2.0);
+        assert_eq!(plan.degrade_factor(0, 1, 7.0), 6.0);
+    }
+
+    #[test]
+    fn chaos_cluster_is_deterministic_and_always_valid() {
+        for seed in 0..24u64 {
+            let plan = NodeFaultPlan::chaos_cluster(seed, 5, 8);
+            assert_eq!(plan, NodeFaultPlan::chaos_cluster(seed, 5, 8));
+            plan.validate(5).unwrap();
+            assert_eq!(plan.crash_after(0), None, "node 0 stays healthy");
+            assert!(plan.partition_windows(0).is_empty());
+        }
+        assert!(NodeFaultPlan::chaos_cluster(3, 1, 8).is_empty());
+        assert!(!NodeFaultPlan::chaos_cluster(3, 4, 6).is_empty());
+    }
+
+    #[test]
+    fn validate_catches_hand_built_violations() {
+        let plan = NodeFaultPlan::new(vec![NodeFault {
+            node: 9,
+            kind: NodeFaultKind::Crash { after_chunks: 1 },
+        }]);
+        assert!(matches!(
+            plan.validate(3),
+            Err(NodeFaultError::UnknownNode { node: 9, .. })
+        ));
+        let plan = NodeFaultPlan::new(vec![
+            NodeFault {
+                node: 1,
+                kind: NodeFaultKind::Partition {
+                    from_s: 0.0,
+                    to_s: 6.0,
+                },
+            },
+            NodeFault {
+                node: 1,
+                kind: NodeFaultKind::Partition {
+                    from_s: 2.0,
+                    to_s: 3.0,
+                },
+            },
+        ]);
+        assert!(matches!(
+            plan.validate(3),
+            Err(NodeFaultError::OverlappingPartitions { node: 1, .. })
+        ));
     }
 }

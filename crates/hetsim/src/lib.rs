@@ -26,6 +26,7 @@ pub mod noise;
 pub mod perf;
 pub mod presets;
 pub mod specs;
+pub mod topology;
 pub mod transfer;
 pub mod workload;
 
@@ -33,10 +34,14 @@ pub use calibrate::{
     calibrate_device, calibrate_device_raw, CalibrateError, Calibration, RawSample,
 };
 pub use cluster::{ClusterSim, PuId, PuKind, PuSpec, SimDevice};
-pub use fault::{Fault, FaultAction, FaultKind, FaultPlan};
+pub use fault::{
+    Fault, FaultAction, FaultKind, FaultPlan, NodeFault, NodeFaultError, NodeFaultKind,
+    NodeFaultPlan,
+};
 pub use noise::NoiseGen;
 pub use perf::{cpu_peak_gflops, gpu_peak_gflops, DevicePerf};
 pub use presets::{cluster_scenario, machine_a, machine_b, machine_c, machine_d, Scenario};
 pub use specs::{CpuSpec, GpuSpec, MachineSpec};
+pub use topology::Topology;
 pub use transfer::{Link, TransferPath};
 pub use workload::CostModel;

@@ -35,8 +35,11 @@ use std::path::{Path, PathBuf};
 /// Version history: 1 = item-count workload identity; 2 adds
 /// [`WorkloadId::total_cost`] so a resumed weighted run refuses a
 /// snapshot taken under different per-item costs (v1 snapshots still
-/// load — their cost defaults to the 0 sentinel and is not matched).
-pub const CHECKPOINT_FORMAT_VERSION: u32 = 2;
+/// load — their cost defaults to the 0 sentinel and is not matched);
+/// 3 adds [`WorkloadId::nodes`] so a mid-partition cluster run can only
+/// resume under the same node roster (pre-v3 snapshots still load —
+/// their roster defaults to empty and is not matched).
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 3;
 
 /// Magic tag on the header line, so a wrong file path fails loudly.
 const MAGIC: &str = "plb-checkpoint";
@@ -59,6 +62,13 @@ pub struct WorkloadId {
     /// never 0 — per-item costs are clamped ≥ 1.
     #[serde(default)]
     pub total_cost: u64,
+    /// Node roster of a cluster-tier run: one display name per node,
+    /// in shard order. Empty is the pre-v3 sentinel (single-node run or
+    /// old snapshot): [`Checkpoint::matches`] skips the roster
+    /// comparison when either side is empty, so node identity only
+    /// gates resumes of genuine cluster runs.
+    #[serde(default)]
+    pub nodes: Vec<String>,
 }
 
 /// Persisted per-unit driver state.
@@ -168,16 +178,24 @@ impl Checkpoint {
         let cost_ok = ours.total_cost == 0
             || workload.total_cost == 0
             || ours.total_cost == workload.total_cost;
+        let nodes_ok =
+            ours.nodes.is_empty() || workload.nodes.is_empty() || ours.nodes == workload.nodes;
         if ours.policy == workload.policy
             && ours.total_items == workload.total_items
             && ours.n_pus == workload.n_pus
             && cost_ok
+            && nodes_ok
         {
             Ok(())
         } else {
             let describe = |w: &WorkloadId| {
+                let roster = if w.nodes.is_empty() {
+                    String::new()
+                } else {
+                    format!(" / nodes [{}]", w.nodes.join(", "))
+                };
                 format!(
-                    "{} / {} items / {} cost / {} units",
+                    "{} / {} items / {} cost / {} units{roster}",
                     w.policy, w.total_items, w.total_cost, w.n_pus
                 )
             };
@@ -413,6 +431,7 @@ mod tests {
                 total_items: 1000,
                 n_pus: 2,
                 total_cost: 1000,
+                nodes: Vec::new(),
             },
             seq: 0,
             at: 1.25,
@@ -545,6 +564,7 @@ mod tests {
             total_items: 1000,
             n_pus: 2,
             total_cost: 1000,
+            nodes: Vec::new(),
         };
         assert!(c.matches(&c.workload).is_ok());
         let err = c.matches(&other).unwrap_err();
@@ -567,5 +587,26 @@ mod tests {
         reweighted.total_cost = 999;
         let err = c.matches(&reweighted).unwrap_err();
         assert!(err.to_string().contains("999 cost"));
+    }
+
+    #[test]
+    fn node_roster_matched_only_when_both_sides_carry_one() {
+        let mut c = sample();
+        c.workload.nodes = vec!["node0".into(), "node1".into()];
+        // A pre-v3 snapshot (empty roster) resumes under a cluster
+        // workload and vice versa; two non-empty rosters must agree.
+        let mut legacy = c.workload.clone();
+        legacy.nodes = Vec::new();
+        assert!(c.matches(&legacy).is_ok());
+        let mut old = sample();
+        old.workload.nodes = Vec::new();
+        assert!(old.matches(&c.workload).is_ok());
+        let mut reshaped = c.workload.clone();
+        reshaped.nodes = vec!["node0".into(), "node2".into()];
+        let err = c.matches(&reshaped).unwrap_err();
+        assert!(err.to_string().contains("node2"), "{err}");
+        let mut same = sample();
+        same.workload.nodes = c.workload.nodes.clone();
+        assert!(same.matches(&c.workload).is_ok());
     }
 }

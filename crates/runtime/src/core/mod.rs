@@ -33,6 +33,7 @@
 //! [`HostEngine`]: crate::host::HostEngine
 
 mod backend;
+pub mod cluster;
 mod pool;
 
 pub use backend::{Backend, ClockKind, Launch, LaunchSpec, Polled};
@@ -47,11 +48,11 @@ use crate::fault::{FaultPlan, FaultToleranceConfig};
 use crate::metrics::RunReport;
 use crate::policy::{Policy, PuHandle, SchedulerCtx};
 use crate::protocol::UnitGate;
+use crate::sync::Arc;
 use crate::task::{FailureReason, TaskFailure, TaskId, TaskInfo};
 use crate::trace::Trace;
 use crate::weights::Weights;
 use plb_hetsim::PuId;
-use crate::sync::Arc;
 
 /// Run-level durability knobs handed to [`drive`]: an optional
 /// periodic-snapshot writer and an optional snapshot to resume from.
@@ -67,6 +68,18 @@ pub struct Durability {
     /// restored, and the policy is re-seeded via
     /// [`Policy::restore`](crate::Policy::restore).
     pub resume: Option<Checkpoint>,
+    /// Cluster-tier node roster (one display name per node, in shard
+    /// order). Stamped into snapshots as checkpoint-v3 workload
+    /// identity so a mid-partition cluster run only resumes under the
+    /// same roster. Empty for single-node runs.
+    pub nodes: Vec<String>,
+    /// Home-shard boundaries of a cluster run: `shard_bounds[i]` is the
+    /// first item of shard `i+1` (ascending, exclusive of 0 and the
+    /// total). On a fresh cluster run the work pool is pre-fragmented
+    /// at these bounds so shard-scoped claims
+    /// ([`WorkPool::take_within`]) never straddle an ownership border.
+    /// Empty for single-node runs.
+    pub shard_bounds: Vec<u64>,
 }
 
 /// Everything a finished drive hands back to its engine: the result
@@ -163,6 +176,9 @@ struct Driver<'b> {
     /// claimed ranges to cost units for events, deadlines, and the
     /// policy-facing cost accessors.
     weights: Arc<Weights>,
+    /// Cluster-tier node roster, stamped into checkpoint workload
+    /// identity (v3). Empty for single-node runs.
+    nodes: Vec<String>,
 }
 
 impl SchedulerCtx for Driver<'_> {
@@ -224,6 +240,40 @@ impl SchedulerCtx for Driver<'_> {
             // The executor died out from under us: the block returns
             // to the pool and the unit is lost; the driver loop
             // delivers the policy notification.
+            self.pool.reclaim(offset, got);
+            self.release_unit(pu.0);
+            return 0;
+        }
+        cost
+    }
+
+    fn assign_within(&mut self, pu: PuId, budget_cost: u64, lo: u64, hi: u64) -> u64 {
+        if budget_cost == 0 || self.pool.remaining() == 0 {
+            return 0;
+        }
+        let unit_free = self.handles.get(pu.0).is_some_and(|h| h.available)
+            && self.inflight.get(pu.0).is_some_and(Option::is_none)
+            && self.backend.unit_ready(pu.0);
+        if !unit_free {
+            return 0;
+        }
+        let Some((offset, got)) = self.pool.take_within(lo, hi, budget_cost) else {
+            return 0;
+        };
+        let cost = self.weights.cost(offset, got);
+        let task = TaskId(self.next_task);
+        self.next_task += 1;
+        let now = self.backend.now();
+        self.events.record(
+            now,
+            Some(pu.0),
+            EventKind::TaskSubmit {
+                task: task.0,
+                items: got,
+                cost,
+            },
+        );
+        if !self.launch(pu.0, task, offset, got, cost, 0, 0.0) {
             self.pool.reclaim(offset, got);
             self.release_unit(pu.0);
             return 0;
@@ -457,6 +507,7 @@ impl Driver<'_> {
                 total_items: self.total,
                 n_pus: self.handles.len(),
                 total_cost: self.weights.total_cost(self.total),
+                nodes: self.nodes.clone(),
             },
             seq: 0,
             at: self.backend.now(),
@@ -892,7 +943,12 @@ pub fn drive(
     durability: Durability,
 ) -> CoreOutcome {
     let n = handles.len();
-    let Durability { checkpoint, resume } = durability;
+    let Durability {
+        checkpoint,
+        resume,
+        nodes,
+        shard_bounds,
+    } = durability;
 
     // Validate the resume snapshot before building any state: a
     // rejected snapshot must fail the run loudly, never silently start
@@ -905,6 +961,7 @@ pub fn drive(
             total_items,
             n_pus: n,
             total_cost: weights.total_cost(total_items),
+            nodes: nodes.clone(),
         };
         let prepared = ckpt
             .validate()
@@ -927,6 +984,14 @@ pub fn drive(
                 };
             }
         }
+    }
+
+    // Cluster runs pre-fragment the pool at the home-shard borders so
+    // shard-scoped claims never straddle an ownership boundary (a
+    // no-op on a resumed pool, whose fresh range is already exhausted —
+    // resume holes split lazily inside `take_within`).
+    if !shard_bounds.is_empty() {
+        pool.fragment(&shard_bounds);
     }
 
     // Units with a scheduled mid-run join start *latent*: invisible to
@@ -961,6 +1026,7 @@ pub fn drive(
         ckpt_writer: checkpoint,
         carried: EventCounters::default(),
         weights,
+        nodes,
     };
     for &(pu, _) in &d.joins {
         if pu < n {
@@ -1055,6 +1121,10 @@ pub fn drive(
         // resumed snapshot.
         report.events.merge(&d.carried);
         report.rebalances = report.events.rebalances as usize;
+        // The completed cover (coalesced): callers assert the
+        // disjoint-cover invariant on it across faults and resumes.
+        d.coalesce_completed();
+        report.cover = d.completed.clone();
         report
     });
     CoreOutcome {

@@ -21,8 +21,8 @@
 //! keeps its original weight by construction.
 
 use crate::protocol::CompletionLatch;
-use crate::weights::Weights;
 use crate::sync::Arc;
+use crate::weights::Weights;
 
 /// The undistributed-item pool: a cursor over fresh ranges plus a free
 /// list of reclaimed (failed-block) ranges, with the item count and the
@@ -179,6 +179,86 @@ impl WorkPool {
         Some((offset, got))
     }
 
+    /// Like [`take`](WorkPool::take), but only claims items inside
+    /// `[lo, hi)` — the shard-scoped claim behind
+    /// `SchedulerCtx::assign_within`. Serves the highest-offset
+    /// reclaimed fragment overlapping the range (splitting off any
+    /// out-of-range head/tail back onto the free list), and never
+    /// touches fragments outside the range, so claims respect shard
+    /// ownership borders. On a pre-[`fragment`](WorkPool::fragment)ed
+    /// pool every fragment lies wholly inside one shard and the
+    /// head/tail splits are no-ops. Returns `None` when no unclaimed
+    /// work overlaps the range.
+    pub fn take_within(&mut self, lo: u64, hi: u64, budget_cost: u64) -> Option<(u64, u64)> {
+        if budget_cost == 0 || lo >= hi || self.latch.remaining() == 0 {
+            return None;
+        }
+        // Highest-offset overlapping fragment, mirroring `take`'s
+        // pop-from-the-back order within the shard.
+        let idx = self
+            .reclaimed
+            .iter()
+            .rposition(|&(off, len)| off < hi && off + len > lo)?;
+        let (off, len) = self.reclaimed.remove(idx);
+        let end = off + len;
+        // Split off the parts outside [lo, hi); they stay reclaimed.
+        if off < lo {
+            self.reclaimed.push((off, lo - off));
+        }
+        if end > hi {
+            self.reclaimed.push((hi, end - hi));
+        }
+        let (off, len) = (off.max(lo), end.min(hi) - off.max(lo));
+        let n = self.weights.items_for_budget(off, len, budget_cost);
+        if n < len {
+            self.reclaimed.push((off + n, len - n));
+        }
+        if n == 0 {
+            return None;
+        }
+        let debited = self.latch.take(n);
+        debug_assert_eq!(debited, n, "latch and range pool out of sync");
+        Some((off, n))
+    }
+
+    /// Pre-fragment a fresh pool at the given ascending shard bounds:
+    /// the untouched cursor range becomes reclaimed-style fragments
+    /// split at every bound, served in ascending offset order, and the
+    /// cursor starts exhausted. After this, every fragment lies wholly
+    /// inside one shard, so [`take_within`](WorkPool::take_within)
+    /// claims never straddle an ownership border. Bounds outside
+    /// `(cursor, total)` are ignored. A no-op when nothing remains.
+    pub fn fragment(&mut self, bounds: &[u64]) {
+        let reclaimed_items: u64 = self.reclaimed.iter().map(|&(_, len)| len).sum();
+        let fresh = self.latch.remaining().saturating_sub(reclaimed_items);
+        if fresh == 0 {
+            return;
+        }
+        let (start, end) = (self.cursor, self.cursor + fresh);
+        let mut cuts: Vec<u64> = bounds
+            .iter()
+            .copied()
+            .filter(|&b| b > start && b < end)
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        cuts.push(end);
+        // `take`/`take_within` pop from the back; store high-to-low so
+        // fresh work is still served in ascending offset order.
+        let mut pieces: Vec<(u64, u64)> = Vec::with_capacity(cuts.len());
+        let mut at = start;
+        for cut in cuts {
+            pieces.push((at, cut - at));
+            at = cut;
+        }
+        pieces.reverse();
+        // Existing reclaimed fragments (resume holes) must still be
+        // served first: keep them at the back of the LIFO list.
+        pieces.append(&mut self.reclaimed);
+        self.reclaimed = pieces;
+        self.cursor = end;
+    }
+
     /// Return a failed block's range to the pool. Weights are
     /// positional, so the fragment re-enters with its original cost.
     pub fn reclaim(&mut self, offset: u64, items: u64) {
@@ -305,6 +385,75 @@ mod tests {
             expect = off + len;
         }
         assert_eq!(expect, 1000);
+        assert!(p.try_close());
+    }
+
+    #[test]
+    fn fragment_splits_the_fresh_range_at_shard_bounds() {
+        let mut p = WorkPool::new(100);
+        p.fragment(&[30, 60]);
+        assert_eq!(p.remaining(), 100);
+        // Unrestricted takes still serve ascending, shard by shard.
+        assert_eq!(p.take(1000), Some((0, 30)));
+        assert_eq!(p.take(1000), Some((30, 30)));
+        assert_eq!(p.take(1000), Some((60, 40)));
+        assert_eq!(p.take(1), None);
+        assert!(p.try_close());
+    }
+
+    #[test]
+    fn take_within_claims_only_inside_the_shard() {
+        let mut p = WorkPool::new(100);
+        p.fragment(&[30, 60]);
+        // Shard 1 is [30, 60).
+        assert_eq!(p.take_within(30, 60, 10), Some((30, 10)));
+        assert_eq!(p.take_within(30, 60, 1000), Some((40, 20)));
+        assert_eq!(p.take_within(30, 60, 1), None, "shard exhausted");
+        // Other shards untouched.
+        assert_eq!(p.remaining(), 70);
+        assert_eq!(p.take_within(0, 30, 1000), Some((0, 30)));
+        assert_eq!(p.take_within(60, 100, 1000), Some((60, 40)));
+        assert!(p.try_close());
+    }
+
+    #[test]
+    fn take_within_splits_straddling_fragments() {
+        // An unfragmented pool: the single fresh range straddles any
+        // shard border, and take_within must carve out only the
+        // overlap.
+        let mut p = WorkPool::new(100);
+        p.fragment(&[]);
+        assert_eq!(p.take_within(40, 70, 1000), Some((40, 30)));
+        assert_eq!(p.remaining(), 70);
+        // The head and tail remain claimable.
+        assert_eq!(p.take_within(0, 40, 1000), Some((0, 40)));
+        assert_eq!(p.take_within(70, 100, 1000), Some((70, 30)));
+        assert!(p.try_close());
+    }
+
+    #[test]
+    fn take_within_respects_cost_budgets_and_reclaim() {
+        let w = Arc::new(Weights::per_item([10, 10, 1, 1, 1, 1]));
+        let mut p = WorkPool::with_weights(6, Arc::clone(&w));
+        p.fragment(&[2]);
+        // Shard 0 = heavy items; a 10-unit budget buys one.
+        assert_eq!(p.take_within(0, 2, 10), Some((0, 1)));
+        p.reclaim(0, 1);
+        assert_eq!(p.take_within(0, 2, 100), Some((0, 1)), "re-credit reissued");
+        assert_eq!(p.take_within(0, 2, 100), Some((1, 1)));
+        assert_eq!(p.take_within(0, 2, 100), None);
+        assert_eq!(p.take_within(2, 6, 100), Some((2, 4)));
+        assert!(p.try_close());
+    }
+
+    #[test]
+    fn fragment_after_resume_keeps_holes_first() {
+        // Resume holes are [0,10) and [90,100); fresh work is gone.
+        let mut p = WorkPool::resume(100, &[(10, 80)]).unwrap();
+        p.fragment(&[50]);
+        assert_eq!(p.remaining(), 20);
+        assert_eq!(p.take(1000), Some((0, 10)));
+        assert_eq!(p.take(1000), Some((90, 10)));
         assert!(p.try_close());
     }
 

@@ -25,13 +25,13 @@ use crate::events::{EventKind, EventSink};
 use crate::fault::{FaultAction, FaultPlan, FaultToleranceConfig};
 use crate::metrics::RunReport;
 use crate::policy::{Policy, PuHandle};
+use crate::sync::Arc;
 use crate::task::{FailureReason, TaskId};
 use crate::trace::Trace;
 use crate::weights::Weights;
 use plb_hetsim::{ClusterSim, CostModel, PuId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use crate::sync::Arc;
 
 /// A scheduled runtime perturbation.
 #[derive(Debug, Clone)]
@@ -499,6 +499,7 @@ impl<'a> SimEngine<'a> {
         let durability = Durability {
             checkpoint: self.checkpoint.clone().map(CheckpointWriter::new),
             resume: self.resume.take(),
+            ..Default::default()
         };
         let outcome = core::drive(
             &mut backend,

@@ -40,8 +40,10 @@ use serde::{Deserialize, Serialize};
 /// elastic-capacity kinds (`pu_joined`, `drift_applied`, `restabilized`,
 /// `device_restored_ignored`); 5 adds the weighted-work `cost` field to
 /// `task_submit` and `task_finish` (cost units of the block; equals
-/// `items` under uniform weights).
-pub const TRACE_FORMAT_VERSION: u32 = 5;
+/// `items` under uniform weights); 6 adds the cluster-tier kinds
+/// (`node_joined`, `node_quarantined`, `migration_sent`,
+/// `migration_retried`, `cover_recredited`).
+pub const TRACE_FORMAT_VERSION: u32 = 6;
 
 /// Default ring-buffer capacity (events).
 pub const DEFAULT_SINK_CAPACITY: usize = 1 << 16;
@@ -203,6 +205,64 @@ pub enum EventKind {
     /// dispatch path covers it. Debug breadcrumb for traces.
     DeviceRestoredIgnored,
 
+    /// A cluster node (`pu` = node index in the cluster driver) was
+    /// admitted — either re-admitted through the acquisition gate after
+    /// a partition healed, or accepted into the active set at cluster
+    /// start. Trace v6 (`docs/FAULT_TOLERANCE.md`, "Node fault
+    /// domains").
+    NodeJoined {
+        /// Work-pool cost still unclaimed when the node was admitted.
+        remaining_cost: u64,
+    },
+    /// A cluster node (`pu` = node index) left the active set: it
+    /// crashed, fell behind a partition, or exhausted its migration
+    /// retries. Its unfinished ranges are re-credited to the surviving
+    /// nodes' pool. Trace v6.
+    NodeQuarantined {
+        /// `"crash"`, `"partition"` or `"migration-failures"`.
+        reason: String,
+    },
+    /// A work chunk was migrated from its home shard to another node
+    /// over the inter-node link model (`pu` = destination node).
+    /// Trace v6.
+    MigrationSent {
+        /// Engine-assigned task id of the migrated chunk.
+        task: u64,
+        /// Source node: the home shard owner the chunk migrated away
+        /// from.
+        from: usize,
+        /// Items in the chunk.
+        items: u64,
+        /// Weight of the chunk in cost units.
+        cost: u64,
+        /// Payload size charged to the link, bytes.
+        bytes: u64,
+        /// Modeled transfer time over the (possibly degraded) link,
+        /// seconds.
+        xfer_s: f64,
+    },
+    /// A migration missed its delivery deadline (partition or degraded
+    /// link) and is being re-sent after an exponential backoff
+    /// (`pu` = destination node). Trace v6.
+    MigrationRetried {
+        /// Engine-assigned task id (unchanged across resends).
+        task: u64,
+        /// 0-based delivery attempt being dispatched (≥ 1).
+        attempt: u32,
+        /// Backoff applied before this resend, seconds.
+        backoff_s: f64,
+    },
+    /// Unfinished ranges from a quarantined node (or an undeliverable
+    /// migration) were folded back into the shared pool, preserving the
+    /// cluster-wide disjoint cover (`pu` = the node whose work was
+    /// re-credited). Trace v6.
+    CoverRecredited {
+        /// Items returned to the pool.
+        items: u64,
+        /// Weight of the returned range in cost units.
+        cost: u64,
+    },
+
     /// PLB-HeC issued a modeling-phase probe block to `pu`.
     ProbeIssued {
         /// Probe block size in items.
@@ -306,6 +366,11 @@ impl EventKind {
             EventKind::DriftApplied { .. } => "drift_applied",
             EventKind::Restabilized { .. } => "restabilized",
             EventKind::DeviceRestoredIgnored => "device_restored_ignored",
+            EventKind::NodeJoined { .. } => "node_joined",
+            EventKind::NodeQuarantined { .. } => "node_quarantined",
+            EventKind::MigrationSent { .. } => "migration_sent",
+            EventKind::MigrationRetried { .. } => "migration_retried",
+            EventKind::CoverRecredited { .. } => "cover_recredited",
             EventKind::ProbeIssued { .. } => "probe_issued",
             EventKind::CurveFit { .. } => "curve_fit",
             EventKind::ModelingDone { .. } => "modeling_done",
@@ -501,6 +566,21 @@ pub struct EventCounters {
     /// (`device_restored_ignored`).
     #[serde(default)]
     pub restores_ignored: u64,
+    /// Cluster nodes admitted or re-admitted (`node_joined`).
+    #[serde(default)]
+    pub node_joins: u64,
+    /// Cluster nodes quarantined (`node_quarantined`).
+    #[serde(default)]
+    pub node_quarantines: u64,
+    /// Cross-node work migrations dispatched (`migration_sent`).
+    #[serde(default)]
+    pub migrations_sent: u64,
+    /// Migration delivery retries (`migration_retried`).
+    #[serde(default)]
+    pub migration_retries: u64,
+    /// Cross-node re-credits of unfinished ranges (`cover_recredited`).
+    #[serde(default)]
+    pub cover_recredits: u64,
     /// Stall errors.
     pub stalls: u64,
     /// Events lost to ring-buffer overwrite (counts may undercount when
@@ -545,6 +625,11 @@ impl EventCounters {
                 EventKind::DriftApplied { .. } => c.drift_changes += 1,
                 EventKind::Restabilized { .. } => c.restabilizations += 1,
                 EventKind::DeviceRestoredIgnored => c.restores_ignored += 1,
+                EventKind::NodeJoined { .. } => c.node_joins += 1,
+                EventKind::NodeQuarantined { .. } => c.node_quarantines += 1,
+                EventKind::MigrationSent { .. } => c.migrations_sent += 1,
+                EventKind::MigrationRetried { .. } => c.migration_retries += 1,
+                EventKind::CoverRecredited { .. } => c.cover_recredits += 1,
                 EventKind::Stalled { .. } => c.stalls += 1,
                 EventKind::RunStart { .. }
                 | EventKind::TaskStart { .. }
@@ -581,6 +666,11 @@ impl EventCounters {
         self.drift_changes += other.drift_changes;
         self.restabilizations += other.restabilizations;
         self.restores_ignored += other.restores_ignored;
+        self.node_joins += other.node_joins;
+        self.node_quarantines += other.node_quarantines;
+        self.migrations_sent += other.migrations_sent;
+        self.migration_retries += other.migration_retries;
+        self.cover_recredits += other.cover_recredits;
         self.stalls += other.stalls;
         self.dropped += other.dropped;
     }
@@ -917,6 +1007,111 @@ impl TraceData {
             }
         }
 
+        // Cluster tier: per-node migration and fault-domain accounting
+        // (trace v6; `pu` is the node index in a cluster trace).
+        let cluster_active = self.events.iter().any(|e| {
+            matches!(
+                e.kind,
+                EventKind::NodeJoined { .. }
+                    | EventKind::NodeQuarantined { .. }
+                    | EventKind::MigrationSent { .. }
+                    | EventKind::MigrationRetried { .. }
+                    | EventKind::CoverRecredited { .. }
+            )
+        });
+        if cluster_active {
+            #[derive(Default)]
+            struct NodeAgg {
+                mig_in: u64,
+                mig_out: u64,
+                retries: u64,
+                recredits: u64,
+                recredited_cost: u64,
+                quarantines: Vec<String>,
+            }
+            let mut nodes: std::collections::BTreeMap<usize, NodeAgg> = Default::default();
+            for e in &self.events {
+                match &e.kind {
+                    EventKind::MigrationSent { from, .. } => {
+                        if let Some(to) = e.pu {
+                            nodes.entry(to).or_default().mig_in += 1;
+                        }
+                        nodes.entry(*from).or_default().mig_out += 1;
+                    }
+                    EventKind::MigrationRetried { .. } => {
+                        if let Some(to) = e.pu {
+                            nodes.entry(to).or_default().retries += 1;
+                        }
+                    }
+                    EventKind::CoverRecredited { cost, .. } => {
+                        if let Some(n) = e.pu {
+                            let agg = nodes.entry(n).or_default();
+                            agg.recredits += 1;
+                            agg.recredited_cost += cost;
+                        }
+                    }
+                    EventKind::NodeQuarantined { reason } => {
+                        if let Some(n) = e.pu {
+                            nodes.entry(n).or_default().quarantines.push(reason.clone());
+                        }
+                    }
+                    EventKind::NodeJoined { .. } => {
+                        if let Some(n) = e.pu {
+                            nodes.entry(n).or_default();
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let _ = writeln!(out, "\ncluster nodes:");
+            for (node, agg) in &nodes {
+                let q = if agg.quarantines.is_empty() {
+                    String::new()
+                } else {
+                    format!(" quarantined: {}", agg.quarantines.join(", "))
+                };
+                let _ = writeln!(
+                    out,
+                    "  node{node}: migrations in={} out={} retries={} \
+                     re-credited cost={} ({} ranges){q}",
+                    agg.mig_in, agg.mig_out, agg.retries, agg.recredited_cost, agg.recredits
+                );
+            }
+            // Time-to-restabilize after a partition heal: each
+            // partition quarantine paired with the node's next
+            // re-admission through the acquisition gate.
+            for e in &self.events {
+                if let EventKind::NodeQuarantined { reason } = &e.kind {
+                    if reason != "partition" {
+                        continue;
+                    }
+                    let rejoin = self.events.iter().find(|r| {
+                        r.pu == e.pu && r.t >= e.t && matches!(r.kind, EventKind::NodeJoined { .. })
+                    });
+                    let node = e.pu.map(|n| n.to_string()).unwrap_or_else(|| "-".into());
+                    match rejoin {
+                        Some(r) => {
+                            let _ = writeln!(
+                                out,
+                                "  node{node} partitioned at t={:.6}s; re-admitted at \
+                                 t={:.6}s (restabilized in {:.6}s)",
+                                e.t,
+                                r.t,
+                                r.t - e.t
+                            );
+                        }
+                        None => {
+                            let _ = writeln!(
+                                out,
+                                "  node{node} partitioned at t={:.6}s; never re-admitted",
+                                e.t
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
         // Aggregate counters.
         let c = self.counters();
         let _ = writeln!(out, "\nevent counters:");
@@ -950,6 +1145,16 @@ impl TraceData {
             out,
             "  elastic: {} joins, {} drift changes, {} restabilizations, {} ignored restores",
             c.joins, c.drift_changes, c.restabilizations, c.restores_ignored
+        );
+        let _ = writeln!(
+            out,
+            "  cluster: {} migrations ({} retries), {} node joins, {} node quarantines, \
+             {} re-credits",
+            c.migrations_sent,
+            c.migration_retries,
+            c.node_joins,
+            c.node_quarantines,
+            c.cover_recredits
         );
         out
     }

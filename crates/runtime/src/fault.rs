@@ -7,7 +7,10 @@
 //! host watchdog derives per-task deadlines. The full failure model is
 //! documented in `docs/FAULT_TOLERANCE.md`.
 
-pub use plb_hetsim::fault::{Fault, FaultAction, FaultKind, FaultPlan};
+pub use plb_hetsim::fault::{
+    Fault, FaultAction, FaultKind, FaultPlan, NodeFault, NodeFaultError, NodeFaultKind,
+    NodeFaultPlan,
+};
 
 /// Tunables of the engines' fault-tolerance layer.
 ///

@@ -508,6 +508,7 @@ impl HostEngine {
         let durability = Durability {
             checkpoint: self.checkpoint.clone().map(CheckpointWriter::new),
             resume: self.resume.take(),
+            ..Default::default()
         };
         let outcome = core::drive(
             &mut backend,
@@ -554,6 +555,114 @@ impl HostEngine {
     /// a stalled run for post-mortems). See [`crate::events`].
     pub fn last_events(&self) -> Option<&EventSink> {
         self.last_events.as_ref()
+    }
+}
+
+/// A codelet view shifted into a node's chunk: the nested engine works
+/// in local coordinates `0..items`, while the application's kernel
+/// sees the global range starting at `base`.
+struct ShiftedCodelet {
+    inner: Arc<dyn Codelet>,
+    base: u64,
+}
+
+impl Codelet for ShiftedCodelet {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn execute(&self, range: std::ops::Range<u64>, res: &PuResources) {
+        self.inner.execute(
+            self.base.saturating_add(range.start)..self.base.saturating_add(range.end),
+            res,
+        );
+    }
+}
+
+/// The real-thread node runner for the cluster tier
+/// ([`crate::ClusterEngine`]): each node is a set of host units, and
+/// every chunk runs a nested [`HostEngine`] over them with the node's
+/// own persistent intra-node policy. Worker threads live for one chunk
+/// (spawned per `run_chunk`), which keeps node executions isolated —
+/// a wedged kernel in one chunk cannot leak threads into the next.
+pub struct HostNodeRunner {
+    names: Vec<String>,
+    pus: Vec<Vec<HostPu>>,
+    policies: Vec<Box<dyn Policy>>,
+    codelet: Arc<dyn Codelet>,
+    weights: Arc<Weights>,
+}
+
+impl HostNodeRunner {
+    /// Build a runner from per-node unit rosters and per-node intra-node
+    /// policies (equal lengths), the application codelet, and the
+    /// *global* per-item cost table (chunk runs see the matching
+    /// sub-table). Codelets must be idempotent — the same contract
+    /// single-node re-dispatch already requires.
+    pub fn new(
+        names: Vec<String>,
+        pus: Vec<Vec<HostPu>>,
+        policies: Vec<Box<dyn Policy>>,
+        codelet: Arc<dyn Codelet>,
+        weights: Arc<Weights>,
+    ) -> HostNodeRunner {
+        HostNodeRunner {
+            names,
+            pus,
+            policies,
+            codelet,
+            weights,
+        }
+    }
+}
+
+impl crate::core::cluster::NodeRunner for HostNodeRunner {
+    fn node_count(&self) -> usize {
+        self.pus.len().min(self.policies.len())
+    }
+
+    fn node_name(&self, node: usize) -> String {
+        self.names
+            .get(node)
+            .cloned()
+            .unwrap_or_else(|| format!("node{node}"))
+    }
+
+    fn run_chunk(
+        &mut self,
+        node: usize,
+        offset: u64,
+        items: u64,
+    ) -> Result<crate::core::cluster::ChunkOutcome, String> {
+        let Some(pus) = self.pus.get(node) else {
+            return Err(format!("unknown node {node}"));
+        };
+        let Some(policy) = self.policies.get_mut(node) else {
+            return Err(format!("no policy for node {node}"));
+        };
+        if pus.is_empty() {
+            return Err(format!("node {node} has no units"));
+        }
+        let sub_weights = if self.weights.is_uniform() {
+            Weights::uniform()
+        } else {
+            let w = &self.weights;
+            Arc::new(Weights::per_item(
+                (offset..offset.saturating_add(items)).map(|i| w.cost(i, 1)),
+            ))
+        };
+        let shifted: Arc<dyn Codelet> = Arc::new(ShiftedCodelet {
+            inner: Arc::clone(&self.codelet),
+            base: offset,
+        });
+        let report = HostEngine::new(pus.clone())
+            .with_weights(sub_weights)
+            .run(policy.as_mut(), shifted, items)
+            .map_err(|e| e.to_string())?;
+        Ok(crate::core::cluster::ChunkOutcome {
+            makespan_s: report.makespan,
+            bytes_in: report.pus.iter().map(|p| p.bytes_in).sum(),
+        })
     }
 }
 

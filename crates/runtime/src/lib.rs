@@ -67,6 +67,9 @@ pub mod task;
 pub mod trace;
 pub mod weights;
 
+pub use crate::core::cluster::{
+    equal_cost_shards, ChunkOutcome, ClusterEngine, MigrationConfig, NodeRunner, SimNodeRunner,
+};
 pub use crate::core::{
     Backend, ClockKind, CoreOutcome, Durability, Launch, LaunchSpec, Polled, WorkPool,
 };
@@ -84,8 +87,11 @@ pub use events::{
     write_jsonl, Event, EventCounters, EventKind, EventSink, TraceData, TraceHeader,
     TRACE_FORMAT_VERSION,
 };
-pub use fault::{Fault, FaultAction, FaultKind, FaultPlan, FaultToleranceConfig};
-pub use host::{HostEngine, HostPerturbation, HostPu};
+pub use fault::{
+    Fault, FaultAction, FaultKind, FaultPlan, FaultToleranceConfig, NodeFault, NodeFaultError,
+    NodeFaultKind, NodeFaultPlan,
+};
+pub use host::{HostEngine, HostNodeRunner, HostPerturbation, HostPu};
 pub use metrics::{PuReport, RunReport};
 pub use policy::{FixedBlockPolicy, Policy, PuHandle, SchedulerCtx};
 pub use protocol::{AttemptOutcome, AttemptSlot, CompletionLatch, UnitGate};

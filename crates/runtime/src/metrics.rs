@@ -51,6 +51,13 @@ pub struct RunReport {
     /// executed without event tracing.
     #[serde(default)]
     pub events: EventCounters,
+    /// The disjoint cover of completed work: sorted, coalesced
+    /// `(offset, items)` ranges over the item space. A complete run's
+    /// cover is the single range `(0, total_items)`; tests assert on
+    /// this to prove no item was lost or executed twice across node
+    /// faults. Empty when the driver did not track completion ranges.
+    #[serde(default)]
+    pub cover: Vec<(u64, u64)>,
 }
 
 impl RunReport {
@@ -91,6 +98,7 @@ impl RunReport {
             block_distribution,
             rebalances: 0,
             events: EventCounters::default(),
+            cover: Vec::new(),
         }
     }
 

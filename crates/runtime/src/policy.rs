@@ -66,6 +66,18 @@ pub trait SchedulerCtx {
     /// weights the returned cost equals the assigned item count.
     fn assign(&mut self, pu: PuId, budget: u64) -> u64;
 
+    /// Like [`assign`](Self::assign), but only claims work lying inside
+    /// the item range `[lo, hi)` — the shard-scoped claim used by the
+    /// cluster tier's diffusion policy (a node prefers its home shard
+    /// before pulling from neighbours). Returns 0 when no unclaimed
+    /// work overlaps the range. Contexts without shard structure
+    /// default to an unrestricted assign, which keeps single-node
+    /// policies oblivious to sharding.
+    fn assign_within(&mut self, pu: PuId, budget: u64, lo: u64, hi: u64) -> u64 {
+        let _ = (lo, hi);
+        self.assign(pu, budget)
+    }
+
     /// Is a task currently running (or queued) on `pu`?
     fn is_busy(&self, pu: PuId) -> bool;
 

@@ -69,6 +69,7 @@ fn midrun_snapshot(total: u64) -> Checkpoint {
             total_items: total,
             n_pus: 2,
             total_cost: total,
+            nodes: Vec::new(),
         },
         seq: 4,
         at: 0.75,

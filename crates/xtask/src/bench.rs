@@ -37,6 +37,10 @@ struct DriverSnapshot {
     overhead: f64,
     events_per_sec: f64,
     claim: Vec<ClaimEntry>,
+    /// `migration_sent` count in the reference cluster run.
+    migrations: f64,
+    /// Mean modeled inter-node transfer per migrated chunk, ms.
+    migration_xfer_ms: f64,
 }
 
 /// Sizes every committed solver snapshot must cover.
@@ -103,6 +107,7 @@ pub fn bench_check(root: &Path, args: &[String]) -> ExitCode {
                 ));
             }
             check_claim_invariants(&driver.claim, &mut errors);
+            check_migration_invariants(&driver, &mut errors);
         }
         Err(e) => errors.push(format!("BENCH_driver.json: {e}")),
     }
@@ -223,6 +228,28 @@ fn check_claim_invariants(claim: &[ClaimEntry], errors: &mut Vec<String>) {
                 b.items
             ));
         }
+    }
+}
+
+/// Gates on the cluster tier's migration snapshot. The reference run is
+/// a virtual-clock simulation, so both values are deterministic and may
+/// be gated directly: the skewed ring must actually migrate work, and
+/// every migrated chunk pays at least the modeled link's 1 ms
+/// propagation latency — a mean below that means the migration path
+/// stopped charging the link.
+fn check_migration_invariants(driver: &DriverSnapshot, errors: &mut Vec<String>) {
+    if !(driver.migrations.is_finite() && driver.migrations >= 1.0) {
+        errors.push(format!(
+            "driver: migration.migrations = {} — the reference cluster run must migrate \
+             at least one chunk",
+            driver.migrations
+        ));
+    }
+    if !(driver.migration_xfer_ms.is_finite() && driver.migration_xfer_ms >= 1.0) {
+        errors.push(format!(
+            "driver: migration.xfer_ms_mean = {} below the link's 1 ms latency floor",
+            driver.migration_xfer_ms
+        ));
     }
 }
 
@@ -361,10 +388,15 @@ fn load_driver_snapshot(path: &Path) -> Result<DriverSnapshot, String> {
             weighted_ns: req("weighted_ns")?,
         });
     }
+    let migrations = json_number(&text, "migrations")?.ok_or("migration.migrations is null")?;
+    let migration_xfer_ms =
+        json_number(&text, "xfer_ms_mean")?.ok_or("migration.xfer_ms_mean is null")?;
     Ok(DriverSnapshot {
         overhead,
         events_per_sec: events,
         claim,
+        migrations,
+        migration_xfer_ms,
     })
 }
 
@@ -452,7 +484,8 @@ mod tests {
   "claim": [
     {"items": 10000, "uniform_ns": 45.2, "weighted_ns": 98.7},
     {"items": 1000000, "uniform_ns": 46.1, "weighted_ns": 141.3}
-  ]
+  ],
+  "migration": {"migrations": 6, "xfer_ms_mean": 1.412}
 }"#;
 
     fn sample_claim() -> Vec<ClaimEntry> {
@@ -504,6 +537,54 @@ mod tests {
         errors.clear();
         check_claim_invariants(&linear, &mut errors);
         assert!(errors.iter().any(|e| e.contains("grew")), "{errors:?}");
+    }
+
+    fn sample_driver_snapshot() -> DriverSnapshot {
+        DriverSnapshot {
+            overhead: json_number(SAMPLE_DRIVER, "sched_overhead_us_per_task")
+                .unwrap()
+                .unwrap(),
+            events_per_sec: json_number(SAMPLE_DRIVER, "events_per_sec")
+                .unwrap()
+                .unwrap(),
+            claim: sample_claim(),
+            migrations: json_number(SAMPLE_DRIVER, "migrations").unwrap().unwrap(),
+            migration_xfer_ms: json_number(SAMPLE_DRIVER, "xfer_ms_mean").unwrap().unwrap(),
+        }
+    }
+
+    #[test]
+    fn migration_gates_accept_the_committed_shape() {
+        let snap = sample_driver_snapshot();
+        assert_eq!(snap.migrations, 6.0);
+        let mut errors = Vec::new();
+        check_migration_invariants(&snap, &mut errors);
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn migration_gates_catch_regressions() {
+        // No migrations at all: the reference run stopped exercising
+        // the path.
+        let mut none = sample_driver_snapshot();
+        none.migrations = 0.0;
+        let mut errors = Vec::new();
+        check_migration_invariants(&none, &mut errors);
+        assert!(
+            errors.iter().any(|e| e.contains("at least one chunk")),
+            "{errors:?}"
+        );
+
+        // Mean transfer below the link latency: the link is no longer
+        // being charged.
+        let mut free = sample_driver_snapshot();
+        free.migration_xfer_ms = 0.2;
+        errors.clear();
+        check_migration_invariants(&free, &mut errors);
+        assert!(
+            errors.iter().any(|e| e.contains("latency floor")),
+            "{errors:?}"
+        );
     }
 
     #[test]
